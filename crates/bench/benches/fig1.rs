@@ -1,0 +1,68 @@
+//! Figure 1 — the control-loop delay of adaptive partial indexing.
+//!
+//! Paper setup: a single integer column; 500 queries; the queried focus
+//! shifts from values <15 to values >15 between queries 200 and 300; the
+//! tuner indexes a value queried ≥6 times in the monitoring window and
+//! evicts LRU. Plotted: queried value range, indexed value range, and the
+//! partial-index hit rate — the indexed range follows the queried range
+//! only after a delay of roughly 100–200 queries, during which the hit rate
+//! collapses.
+//!
+//! (Deviation: the monitoring window is 60 queries instead of the paper's
+//! 20 — the stated 6-in-20 threshold is unreachable under any
+//! near-uniform draw over a 15-value range; see EXPERIMENTS.md.)
+
+use aib_bench::header;
+use aib_sim::{run_control_loop, ControlLoopConfig};
+
+fn main() {
+    let config = ControlLoopConfig::default();
+    header(
+        "Figure 1: control-loop delay in adaptive partial indexing",
+        &format!(
+            "queries={} shift={:?} window={} threshold={} capacity={}",
+            config.queries,
+            config.shift,
+            config.tuner.window,
+            config.tuner.threshold,
+            config.tuner.capacity
+        ),
+    );
+
+    let result = run_control_loop(&config);
+    println!(
+        "query,value,queried_lo,queried_hi,indexed_lo,indexed_hi,indexed_count,hit,hit_rate_50"
+    );
+    for r in &result.records {
+        let (ilo, ihi) = r.indexed_range.unwrap_or((0, 0));
+        let window_start = r.seq.saturating_sub(49);
+        println!(
+            "{},{},{},{},{},{},{},{},{:.2}",
+            r.seq,
+            r.value,
+            r.queried_range.0,
+            r.queried_range.1,
+            ilo,
+            ihi,
+            r.indexed_count,
+            u8::from(r.hit),
+            result.hit_rate(window_start, r.seq + 1),
+        );
+    }
+
+    // Shape summary against the paper's claims.
+    let warm = result.hit_rate(100, 200);
+    let during = result.hit_rate(250, 320);
+    let late = result.hit_rate(430, 500);
+    println!("\n# shape: hit rate before shift = {warm:.2} (paper: high, index adapted)");
+    println!("# shape: hit rate during adaptation = {during:.2} (paper: drops significantly)");
+    println!("# shape: hit rate after re-adaptation = {late:.2} (paper: recovers)");
+    let adapted = result.adapted_after(config.high_range, 0.7, 50);
+    match adapted {
+        Some(q) => println!(
+            "# shape: re-adaptation complete around query {q} -> control loop delay ≈ {} queries (paper: ~200)",
+            q.saturating_sub(config.shift.0)
+        ),
+        None => println!("# shape: tuner did not re-adapt within the run"),
+    }
+}

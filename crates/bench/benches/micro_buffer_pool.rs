@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the buffer pool: hit/miss fetch cost and
+//! the replacement policies under a scan-like access pattern.
+
+use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy, ReplacementPolicy};
+use aib_storage::{BufferPool, BufferPoolConfig, CostModel, DiskManager, PageId};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn pool_with(frames: usize, pages: u32) -> (Arc<BufferPool>, Vec<PageId>) {
+    let pool = BufferPool::new(
+        DiskManager::new(CostModel::free()),
+        BufferPoolConfig::lru(frames),
+    );
+    let mut pids = Vec::new();
+    for _ in 0..pages {
+        let (pid, g) = pool.new_page().unwrap();
+        drop(g);
+        pids.push(pid);
+    }
+    pool.flush_all().unwrap();
+    (pool, pids)
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool_fetch");
+
+    // Hits: working set fits.
+    let (pool, pids) = pool_with(64, 32);
+    group.bench_function("hit", |b| {
+        b.iter(|| {
+            for pid in &pids {
+                black_box(pool.fetch_read(*pid).unwrap()[0]);
+            }
+        })
+    });
+
+    // Misses: cyclic scan over twice the pool size (worst case for LRU).
+    let (pool, pids) = pool_with(64, 128);
+    group.bench_function("miss_cyclic", |b| {
+        b.iter(|| {
+            for pid in &pids {
+                black_box(pool.fetch_read(*pid).unwrap()[0]);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_policy_ops");
+    let frames = 1024usize;
+    let accesses: Vec<usize> = {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        (0..100_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % frames as u64) as usize
+            })
+            .collect()
+    };
+    let run = |policy: &mut dyn ReplacementPolicy| {
+        for (i, &f) in accesses.iter().enumerate() {
+            policy.record_access(f);
+            if i % 16 == 0 {
+                if let Some(victim) = policy.evict(&|_| false) {
+                    black_box(victim);
+                }
+            }
+        }
+    };
+    group.bench_function(BenchmarkId::new("lru", frames), |b| {
+        b.iter(|| run(&mut LruPolicy::new()))
+    });
+    group.bench_function(BenchmarkId::new("clock", frames), |b| {
+        b.iter(|| run(&mut ClockPolicy::new(frames)))
+    });
+    group.bench_function(BenchmarkId::new("lru_k2", frames), |b| {
+        b.iter(|| run(&mut LruKPolicy::new(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch, bench_policies);
+criterion_main!(benches);

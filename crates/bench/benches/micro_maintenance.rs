@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks of Table I maintenance throughput: how fast
+//! DML flows through partial index + Index Buffer + counters, per case
+//! class.
+
+use aib_core::{maintain, BufferConfig, IndexBuffer, PageCounters, TupleRef};
+use aib_index::{Coverage, IndexBackend, PartialIndex};
+use aib_storage::{Rid, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+struct Fix {
+    partial: PartialIndex,
+    buffer: IndexBuffer,
+    counters: PageCounters,
+}
+
+/// 1,000 pages; the first 500 buffered with 20 entries each.
+fn fixture() -> Fix {
+    let mut partial = PartialIndex::new(
+        "col",
+        Coverage::IntRange { lo: 0, hi: 9_999 },
+        IndexBackend::BTree,
+    );
+    for i in 0..10_000 {
+        partial.add(
+            Value::Int(i % 10_000),
+            Rid::new((i % 500) as u32, (i % 50) as u16),
+        );
+    }
+    let mut buffer = IndexBuffer::new(0, "col", BufferConfig::default());
+    let mut counters = PageCounters::from_counts(vec![20; 1_000]);
+    for page in 0..500u32 {
+        buffer.index_page(
+            page,
+            (0..20).map(|s| {
+                (
+                    Value::Int(100_000 + i64::from(page) * 20 + s),
+                    Rid::new(page, s as u16),
+                )
+            }),
+        );
+        counters.set_zero(page);
+    }
+    Fix {
+        partial,
+        buffer,
+        counters,
+    }
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_maintenance");
+
+    // Uncovered insert into a buffered page: B.Add (the hot DML case for
+    // warm buffers).
+    group.bench_function("insert_uncovered_buffered_page", |b| {
+        let mut f = fixture();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let page = i % 500;
+            let new = TupleRef::new(
+                Value::Int(500_000 + i64::from(i)),
+                Rid::new(page, (1000 + i % 1000) as u16),
+                page,
+            );
+            black_box(maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                None,
+                Some(new),
+            ));
+        })
+    });
+
+    // Uncovered insert into an unbuffered page: C[p]++ only.
+    group.bench_function("insert_uncovered_plain_page", |b| {
+        let mut f = fixture();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let page = 500 + (i % 500);
+            let new = TupleRef::new(
+                Value::Int(600_000 + i64::from(i)),
+                Rid::new(page, (i % 1000) as u16),
+                page,
+            );
+            black_box(maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                None,
+                Some(new),
+            ));
+        })
+    });
+
+    // Covered insert: IX.Add only.
+    group.bench_function("insert_covered", |b| {
+        let mut f = fixture();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let new = TupleRef::new(
+                Value::Int(i64::from(i % 10_000)),
+                Rid::new(700 + (i % 100), (i / 100 % 1000) as u16),
+                700 + (i % 100),
+            );
+            black_box(maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                None,
+                Some(new),
+            ));
+        })
+    });
+
+    // Cross-page uncovered update between buffered pages: B.Update.
+    group.bench_function("update_uncovered_buffered_to_buffered", |b| {
+        let mut f = fixture();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let from = i % 500;
+            let to = (i + 1) % 500;
+            // Insert a fresh entry, then move it — measures add+update pair.
+            let v = Value::Int(700_000 + i64::from(i));
+            let old = TupleRef::new(v.clone(), Rid::new(from, 2000), from);
+            maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                None,
+                Some(old.clone()),
+            );
+            let new = TupleRef::new(v, Rid::new(to, 2001), to);
+            black_box(maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                Some(old),
+                Some(new),
+            ));
+            // Clean up to keep the buffer size stable.
+            let last = TupleRef::new(Value::Int(700_000 + i64::from(i)), Rid::new(to, 2001), to);
+            maintain(
+                &mut f.partial,
+                &mut f.buffer,
+                &mut f.counters,
+                Some(last),
+                None,
+            );
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks of the scan paths: plain table scan vs. the
+//! Algorithm-1 indexing scan at cold, warming, and fully buffered states.
+
+use aib_core::{BufferConfig, SpaceConfig};
+use aib_engine::{Database, Query};
+use aib_index::{Coverage, IndexBackend};
+use aib_storage::{Column, CostModel, Schema, Tuple, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const ROWS: i64 = 50_000;
+const DOMAIN: i64 = 5_000;
+
+fn build(buffered: bool) -> Database {
+    let mut db = Database::new(aib_engine::EngineConfig {
+        pool_frames: 256,
+        cost_model: CostModel::free(),
+        space: SpaceConfig {
+            max_entries: None,
+            i_max: 1_000_000,
+            seed: 3,
+        },
+        ..Default::default()
+    });
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+    let mut x = 0x12345u64;
+    for _ in 0..ROWS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = (x % DOMAIN as u64) as i64 + 1;
+        db.insert(
+            "t",
+            &Tuple::new(vec![Value::Int(k), Value::from("x".repeat(64))]),
+        )
+        .unwrap();
+    }
+    db.create_partial_index(
+        "t",
+        "k",
+        Coverage::IntRange {
+            lo: 1,
+            hi: DOMAIN / 10,
+        },
+        IndexBackend::BTree,
+        buffered.then(BufferConfig::default),
+    )
+    .unwrap();
+    db
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_uncovered_value");
+    group.sample_size(20);
+
+    // Plain scan: no buffer, every query reads every page.
+    let mut plain = build(false);
+    group.bench_function("plain_scan", |b| {
+        b.iter(|| {
+            let (r, _) = plain.execute(&Query::point("t", "k", 4_000i64)).unwrap();
+            black_box(r.count())
+        })
+    });
+
+    // Fully buffered: warm up once, then every scan skips everything.
+    let mut warm = build(true);
+    warm.execute(&Query::point("t", "k", 4_000i64)).unwrap();
+    group.bench_function("buffered_scan_warm", |b| {
+        b.iter(|| {
+            let (r, _) = warm.execute(&Query::point("t", "k", 4_001i64)).unwrap();
+            black_box(r.count())
+        })
+    });
+
+    // Index hit for reference.
+    group.bench_function("partial_index_hit", |b| {
+        b.iter(|| {
+            let (r, _) = warm.execute(&Query::point("t", "k", 100i64)).unwrap();
+            black_box(r.count())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_first_indexing_scan(c: &mut Criterion) {
+    // The cold first scan pays the buffer build-up: measure its overhead
+    // relative to the plain scan (paper: "slightly longer runtime").
+    let mut group = c.benchmark_group("first_indexing_scan");
+    group.sample_size(10);
+    group.bench_function("cold_buffered_scan", |b| {
+        b.iter_with_setup(build_cold, |mut db| {
+            let (r, _) = db.execute(&Query::point("t", "k", 4_000i64)).unwrap();
+            black_box(r.count())
+        })
+    });
+    group.finish();
+}
+
+fn build_cold() -> Database {
+    build(true)
+}
+
+criterion_group!(benches, bench_scans, bench_first_indexing_scan);
+criterion_main!(benches);

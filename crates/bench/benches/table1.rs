@@ -1,0 +1,145 @@
+//! Table I — the 16 Index Buffer maintenance cases.
+//!
+//! Regenerates the paper's maintenance matrix by *executing* each case
+//! against a live partial index / Index Buffer / counter fixture and
+//! printing the primitive operations actually performed. The printed matrix
+//! must match the paper's Table I row for row.
+
+use aib_bench::header;
+use aib_core::{maintain, BufferConfig, IndexBuffer, MaintAction, PageCounters, TupleRef};
+use aib_index::{Coverage, IndexBackend, PartialIndex};
+use aib_storage::{Rid, Value};
+
+/// Builds the fixture: coverage `< 100`; pages 0 (buffered) and 2
+/// (unbuffered), pre-seeded so every case's preconditions hold.
+fn fixture() -> (PartialIndex, IndexBuffer, PageCounters) {
+    let mut partial = PartialIndex::new(
+        "col",
+        Coverage::IntRange { lo: 0, hi: 99 },
+        IndexBackend::BTree,
+    );
+    let mut buffer = IndexBuffer::new(0, "col", BufferConfig::default());
+    buffer.index_page(0, vec![(Value::Int(500), Rid::new(0, 0))]);
+    buffer.index_page(1, vec![(Value::Int(501), Rid::new(1, 0))]);
+    let counters = PageCounters::from_counts(vec![0, 0, 5, 5]);
+    // Seed entries whose removal the covered-old cases need.
+    partial.add(Value::Int(1), Rid::new(0, 1));
+    partial.add(Value::Int(2), Rid::new(2, 1));
+    (partial, buffer, counters)
+}
+
+fn fmt_actions(actions: &[MaintAction]) -> String {
+    if actions.is_empty() {
+        return "-".to_owned();
+    }
+    actions
+        .iter()
+        .map(|a| match a {
+            MaintAction::IxUpdate => "IX.Update(t_old,t_new)",
+            MaintAction::IxRemove => "IX.Remove(t_old)",
+            MaintAction::IxAdd => "IX.Add(t_new)",
+            MaintAction::BAdd => "B.Add(t_new)",
+            MaintAction::BRemove => "B.Remove(t_old)",
+            MaintAction::BUpdate => "B.Update(t_old,t_new)",
+            MaintAction::DecOld => "C[p_old]--",
+            MaintAction::IncNew => "C[p_new]++",
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    header(
+        "Table I: Index Buffer maintenance",
+        "executed case by case; covered = value < 100; page 0 ∈ B, page 2 ∉ B",
+    );
+
+    // The old tuple per (old∈IX?) and the new tuple per (new∈IX?); pages per
+    // (p∈B?). Buffered page = 0, unbuffered = 2. Rids/slots are chosen to
+    // reference the pre-seeded fixture entries.
+    let old_tuple = |in_ix: bool, buffered: bool| {
+        let page = if buffered { 0 } else { 2 };
+        // Covered old tuples reference the pre-seeded partial-index entries
+        // (value 1 on page 0, value 2 on page 2); the uncovered buffered old
+        // tuple is the pre-seeded buffer entry (value 500 at slot 0).
+        let (value, slot) = match (in_ix, buffered) {
+            (true, true) => (1, 1),
+            (true, false) => (2, 1),
+            (false, _) => (500, 0),
+        };
+        TupleRef::new(Value::Int(value), Rid::new(page, slot), page)
+    };
+    let new_tuple = |in_ix: bool, buffered: bool| {
+        let page = if buffered { 1 } else { 3 };
+        let value = if in_ix { 7 } else { 700 };
+        TupleRef::new(Value::Int(value), Rid::new(page, 9), page)
+    };
+
+    println!(
+        "{:<28} {:<28} {:<12} {:<12} => operations",
+        "t_old", "t_new", "p_old", "p_new"
+    );
+    for &(old_ix, new_ix) in &[(true, true), (true, false), (false, true), (false, false)] {
+        for &(old_b, new_b) in &[(true, true), (true, false), (false, true), (false, false)] {
+            let (mut partial, mut buffer, mut counters) = fixture();
+            let old = old_tuple(old_ix, old_b);
+            let new = new_tuple(new_ix, new_b);
+            let actions = maintain(
+                &mut partial,
+                &mut buffer,
+                &mut counters,
+                Some(old),
+                Some(new),
+            );
+            println!(
+                "{:<28} {:<28} {:<12} {:<12} => {}",
+                if old_ix {
+                    "t_old ∈ IX"
+                } else {
+                    "t_old ∉ IX"
+                },
+                if new_ix {
+                    "t_new ∈ IX"
+                } else {
+                    "t_new ∉ IX"
+                },
+                if old_b { "p_old ∈ B" } else { "p_old ∉ B" },
+                if new_b { "p_new ∈ B" } else { "p_new ∉ B" },
+                fmt_actions(&actions)
+            );
+            buffer.check_invariants();
+        }
+    }
+
+    println!("\n# degenerate rows (insert: no t_old; delete: no t_new)");
+    for &(new_ix, new_b) in &[(true, false), (false, true), (false, false)] {
+        let (mut partial, mut buffer, mut counters) = fixture();
+        let new = new_tuple(new_ix, new_b);
+        let actions = maintain(&mut partial, &mut buffer, &mut counters, None, Some(new));
+        println!(
+            "INSERT {:<20} {:<12} => {}",
+            if new_ix {
+                "t_new ∈ IX"
+            } else {
+                "t_new ∉ IX"
+            },
+            if new_b { "p_new ∈ B" } else { "p_new ∉ B" },
+            fmt_actions(&actions)
+        );
+    }
+    for &(old_ix, old_b) in &[(true, false), (false, true), (false, false)] {
+        let (mut partial, mut buffer, mut counters) = fixture();
+        let old = old_tuple(old_ix, old_b);
+        let actions = maintain(&mut partial, &mut buffer, &mut counters, Some(old), None);
+        println!(
+            "DELETE {:<20} {:<12} => {}",
+            if old_ix {
+                "t_old ∈ IX"
+            } else {
+                "t_old ∉ IX"
+            },
+            if old_b { "p_old ∈ B" } else { "p_old ∉ B" },
+            fmt_actions(&actions)
+        );
+    }
+}

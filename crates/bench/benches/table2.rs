@@ -1,0 +1,68 @@
+//! Table II — the LRU-K history operations of the Index Buffer Space.
+//!
+//! Regenerates the paper's matrix by driving two live Index Buffers through
+//! both query outcomes and printing the resulting histories:
+//!
+//! |                      | buffer B of queried column      | other buffers B'   |
+//! |----------------------|---------------------------------|--------------------|
+//! | partial index hit    | `H_B[0]++`                      | `H_B'[0]++`        |
+//! | no partial index hit | `shift(H_B, +1); H_B[0] = 0`    | `H_B'[0]++`        |
+
+use aib_bench::header;
+use aib_core::{BufferConfig, IndexBufferSpace, PageCounters, SpaceConfig};
+
+fn history_of(space: &IndexBufferSpace, id: usize) -> Vec<u64> {
+    space.buffer(id).history().intervals().collect()
+}
+
+fn main() {
+    header(
+        "Table II: LRU-K operations on Index Buffer histories",
+        "two buffers; K = 3; queried column = buffer 0",
+    );
+
+    let mut space = IndexBufferSpace::new(SpaceConfig::default());
+    let cfg = BufferConfig {
+        history_k: 3,
+        ..Default::default()
+    };
+    let b = space.register("B (queried)", cfg, PageCounters::new());
+    let b_other = space.register("B' (other)", cfg, PageCounters::new());
+
+    println!("{:<44} {:<18} {:<18}", "event", "H_B", "H_B'");
+    let show = |label: &str, space: &IndexBufferSpace| {
+        println!(
+            "{:<44} {:<18} {:<18}",
+            label,
+            format!("{:?}", history_of(space, b)),
+            format!("{:?}", history_of(space, b_other)),
+        );
+    };
+
+    show("initial (never used)", &space);
+    space.on_query(Some(b), false);
+    show("no hit on B's column: shift(H_B), H_B[0]=0", &space);
+    space.on_query(Some(b), true);
+    show("hit on B's column: H_B[0]++, H_B'[0]++", &space);
+    space.on_query(Some(b), true);
+    show("hit on B's column: H_B[0]++, H_B'[0]++", &space);
+    space.on_query(Some(b_other), false);
+    show("no hit on B''s column: B shifts? no - ticks", &space);
+    space.on_query(Some(b), false);
+    show("no hit on B's column: shift(H_B), H_B[0]=0", &space);
+    space.on_query(Some(b), false);
+    show("no hit on B's column: shift(H_B), H_B[0]=0", &space);
+    space.on_query(Some(b), false);
+    show("no hit (4th use): oldest interval falls off K=3", &space);
+
+    println!(
+        "\n# mean access intervals: T_B = {:?}, T_B' = {:?}",
+        space.buffer(b).history().mean_interval(),
+        space.buffer(b_other).history().mean_interval()
+    );
+    println!(
+        "# benefit factors (T^-1): B = {:.3}, B' = {:.3} (frequently used buffers are worth more)",
+        space.buffer(b).use_frequency(),
+        space.buffer(b_other).use_frequency()
+    );
+}

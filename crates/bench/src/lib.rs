@@ -1,0 +1,119 @@
+//! Shared harness code for the figure-regeneration benches.
+//!
+//! Every bench target in this crate regenerates one table or figure of the
+//! paper's evaluation. Benches run at the paper's full scale (500,000
+//! tuples) by default; set `AIB_ROWS` to a smaller row count for quick
+//! runs — the workload scales proportionally (see
+//! [`aib_workload::TableSpec::scaled`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use aib_core::{BufferConfig, SpaceConfig};
+use aib_engine::{Database, EngineConfig, Query, WorkloadRecorder};
+use aib_index::{Coverage, IndexBackend};
+use aib_storage::CostModel;
+use aib_workload::{QuerySpec, TableSpec};
+
+/// Name of the evaluation table in every experiment.
+pub const TABLE: &str = "eval";
+
+/// Resolves the experiment scale: the paper's 500 k rows, or `AIB_ROWS`.
+pub fn table_spec() -> TableSpec {
+    match std::env::var("AIB_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(rows) if rows < 500_000 => TableSpec::scaled(rows, 0xDA7A),
+        _ => TableSpec::paper(),
+    }
+}
+
+/// Default engine configuration for the experiments: a buffer pool sized to
+/// ~1/18th of the table (8 MiB at paper scale), so table scans are
+/// disk-bound — like the paper's 220 MB table against H2's page cache —
+/// and the default SSD cost model. The ratio is preserved under `AIB_ROWS`
+/// down-scaling so small runs show the same shapes.
+pub fn engine_config_for(spec: &TableSpec, space: SpaceConfig) -> EngineConfig {
+    // ~28 tuples per 8 KiB page at the paper's 1..512 payload.
+    let approx_pages = (spec.rows / 28).max(1);
+    EngineConfig {
+        pool_frames: (approx_pages / 18).clamp(64, 1024) as usize,
+        cost_model: CostModel::default(),
+        space,
+        ..Default::default()
+    }
+}
+
+/// Builds the evaluation database: the paper's table with partial indexes
+/// on the given columns covering the bottom 10 % of the domain, each with
+/// an Index Buffer configured as `buffer`.
+pub fn build_eval_db(
+    spec: &TableSpec,
+    engine: EngineConfig,
+    buffer: Option<BufferConfig>,
+    columns: &[&str],
+) -> Database {
+    let mut db = Database::new(engine);
+    db.create_table(TABLE, spec.schema());
+    for tuple in spec.tuples() {
+        db.insert(TABLE, &tuple)
+            .expect("generated tuples insert cleanly");
+    }
+    let (lo, hi) = spec.covered_range();
+    for col in columns {
+        db.create_partial_index(
+            TABLE,
+            col,
+            Coverage::IntRange { lo, hi },
+            IndexBackend::BTree,
+            buffer,
+        )
+        .expect("index creation succeeds");
+    }
+    db
+}
+
+/// Runs a query stream, recording per-query metrics.
+pub fn run_workload(db: &mut Database, queries: &[QuerySpec]) -> WorkloadRecorder {
+    let mut recorder = WorkloadRecorder::new();
+    for q in queries {
+        db.execute_recorded(&Query::point(TABLE, &q.column, q.value), &mut recorder)
+            .expect("experiment queries execute");
+    }
+    recorder
+}
+
+/// Prints a section header in harness output.
+pub fn header(title: &str, detail: &str) {
+    println!("\n=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+}
+
+/// Times a closure, printing the elapsed wall time to stderr.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.1?}]", start.elapsed());
+    out
+}
+
+/// Scales a paper-scale parameter (defined against 500,000 rows)
+/// proportionally to the active table size, so `AIB_ROWS` runs keep the
+/// same parameter-to-table ratios.
+pub fn scale(spec: &TableSpec, paper_value: u64) -> u64 {
+    ((paper_value as u128 * spec.rows as u128) / 500_000).max(1) as u64
+}
+
+/// Mean simulated query cost over records `[lo, hi)`.
+pub fn mean_sim_us(rec: &WorkloadRecorder, lo: usize, hi: usize) -> f64 {
+    let r = &rec.records()[lo..hi.min(rec.len())];
+    if r.is_empty() {
+        return 0.0;
+    }
+    r.iter().map(|m| m.simulated_us()).sum::<u64>() as f64 / r.len() as f64
+}

@@ -1,0 +1,187 @@
+//! Per-page counters of unindexed tuples — the paper's `C[p]`.
+//!
+//! Paper §III: "the Index Buffer maintains a counter `C[p]` for each page p
+//! that represents the number of unindexed tuples in the page. ... Every
+//! counter is initially set to the number of tuples in the page minus the
+//! tuples covered by the partial index." A page with `C[p] == 0` is fully
+//! indexed (by the partial index, the Index Buffer, or both) and can be
+//! skipped by a table scan.
+
+/// The counter array `C` for one (table, column) pair.
+#[derive(Debug, Clone, Default)]
+pub struct PageCounters {
+    c: Vec<u32>,
+}
+
+impl PageCounters {
+    /// Builds counters from per-page unindexed-tuple counts (creation-time
+    /// initialisation, paper §III).
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        PageCounters { c: counts }
+    }
+
+    /// An empty counter array (pages are appended as the table grows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked pages.
+    pub fn num_pages(&self) -> u32 {
+        self.c.len() as u32
+    }
+
+    /// `C[p]`. Pages beyond the tracked range read as 0.
+    #[inline]
+    pub fn get(&self, page: u32) -> u32 {
+        self.c.get(page as usize).copied().unwrap_or(0)
+    }
+
+    /// True when the page can be skipped during a table scan.
+    #[inline]
+    pub fn is_fully_indexed(&self, page: u32) -> bool {
+        self.get(page) == 0
+    }
+
+    /// Ensures page `page` is tracked, growing the array with zeroes.
+    pub fn ensure_page(&mut self, page: u32) {
+        if page as usize >= self.c.len() {
+            self.c.resize(page as usize + 1, 0);
+        }
+    }
+
+    /// `C[p] ← 0` — the page was completed by the Index Buffer (Algorithm 1
+    /// line 17). Returns the previous value (the number of entries the
+    /// buffer now holds for this page).
+    pub fn set_zero(&mut self, page: u32) -> u32 {
+        self.ensure_page(page);
+        std::mem::take(&mut self.c[page as usize])
+    }
+
+    /// Restores `C[p] = n` when buffer entries for the page are discarded
+    /// (partition drop).
+    pub fn restore(&mut self, page: u32, n: u32) {
+        self.ensure_page(page);
+        self.c[page as usize] = n;
+    }
+
+    /// `C[p]++` — an unindexed tuple landed in an unbuffered page
+    /// (Table I maintenance).
+    pub fn increment(&mut self, page: u32) {
+        self.ensure_page(page);
+        self.c[page as usize] += 1;
+    }
+
+    /// `C[p]--` — an unindexed tuple left an unbuffered page (Table I
+    /// maintenance).
+    ///
+    /// # Panics
+    /// In debug builds, if the counter is already zero — that would mean
+    /// maintenance bookkeeping diverged from the heap.
+    pub fn decrement(&mut self, page: u32) {
+        self.ensure_page(page);
+        let slot = &mut self.c[page as usize];
+        debug_assert!(*slot > 0, "C[{page}]-- on zero counter");
+        *slot = slot.saturating_sub(1);
+    }
+
+    /// Pages with `C[p] > 0`, i.e. pages a table scan must read, in page
+    /// order. Paper Algorithm 1 line 11.
+    pub fn unindexed_pages(&self) -> impl Iterator<Item = u32> + '_ {
+        self.c
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, _)| p as u32)
+    }
+
+    /// Pages with `C[p] > 0` together with their counters, sorted ascending
+    /// by counter — the page-selection order of Algorithm 2 ("adds pages in
+    /// ascending order of their counter C": cheapest completions first).
+    pub fn pages_by_ascending_counter(&self) -> Vec<(u32, u32)> {
+        let mut pages: Vec<(u32, u32)> = self
+            .c
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(p, &c)| (p as u32, c))
+            .collect();
+        pages.sort_by_key(|&(p, c)| (c, p));
+        pages
+    }
+
+    /// Number of fully indexed (skippable) pages.
+    pub fn fully_indexed_pages(&self) -> u32 {
+        self.c.iter().filter(|&&c| c == 0).count() as u32
+    }
+
+    /// Sum of all counters: unindexed tuples across the table.
+    pub fn total_unindexed(&self) -> u64 {
+        self.c.iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_from_counts() {
+        let c = PageCounters::from_counts(vec![3, 0, 5]);
+        assert_eq!(c.num_pages(), 3);
+        assert_eq!(c.get(0), 3);
+        assert!(c.is_fully_indexed(1));
+        assert!(!c.is_fully_indexed(2));
+        assert_eq!(c.get(99), 0, "untracked pages read as zero");
+        assert_eq!(c.total_unindexed(), 8);
+        assert_eq!(c.fully_indexed_pages(), 1);
+    }
+
+    #[test]
+    fn set_zero_returns_previous() {
+        let mut c = PageCounters::from_counts(vec![7]);
+        assert_eq!(c.set_zero(0), 7);
+        assert!(c.is_fully_indexed(0));
+        assert_eq!(c.set_zero(0), 0, "idempotent");
+    }
+
+    #[test]
+    fn restore_after_drop() {
+        let mut c = PageCounters::from_counts(vec![4]);
+        let n = c.set_zero(0);
+        c.restore(0, n);
+        assert_eq!(c.get(0), 4);
+    }
+
+    #[test]
+    fn increment_decrement() {
+        let mut c = PageCounters::new();
+        c.increment(2); // grows the array
+        assert_eq!(c.num_pages(), 3);
+        assert_eq!(c.get(2), 1);
+        c.increment(2);
+        c.decrement(2);
+        assert_eq!(c.get(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "on zero counter")]
+    #[cfg(debug_assertions)]
+    fn decrement_below_zero_panics_in_debug() {
+        let mut c = PageCounters::from_counts(vec![0]);
+        c.decrement(0);
+    }
+
+    #[test]
+    fn unindexed_pages_iteration() {
+        let c = PageCounters::from_counts(vec![2, 0, 1, 0, 9]);
+        let pages: Vec<u32> = c.unindexed_pages().collect();
+        assert_eq!(pages, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn ascending_counter_order() {
+        let c = PageCounters::from_counts(vec![5, 0, 1, 3, 1]);
+        let pages = c.pages_by_ascending_counter();
+        assert_eq!(pages, vec![(2, 1), (4, 1), (3, 3), (0, 5)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! LRU-K access-interval histories for Index Buffers — the paper's `H_B`
+//! and Table II.
+//!
+//! Each Index Buffer `B` keeps the lengths of its `K` most recent *access
+//! intervals*, measured in queries. The current (still open) interval is
+//! `H_B[0]`. Table II defines the updates:
+//!
+//! | query outcome            | queried column's buffer `B`        | other buffers `B'` |
+//! |--------------------------|------------------------------------|--------------------|
+//! | partial index hit        | `H_B[0]++`                         | `H_B'[0]++`        |
+//! | no partial index hit     | `shift(H_B, +1); H_B[0] = 0`       | `H_B'[0]++`        |
+//!
+//! A buffer is *used* only when the partial index misses; that closes the
+//! open interval and starts a new one. Every other query just lengthens the
+//! open interval of every buffer.
+//!
+//! The mean access interval `T_B = K⁻¹ · Σ H_B[i]` feeds the benefit model:
+//! a frequently used buffer has a small `T_B` and thus valuable partitions.
+
+use std::collections::VecDeque;
+
+/// The LRU-K history `H_B` of one Index Buffer.
+#[derive(Debug, Clone)]
+pub struct LruKHistory {
+    k: usize,
+    intervals: VecDeque<u64>,
+    uses: u64,
+}
+
+impl LruKHistory {
+    /// Creates an empty history of depth `k`.
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "LRU-K history needs k >= 1");
+        LruKHistory {
+            k,
+            intervals: VecDeque::with_capacity(k),
+            uses: 0,
+        }
+    }
+
+    /// History depth `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How many times this buffer has been used (partial-index misses on its
+    /// column).
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+
+    /// `H_B[0]++` — a query ran that did not use this buffer (Table II, all
+    /// cases except "no hit on the queried column").
+    pub fn tick(&mut self) {
+        if let Some(front) = self.intervals.front_mut() {
+            *front += 1;
+        } else {
+            // Before the first use there is no open interval; queries that
+            // pass by an unused buffer leave it with an empty history and
+            // thus an undefined (infinite) mean interval.
+        }
+    }
+
+    /// `shift(H_B, +1); H_B[0] = 0` — the buffer was used by this query
+    /// (Table II, no-hit case for the queried column).
+    pub fn record_use(&mut self) {
+        self.uses += 1;
+        self.intervals.push_front(0);
+        while self.intervals.len() > self.k {
+            self.intervals.pop_back();
+        }
+    }
+
+    /// Mean access interval `T_B`, or `None` if the buffer was never used
+    /// (infinite interval — such a buffer has zero benefit).
+    ///
+    /// The average divides by the number of *recorded* intervals (≤ K), so a
+    /// buffer warms up fairly before its history fills. Means are floored at
+    /// 1.0: a buffer used on every query has `T_B = 1`, giving the maximum
+    /// finite benefit rather than a division by zero.
+    pub fn mean_interval(&self) -> Option<f64> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.intervals.iter().sum();
+        Some((sum as f64 / self.intervals.len() as f64).max(1.0))
+    }
+
+    /// `T_B⁻¹` as a benefit factor: 0 for never-used buffers.
+    pub fn use_frequency(&self) -> f64 {
+        self.mean_interval().map_or(0.0, |t| 1.0 / t)
+    }
+
+    /// Raw intervals, most recent first (diagnostics / Table II harness).
+    pub fn intervals(&self) -> impl Iterator<Item = u64> + '_ {
+        self.intervals.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unused_history_has_no_mean() {
+        let mut h = LruKHistory::new(3);
+        assert_eq!(h.mean_interval(), None);
+        assert_eq!(h.use_frequency(), 0.0);
+        // Ticks before first use do not create an interval.
+        h.tick();
+        h.tick();
+        assert_eq!(h.mean_interval(), None);
+        assert_eq!(h.uses(), 0);
+    }
+
+    #[test]
+    fn table2_hit_case_lengthens_open_interval() {
+        let mut h = LruKHistory::new(2);
+        h.record_use(); // H = [0]
+        h.tick(); // H = [1]
+        h.tick(); // H = [2]
+        assert_eq!(h.intervals().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(h.mean_interval(), Some(2.0));
+    }
+
+    #[test]
+    fn table2_use_case_shifts_history() {
+        let mut h = LruKHistory::new(2);
+        h.record_use(); // [0]
+        h.tick(); // [1]
+        h.tick(); // [2]
+        h.record_use(); // [0, 2]
+        assert_eq!(h.intervals().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(h.mean_interval(), Some(1.0), "(0+2)/2 = 1");
+        h.tick(); // [1, 2]
+        assert_eq!(h.mean_interval(), Some(1.5));
+        assert_eq!(h.uses(), 2);
+    }
+
+    #[test]
+    fn history_depth_is_bounded_by_k() {
+        let mut h = LruKHistory::new(2);
+        for _ in 0..5 {
+            h.record_use();
+            h.tick();
+        }
+        assert_eq!(h.intervals().count(), 2);
+        assert_eq!(h.intervals().collect::<Vec<_>>(), vec![1, 1]);
+    }
+
+    #[test]
+    fn frequent_use_means_small_interval_high_frequency() {
+        let mut hot = LruKHistory::new(4);
+        let mut cold = LruKHistory::new(4);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                hot.record_use();
+            } else {
+                hot.tick();
+            }
+            if i % 20 == 0 {
+                cold.record_use();
+            } else {
+                cold.tick();
+            }
+        }
+        assert!(
+            hot.use_frequency() > cold.use_frequency(),
+            "hot {} vs cold {}",
+            hot.use_frequency(),
+            cold.use_frequency()
+        );
+    }
+
+    #[test]
+    fn mean_is_floored_at_one() {
+        let mut h = LruKHistory::new(2);
+        h.record_use();
+        h.record_use(); // [0, 0]
+        assert_eq!(h.mean_interval(), Some(1.0));
+        assert_eq!(h.use_frequency(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        LruKHistory::new(0);
+    }
+}

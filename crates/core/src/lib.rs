@@ -1,0 +1,79 @@
+//! # The Adaptive Index Buffer
+//!
+//! The primary contribution of *"Adaptive Index Buffer"* (Voigt, Jaekel,
+//! Kissinger, Lehner — ICDE Workshops 2012): an in-memory scratch-pad index
+//! that backs partial secondary indexes during workload shifts.
+//!
+//! A query that misses its partial index must scan the table; a page can be
+//! skipped only when *every* tuple on it is indexed. The Index Buffer makes
+//! pages skippable by indexing their remaining uncovered tuples on the fly:
+//!
+//! * [`counters::PageCounters`] — the `C[p]` array of unindexed tuples per
+//!   page (§III).
+//! * [`scan::indexing_scan`] — Algorithm 1: scan the buffer, skip
+//!   `C[p] == 0` pages, index selected pages as you pass them.
+//! * [`index_buffer::IndexBuffer`] / [`partition::Partition`] — the
+//!   partitioned scratch-pad itself (§IV, Fig. 5); displacement drops whole
+//!   partitions and restores counters exactly.
+//! * [`history::LruKHistory`] — per-buffer LRU-K access intervals
+//!   (Table II).
+//! * [`space::IndexBufferSpace`] — the shared entry budget `L`, the benefit
+//!   model `b_p = X_p / T_B`, and Algorithm 2's page selection with
+//!   two-stage probabilistic victim selection.
+//! * [`maintenance::maintain`] — the 16 DML maintenance cases of Table I.
+//!
+//! ```
+//! use aib_core::{BufferConfig, SpaceConfig, IndexBufferSpace, PageCounters,
+//!                Predicate, indexing_scan};
+//! # use aib_storage::{BufferPool, BufferPoolConfig, CostModel, DiskManager,
+//! #                   HeapFile, Tuple, Value};
+//! # let pool = BufferPool::new(DiskManager::new(CostModel::free()),
+//! #                            BufferPoolConfig::lru(16));
+//! # let heap = HeapFile::new(pool);
+//! # for i in 0..100i64 {
+//! #     heap.insert(&Tuple::new(vec![Value::Int(i)]).to_bytes()).unwrap();
+//! # }
+//! // One buffer over a table whose partial index covers nothing:
+//! let counts: Vec<u32> = (0..heap.num_pages())
+//!     .map(|p| heap.tuples_on_page(p).unwrap() as u32)
+//!     .collect();
+//! let mut space = IndexBufferSpace::new(SpaceConfig::default());
+//! let col = space.register("A", BufferConfig::default(), PageCounters::from_counts(counts));
+//!
+//! // A query that misses the partial index: Table II, then Algorithm 1.
+//! space.on_query(Some(col), false);
+//! let mut result = Vec::new();
+//! let stats = indexing_scan(&heap, &mut space, col, 0, &|_| false,
+//!                           &Predicate::Equals(Value::Int(42)), &mut result).unwrap();
+//! assert_eq!(result.len(), 1);
+//! assert!(stats.pages_indexed > 0);
+//!
+//! // The second identical query skips every page.
+//! space.on_query(Some(col), false);
+//! let mut result2 = Vec::new();
+//! let stats2 = indexing_scan(&heap, &mut space, col, 0, &|_| false,
+//!                            &Predicate::Equals(Value::Int(42)), &mut result2).unwrap();
+//! assert_eq!(stats2.pages_read, 0);
+//! assert_eq!(result2, result);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod counters;
+pub mod history;
+pub mod index_buffer;
+pub mod maintenance;
+pub mod partition;
+pub mod scan;
+pub mod space;
+
+pub use config::{BufferConfig, SpaceConfig};
+pub use counters::PageCounters;
+pub use history::LruKHistory;
+pub use index_buffer::{BufferId, DroppedPartition, IndexBuffer};
+pub use maintenance::{maintain, MaintAction, TupleRef};
+pub use partition::{Partition, PartitionId};
+pub use scan::{indexing_scan, Predicate, ScanStats};
+pub use space::{Displacement, IndexBufferSpace, Selection};

@@ -1,0 +1,407 @@
+//! The indexing table scan — paper Algorithm 1.
+//!
+//! A query whose predicate misses the partial index runs this scan. It:
+//!
+//! 1. asks the Index Buffer Space which pages to index (`SelectPagesForBuffer`,
+//!    Algorithm 2 — displacement happens inside);
+//! 2. scans the Index Buffer for matching tuples (lines 8–10);
+//! 3. scans the table, skipping every page with `C[p] == 0` (line 11); on
+//!    unskipped pages it evaluates the predicate (line 13–14), and for pages
+//!    selected in step 1 it inserts all tuples not covered by the partial
+//!    index into the buffer and zeroes the page's counter (lines 15–17).
+//!
+//! The scan is instrumented: the per-query series of the paper's Figures 6–9
+//! (runtime, buffer entries, pages skipped) come straight out of
+//! [`ScanStats`].
+
+use aib_storage::{HeapFile, Rid, StorageError, Tuple, Value};
+
+use crate::index_buffer::BufferId;
+use crate::space::IndexBufferSpace;
+
+/// Query predicate over a single column — the paper's `q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `column = value` (the paper's experiments are point queries).
+    Equals(Value),
+    /// `lo <= column <= hi` (range extension; works on B+-tree buffers).
+    Between(Value, Value),
+}
+
+impl Predicate {
+    /// Evaluates the predicate on a column value.
+    #[inline]
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Predicate::Equals(q) => v == q,
+            Predicate::Between(lo, hi) => lo <= v && v <= hi,
+        }
+    }
+}
+
+/// Instrumentation of one indexing scan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScanStats {
+    /// Matching tuples found (buffer + table scan).
+    pub matches: usize,
+    /// Matches served from the Index Buffer scan.
+    pub buffer_matches: usize,
+    /// Table pages fetched.
+    pub pages_read: u32,
+    /// Table pages skipped thanks to `C[p] == 0`.
+    pub pages_skipped: u32,
+    /// Pages newly indexed into the buffer by this scan (`|I|` realised).
+    pub pages_indexed: u32,
+    /// Buffer entries added by this scan.
+    pub entries_added: u64,
+    /// Partitions displaced to make room.
+    pub partitions_dropped: usize,
+    /// Entries freed by displacement.
+    pub entries_displaced: usize,
+}
+
+/// Runs Algorithm 1 for `buffer_id` over `heap`.
+///
+/// * `column` — position of the queried column in the stored tuples.
+/// * `covered` — the partial-index membership test `t ∈ IX` (line 15).
+/// * `predicate` — the query predicate `q`.
+/// * `out` — receives the rids of matching tuples (the result set `Q`).
+///
+/// The caller is responsible for having applied Table II
+/// ([`IndexBufferSpace::on_query`]) first; this function only performs the
+/// scan itself.
+pub fn indexing_scan(
+    heap: &HeapFile,
+    space: &mut IndexBufferSpace,
+    buffer_id: BufferId,
+    column: usize,
+    covered: &dyn Fn(&Value) -> bool,
+    predicate: &Predicate,
+    out: &mut Vec<Rid>,
+) -> Result<ScanStats, StorageError> {
+    let mut stats = ScanStats::default();
+
+    // Line 7: I ← SelectPagesForBuffer() — with displacement as needed.
+    let selection = space.select_pages_for_buffer(buffer_id);
+    stats.partitions_dropped = selection.displaced.len();
+    stats.entries_displaced = selection.displaced.iter().map(|d| d.entries_freed).sum();
+    let mut to_index = vec![false; heap.num_pages() as usize];
+    for &p in &selection.pages {
+        if let Some(slot) = to_index.get_mut(p as usize) {
+            *slot = true;
+        }
+    }
+
+    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
+
+    // Lines 8–10: Index Buffer scan.
+    let buffer_rids = match predicate {
+        Predicate::Equals(v) => buffer.scan_point(v),
+        Predicate::Between(lo, hi) => buffer.scan_range(lo, hi).unwrap_or_else(|| {
+            // Hash-backed buffers cannot range-scan; fall back to a full
+            // buffer sweep (still memory-only, no page I/O).
+            let mut rids = Vec::new();
+            for pid in buffer.partition_ids().collect::<Vec<_>>() {
+                if let Some(p) = buffer.partition(pid) {
+                    p.for_each(&mut |v, rid| {
+                        if predicate.matches(v) {
+                            rids.push(rid);
+                        }
+                    });
+                }
+            }
+            rids.sort_unstable();
+            rids
+        }),
+    };
+    stats.buffer_matches = buffer_rids.len();
+    out.extend_from_slice(&buffer_rids);
+
+    // Lines 11–17: table scan with page skipping and on-the-fly indexing.
+    let skip: Vec<bool> = (0..heap.num_pages())
+        .map(|p| counters.is_fully_indexed(p))
+        .collect();
+    let mut pending: Vec<(Value, Rid)> = Vec::new();
+    let mut decode_error: Option<StorageError> = None;
+    let (read, skipped) = heap.scan_page_views(
+        |ord| skip[ord as usize],
+        |ord, pid, view| {
+            if decode_error.is_some() {
+                return;
+            }
+            let index_this_page = to_index[ord as usize];
+            pending.clear();
+            for (slot, bytes) in view.iter() {
+                let value = match Tuple::read_column(bytes, column) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        decode_error = Some(e);
+                        return;
+                    }
+                };
+                let rid = Rid { page: pid, slot };
+                if predicate.matches(&value) {
+                    out.push(rid);
+                }
+                if index_this_page && !covered(&value) {
+                    pending.push((value, rid));
+                }
+            }
+            if index_this_page {
+                stats.entries_added += buffer.index_page(ord, pending.drain(..)) as u64;
+                counters.set_zero(ord);
+                stats.pages_indexed += 1;
+            }
+        },
+    )?;
+    if let Some(e) = decode_error {
+        return Err(e);
+    }
+    stats.pages_read = read;
+    stats.pages_skipped = skipped;
+    stats.matches = out.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BufferConfig, SpaceConfig};
+    use crate::counters::PageCounters;
+    use aib_storage::{BufferPool, BufferPoolConfig, Column, CostModel, DiskManager, Schema};
+
+    /// Builds a heap of two-column tuples (key, payload) with `n` keys
+    /// `0..n`, plus a space with one buffer whose partial index covers keys
+    /// `< covered_below`.
+    fn setup(n: i64, covered_below: i64) -> (HeapFile, IndexBufferSpace, usize) {
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(16),
+        );
+        let heap = HeapFile::new(pool);
+        let _schema = Schema::new(vec![Column::int("k"), Column::str("pad")]);
+        for i in 0..n {
+            let t = Tuple::new(vec![Value::Int(i), Value::from("x".repeat(200))]);
+            heap.insert(&t.to_bytes()).unwrap();
+        }
+        // Initialise counters: tuples per page minus covered tuples.
+        let mut counts = Vec::new();
+        for ord in 0..heap.num_pages() {
+            let mut uncovered = 0u32;
+            for (_, bytes) in heap.read_page(ord).unwrap() {
+                let v = Tuple::read_column(&bytes, 0).unwrap();
+                if v.as_int().unwrap() >= covered_below {
+                    uncovered += 1;
+                }
+            }
+            counts.push(uncovered);
+        }
+        let mut space = IndexBufferSpace::new(SpaceConfig {
+            max_entries: None,
+            i_max: 1_000_000,
+            seed: 1,
+        });
+        let id = space.register(
+            "k",
+            BufferConfig::default(),
+            PageCounters::from_counts(counts),
+        );
+        (heap, space, id)
+    }
+
+    fn covered_fn(covered_below: i64) -> impl Fn(&Value) -> bool {
+        move |v: &Value| v.as_int().is_some_and(|i| i < covered_below)
+    }
+
+    #[test]
+    fn first_scan_reads_everything_second_skips_everything() {
+        let (heap, mut space, id) = setup(500, 0);
+        let covered = covered_fn(0);
+        space.on_query(Some(id), false);
+        let mut out = Vec::new();
+        let s1 = indexing_scan(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Equals(Value::Int(42)),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(s1.pages_read, heap.num_pages());
+        assert_eq!(s1.pages_skipped, 0);
+        assert_eq!(
+            s1.pages_indexed,
+            heap.num_pages(),
+            "unlimited space indexes all pages"
+        );
+        assert_eq!(s1.entries_added, 500);
+        assert_eq!(s1.buffer_matches, 0);
+
+        space.on_query(Some(id), false);
+        let mut out2 = Vec::new();
+        let s2 = indexing_scan(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Equals(Value::Int(42)),
+            &mut out2,
+        )
+        .unwrap();
+        assert_eq!(out2, out, "same result from the buffer");
+        assert_eq!(s2.pages_read, 0, "everything skipped");
+        assert_eq!(s2.pages_skipped, heap.num_pages());
+        assert_eq!(s2.buffer_matches, 1);
+        space.check_invariants();
+    }
+
+    #[test]
+    fn covered_tuples_are_not_buffered() {
+        let (heap, mut space, id) = setup(300, 100);
+        let covered = covered_fn(100);
+        space.on_query(Some(id), false);
+        let mut out = Vec::new();
+        let s = indexing_scan(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Equals(Value::Int(250)),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            s.entries_added, 200,
+            "only the 200 uncovered tuples enter the buffer"
+        );
+        assert_eq!(space.buffer(id).num_entries(), 200);
+    }
+
+    #[test]
+    fn results_identical_with_and_without_buffer() {
+        let (heap, mut space, id) = setup(400, 50);
+        let covered = covered_fn(50);
+        let predicate = Predicate::Between(Value::Int(200), Value::Int(210));
+        // Ground truth via plain scan.
+        let mut expected = Vec::new();
+        heap.scan_pages(
+            |_| false,
+            |rid, bytes| {
+                let v = Tuple::read_column(bytes, 0).unwrap();
+                if predicate.matches(&v) {
+                    expected.push(rid);
+                }
+            },
+        )
+        .unwrap();
+        expected.sort_unstable();
+
+        for round in 0..3 {
+            space.on_query(Some(id), false);
+            let mut out = Vec::new();
+            indexing_scan(&heap, &mut space, id, 0, &covered, &predicate, &mut out).unwrap();
+            out.sort_unstable();
+            assert_eq!(out, expected, "round {round}");
+        }
+    }
+
+    #[test]
+    fn imax_limits_pages_indexed_per_scan() {
+        let (heap, space0, _) = setup(500, 0);
+        // Re-register with a small I^MAX.
+        let counts: Vec<u32> = (0..heap.num_pages())
+            .map(|p| space0.counters(0).get(p))
+            .collect();
+        let mut space = IndexBufferSpace::new(SpaceConfig {
+            max_entries: None,
+            i_max: 3,
+            seed: 1,
+        });
+        let id = space.register(
+            "k",
+            BufferConfig::default(),
+            PageCounters::from_counts(counts),
+        );
+        let covered = covered_fn(0);
+        let total = heap.num_pages();
+        let mut indexed_so_far = 0;
+        let mut scans = 0;
+        loop {
+            space.on_query(Some(id), false);
+            let mut out = Vec::new();
+            let s = indexing_scan(
+                &heap,
+                &mut space,
+                id,
+                0,
+                &covered,
+                &Predicate::Equals(Value::Int(1)),
+                &mut out,
+            )
+            .unwrap();
+            assert!(s.pages_indexed <= 3, "I^MAX=3");
+            assert_eq!(s.pages_skipped, indexed_so_far);
+            indexed_so_far += s.pages_indexed;
+            scans += 1;
+            if indexed_so_far == total {
+                break;
+            }
+            assert!(scans < 1000, "must converge");
+        }
+        assert_eq!(scans, total.div_ceil(3));
+    }
+
+    #[test]
+    fn range_predicate_on_buffer() {
+        let (heap, mut space, id) = setup(200, 0);
+        let covered = covered_fn(0);
+        space.on_query(Some(id), false);
+        let mut out = Vec::new();
+        indexing_scan(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Between(Value::Int(10), Value::Int(20)),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 11);
+        // Second scan: all from buffer.
+        space.on_query(Some(id), false);
+        let mut out2 = Vec::new();
+        let s = indexing_scan(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Between(Value::Int(10), Value::Int(20)),
+            &mut out2,
+        )
+        .unwrap();
+        assert_eq!(s.buffer_matches, 11);
+        assert_eq!(s.pages_read, 0);
+        out.sort_unstable();
+        out2.sort_unstable();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn predicate_matching() {
+        let eq = Predicate::Equals(Value::Int(5));
+        assert!(eq.matches(&Value::Int(5)));
+        assert!(!eq.matches(&Value::Int(6)));
+        let between = Predicate::Between(Value::Int(1), Value::Int(3));
+        assert!(between.matches(&Value::Int(1)));
+        assert!(between.matches(&Value::Int(3)));
+        assert!(!between.matches(&Value::Int(0)));
+        assert!(!between.matches(&Value::Int(4)));
+    }
+}

@@ -1,0 +1,962 @@
+//! The mini database engine: heap tables, partial secondary indexes, the
+//! Adaptive Index Buffer, and the online tuner, wired together behind one
+//! facade.
+//!
+//! This crate replaces the role the H2 Database Engine played for the
+//! paper's prototype (substitution, DESIGN.md §4). The executor implements
+//! the decision the paper describes in §II–III:
+//!
+//! * predicate value covered by the column's partial index → **index hit**
+//!   (probe + tuple fetches);
+//! * not covered, column has an Index Buffer → **indexing scan**
+//!   (Algorithm 1, with Table II history updates and Algorithm 2 page
+//!   selection);
+//! * not covered, no buffer → **plain full scan** (the baseline the paper
+//!   plots as "table scan").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aib_core::{
+    indexing_scan, maintain, BufferConfig, BufferId, IndexBufferSpace, PageCounters, Predicate,
+    SpaceConfig, TupleRef,
+};
+use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
+use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy, ReplacementPolicy};
+use aib_storage::{
+    BufferPool, BufferPoolConfig, CostModel, DiskManager, HeapFile, IoStats, Rid, Schema,
+    StorageError, Tuple, Value,
+};
+
+use crate::metrics::{QueryMetrics, WorkloadRecorder};
+use crate::query::{AccessPath, Query, QueryResult};
+use crate::tuner::{OnlineTuner, TunerConfig};
+
+/// Buffer-pool page-replacement policy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// Least recently used (default).
+    #[default]
+    Lru,
+    /// Clock / second chance.
+    Clock,
+    /// LRU-K with the given K (the paper cites O'Neil et al. for the idea).
+    LruK(usize),
+}
+
+impl PoolPolicy {
+    fn build(self, frames: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PoolPolicy::Lru => Box::new(LruPolicy::new()),
+            PoolPolicy::Clock => Box::new(ClockPolicy::new(frames)),
+            PoolPolicy::LruK(k) => Box::new(LruKPolicy::new(k)),
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Buffer-pool frames (8 KiB each).
+    pub pool_frames: usize,
+    /// Buffer-pool replacement policy.
+    pub pool_policy: PoolPolicy,
+    /// Simulated I/O cost model.
+    pub cost_model: CostModel,
+    /// Index Buffer Space parameters (`L`, `I^MAX`, seed).
+    pub space: SpaceConfig,
+    /// Simulated page reads charged per partial-index probe (tree descent).
+    pub index_probe_pages: u64,
+    /// Partial-index entries per leaf page, for adaptation cost accounting.
+    pub index_entries_per_page: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pool_frames: 1024,
+            pool_policy: PoolPolicy::default(),
+            cost_model: CostModel::default(),
+            space: SpaceConfig::default(),
+            index_probe_pages: 3,
+            index_entries_per_page: 400,
+        }
+    }
+}
+
+/// One partially indexed column of a table.
+struct IndexedColumn {
+    column: usize,
+    partial: PartialIndex,
+    buffer: Option<BufferId>,
+    tuner: Option<OnlineTuner>,
+    /// Disk-resident backend: probe/maintenance I/O is real page traffic,
+    /// so no synthetic probe cost is charged.
+    paged: bool,
+}
+
+/// A table: schema, heap storage, and its indexed columns.
+pub struct Table {
+    name: String,
+    schema: Schema,
+    heap: HeapFile,
+    indexed: Vec<IndexedColumn>,
+}
+
+impl Table {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of pages in the heap.
+    pub fn num_pages(&self) -> u32 {
+        self.heap.num_pages()
+    }
+
+    /// Number of live tuples.
+    pub fn live_tuples(&self) -> u64 {
+        self.heap.live_tuples()
+    }
+
+    /// All live tuples with their rids, in page order (test/inspection aid;
+    /// costs a full scan).
+    pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>, StorageError> {
+        let mut out = Vec::new();
+        let mut err = None;
+        self.heap.scan_pages(
+            |_| false,
+            |rid, bytes| match Tuple::from_bytes(bytes) {
+                Ok(t) => out.push((rid, t)),
+                Err(e) => err = Some(e),
+            },
+        )?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Live tuples of one page by table-local ordinal (test/inspection aid).
+    pub fn page_tuples(&self, ordinal: u32) -> Result<Vec<(Rid, Tuple)>, StorageError> {
+        self.heap
+            .read_page(ordinal)?
+            .into_iter()
+            .map(|(rid, bytes)| Ok((rid, Tuple::from_bytes(&bytes)?)))
+            .collect()
+    }
+
+    /// Table-local ordinal of a rid's page (test/inspection aid).
+    pub fn page_ordinal(&self, rid: Rid) -> Option<u32> {
+        self.heap.ordinal_of(rid.page)
+    }
+
+    fn indexed_column(&self, column: usize) -> Option<usize> {
+        self.indexed.iter().position(|ic| ic.column == column)
+    }
+
+    fn ordinal(&self, rid: Rid) -> Result<u32, StorageError> {
+        self.heap
+            .ordinal_of(rid.page)
+            .ok_or(StorageError::UnknownPage(rid.page))
+    }
+}
+
+/// The database facade.
+///
+/// ```
+/// use aib_core::BufferConfig;
+/// use aib_engine::{AccessPath, Database, Query};
+/// use aib_index::{Coverage, IndexBackend};
+/// use aib_storage::{Column, Schema, Tuple, Value};
+///
+/// let mut db = Database::with_defaults();
+/// db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("v")]));
+/// for i in 0..100i64 {
+///     db.insert("t", &Tuple::new(vec![Value::Int(i), Value::from("x")])).unwrap();
+/// }
+/// db.create_partial_index("t", "k", Coverage::IntRange { lo: 0, hi: 49 },
+///                         IndexBackend::BTree, Some(BufferConfig::default())).unwrap();
+///
+/// // Covered value: partial index hit.
+/// let (r, _) = db.execute(&Query::point("t", "k", 7i64)).unwrap();
+/// assert_eq!((r.path, r.count()), (AccessPath::PartialIndex, 1));
+///
+/// // Uncovered value: indexing scan builds the buffer; the repeat skips.
+/// let (_, m1) = db.execute(&Query::point("t", "k", 70i64)).unwrap();
+/// let (_, m2) = db.execute(&Query::point("t", "k", 71i64)).unwrap();
+/// assert!(m1.scan.unwrap().pages_indexed > 0);
+/// assert_eq!(m2.scan.unwrap().pages_read, 0);
+/// ```
+pub struct Database {
+    pool: Arc<BufferPool>,
+    stats: Arc<IoStats>,
+    space: IndexBufferSpace,
+    tables: Vec<Table>,
+    table_names: HashMap<String, usize>,
+    config: EngineConfig,
+    queries_executed: usize,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(config: EngineConfig) -> Self {
+        let disk = DiskManager::new(config.cost_model);
+        let stats = disk.stats();
+        let pool = BufferPool::new(
+            disk,
+            BufferPoolConfig::with_policy(
+                config.pool_frames,
+                config.pool_policy.build(config.pool_frames),
+            ),
+        );
+        Database {
+            pool,
+            stats,
+            space: IndexBufferSpace::new(config.space),
+            tables: Vec::new(),
+            table_names: HashMap::new(),
+            config,
+            queries_executed: 0,
+        }
+    }
+
+    /// A database with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// Shared I/O statistics.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The Index Buffer Space (inspection).
+    pub fn space(&self) -> &IndexBufferSpace {
+        &self.space
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    /// If a table of that name exists.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> &mut Table {
+        let name = name.into();
+        assert!(
+            !self.table_names.contains_key(&name),
+            "table {name:?} already exists"
+        );
+        let idx = self.tables.len();
+        self.tables.push(Table {
+            name: name.clone(),
+            schema,
+            heap: HeapFile::new(Arc::clone(&self.pool)),
+            indexed: Vec::new(),
+        });
+        self.table_names.insert(name, idx);
+        &mut self.tables[idx]
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.table_names.get(name).map(|&i| &self.tables[i])
+    }
+
+    fn table_index(&self, name: &str) -> Result<usize, StorageError> {
+        self.table_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::SchemaMismatch(format!("unknown table {name:?}")))
+    }
+
+    fn column_index(&self, table: usize, column: &str) -> Result<usize, StorageError> {
+        self.tables[table]
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StorageError::SchemaMismatch(format!("unknown column {column:?}")))
+    }
+
+    // ------------------------------------------------------------------ DML
+
+    /// Inserts a tuple, maintaining all partial indexes and Index Buffers
+    /// (Table I, insert column).
+    pub fn insert(&mut self, table: &str, tuple: &Tuple) -> Result<Rid, StorageError> {
+        let ti = self.table_index(table)?;
+        let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
+        let rid = self.tables[ti].heap.insert(&bytes)?;
+        let page = self.tables[ti].ordinal(rid)?;
+        let t = &mut self.tables[ti];
+        for ic in &mut t.indexed {
+            let value = tuple.get(ic.column).expect("validated arity").clone();
+            apply_maintenance(
+                &mut self.space,
+                ic,
+                None,
+                Some(TupleRef::new(value, rid, page)),
+            );
+        }
+        Ok(rid)
+    }
+
+    /// Deletes the tuple at `rid` (Table I, delete row).
+    pub fn delete(&mut self, table: &str, rid: Rid) -> Result<(), StorageError> {
+        let ti = self.table_index(table)?;
+        let bytes = self.tables[ti].heap.get(rid)?;
+        let old = Tuple::from_bytes(&bytes)?;
+        self.tables[ti].heap.delete(rid)?;
+        let page = self.tables[ti].ordinal(rid)?;
+        let t = &mut self.tables[ti];
+        for ic in &mut t.indexed {
+            let value = old.get(ic.column).expect("stored tuple arity").clone();
+            apply_maintenance(
+                &mut self.space,
+                ic,
+                Some(TupleRef::new(value, rid, page)),
+                None,
+            );
+        }
+        Ok(())
+    }
+
+    /// Updates the tuple at `rid`, returning its possibly new record id
+    /// (Table I, full matrix — the tuple may change pages).
+    pub fn update(&mut self, table: &str, rid: Rid, tuple: &Tuple) -> Result<Rid, StorageError> {
+        let ti = self.table_index(table)?;
+        let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
+        let old_bytes = self.tables[ti].heap.get(rid)?;
+        let old = Tuple::from_bytes(&old_bytes)?;
+        let old_page = self.tables[ti].ordinal(rid)?;
+        let new_rid = self.tables[ti].heap.update(rid, &bytes)?;
+        let new_page = self.tables[ti].ordinal(new_rid)?;
+        let t = &mut self.tables[ti];
+        for ic in &mut t.indexed {
+            let old_value = old.get(ic.column).expect("stored tuple arity").clone();
+            let new_value = tuple.get(ic.column).expect("validated arity").clone();
+            apply_maintenance(
+                &mut self.space,
+                ic,
+                Some(TupleRef::new(old_value, rid, old_page)),
+                Some(TupleRef::new(new_value, new_rid, new_page)),
+            );
+        }
+        Ok(new_rid)
+    }
+
+    /// Fetches the tuple at `rid`.
+    pub fn fetch(&self, table: &str, rid: Rid) -> Result<Tuple, StorageError> {
+        let ti = self.table_index(table)?;
+        Tuple::from_bytes(&self.tables[ti].heap.get(rid)?)
+    }
+
+    // ---------------------------------------------------------------- DDL
+
+    /// Creates a partial index on `column` with the given `coverage`,
+    /// scanning the table to populate it, and — when `buffer` is given — an
+    /// Index Buffer whose counters are initialised from the scan
+    /// ("the array of all counters is initialized during the creation of
+    /// the partial index", paper §III).
+    pub fn create_partial_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        coverage: Coverage,
+        backend: IndexBackend,
+        buffer: Option<BufferConfig>,
+    ) -> Result<(), StorageError> {
+        let partial = PartialIndex::new(format!("{table}.{column}"), coverage, backend).with_cost(
+            AdaptationCost::charged(
+                Arc::clone(&self.stats),
+                self.config.cost_model,
+                self.config.index_entries_per_page,
+            ),
+        );
+        self.install_partial_index(table, column, partial, buffer, false)
+    }
+
+    /// Like [`Database::create_partial_index`], but the index is
+    /// **disk-resident**: a [`PagedIndex`] whose nodes flow through the same
+    /// buffer pool as the table's heap pages, so probe and maintenance I/O
+    /// is real page traffic rather than a synthetic charge. Integer columns
+    /// only.
+    pub fn create_paged_partial_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        coverage: Coverage,
+        buffer: Option<BufferConfig>,
+    ) -> Result<(), StorageError> {
+        let index = PagedIndex::create(Arc::clone(&self.pool))?;
+        let partial =
+            PartialIndex::with_index(format!("{table}.{column}"), coverage, Box::new(index));
+        self.install_partial_index(table, column, partial, buffer, true)
+    }
+
+    fn install_partial_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        mut partial: PartialIndex,
+        buffer: Option<BufferConfig>,
+        paged: bool,
+    ) -> Result<(), StorageError> {
+        let ti = self.table_index(table)?;
+        let ci = self.column_index(ti, column)?;
+        assert!(
+            self.tables[ti].indexed_column(ci).is_none(),
+            "column {column:?} is already indexed"
+        );
+        let heap = &self.tables[ti].heap;
+        let mut counts: Vec<u32> = vec![0; heap.num_pages() as usize];
+        heap.scan_pages(
+            |_| false,
+            |rid, bytes| {
+                let value = Tuple::read_column(bytes, ci).expect("stored tuples decode");
+                let ord = heap.ordinal_of(rid.page).expect("scanned page is owned");
+                if partial.covers(&value) {
+                    partial.add(value, rid);
+                } else {
+                    counts[ord as usize] += 1;
+                }
+            },
+        )?;
+        let buffer_id = buffer.map(|cfg| {
+            self.space.register(
+                format!("{table}.{column}"),
+                cfg,
+                PageCounters::from_counts(counts),
+            )
+        });
+        self.tables[ti].indexed.push(IndexedColumn {
+            column: ci,
+            partial,
+            buffer: buffer_id,
+            tuner: None,
+            paged,
+        });
+        Ok(())
+    }
+
+    /// Drops the partial index (and Index Buffer contents) of a column.
+    /// Subsequent queries on the column fall back to plain scans.
+    ///
+    /// The buffer's slot in the Index Buffer Space stays registered but
+    /// empty — buffer ids are stable handles and an empty buffer costs
+    /// nothing (its history only ticks).
+    pub fn drop_partial_index(&mut self, table: &str, column: &str) -> Result<(), StorageError> {
+        let ti = self.table_index(table)?;
+        let ci = self.column_index(ti, column)?;
+        let slot = self.tables[ti].indexed_column(ci).ok_or_else(|| {
+            StorageError::SchemaMismatch(format!("column {column:?} is not indexed"))
+        })?;
+        let ic = self.tables[ti].indexed.remove(slot);
+        if let Some(bid) = ic.buffer {
+            let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
+            let parts: Vec<_> = buffer.partition_ids().collect();
+            for p in parts {
+                buffer.drop_partition(p);
+            }
+            *counters = PageCounters::new();
+        }
+        Ok(())
+    }
+
+    /// Attaches an online tuner to an indexed column. The column's coverage
+    /// must be a [`Coverage::Set`] (the tuner adapts value by value).
+    pub fn attach_tuner(&mut self, table: &str, column: &str, config: TunerConfig) {
+        let ti = self.table_index(table).expect("table exists");
+        let ci = self.column_index(ti, column).expect("column exists");
+        let slot = self.tables[ti]
+            .indexed_column(ci)
+            .expect("column is indexed");
+        let ic = &mut self.tables[ti].indexed[slot];
+        assert!(
+            matches!(ic.partial.coverage(), Coverage::Set(_)),
+            "tuned columns need Coverage::Set"
+        );
+        ic.tuner = Some(OnlineTuner::new(config));
+    }
+
+    /// Replaces the coverage of an indexed column wholesale (experiment 4's
+    /// partial-index redefinition), rebuilding entries and counters with a
+    /// full scan.
+    pub fn redefine_coverage(
+        &mut self,
+        table: &str,
+        column: &str,
+        coverage: Coverage,
+    ) -> Result<(), StorageError> {
+        let ti = self.table_index(table)?;
+        let ci = self.column_index(ti, column)?;
+        let slot = self.tables[ti]
+            .indexed_column(ci)
+            .expect("column is indexed");
+        let t = &mut self.tables[ti];
+        let ic = &mut t.indexed[slot];
+        ic.partial.redefine_coverage(coverage);
+        // Rebuild entries and counters from the heap; any buffered pages are
+        // invalidated (their composition changed under the buffer).
+        if let Some(bid) = ic.buffer {
+            let (buffer, _) = self.space.buffer_and_counters_mut(bid);
+            let parts: Vec<_> = buffer.partition_ids().collect();
+            for p in parts {
+                buffer.drop_partition(p);
+            }
+        }
+        let mut counts: Vec<u32> = vec![0; t.heap.num_pages() as usize];
+        let heap = &t.heap;
+        let partial = &mut ic.partial;
+        heap.scan_pages(
+            |_| false,
+            |rid, bytes| {
+                let value = Tuple::read_column(bytes, ci).expect("stored tuples decode");
+                let ord = heap.ordinal_of(rid.page).expect("scanned page is owned");
+                if partial.covers(&value) {
+                    if !partial.contains(&value, rid) {
+                        partial.add(value, rid);
+                    }
+                } else {
+                    counts[ord as usize] += 1;
+                }
+            },
+        )?;
+        if let Some(bid) = ic.buffer {
+            *self.space.counters_mut(bid) = PageCounters::from_counts(counts);
+        }
+        Ok(())
+    }
+
+    /// Drains under-occupied pages by relocating their tuples into pages
+    /// with free space, maintaining every partial index and Index Buffer
+    /// through the moves (Table I with `p_old ≠ p_new` and unchanged
+    /// values). Pages holding fewer live tuples than `min_occupancy` times
+    /// the table's average are drained. Returns `(pages_drained,
+    /// tuples_moved)`.
+    ///
+    /// Vacuuming improves the physical/logical correlation story of paper
+    /// Fig. 3 in reverse: it *concentrates* tuples, raising page occupancy
+    /// so page-skipping decisions are about full pages.
+    pub fn vacuum(&mut self, table: &str, min_occupancy: f64) -> Result<(u32, u64), StorageError> {
+        let ti = self.table_index(table)?;
+        let pages = self.tables[ti].heap.num_pages();
+        if pages == 0 {
+            return Ok((0, 0));
+        }
+        let avg = self.tables[ti].heap.live_tuples() as f64 / pages as f64;
+        let threshold = (avg * min_occupancy).floor() as usize;
+        let mut drained = 0;
+        let mut moved = 0;
+        for ord in 0..pages {
+            let tuples = self.tables[ti].heap.read_page(ord)?;
+            if tuples.is_empty() || tuples.len() >= threshold {
+                continue;
+            }
+            drained += 1;
+            for (rid, bytes) in tuples {
+                let new_rid = self.tables[ti].heap.relocate(rid)?;
+                let new_ord = self.tables[ti].ordinal(new_rid)?;
+                let tuple = Tuple::from_bytes(&bytes)?;
+                moved += 1;
+                let t = &mut self.tables[ti];
+                for ic in &mut t.indexed {
+                    let value = tuple.get(ic.column).expect("stored tuple arity").clone();
+                    apply_maintenance(
+                        &mut self.space,
+                        ic,
+                        Some(TupleRef::new(value.clone(), rid, ord)),
+                        Some(TupleRef::new(value, new_rid, new_ord)),
+                    );
+                }
+            }
+        }
+        Ok((drained, moved))
+    }
+
+    // ------------------------------------------------------------ queries
+
+    /// Executes a query, returning the matching rids and full metrics.
+    pub fn execute(&mut self, query: &Query) -> Result<(QueryResult, QueryMetrics), StorageError> {
+        let seq = self.queries_executed;
+        self.queries_executed += 1;
+        let before = self.stats.snapshot();
+        let start = Instant::now();
+
+        let ti = self.table_index(&query.table)?;
+        let ci = self.column_index(ti, &query.column)?;
+        let slot = self.tables[ti].indexed_column(ci);
+
+        let (result, scan_stats) = match slot {
+            None => (self.plain_scan(ti, ci, &query.predicate)?, None),
+            Some(slot) => {
+                let hit = {
+                    let ic = &self.tables[ti].indexed[slot];
+                    match &query.predicate {
+                        Predicate::Equals(v) => ic.partial.covers(v),
+                        // A range is a hit only if coverage is complete AND
+                        // the backend can range-scan (hash indexes cannot).
+                        Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
+                    }
+                };
+                let buffer = self.tables[ti].indexed[slot].buffer;
+                // Table II: every query adjusts every buffer's history.
+                self.space.on_query(buffer, hit);
+                if hit {
+                    (self.index_hit(ti, slot, &query.predicate)?, None)
+                } else if buffer.is_some() {
+                    let (r, s) = self.buffered_scan(ti, slot, ci, &query.predicate)?;
+                    (r, Some(s))
+                } else {
+                    (self.plain_scan(ti, ci, &query.predicate)?, None)
+                }
+            }
+        };
+
+        // Online tuning: observe the queried value, adapt the partial index.
+        if let (Some(slot), Predicate::Equals(v)) = (slot, &query.predicate) {
+            if self.tables[ti].indexed[slot].tuner.is_some() {
+                self.apply_tuning(ti, slot, v, &result.rids)?;
+            }
+        }
+
+        let wall = start.elapsed();
+        let io = self.stats.snapshot().since(&before);
+        let buffer_entries = (0..self.space.num_buffers())
+            .map(|b| self.space.buffer(b).num_entries())
+            .collect();
+        let metrics = QueryMetrics {
+            seq,
+            path: result.path,
+            result_count: result.count(),
+            io,
+            wall,
+            scan: scan_stats,
+            buffer_entries,
+        };
+        Ok((result, metrics))
+    }
+
+    /// Executes a query and appends its metrics to `recorder`.
+    pub fn execute_recorded(
+        &mut self,
+        query: &Query,
+        recorder: &mut WorkloadRecorder,
+    ) -> Result<QueryResult, StorageError> {
+        let (result, metrics) = self.execute(query)?;
+        recorder.push(metrics);
+        Ok(result)
+    }
+
+    /// Index-hit path: probe the partial index, fetch matching tuples.
+    fn index_hit(
+        &mut self,
+        ti: usize,
+        slot: usize,
+        predicate: &Predicate,
+    ) -> Result<QueryResult, StorageError> {
+        let ic = &self.tables[ti].indexed[slot];
+        if !ic.paged {
+            // Charge the simulated tree descent (in-memory partial indexes
+            // stand in for disk-resident ones; see DESIGN.md §4). Paged
+            // indexes pay real page I/O instead.
+            self.stats.record_reads(
+                self.config.index_probe_pages,
+                self.config.cost_model.read_us,
+            );
+        }
+        let rids = match predicate {
+            Predicate::Equals(v) => ic.partial.lookup(v),
+            Predicate::Between(lo, hi) => ic
+                .partial
+                .lookup_range(lo, hi)
+                .expect("caller verified coverage and backend"),
+        };
+        // Materialise results: the paper's "index scan" baseline includes
+        // fetching the qualifying tuples from their pages.
+        for &rid in &rids {
+            self.tables[ti].heap.get(rid)?;
+        }
+        Ok(QueryResult {
+            rids,
+            path: AccessPath::PartialIndex,
+        })
+    }
+
+    /// Miss path with an Index Buffer: paper Algorithm 1.
+    fn buffered_scan(
+        &mut self,
+        ti: usize,
+        slot: usize,
+        ci: usize,
+        predicate: &Predicate,
+    ) -> Result<(QueryResult, aib_core::ScanStats), StorageError> {
+        let t = &self.tables[ti];
+        let ic = &t.indexed[slot];
+        let bid = ic.buffer.expect("buffered_scan requires a buffer");
+        let partial = &ic.partial;
+        let covered = |v: &Value| partial.covers(v);
+        let mut rids = Vec::new();
+        let stats = indexing_scan(
+            &t.heap,
+            &mut self.space,
+            bid,
+            ci,
+            &covered,
+            predicate,
+            &mut rids,
+        )?;
+        if let Predicate::Between(lo, hi) = predicate {
+            // A straddling range also matches *covered* tuples, which live
+            // in pages the scan may have skipped — answer that fraction from
+            // the partial index and deduplicate against scanned pages.
+            if !self.tables[ti].indexed[slot].paged {
+                self.stats.record_reads(
+                    self.config.index_probe_pages,
+                    self.config.cost_model.read_us,
+                );
+            }
+            rids.extend(partial.entries_in(lo, hi));
+            rids.sort_unstable();
+            rids.dedup();
+        }
+        Ok((
+            QueryResult {
+                rids,
+                path: AccessPath::BufferedScan,
+            },
+            stats,
+        ))
+    }
+
+    /// Baseline: full table scan, no skipping.
+    fn plain_scan(
+        &self,
+        ti: usize,
+        ci: usize,
+        predicate: &Predicate,
+    ) -> Result<QueryResult, StorageError> {
+        let mut rids = Vec::new();
+        let mut decode_err = None;
+        self.tables[ti].heap.scan_pages(
+            |_| false,
+            |rid, bytes| match Tuple::read_column(bytes, ci) {
+                Ok(v) => {
+                    if predicate.matches(&v) {
+                        rids.push(rid);
+                    }
+                }
+                Err(e) => decode_err = Some(e),
+            },
+        )?;
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+        Ok(QueryResult {
+            rids,
+            path: AccessPath::PlainScan,
+        })
+    }
+
+    /// Applies the online tuner's decision for an observed point query.
+    fn apply_tuning(
+        &mut self,
+        ti: usize,
+        slot: usize,
+        value: &Value,
+        matched: &[Rid],
+    ) -> Result<(), StorageError> {
+        let decision = self.tables[ti].indexed[slot]
+            .tuner
+            .as_mut()
+            .expect("caller checked tuner")
+            .observe(value);
+        if decision.is_noop() {
+            return Ok(());
+        }
+        if let Some(v) = decision.add {
+            // Newly covered tuples leave the "uncovered" bookkeeping: pages
+            // buffered for this column drop the entries, unbuffered pages
+            // decrement their counters.
+            let pages: Vec<(Rid, u32)> = matched
+                .iter()
+                .map(|&rid| Ok((rid, self.tables[ti].ordinal(rid)?)))
+                .collect::<Result<_, StorageError>>()?;
+            let ic = &mut self.tables[ti].indexed[slot];
+            if let Some(bid) = ic.buffer {
+                let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
+                for &(rid, page) in &pages {
+                    if buffer.is_buffered(page) {
+                        buffer.remove(&v, rid, page);
+                    } else {
+                        counters.decrement(page);
+                    }
+                }
+            }
+            ic.partial.adapt_add_value(v, matched);
+        }
+        for v in decision.evict {
+            let ic = &mut self.tables[ti].indexed[slot];
+            let rids = ic.partial.lookup(&v);
+            ic.partial.adapt_remove_value(&v);
+            // The evicted value's tuples become uncovered again.
+            let buffer = ic.buffer;
+            for rid in rids {
+                let page = self.tables[ti].ordinal(rid)?;
+                if let Some(bid) = buffer {
+                    let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
+                    if buffer.is_buffered(page) {
+                        buffer.add(v.clone(), rid, page);
+                    } else {
+                        counters.increment(page);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Explains how a query would execute, without executing it: the access
+    /// path, how many pages a scan would read vs. skip, and the exact
+    /// cardinality when the partial index can answer it (§VI contrast: the
+    /// Index Buffer's own bookkeeping makes this free, unlike what-if
+    /// optimizer calls).
+    pub fn explain(&self, query: &Query) -> Result<crate::explain::Explanation, StorageError> {
+        let ti = self.table_index(&query.table)?;
+        let ci = self.column_index(ti, &query.column)?;
+        let table_pages = self.tables[ti].heap.num_pages();
+        let Some(slot) = self.tables[ti].indexed_column(ci) else {
+            return Ok(crate::explain::explanation(
+                AccessPath::PlainScan,
+                false,
+                false,
+                table_pages,
+                table_pages,
+                None,
+                0,
+            ));
+        };
+        let ic = &self.tables[ti].indexed[slot];
+        let hit = match &query.predicate {
+            Predicate::Equals(v) => ic.partial.covers(v),
+            Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
+        };
+        if hit {
+            let cardinality = match (
+                &query.predicate,
+                crate::explain::is_predicate_point(&query.predicate),
+            ) {
+                (Predicate::Equals(v), true) => Some(ic.partial.lookup(v).len()),
+                _ => None,
+            };
+            return Ok(crate::explain::explanation(
+                AccessPath::PartialIndex,
+                true,
+                ic.buffer.is_some(),
+                table_pages,
+                0,
+                cardinality,
+                ic.buffer.map_or(0, |b| self.space.buffer(b).num_entries()),
+            ));
+        }
+        match ic.buffer {
+            Some(bid) => {
+                let counters = self.space.counters(bid);
+                // Pages with C[p] > 0; pages beyond the tracked range are
+                // fully covered and skippable.
+                let to_read = counters.unindexed_pages().count() as u32;
+                Ok(crate::explain::explanation(
+                    AccessPath::BufferedScan,
+                    true,
+                    true,
+                    table_pages,
+                    to_read,
+                    None,
+                    self.space.buffer(bid).num_entries(),
+                ))
+            }
+            None => Ok(crate::explain::explanation(
+                AccessPath::PlainScan,
+                true,
+                false,
+                table_pages,
+                table_pages,
+                None,
+                0,
+            )),
+        }
+    }
+
+    /// Coverage of an indexed column (inspection).
+    pub fn coverage(&self, table: &str, column: &str) -> Option<&Coverage> {
+        let ti = self.table_index(table).ok()?;
+        let ci = self.column_index(ti, column).ok()?;
+        let slot = self.tables[ti].indexed_column(ci)?;
+        Some(self.tables[ti].indexed[slot].partial.coverage())
+    }
+
+    /// Entries in the partial index of a column (inspection).
+    pub fn partial_index_len(&self, table: &str, column: &str) -> Option<usize> {
+        let ti = self.table_index(table).ok()?;
+        let ci = self.column_index(ti, column).ok()?;
+        let slot = self.tables[ti].indexed_column(ci)?;
+        Some(self.tables[ti].indexed[slot].partial.len())
+    }
+
+    /// The buffer id serving a column, if any (inspection).
+    pub fn buffer_id(&self, table: &str, column: &str) -> Option<BufferId> {
+        let ti = self.table_index(table).ok()?;
+        let ci = self.column_index(ti, column).ok()?;
+        let slot = self.tables[ti].indexed_column(ci)?;
+        self.tables[ti].indexed[slot].buffer
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.len())
+            .field("buffers", &self.space.num_buffers())
+            .field("queries_executed", &self.queries_executed)
+            .finish()
+    }
+}
+
+/// Routes one column's maintenance through Table I (buffered columns) or the
+/// plain partial-index ops (unbuffered columns).
+fn apply_maintenance(
+    space: &mut IndexBufferSpace,
+    ic: &mut IndexedColumn,
+    old: Option<TupleRef>,
+    new: Option<TupleRef>,
+) {
+    match ic.buffer {
+        Some(bid) => {
+            let (buffer, counters) = space.buffer_and_counters_mut(bid);
+            maintain(&mut ic.partial, buffer, counters, old, new);
+        }
+        None => {
+            // Only the partial-index row of Table I applies.
+            let old_cov = old.as_ref().filter(|t| ic.partial.covers(&t.value));
+            let new_cov = new.as_ref().filter(|t| ic.partial.covers(&t.value));
+            match (old_cov, new_cov) {
+                (Some(o), Some(n)) => ic.partial.update(&o.value, o.rid, n.value.clone(), n.rid),
+                (Some(o), None) => {
+                    ic.partial.remove(&o.value, o.rid);
+                }
+                (None, Some(n)) => {
+                    ic.partial.add(n.value.clone(), n.rid);
+                }
+                (None, None) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Query plan explanation: what access path a query would take and what it
+//! is expected to cost — *without executing it*.
+//!
+//! The paper's related work (§VI) contrasts online tuning against
+//! *what-if* optimizer interfaces, which are "expensive since they involve
+//! a complete logical query processing". The Index Buffer's bookkeeping
+//! makes the interesting questions answerable for free: the counters `C[p]`
+//! say exactly how many pages a scan must read, and the partial index knows
+//! its own cardinalities.
+
+use aib_core::Predicate;
+
+use crate::query::AccessPath;
+
+/// A pre-execution cost sketch of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The access path the executor would take.
+    pub path: AccessPath,
+    /// Whether the queried column has a partial index.
+    pub has_partial_index: bool,
+    /// Whether the queried column has an Index Buffer.
+    pub has_buffer: bool,
+    /// Total pages of the table.
+    pub table_pages: u32,
+    /// Pages a scan would actually fetch (`C[p] > 0` pages); equals
+    /// `table_pages` for plain scans and 0 for index hits.
+    pub pages_to_read: u32,
+    /// Pages skippable thanks to full indexing (partial index + buffer).
+    pub pages_skippable: u32,
+    /// Exact result cardinality for point lookups answerable from the
+    /// partial index; `None` when only execution can tell.
+    pub known_cardinality: Option<usize>,
+    /// Buffer entries currently held for this column.
+    pub buffer_entries: usize,
+}
+
+impl Explanation {
+    /// Fraction of the table a scan could skip right now.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.table_pages == 0 {
+            return 0.0;
+        }
+        f64::from(self.pages_skippable) / f64::from(self.table_pages)
+    }
+
+    /// Human-readable one-line plan summary.
+    pub fn summary(&self) -> String {
+        match self.path {
+            AccessPath::PartialIndex => format!(
+                "partial index hit{}",
+                self.known_cardinality
+                    .map_or(String::new(), |n| format!(" ({n} rows)"))
+            ),
+            AccessPath::BufferedScan => format!(
+                "indexing scan: {} of {} pages to read ({:.0}% skippable), buffer holds {} entries",
+                self.pages_to_read,
+                self.table_pages,
+                100.0 * self.skip_ratio(),
+                self.buffer_entries
+            ),
+            AccessPath::PlainScan => {
+                format!("full table scan: {} pages", self.table_pages)
+            }
+        }
+    }
+}
+
+/// Used by [`crate::db::Database::explain`]; kept separate so the type can
+/// be constructed in tests.
+pub(crate) fn explanation(
+    path: AccessPath,
+    has_partial_index: bool,
+    has_buffer: bool,
+    table_pages: u32,
+    pages_to_read: u32,
+    known_cardinality: Option<usize>,
+    buffer_entries: usize,
+) -> Explanation {
+    Explanation {
+        path,
+        has_partial_index,
+        has_buffer,
+        table_pages,
+        pages_to_read,
+        pages_skippable: table_pages - pages_to_read,
+        known_cardinality,
+        buffer_entries,
+    }
+}
+
+/// Free function used by `Database::explain` to classify the predicate the
+/// same way the executor does (point coverage vs. complete range coverage).
+pub(crate) fn is_predicate_point(predicate: &Predicate) -> bool {
+    matches!(predicate, Predicate::Equals(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_are_informative() {
+        let hit = explanation(AccessPath::PartialIndex, true, true, 100, 0, Some(7), 0);
+        assert_eq!(hit.summary(), "partial index hit (7 rows)");
+        assert_eq!(hit.skip_ratio(), 1.0);
+
+        let scan = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900);
+        assert_eq!(scan.pages_skippable, 75);
+        assert!(scan.summary().contains("25 of 100 pages"));
+        assert!(scan.summary().contains("75% skippable"));
+
+        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0);
+        assert_eq!(plain.summary(), "full table scan: 40 pages");
+        assert_eq!(plain.skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_table_skip_ratio_is_zero() {
+        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0);
+        assert_eq!(e.skip_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-query instrumentation and workload recording — the measurement
+//! harness behind the paper's Figures 6–9.
+
+use std::time::Duration;
+
+use aib_core::ScanStats;
+use aib_storage::stats::IoSnapshot;
+
+use crate::query::AccessPath;
+
+/// Everything measured about one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// 0-based position in the workload.
+    pub seq: usize,
+    /// Access path taken.
+    pub path: AccessPath,
+    /// Matching tuples.
+    pub result_count: usize,
+    /// Physical I/O deltas attributable to this query.
+    pub io: IoSnapshot,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Scan instrumentation, for scan paths.
+    pub scan: Option<ScanStats>,
+    /// Entries per Index Buffer after the query (Figures 8 and 9 plot this
+    /// series), in buffer-id order.
+    pub buffer_entries: Vec<usize>,
+}
+
+impl QueryMetrics {
+    /// Simulated query cost in microseconds (cost-model charged I/O).
+    pub fn simulated_us(&self) -> u64 {
+        self.io.simulated_us
+    }
+
+    /// Pages skipped by this query's scan (0 for index hits).
+    pub fn pages_skipped(&self) -> u32 {
+        self.scan.as_ref().map_or(0, |s| s.pages_skipped)
+    }
+}
+
+/// Collects the per-query series of a workload run.
+#[derive(Debug, Default)]
+pub struct WorkloadRecorder {
+    records: Vec<QueryMetrics>,
+}
+
+impl WorkloadRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one query's metrics.
+    pub fn push(&mut self, m: QueryMetrics) {
+        self.records.push(m);
+    }
+
+    /// All records, in execution order.
+    pub fn records(&self) -> &[QueryMetrics] {
+        &self.records
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no queries were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of queries answered by the partial index within
+    /// `[from, to)` — the hit-rate series of Figure 1.
+    pub fn hit_rate(&self, from: usize, to: usize) -> f64 {
+        let slice = &self.records[from.min(self.records.len())..to.min(self.records.len())];
+        if slice.is_empty() {
+            return 0.0;
+        }
+        let hits = slice
+            .iter()
+            .filter(|m| m.path == AccessPath::PartialIndex)
+            .count();
+        hits as f64 / slice.len() as f64
+    }
+
+    /// Renders the series as CSV with one row per query. Columns:
+    /// `seq,path,results,pages_read,pages_skipped,sim_us,wall_us,entries_b0,entries_b1,...`
+    pub fn to_csv(&self) -> String {
+        let buffers = self
+            .records
+            .iter()
+            .map(|r| r.buffer_entries.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::from("seq,path,results,pages_read,pages_skipped,sim_us,wall_us");
+        for b in 0..buffers {
+            out.push_str(&format!(",entries_b{b}"));
+        }
+        out.push('\n');
+        for r in &self.records {
+            let path = match r.path {
+                AccessPath::PartialIndex => "index",
+                AccessPath::BufferedScan => "buffered",
+                AccessPath::PlainScan => "scan",
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}",
+                r.seq,
+                path,
+                r.result_count,
+                r.io.page_reads,
+                r.pages_skipped(),
+                r.simulated_us(),
+                r.wall.as_micros(),
+            ));
+            for b in 0..buffers {
+                out.push_str(&format!(
+                    ",{}",
+                    r.buffer_entries.get(b).copied().unwrap_or(0)
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: usize, path: AccessPath) -> QueryMetrics {
+        QueryMetrics {
+            seq,
+            path,
+            result_count: 1,
+            io: IoSnapshot {
+                page_reads: 2,
+                simulated_us: 200,
+                ..Default::default()
+            },
+            wall: Duration::from_micros(5),
+            scan: None,
+            buffer_entries: vec![10, 20],
+        }
+    }
+
+    #[test]
+    fn hit_rate_over_window() {
+        let mut rec = WorkloadRecorder::new();
+        rec.push(record(0, AccessPath::PartialIndex));
+        rec.push(record(1, AccessPath::BufferedScan));
+        rec.push(record(2, AccessPath::PartialIndex));
+        rec.push(record(3, AccessPath::PartialIndex));
+        assert_eq!(rec.hit_rate(0, 4), 0.75);
+        assert_eq!(rec.hit_rate(0, 2), 0.5);
+        assert_eq!(rec.hit_rate(4, 8), 0.0, "out of range is empty");
+        assert_eq!(rec.len(), 4);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut rec = WorkloadRecorder::new();
+        rec.push(record(0, AccessPath::PartialIndex));
+        let csv = rec.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,entries_b0,entries_b1"
+        );
+        assert_eq!(lines.next().unwrap(), "0,index,1,2,0,200,5,10,20");
+    }
+
+    #[test]
+    fn simulated_us_proxies_io() {
+        let m = record(0, AccessPath::PlainScan);
+        assert_eq!(m.simulated_us(), 200);
+        assert_eq!(m.pages_skipped(), 0);
+    }
+}

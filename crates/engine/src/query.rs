@@ -1,0 +1,88 @@
+//! Query model: single-column predicates against a named table column, the
+//! shape of the paper's evaluation workload.
+
+use aib_core::Predicate;
+use aib_storage::{Rid, Value};
+
+/// A query against one column of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Target table.
+    pub table: String,
+    /// Queried column name.
+    pub column: String,
+    /// The predicate `q`.
+    pub predicate: Predicate,
+}
+
+impl Query {
+    /// `SELECT * FROM table WHERE column = value`.
+    pub fn point(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        value: impl Into<Value>,
+    ) -> Self {
+        Query {
+            table: table.into(),
+            column: column.into(),
+            predicate: Predicate::Equals(value.into()),
+        }
+    }
+
+    /// `SELECT * FROM table WHERE column BETWEEN lo AND hi`.
+    pub fn range(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Self {
+        Query {
+            table: table.into(),
+            column: column.into(),
+            predicate: Predicate::Between(lo.into(), hi.into()),
+        }
+    }
+}
+
+/// How a query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Served by the partial index (a "hit").
+    PartialIndex,
+    /// Indexing table scan with Index Buffer support (Algorithm 1).
+    BufferedScan,
+    /// Full table scan (no buffer configured for the column).
+    PlainScan,
+}
+
+/// Result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Record ids of matching tuples.
+    pub rids: Vec<Rid>,
+    /// Which access path answered it.
+    pub path: AccessPath,
+}
+
+impl QueryResult {
+    /// Number of matches.
+    pub fn count(&self) -> usize {
+        self.rids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = Query::point("flights", "airport", "FRA");
+        assert_eq!(q.predicate, Predicate::Equals(Value::from("FRA")));
+        let q = Query::range("t", "a", 1i64, 9i64);
+        assert_eq!(
+            q.predicate,
+            Predicate::Between(Value::Int(1), Value::Int(9))
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! The online partial-index tuner — the slow control loop the Index Buffer
+//! is designed to back up (paper §I, Fig. 1).
+//!
+//! The paper's simulated tuning mechanism: "indexes a queried value if it
+//! has shown enough potential query cost reduction during the last twenty
+//! queries. For simplicity ... a value is assumed to reach the threshold if
+//! it was queried at least six times in the monitoring window. Entries are
+//! removed from the index based on a least recently used strategy."
+//!
+//! [`OnlineTuner`] reproduces exactly that: a sliding window of the last `W`
+//! queried values, a threshold `θ` of occurrences within the window, and an
+//! LRU-ordered covered-value set with a capacity bound. The *decisions* are
+//! returned to the caller ([`crate::db::Database`] applies them to the real
+//! partial index, with all the cross-structure maintenance that entails);
+//! the tuner itself is pure bookkeeping, so the Fig. 1 simulation can also
+//! drive it stand-alone.
+
+use std::collections::{HashMap, VecDeque};
+
+use aib_storage::Value;
+
+/// Tuner parameters (paper Fig. 1: `window = 20`, `threshold = 6`).
+#[derive(Debug, Clone, Copy)]
+pub struct TunerConfig {
+    /// `W` — monitoring window length in queries.
+    pub window: usize,
+    /// `θ` — occurrences within the window that justify indexing a value.
+    pub threshold: usize,
+    /// Capacity of the covered-value set; LRU eviction beyond it.
+    pub capacity: usize,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            window: 20,
+            threshold: 6,
+            capacity: 15,
+        }
+    }
+}
+
+/// Adaptation decision for one observed query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TunerDecision {
+    /// Value that crossed the threshold and should be added to the partial
+    /// index.
+    pub add: Option<Value>,
+    /// Values evicted (LRU) to make room.
+    pub evict: Vec<Value>,
+}
+
+impl TunerDecision {
+    /// True if nothing changes.
+    pub fn is_noop(&self) -> bool {
+        self.add.is_none() && self.evict.is_empty()
+    }
+}
+
+/// Sliding-window, threshold-triggered, LRU-evicting index tuner.
+///
+/// ```
+/// use aib_engine::{OnlineTuner, TunerConfig};
+/// use aib_storage::Value;
+///
+/// let mut tuner = OnlineTuner::new(TunerConfig { window: 10, threshold: 3, capacity: 5 });
+/// let hot = Value::Int(7);
+/// assert!(tuner.observe(&hot).is_noop());
+/// assert!(tuner.observe(&hot).is_noop());
+/// // Third occurrence within the window crosses the threshold:
+/// let decision = tuner.observe(&hot);
+/// assert_eq!(decision.add, Some(hot.clone()));
+/// assert!(tuner.is_covered(&hot));
+/// ```
+#[derive(Debug)]
+pub struct OnlineTuner {
+    config: TunerConfig,
+    window: VecDeque<Value>,
+    counts: HashMap<Value, usize>,
+    /// Covered values with a recency stamp (larger = more recent).
+    covered: HashMap<Value, u64>,
+    clock: u64,
+}
+
+impl OnlineTuner {
+    /// Creates a tuner with the given parameters.
+    ///
+    /// # Panics
+    /// If `window == 0`, `threshold == 0`, or `capacity == 0`.
+    pub fn new(config: TunerConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.threshold > 0, "threshold must be positive");
+        assert!(config.capacity > 0, "capacity must be positive");
+        OnlineTuner {
+            config,
+            window: VecDeque::with_capacity(config.window),
+            counts: HashMap::new(),
+            covered: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TunerConfig {
+        &self.config
+    }
+
+    /// Whether `value` is currently covered by the tuned partial index.
+    pub fn is_covered(&self, value: &Value) -> bool {
+        self.covered.contains_key(value)
+    }
+
+    /// Currently covered values (unordered).
+    pub fn covered_values(&self) -> impl Iterator<Item = &Value> {
+        self.covered.keys()
+    }
+
+    /// Number of covered values.
+    pub fn covered_len(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Observes one queried value and returns the adaptation decision.
+    /// Covered values are touched for LRU purposes on every query.
+    pub fn observe(&mut self, value: &Value) -> TunerDecision {
+        self.clock += 1;
+        // Slide the monitoring window.
+        self.window.push_back(value.clone());
+        *self.counts.entry(value.clone()).or_insert(0) += 1;
+        if self.window.len() > self.config.window {
+            let old = self.window.pop_front().expect("window non-empty");
+            if let Some(c) = self.counts.get_mut(&old) {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&old);
+                }
+            }
+        }
+        // A hit only refreshes recency.
+        if let Some(stamp) = self.covered.get_mut(value) {
+            *stamp = self.clock;
+            return TunerDecision::default();
+        }
+        // Threshold check.
+        if self.counts.get(value).copied().unwrap_or(0) < self.config.threshold {
+            return TunerDecision::default();
+        }
+        // Index the value; evict LRU values beyond capacity.
+        self.covered.insert(value.clone(), self.clock);
+        let mut evict = Vec::new();
+        while self.covered.len() > self.config.capacity {
+            let victim = self
+                .covered
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(v, _)| v.clone())
+                .expect("over-capacity set is non-empty");
+            self.covered.remove(&victim);
+            evict.push(victim);
+        }
+        TunerDecision {
+            add: Some(value.clone()),
+            evict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn tuner(window: usize, threshold: usize, capacity: usize) -> OnlineTuner {
+        OnlineTuner::new(TunerConfig {
+            window,
+            threshold,
+            capacity,
+        })
+    }
+
+    #[test]
+    fn below_threshold_never_indexes() {
+        let mut t = tuner(20, 6, 15);
+        for i in 0..100 {
+            let d = t.observe(&v(i % 10));
+            assert!(d.is_noop(), "2 occurrences per window stays below θ=6");
+        }
+        assert_eq!(t.covered_len(), 0);
+    }
+
+    #[test]
+    fn threshold_crossing_indexes_value() {
+        let mut t = tuner(20, 6, 15);
+        let mut decision = None;
+        for i in 0..6 {
+            let d = t.observe(&v(7));
+            if d.add.is_some() {
+                decision = Some((i, d));
+            }
+        }
+        let (at, d) = decision.expect("value must be indexed");
+        assert_eq!(at, 5, "indexed exactly on the 6th occurrence");
+        assert_eq!(d.add, Some(v(7)));
+        assert!(d.evict.is_empty());
+        assert!(t.is_covered(&v(7)));
+        // Further hits are no-ops.
+        assert!(t.observe(&v(7)).is_noop());
+    }
+
+    #[test]
+    fn window_expiry_resets_counts() {
+        let mut t = tuner(10, 6, 15);
+        // 5 occurrences, then flood the window with other values.
+        for _ in 0..5 {
+            t.observe(&v(1));
+        }
+        for i in 0..10 {
+            t.observe(&v(100 + i));
+        }
+        // The old occurrences have left the window; one more is not enough.
+        assert!(t.observe(&v(1)).is_noop());
+        assert!(!t.is_covered(&v(1)));
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let mut t = tuner(6, 3, 2);
+        let index_value = |t: &mut OnlineTuner, val: i64| {
+            for _ in 0..3 {
+                t.observe(&v(val));
+            }
+            assert!(t.is_covered(&v(val)), "value {val} indexed");
+        };
+        index_value(&mut t, 1);
+        index_value(&mut t, 2);
+        // Touch 1 so 2 becomes LRU.
+        t.observe(&v(1));
+        // Indexing 3 must evict 2.
+        for _ in 0..2 {
+            t.observe(&v(3));
+        }
+        let d = t.observe(&v(3));
+        assert_eq!(d.add, Some(v(3)));
+        assert_eq!(d.evict, vec![v(2)]);
+        assert!(t.is_covered(&v(1)));
+        assert!(!t.is_covered(&v(2)));
+        assert!(t.is_covered(&v(3)));
+        assert_eq!(t.covered_len(), 2);
+    }
+
+    #[test]
+    fn covered_hit_refreshes_recency_without_decision() {
+        let mut t = tuner(6, 2, 1);
+        t.observe(&v(1));
+        let d = t.observe(&v(1));
+        assert_eq!(d.add, Some(v(1)));
+        // Hits on the covered value keep it resident.
+        for _ in 0..10 {
+            assert!(t.observe(&v(1)).is_noop());
+        }
+        assert!(t.is_covered(&v(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        tuner(0, 1, 1);
+    }
+}

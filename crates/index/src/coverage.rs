@@ -1,0 +1,184 @@
+//! Coverage predicates: which column *values* a partial index covers.
+//!
+//! Paper §II: "Partial indexes cover only a subset of the values of a
+//! column." Two shapes matter for the reproduction:
+//!
+//! * [`Coverage::IntRange`] — the evaluation setup ("the top 10 % of the
+//!   value range are indexed, i.e., values from 1 to 5,000").
+//! * [`Coverage::Set`] — the Fig. 1 online tuner, which indexes individual
+//!   values once they cross the monitoring threshold and evicts them LRU.
+
+use std::collections::BTreeSet;
+
+use aib_storage::Value;
+
+/// A predicate over column values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Coverage {
+    /// Covers nothing (an empty partial index definition).
+    None,
+    /// Covers everything (a conventional full index).
+    All,
+    /// Covers integers in `lo..=hi`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Covers an explicit set of values (the adaptive tuner's shape).
+    Set(BTreeSet<Value>),
+}
+
+impl Coverage {
+    /// An empty mutable set coverage.
+    pub fn empty_set() -> Self {
+        Coverage::Set(BTreeSet::new())
+    }
+
+    /// Whether `value` is covered.
+    pub fn covers(&self, value: &Value) -> bool {
+        match self {
+            Coverage::None => false,
+            Coverage::All => true,
+            Coverage::IntRange { lo, hi } => value.as_int().is_some_and(|v| *lo <= v && v <= *hi),
+            Coverage::Set(set) => set.contains(value),
+        }
+    }
+
+    /// Adds `value` to a [`Coverage::Set`]. Returns `true` if coverage grew.
+    ///
+    /// # Panics
+    /// On non-`Set` coverage — range coverage is redefined wholesale via
+    /// [`Coverage::IntRange`], not value by value.
+    pub fn add_value(&mut self, value: Value) -> bool {
+        match self {
+            Coverage::Set(set) => set.insert(value),
+            other => panic!("add_value on non-set coverage {other:?}"),
+        }
+    }
+
+    /// Removes `value` from a [`Coverage::Set`]. Returns `true` if coverage
+    /// shrank.
+    ///
+    /// # Panics
+    /// On non-`Set` coverage.
+    pub fn remove_value(&mut self, value: &Value) -> bool {
+        match self {
+            Coverage::Set(set) => set.remove(value),
+            other => panic!("remove_value on non-set coverage {other:?}"),
+        }
+    }
+
+    /// Number of covered values, when enumerable.
+    pub fn covered_count(&self) -> Option<usize> {
+        match self {
+            Coverage::None => Some(0),
+            Coverage::All => None,
+            Coverage::IntRange { lo, hi } => {
+                Some(usize::try_from((hi - lo + 1).max(0)).unwrap_or(usize::MAX))
+            }
+            Coverage::Set(set) => Some(set.len()),
+        }
+    }
+
+    /// Fraction of `domain` values covered, for integer domains `1..=domain`.
+    /// Used by workload setup sanity checks and Fig. 3 scenarios.
+    pub fn selectivity(&self, domain: i64) -> f64 {
+        match self {
+            Coverage::None => 0.0,
+            Coverage::All => 1.0,
+            Coverage::IntRange { lo, hi } => {
+                let lo = (*lo).max(1);
+                let hi = (*hi).min(domain);
+                if hi < lo {
+                    0.0
+                } else {
+                    (hi - lo + 1) as f64 / domain as f64
+                }
+            }
+            Coverage::Set(set) => {
+                let n = set
+                    .iter()
+                    .filter(|v| v.as_int().is_some_and(|i| 1 <= i && i <= domain))
+                    .count();
+                n as f64 / domain as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_and_all() {
+        assert!(!Coverage::None.covers(&Value::Int(1)));
+        assert!(Coverage::All.covers(&Value::Int(1)));
+        assert!(Coverage::All.covers(&Value::from("x")));
+        assert_eq!(Coverage::None.covered_count(), Some(0));
+        assert_eq!(Coverage::All.covered_count(), None);
+    }
+
+    #[test]
+    fn int_range_bounds_inclusive() {
+        let c = Coverage::IntRange { lo: 1, hi: 5000 };
+        assert!(c.covers(&Value::Int(1)));
+        assert!(c.covers(&Value::Int(5000)));
+        assert!(!c.covers(&Value::Int(0)));
+        assert!(!c.covers(&Value::Int(5001)));
+        assert!(
+            !c.covers(&Value::from("5")),
+            "non-int never covered by range"
+        );
+        assert_eq!(c.covered_count(), Some(5000));
+    }
+
+    #[test]
+    fn paper_selectivity_is_ten_percent() {
+        let c = Coverage::IntRange { lo: 1, hi: 5000 };
+        let s = c.selectivity(50_000);
+        assert!(
+            (s - 0.1).abs() < 1e-12,
+            "paper: top 10% of the value range, got {s}"
+        );
+    }
+
+    #[test]
+    fn set_mutation() {
+        let mut c = Coverage::empty_set();
+        assert!(!c.covers(&Value::Int(7)));
+        assert!(c.add_value(Value::Int(7)));
+        assert!(!c.add_value(Value::Int(7)));
+        assert!(c.covers(&Value::Int(7)));
+        assert!(c.remove_value(&Value::Int(7)));
+        assert!(!c.remove_value(&Value::Int(7)));
+        assert!(!c.covers(&Value::Int(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-set coverage")]
+    fn add_value_on_range_panics() {
+        Coverage::IntRange { lo: 0, hi: 1 }.add_value(Value::Int(5));
+    }
+
+    #[test]
+    fn selectivity_clamps_to_domain() {
+        let c = Coverage::IntRange { lo: -100, hi: 200 };
+        assert!((c.selectivity(100) - 1.0).abs() < 1e-12);
+        let c = Coverage::IntRange { lo: 90, hi: 200 };
+        assert!((c.selectivity(100) - 0.11).abs() < 1e-12);
+        let c = Coverage::IntRange { lo: 300, hi: 400 };
+        assert_eq!(c.selectivity(100), 0.0);
+    }
+
+    #[test]
+    fn set_selectivity_counts_in_domain_ints() {
+        let mut c = Coverage::empty_set();
+        c.add_value(Value::Int(5));
+        c.add_value(Value::Int(500));
+        c.add_value(Value::from("x"));
+        assert!((c.selectivity(100) - 0.01).abs() < 1e-12);
+    }
+}

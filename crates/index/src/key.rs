@@ -1,0 +1,66 @@
+//! Composite index keys: `(value, rid)`.
+//!
+//! Secondary indexes are not unique — many tuples can share a column value —
+//! so entries are keyed by the pair of value and record id. All rids for a
+//! value then form the contiguous key range
+//! `[EntryKey::min_for(v), EntryKey::max_for(v)]`.
+
+use aib_storage::{Rid, Value};
+
+/// A secondary-index entry key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryKey {
+    /// The indexed column value.
+    pub value: Value,
+    /// The tuple's record id.
+    pub rid: Rid,
+}
+
+impl EntryKey {
+    /// Key for a concrete entry.
+    pub fn new(value: Value, rid: Rid) -> Self {
+        EntryKey { value, rid }
+    }
+
+    /// Smallest possible key for `value` (range scan lower bound).
+    pub fn min_for(value: Value) -> Self {
+        EntryKey {
+            value,
+            rid: Rid::new(0, 0),
+        }
+    }
+
+    /// Largest possible key for `value` (range scan upper bound).
+    pub fn max_for(value: Value) -> Self {
+        EntryKey {
+            value,
+            rid: Rid::new(u32::MAX, u16::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_value_major() {
+        let a = EntryKey::new(Value::Int(1), Rid::new(9, 9));
+        let b = EntryKey::new(Value::Int(2), Rid::new(0, 0));
+        assert!(a < b);
+        let c = EntryKey::new(Value::Int(1), Rid::new(9, 10));
+        assert!(a < c);
+    }
+
+    #[test]
+    fn min_max_bracket_all_rids() {
+        let v = Value::Int(7);
+        let lo = EntryKey::min_for(v.clone());
+        let hi = EntryKey::max_for(v.clone());
+        let k = EntryKey::new(v, Rid::new(123, 45));
+        assert!(lo <= k && k <= hi);
+        // Bounds do not leak into neighbouring values.
+        assert!(hi < EntryKey::min_for(Value::Int(8)));
+        assert!(EntryKey::max_for(Value::Int(6)) < lo);
+    }
+}

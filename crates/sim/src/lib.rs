@@ -1,0 +1,21 @@
+//! Stand-alone simulations for the paper's motivating figures.
+//!
+//! * [`control_loop`] — Fig. 1: the control-loop delay of adaptive partial
+//!   indexing (an online tuner takes ~hundreds of queries to follow a
+//!   workload shift, collapsing the hit rate meanwhile).
+//! * [`clustering`] — Fig. 3: the share of fully indexed pages as the
+//!   correlation between physical and logical order decays — the reason
+//!   partial indexes alone almost never allow page skipping.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clustering;
+pub mod control_loop;
+
+pub use clustering::{
+    paper_scenarios, share_near_correlation, sweep, ClusteringPoint, ClusteringScenario,
+};
+pub use control_loop::{
+    queried_range, run as run_control_loop, ControlLoopConfig, ControlLoopRecord, ControlLoopResult,
+};

@@ -1,0 +1,555 @@
+//! The database buffer: a fixed set of in-memory frames caching disk pages,
+//! with pinning and pluggable replacement.
+//!
+//! The Adaptive Index Buffer "resides within the database buffer" (paper
+//! §III); in this reproduction the Index Buffer Space is accounted in
+//! entries (as the paper's experiments do) while heap pages flow through
+//! this pool, so table-scan I/O behaves like a real system: a scan of a
+//! large table cycles pages through the pool and every unskipped page costs
+//! a disk read once the table exceeds pool capacity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
+
+use crate::disk::{DiskManager, PAGE_SIZE};
+use crate::error::StorageError;
+use crate::replacement::{FrameId, LruPolicy, ReplacementPolicy};
+use crate::rid::PageId;
+use crate::stats::IoStats;
+
+/// Buffer pool construction parameters.
+pub struct BufferPoolConfig {
+    /// Number of page frames.
+    pub frames: usize,
+    /// Replacement policy; defaults to LRU.
+    pub policy: Box<dyn ReplacementPolicy>,
+}
+
+impl BufferPoolConfig {
+    /// A pool with `frames` frames and LRU replacement.
+    pub fn lru(frames: usize) -> Self {
+        BufferPoolConfig {
+            frames,
+            policy: Box::new(LruPolicy::new()),
+        }
+    }
+
+    /// A pool with `frames` frames and the given policy.
+    pub fn with_policy(frames: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        BufferPoolConfig { frames, policy }
+    }
+}
+
+/// Contents of one buffer frame.
+#[derive(Debug)]
+struct FrameCell {
+    page: Option<PageId>,
+    dirty: bool,
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+/// Pool bookkeeping guarded by a single mutex (the frame *contents* are
+/// guarded per-frame, so I/O and page reads proceed without this lock).
+struct PoolState {
+    page_table: HashMap<PageId, FrameId>,
+    pins: Vec<u32>,
+    free: Vec<FrameId>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+/// The buffer pool. Cheaply shareable via [`Arc`]; page guards keep their
+/// frame pinned for their lifetime.
+pub struct BufferPool {
+    frames: Vec<Arc<RwLock<FrameCell>>>,
+    state: Mutex<PoolState>,
+    disk: Mutex<DiskManager>,
+    stats: Arc<IoStats>,
+}
+
+impl BufferPool {
+    /// Builds a pool over `disk`.
+    ///
+    /// # Panics
+    /// If `config.frames == 0`.
+    pub fn new(disk: DiskManager, config: BufferPoolConfig) -> Arc<Self> {
+        assert!(config.frames > 0, "buffer pool needs at least one frame");
+        let stats = disk.stats();
+        let frames = (0..config.frames)
+            .map(|_| {
+                Arc::new(RwLock::new(FrameCell {
+                    page: None,
+                    dirty: false,
+                    data: Box::new([0; PAGE_SIZE]),
+                }))
+            })
+            .collect();
+        Arc::new(BufferPool {
+            frames,
+            state: Mutex::new(PoolState {
+                page_table: HashMap::new(),
+                pins: vec![0; config.frames],
+                free: (0..config.frames).rev().collect(),
+                policy: config.policy,
+            }),
+            disk: Mutex::new(disk),
+            stats,
+        })
+    }
+
+    /// The shared I/O statistics (same sink the disk manager reports to).
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Allocates a brand-new zeroed page and returns it pinned for writing.
+    /// No disk read is charged; the page reaches disk on eviction or flush.
+    pub fn new_page(self: &Arc<Self>) -> Result<(PageId, PageWriteGuard), StorageError> {
+        let pid = self.disk.lock().allocate();
+        let (frame, mut guard) = self.prepare_frame(pid)?;
+        // The claimed frame may hold an evicted dirty page; persist it first.
+        if let (Some(old), true) = (guard.page, guard.dirty) {
+            self.disk.lock().write(old, &guard.data)?;
+        }
+        guard.page = Some(pid);
+        guard.dirty = true;
+        guard.data.fill(0);
+        Ok((
+            pid,
+            PageWriteGuard {
+                pool: Arc::clone(self),
+                frame,
+                guard: Some(guard),
+            },
+        ))
+    }
+
+    /// Fetches `pid` for reading, pinning its frame.
+    pub fn fetch_read(self: &Arc<Self>, pid: PageId) -> Result<PageReadGuard, StorageError> {
+        let (frame, guard) = self.fetch(pid)?;
+        Ok(PageReadGuard {
+            pool: Arc::clone(self),
+            frame,
+            guard: Some(guard),
+        })
+    }
+
+    /// Fetches `pid` for writing, pinning its frame and marking it dirty.
+    pub fn fetch_write(self: &Arc<Self>, pid: PageId) -> Result<PageWriteGuard, StorageError> {
+        let (frame, guard) = self.fetch_mut(pid)?;
+        Ok(PageWriteGuard {
+            pool: Arc::clone(self),
+            frame,
+            guard: Some(guard),
+        })
+    }
+
+    /// Shared fetch: returns the pinned frame id and a read guard on its cell.
+    fn fetch(
+        self: &Arc<Self>,
+        pid: PageId,
+    ) -> Result<(FrameId, ArcRwLockReadGuard<RawRwLock, FrameCell>), StorageError> {
+        if let Some(frame) = self.try_pin_resident(pid) {
+            let guard = RwLock::read_arc(&self.frames[frame]);
+            debug_assert_eq!(guard.page, Some(pid));
+            return Ok((frame, guard));
+        }
+        let (frame, write_guard) = self.load_into_frame(pid)?;
+        Ok((frame, ArcRwLockWriteGuard::downgrade(write_guard)))
+    }
+
+    /// Exclusive fetch: like [`fetch`](Self::fetch) but returns a write guard
+    /// and marks the frame dirty.
+    fn fetch_mut(
+        self: &Arc<Self>,
+        pid: PageId,
+    ) -> Result<(FrameId, ArcRwLockWriteGuard<RawRwLock, FrameCell>), StorageError> {
+        if let Some(frame) = self.try_pin_resident(pid) {
+            let mut guard = RwLock::write_arc(&self.frames[frame]);
+            debug_assert_eq!(guard.page, Some(pid));
+            guard.dirty = true;
+            return Ok((frame, guard));
+        }
+        let (frame, mut guard) = self.load_into_frame(pid)?;
+        guard.dirty = true;
+        Ok((frame, guard))
+    }
+
+    /// If `pid` is resident, pins it and records the access. The caller then
+    /// locks the frame; pinning guarantees the mapping cannot change
+    /// underneath it.
+    fn try_pin_resident(&self, pid: PageId) -> Option<FrameId> {
+        let mut state = self.state.lock();
+        let frame = *state.page_table.get(&pid)?;
+        state.pins[frame] += 1;
+        state.policy.record_access(frame);
+        self.stats.record_hit();
+        Some(frame)
+    }
+
+    /// Miss path: claims a frame for `pid` (possibly evicting), performs the
+    /// write-back and the disk read, and returns the frame write-locked and
+    /// pinned.
+    fn load_into_frame(
+        self: &Arc<Self>,
+        pid: PageId,
+    ) -> Result<(FrameId, ArcRwLockWriteGuard<RawRwLock, FrameCell>), StorageError> {
+        let (frame, mut guard) = self.prepare_frame(pid)?;
+        // Another thread may have raced us and mapped pid first; in that
+        // case prepare_frame pinned the resident frame instead.
+        if guard.page == Some(pid) {
+            return Ok((frame, guard));
+        }
+        // Write back the evicted page, then read ours — both without the
+        // state lock, so other frames stay usable during I/O. Concurrent
+        // fetchers of `pid` block on this frame's lock until we are done.
+        let fill = (|| {
+            if let (Some(old), true) = (guard.page, guard.dirty) {
+                self.disk.lock().write(old, &guard.data)?;
+            }
+            self.disk.lock().read(pid, &mut guard.data)
+        })();
+        match fill {
+            Ok(()) => {
+                guard.page = Some(pid);
+                guard.dirty = false;
+                Ok((frame, guard))
+            }
+            Err(e) => {
+                // Undo the mapping: the frame now holds garbage.
+                let mut state = self.state.lock();
+                state.page_table.remove(&pid);
+                state.pins[frame] -= 1;
+                state.policy.remove(frame);
+                state.free.push(frame);
+                guard.page = None;
+                guard.dirty = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// Claims a frame for `pid` and returns it pinned and write-locked.
+    ///
+    /// On a miss, the frame's write lock is acquired *before* the mapping is
+    /// published (safe because an unpinned frame has no lock holders), so no
+    /// other thread can observe the frame before the caller fills it. If
+    /// `pid` is already resident, the resident frame is pinned and returned —
+    /// callers detect this via `guard.page == Some(pid)`.
+    fn prepare_frame(
+        &self,
+        pid: PageId,
+    ) -> Result<(FrameId, ArcRwLockWriteGuard<RawRwLock, FrameCell>), StorageError> {
+        let mut state = self.state.lock();
+        if let Some(&frame) = state.page_table.get(&pid) {
+            state.pins[frame] += 1;
+            state.policy.record_access(frame);
+            self.stats.record_hit();
+            drop(state);
+            let guard = RwLock::write_arc(&self.frames[frame]);
+            return Ok((frame, guard));
+        }
+        self.stats.record_miss();
+        let frame = match state.free.pop() {
+            Some(f) => f,
+            None => {
+                let PoolState { pins, policy, .. } = &mut *state;
+                policy
+                    .evict(&|f| pins[f] > 0)
+                    .ok_or(StorageError::PoolExhausted)?
+            }
+        };
+        // Unpinned frames have no guard holders, so this cannot block while
+        // we hold the state lock.
+        let guard = RwLock::write_arc(&self.frames[frame]);
+        if let Some(old_pid) = guard.page {
+            state.page_table.remove(&old_pid);
+        }
+        state.page_table.insert(pid, frame);
+        state.pins[frame] += 1;
+        state.policy.record_access(frame);
+        Ok((frame, guard))
+    }
+
+    /// Unpins a frame (guard drop).
+    fn unpin(&self, frame: FrameId) {
+        let mut state = self.state.lock();
+        debug_assert!(state.pins[frame] > 0, "unpin without pin");
+        state.pins[frame] -= 1;
+    }
+
+    /// Writes every dirty resident page back to disk.
+    pub fn flush_all(&self) -> Result<(), StorageError> {
+        for cell in &self.frames {
+            let mut guard = cell.write();
+            if let (Some(pid), true) = (guard.page, guard.dirty) {
+                self.disk.lock().write(pid, &guard.data)?;
+                guard.dirty = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("frames", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Read access to a pinned page. Derefs to the page image.
+pub struct PageReadGuard {
+    pool: Arc<BufferPool>,
+    frame: FrameId,
+    guard: Option<ArcRwLockReadGuard<RawRwLock, FrameCell>>,
+}
+
+impl std::ops::Deref for PageReadGuard {
+    type Target = [u8; PAGE_SIZE];
+    fn deref(&self) -> &Self::Target {
+        &self.guard.as_ref().expect("guard live until drop").data
+    }
+}
+
+impl Drop for PageReadGuard {
+    fn drop(&mut self) {
+        // Release the frame lock before unpinning so a concurrent evictor
+        // that sees pin == 0 can immediately take the write lock.
+        drop(self.guard.take());
+        self.pool.unpin(self.frame);
+    }
+}
+
+impl std::fmt::Debug for PageReadGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageReadGuard")
+            .field("frame", &self.frame)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Write access to a pinned page. Derefs to the page image; the frame is
+/// marked dirty at fetch time.
+pub struct PageWriteGuard {
+    pool: Arc<BufferPool>,
+    frame: FrameId,
+    guard: Option<ArcRwLockWriteGuard<RawRwLock, FrameCell>>,
+}
+
+impl std::ops::Deref for PageWriteGuard {
+    type Target = [u8; PAGE_SIZE];
+    fn deref(&self) -> &Self::Target {
+        &self.guard.as_ref().expect("guard live until drop").data
+    }
+}
+
+impl std::ops::DerefMut for PageWriteGuard {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard.as_mut().expect("guard live until drop").data
+    }
+}
+
+impl Drop for PageWriteGuard {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        self.pool.unpin(self.frame);
+    }
+}
+
+impl std::fmt::Debug for PageWriteGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageWriteGuard")
+            .field("frame", &self.frame)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::CostModel;
+    use crate::replacement::LruKPolicy;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(frames),
+        )
+    }
+
+    #[test]
+    fn new_page_then_read_back() {
+        let pool = pool(4);
+        let (pid, mut w) = pool.new_page().unwrap();
+        w[0] = 42;
+        drop(w);
+        let r = pool.fetch_read(pid).unwrap();
+        assert_eq!(r[0], 42);
+    }
+
+    #[test]
+    fn eviction_persists_dirty_pages() {
+        let pool = pool(2);
+        let mut pids = Vec::new();
+        for i in 0..5u8 {
+            let (pid, mut w) = pool.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        // All five pages round-trip through a two-frame pool.
+        for (i, pid) in pids.iter().enumerate() {
+            let r = pool.fetch_read(*pid).unwrap();
+            assert_eq!(r[0], i as u8, "page {pid} survived eviction");
+        }
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let pool = pool(2);
+        let (p0, g0) = pool.new_page().unwrap();
+        let (_p1, g1) = pool.new_page().unwrap();
+        // Both frames pinned: a third page cannot enter.
+        assert_eq!(pool.new_page().err(), Some(StorageError::PoolExhausted));
+        drop(g1);
+        // Now one frame is free.
+        let (_p2, g2) = pool.new_page().unwrap();
+        drop(g2);
+        drop(g0);
+        let r = pool.fetch_read(p0).unwrap();
+        assert_eq!(r.len(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let pool = pool(2);
+        let (pid, w) = pool.new_page().unwrap();
+        drop(w);
+        let before = pool.stats().snapshot();
+        drop(pool.fetch_read(pid).unwrap()); // hit
+        drop(pool.fetch_read(pid).unwrap()); // hit
+        let after = pool.stats().snapshot().since(&before);
+        assert_eq!(after.buffer_hits, 2);
+        assert_eq!(after.buffer_misses, 0);
+
+        // Evict pid by filling the pool, then fetch -> miss.
+        let (_a, ga) = pool.new_page().unwrap();
+        let (_b, gb) = pool.new_page().unwrap();
+        drop((ga, gb));
+        let before = pool.stats().snapshot();
+        drop(pool.fetch_read(pid).unwrap());
+        let after = pool.stats().snapshot().since(&before);
+        assert_eq!(after.buffer_misses, 1);
+        assert_eq!(after.page_reads, 1);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_pages() {
+        let pool = pool(4);
+        let (pid, mut w) = pool.new_page().unwrap();
+        w[7] = 9;
+        drop(w);
+        let before = pool.stats().snapshot();
+        pool.flush_all().unwrap();
+        let after = pool.stats().snapshot().since(&before);
+        assert_eq!(after.page_writes, 1);
+        // Second flush: nothing dirty.
+        let before = pool.stats().snapshot();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().snapshot().since(&before).page_writes, 0);
+        // Data still correct via a fresh read.
+        let r = pool.fetch_read(pid).unwrap();
+        assert_eq!(r[7], 9);
+    }
+
+    #[test]
+    fn fetch_unknown_page_fails_cleanly() {
+        let pool = pool(1);
+        let err = pool.fetch_read(PageId(99)).unwrap_err();
+        assert_eq!(err, StorageError::UnknownPage(PageId(99)));
+        // The pool is still fully usable afterwards (frame was released).
+        let (pid, w) = pool.new_page().unwrap();
+        drop(w);
+        assert!(pool.fetch_read(pid).is_ok());
+    }
+
+    #[test]
+    fn write_guard_mutations_visible_to_later_readers() {
+        let pool = pool(2);
+        let (pid, w) = pool.new_page().unwrap();
+        drop(w);
+        {
+            let mut w = pool.fetch_write(pid).unwrap();
+            w[100] = 7;
+        }
+        let r = pool.fetch_read(pid).unwrap();
+        assert_eq!(r[100], 7);
+    }
+
+    #[test]
+    fn works_with_lruk_policy() {
+        let disk = DiskManager::new(CostModel::free());
+        let pool = BufferPool::new(
+            disk,
+            BufferPoolConfig::with_policy(2, Box::new(LruKPolicy::new(2))),
+        );
+        let mut pids = Vec::new();
+        for i in 0..4u8 {
+            let (pid, mut w) = pool.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        for (i, pid) in pids.iter().enumerate() {
+            assert_eq!(pool.fetch_read(*pid).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_share_a_frame() {
+        let pool = pool(2);
+        let (pid, w) = pool.new_page().unwrap();
+        drop(w);
+        let r1 = pool.fetch_read(pid).unwrap();
+        let r2 = pool.fetch_read(pid).unwrap();
+        assert_eq!(r1[0], r2[0]);
+    }
+
+    #[test]
+    fn multithreaded_stress() {
+        let pool = pool(8);
+        let mut pids = Vec::new();
+        for i in 0..32u8 {
+            let (pid, mut w) = pool.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            let pids = pids.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50 {
+                    for (i, pid) in pids.iter().enumerate() {
+                        if (i + t + round) % 7 == 0 {
+                            let mut w = pool.fetch_write(*pid).unwrap();
+                            w[0] = i as u8; // rewrite the invariant value
+                        } else {
+                            let r = pool.fetch_read(*pid).unwrap();
+                            assert_eq!(r[0], i as u8);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

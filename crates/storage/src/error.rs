@@ -1,0 +1,47 @@
+//! Error type shared by all storage-layer operations.
+
+use std::fmt;
+
+use crate::rid::{PageId, Rid};
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id that was never allocated by the disk manager.
+    UnknownPage(PageId),
+    /// A record id whose page exists but whose slot is empty or out of range.
+    UnknownRid(Rid),
+    /// The record is too large to ever fit in a page.
+    TupleTooLarge {
+        /// Serialized tuple size in bytes.
+        size: usize,
+        /// Largest payload a fresh page can hold.
+        max: usize,
+    },
+    /// The buffer pool has no evictable frame left (everything is pinned).
+    PoolExhausted,
+    /// A tuple's bytes do not deserialize under the given schema.
+    Corrupt(String),
+    /// A tuple does not conform to the schema it is being stored under.
+    SchemaMismatch(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownPage(p) => write!(f, "unknown page {p:?}"),
+            StorageError::UnknownRid(r) => write!(f, "unknown rid {r:?}"),
+            StorageError::TupleTooLarge { size, max } => {
+                write!(
+                    f,
+                    "tuple of {size} bytes exceeds page capacity of {max} bytes"
+                )
+            }
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

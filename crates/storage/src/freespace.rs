@@ -1,0 +1,94 @@
+//! Free-space map: approximate per-page free bytes, so inserts find a page
+//! without probing every page.
+
+/// Tracks free bytes per heap-page ordinal. Values are advisory — the page
+/// itself is authoritative — so a stale overestimate merely costs one probe.
+#[derive(Debug, Default, Clone)]
+pub struct FreeSpaceMap {
+    free: Vec<u16>,
+}
+
+impl FreeSpaceMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True if no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Registers a new page with `free` bytes, returning its ordinal.
+    pub fn push(&mut self, free: usize) -> u32 {
+        let ord = self.free.len() as u32;
+        self.free.push(free.min(u16::MAX as usize) as u16);
+        ord
+    }
+
+    /// Updates the recorded free bytes of page `ordinal`.
+    pub fn set(&mut self, ordinal: u32, free: usize) {
+        if let Some(slot) = self.free.get_mut(ordinal as usize) {
+            *slot = free.min(u16::MAX as usize) as u16;
+        }
+    }
+
+    /// Recorded free bytes of page `ordinal`.
+    pub fn get(&self, ordinal: u32) -> usize {
+        self.free.get(ordinal as usize).copied().unwrap_or(0) as usize
+    }
+
+    /// Finds a page with at least `needed` recorded free bytes, preferring
+    /// the latest pages (fresh pages live at the tail, and recent pages are
+    /// most likely resident in the buffer pool).
+    pub fn find(&self, needed: usize) -> Option<u32> {
+        self.free
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &f)| f as usize >= needed)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_find() {
+        let mut fsm = FreeSpaceMap::new();
+        assert!(fsm.is_empty());
+        assert_eq!(fsm.find(1), None);
+        let a = fsm.push(100);
+        let b = fsm.push(500);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(fsm.len(), 2);
+        assert_eq!(fsm.find(200), Some(1));
+        assert_eq!(fsm.find(50), Some(1), "prefers the latest page");
+        assert_eq!(fsm.find(501), None);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut fsm = FreeSpaceMap::new();
+        let a = fsm.push(100);
+        fsm.set(a, 10);
+        assert_eq!(fsm.get(a), 10);
+        assert_eq!(fsm.find(50), None);
+        fsm.set(99, 1000); // out of range: ignored
+        assert_eq!(fsm.get(99), 0);
+    }
+
+    #[test]
+    fn clamps_to_u16() {
+        let mut fsm = FreeSpaceMap::new();
+        let a = fsm.push(1_000_000);
+        assert_eq!(fsm.get(a), u16::MAX as usize);
+    }
+}

@@ -1,0 +1,573 @@
+//! Heap files: unordered collections of tuples stored in slotted pages, with
+//! the **page-granular scan interface** the Index Buffer needs.
+//!
+//! Paper Algorithm 1 iterates `for p ∈ R with C[p] > 0` — i.e. the scan must
+//! be able to *skip whole pages*. [`HeapFile::scan_pages`] exposes exactly
+//! that: a skip predicate is consulted per page ordinal before the page is
+//! fetched (and thus before any I/O for it happens).
+//!
+//! Pages are addressed two ways: globally by [`PageId`] (shared buffer pool /
+//! disk) and table-locally by *ordinal* `0..num_pages()`. Counters `C[p]` and
+//! buffer partitions are keyed by ordinal, matching the paper's
+//! "partition covers P pages of the table".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::buffer_pool::BufferPool;
+use crate::error::StorageError;
+use crate::freespace::FreeSpaceMap;
+use crate::page::{PageView, SlottedPage, MAX_TUPLE_BYTES};
+use crate::rid::{PageId, Rid};
+
+struct HeapInner {
+    pages: Vec<PageId>,
+    ordinal_of: HashMap<PageId, u32>,
+    fsm: FreeSpaceMap,
+    live_tuples: u64,
+}
+
+/// A heap file over a shared buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    inner: RwLock<HeapInner>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        HeapFile {
+            pool,
+            inner: RwLock::new(HeapInner {
+                pages: Vec::new(),
+                ordinal_of: HashMap::new(),
+                fsm: FreeSpaceMap::new(),
+                live_tuples: 0,
+            }),
+        }
+    }
+
+    /// The buffer pool this heap reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Number of pages in the heap.
+    pub fn num_pages(&self) -> u32 {
+        self.inner.read().pages.len() as u32
+    }
+
+    /// Number of live tuples.
+    pub fn live_tuples(&self) -> u64 {
+        self.inner.read().live_tuples
+    }
+
+    /// Table-local ordinal of a global page id, if the page belongs to this
+    /// heap.
+    pub fn ordinal_of(&self, page: PageId) -> Option<u32> {
+        self.inner.read().ordinal_of.get(&page).copied()
+    }
+
+    /// Global page id of a table-local ordinal.
+    pub fn page_id_of(&self, ordinal: u32) -> Option<PageId> {
+        self.inner.read().pages.get(ordinal as usize).copied()
+    }
+
+    /// Inserts a tuple, returning its record id.
+    pub fn insert(&self, bytes: &[u8]) -> Result<Rid, StorageError> {
+        if bytes.is_empty() || bytes.len() > MAX_TUPLE_BYTES {
+            return Err(StorageError::TupleTooLarge {
+                size: bytes.len(),
+                max: MAX_TUPLE_BYTES,
+            });
+        }
+        // Probe FSM candidates until one accepts (stale entries are refreshed
+        // along the way); fall back to a fresh page.
+        loop {
+            let candidate = {
+                let inner = self.inner.read();
+                // +4: a new slot entry may be needed.
+                inner
+                    .fsm
+                    .find(bytes.len() + 4)
+                    .map(|ord| (ord, inner.pages[ord as usize]))
+            };
+            match candidate {
+                Some((ord, pid)) => {
+                    let mut guard = self.pool.fetch_write(pid)?;
+                    let mut page = SlottedPage::new(&mut guard[..]);
+                    if let Some(slot) = page.insert(bytes) {
+                        let free = page.free_bytes();
+                        drop(guard);
+                        let mut inner = self.inner.write();
+                        inner.fsm.set(ord, free.saturating_sub(4));
+                        inner.live_tuples += 1;
+                        return Ok(Rid { page: pid, slot });
+                    }
+                    // Stale FSM entry: record the truth and retry.
+                    let free = page.free_bytes();
+                    drop(guard);
+                    self.inner.write().fsm.set(ord, free.saturating_sub(4));
+                }
+                None => {
+                    let (pid, mut guard) = self.pool.new_page()?;
+                    let mut page = SlottedPage::new(&mut guard[..]);
+                    page.init();
+                    let slot = page
+                        .insert(bytes)
+                        .expect("fresh page fits any tuple within MAX_TUPLE_BYTES");
+                    let free = page.free_bytes();
+                    drop(guard);
+                    let mut inner = self.inner.write();
+                    let ord = inner.fsm.push(free.saturating_sub(4));
+                    debug_assert_eq!(ord as usize, inner.pages.len());
+                    inner.pages.push(pid);
+                    inner.ordinal_of.insert(pid, ord);
+                    inner.live_tuples += 1;
+                    return Ok(Rid { page: pid, slot });
+                }
+            }
+        }
+    }
+
+    /// Reads the tuple at `rid`.
+    pub fn get(&self, rid: Rid) -> Result<Vec<u8>, StorageError> {
+        self.check_owned(rid.page)?;
+        let guard = self.pool.fetch_read(rid.page)?;
+        let view = PageView::new(&guard[..]);
+        view.get(rid.slot)
+            .map(<[u8]>::to_vec)
+            .ok_or(StorageError::UnknownRid(rid))
+    }
+
+    /// Deletes the tuple at `rid`.
+    pub fn delete(&self, rid: Rid) -> Result<(), StorageError> {
+        let ord = self.check_owned(rid.page)?;
+        let mut guard = self.pool.fetch_write(rid.page)?;
+        let mut page = SlottedPage::new(&mut guard[..]);
+        if !page.delete(rid.slot) {
+            return Err(StorageError::UnknownRid(rid));
+        }
+        let free = page.free_bytes();
+        drop(guard);
+        let mut inner = self.inner.write();
+        inner.fsm.set(ord, free.saturating_sub(4));
+        inner.live_tuples -= 1;
+        Ok(())
+    }
+
+    /// Updates the tuple at `rid`, returning its (possibly new) record id.
+    /// The tuple moves to another page only when it no longer fits in place —
+    /// exactly the `p_old` / `p_new` distinction of the paper's Table I.
+    pub fn update(&self, rid: Rid, bytes: &[u8]) -> Result<Rid, StorageError> {
+        if bytes.is_empty() || bytes.len() > MAX_TUPLE_BYTES {
+            return Err(StorageError::TupleTooLarge {
+                size: bytes.len(),
+                max: MAX_TUPLE_BYTES,
+            });
+        }
+        let ord = self.check_owned(rid.page)?;
+        let mut guard = self.pool.fetch_write(rid.page)?;
+        let mut page = SlottedPage::new(&mut guard[..]);
+        if page.get(rid.slot).is_none() {
+            return Err(StorageError::UnknownRid(rid));
+        }
+        if page.update(rid.slot, bytes) {
+            let free = page.free_bytes();
+            drop(guard);
+            self.inner.write().fsm.set(ord, free.saturating_sub(4));
+            return Ok(rid);
+        }
+        // Does not fit in place: delete here, insert elsewhere.
+        assert!(page.delete(rid.slot), "slot verified live above");
+        let free = page.free_bytes();
+        drop(guard);
+        {
+            let mut inner = self.inner.write();
+            inner.fsm.set(ord, free.saturating_sub(4));
+            inner.live_tuples -= 1; // insert() re-increments
+        }
+        self.insert(bytes)
+    }
+
+    /// Moves the tuple at `rid` to a *different* page (the page with the
+    /// most recorded free space, excluding its own), returning the new rid.
+    /// Used by vacuum to drain under-utilised pages; unlike
+    /// [`HeapFile::update`], the move is unconditional.
+    pub fn relocate(&self, rid: Rid) -> Result<Rid, StorageError> {
+        let ord = self.check_owned(rid.page)?;
+        let bytes = self.get(rid)?;
+        // Find a target page other than the source with room.
+        let target = {
+            let inner = self.inner.read();
+            (0..inner.pages.len() as u32)
+                .filter(|&o| o != ord)
+                .filter(|&o| inner.fsm.get(o) >= bytes.len() + 4)
+                .max_by_key(|&o| inner.fsm.get(o))
+                .map(|o| (o, inner.pages[o as usize]))
+        };
+        let new_rid = match target {
+            Some((tord, tpid)) => {
+                let mut guard = self.pool.fetch_write(tpid)?;
+                let mut page = SlottedPage::new(&mut guard[..]);
+                match page.insert(&bytes) {
+                    Some(slot) => {
+                        let free = page.free_bytes();
+                        drop(guard);
+                        self.inner.write().fsm.set(tord, free.saturating_sub(4));
+                        Rid { page: tpid, slot }
+                    }
+                    None => {
+                        // Stale FSM: fall back to a fresh insert after
+                        // refreshing the entry.
+                        let free = page.free_bytes();
+                        drop(guard);
+                        self.inner.write().fsm.set(tord, free.saturating_sub(4));
+                        self.insert_into_fresh_page(&bytes)?
+                    }
+                }
+            }
+            None => self.insert_into_fresh_page(&bytes)?,
+        };
+        // Remove the original (after the copy is durable in the pool).
+        let mut guard = self.pool.fetch_write(rid.page)?;
+        let mut page = SlottedPage::new(&mut guard[..]);
+        assert!(page.delete(rid.slot), "source tuple verified above");
+        let free = page.free_bytes();
+        drop(guard);
+        self.inner.write().fsm.set(ord, free.saturating_sub(4));
+        Ok(new_rid)
+    }
+
+    /// Appends a brand-new page holding `bytes` (relocation fallback).
+    fn insert_into_fresh_page(&self, bytes: &[u8]) -> Result<Rid, StorageError> {
+        let (pid, mut guard) = self.pool.new_page()?;
+        let mut page = SlottedPage::new(&mut guard[..]);
+        page.init();
+        let slot = page.insert(bytes).ok_or(StorageError::TupleTooLarge {
+            size: bytes.len(),
+            max: crate::page::MAX_TUPLE_BYTES,
+        })?;
+        let free = page.free_bytes();
+        drop(guard);
+        let mut inner = self.inner.write();
+        let ord = inner.fsm.push(free.saturating_sub(4));
+        debug_assert_eq!(ord as usize, inner.pages.len());
+        inner.pages.push(pid);
+        inner.ordinal_of.insert(pid, ord);
+        Ok(Rid { page: pid, slot })
+    }
+
+    /// Reads all live tuples of the page with table-local `ordinal`.
+    /// Exactly one buffer-pool fetch.
+    pub fn read_page(&self, ordinal: u32) -> Result<Vec<(Rid, Vec<u8>)>, StorageError> {
+        let pid = self
+            .page_id_of(ordinal)
+            .ok_or(StorageError::UnknownPage(PageId(ordinal)))?;
+        let guard = self.pool.fetch_read(pid)?;
+        let view = PageView::new(&guard[..]);
+        Ok(view
+            .iter()
+            .map(|(slot, bytes)| (Rid { page: pid, slot }, bytes.to_vec()))
+            .collect())
+    }
+
+    /// Number of live tuples on the page with table-local `ordinal`.
+    pub fn tuples_on_page(&self, ordinal: u32) -> Result<usize, StorageError> {
+        let pid = self
+            .page_id_of(ordinal)
+            .ok_or(StorageError::UnknownPage(PageId(ordinal)))?;
+        let guard = self.pool.fetch_read(pid)?;
+        Ok(PageView::new(&guard[..]).live_count())
+    }
+
+    /// Scans the heap page by page.
+    ///
+    /// For each page ordinal, `skip` is consulted **before** the page is
+    /// fetched; if it returns true the page costs no I/O — this is the
+    /// page-skipping primitive of paper Algorithm 1 (line 11). For fetched
+    /// pages, `visit` receives every live tuple. Returns
+    /// `(pages_read, pages_skipped)`.
+    pub fn scan_pages(
+        &self,
+        skip: impl FnMut(u32) -> bool,
+        mut visit: impl FnMut(Rid, &[u8]),
+    ) -> Result<(u32, u32), StorageError> {
+        self.scan_page_views(skip, |_, pid, view| {
+            for (slot, bytes) in view.iter() {
+                visit(Rid { page: pid, slot }, bytes);
+            }
+        })
+    }
+
+    /// Page-granular variant of [`HeapFile::scan_pages`]: `visit` receives
+    /// each unskipped page as `(ordinal, page_id, view)` so callers can do
+    /// per-page work (the Index Buffer indexes *whole pages*, Algorithm 1
+    /// lines 15–17). Returns `(pages_read, pages_skipped)`.
+    pub fn scan_page_views(
+        &self,
+        mut skip: impl FnMut(u32) -> bool,
+        mut visit: impl FnMut(u32, PageId, PageView<'_>),
+    ) -> Result<(u32, u32), StorageError> {
+        let n = self.num_pages();
+        let mut read = 0;
+        let mut skipped = 0;
+        for ord in 0..n {
+            if skip(ord) {
+                skipped += 1;
+                continue;
+            }
+            // Page list only grows and ordinals are stable, so the id lookup
+            // cannot fail for ord < n.
+            let pid = self.page_id_of(ord).expect("ordinal < num_pages");
+            let guard = self.pool.fetch_read(pid)?;
+            read += 1;
+            visit(ord, pid, PageView::new(&guard[..]));
+        }
+        Ok((read, skipped))
+    }
+
+    fn check_owned(&self, page: PageId) -> Result<u32, StorageError> {
+        self.ordinal_of(page).ok_or(StorageError::UnknownPage(page))
+    }
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("HeapFile")
+            .field("pages", &inner.pages.len())
+            .field("live_tuples", &inner.live_tuples)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer_pool::BufferPoolConfig;
+    use crate::disk::{CostModel, DiskManager};
+
+    fn heap(frames: usize) -> HeapFile {
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(frames),
+        );
+        HeapFile::new(pool)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap(4);
+        let rid = h.insert(b"hello").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"hello");
+        assert_eq!(h.live_tuples(), 1);
+        assert_eq!(h.num_pages(), 1);
+    }
+
+    #[test]
+    fn inserts_spill_to_new_pages() {
+        let h = heap(4);
+        let tuple = vec![7u8; 1000];
+        for _ in 0..20 {
+            h.insert(&tuple).unwrap();
+        }
+        assert!(h.num_pages() >= 3, "8 KiB pages hold at most 8 such tuples");
+        assert_eq!(h.live_tuples(), 20);
+    }
+
+    #[test]
+    fn delete_then_get_fails() {
+        let h = heap(4);
+        let rid = h.insert(b"x").unwrap();
+        h.delete(rid).unwrap();
+        assert_eq!(h.get(rid), Err(StorageError::UnknownRid(rid)));
+        assert_eq!(h.delete(rid), Err(StorageError::UnknownRid(rid)));
+        assert_eq!(h.live_tuples(), 0);
+    }
+
+    #[test]
+    fn deleted_space_is_reused() {
+        let h = heap(4);
+        let big = vec![1u8; 2000];
+        let mut rids = Vec::new();
+        for _ in 0..12 {
+            rids.push(h.insert(&big).unwrap());
+        }
+        let pages_before = h.num_pages();
+        for rid in &rids {
+            h.delete(*rid).unwrap();
+        }
+        for _ in 0..12 {
+            h.insert(&big).unwrap();
+        }
+        assert_eq!(h.num_pages(), pages_before, "space from deletes was reused");
+    }
+
+    #[test]
+    fn update_in_place_keeps_rid() {
+        let h = heap(4);
+        let rid = h.insert(&[1u8; 500]).unwrap();
+        let rid2 = h.update(rid, &[2u8; 400]).unwrap();
+        assert_eq!(rid, rid2);
+        assert_eq!(h.get(rid).unwrap(), vec![2u8; 400]);
+    }
+
+    #[test]
+    fn update_that_moves_changes_rid() {
+        let h = heap(8);
+        // Fill one page almost completely.
+        let rid = h.insert(&[1u8; 100]).unwrap();
+        while h.num_pages() == 1 {
+            h.insert(&[3u8; 1000]).unwrap();
+        }
+        // Target page is now too full for a 5000-byte version of the tuple.
+        let rid2 = h.update(rid, &[2u8; 5000]).unwrap();
+        assert_ne!(rid.page, rid2.page, "tuple moved to a different page");
+        assert_eq!(h.get(rid2).unwrap(), vec![2u8; 5000]);
+        assert_eq!(h.get(rid), Err(StorageError::UnknownRid(rid)));
+    }
+
+    #[test]
+    fn scan_visits_all_live_tuples() {
+        let h = heap(4);
+        let mut expect = Vec::new();
+        for i in 0..100u8 {
+            let rid = h.insert(&[i; 200]).unwrap();
+            expect.push((rid, i));
+        }
+        h.delete(expect[10].0).unwrap();
+        h.delete(expect[50].0).unwrap();
+        let mut seen = Vec::new();
+        let (read, skipped) = h
+            .scan_pages(|_| false, |rid, bytes| seen.push((rid, bytes[0])))
+            .unwrap();
+        assert_eq!(read, h.num_pages());
+        assert_eq!(skipped, 0);
+        assert_eq!(seen.len(), 98);
+        assert!(!seen.iter().any(|&(rid, _)| rid == expect[10].0));
+    }
+
+    #[test]
+    fn scan_skip_predicate_avoids_io() {
+        let h = heap(2); // tiny pool: every fetched page is a miss
+        for i in 0..100u8 {
+            h.insert(&[i; 500]).unwrap();
+        }
+        let n = h.num_pages();
+        assert!(n > 4);
+        h.pool().flush_all().unwrap();
+
+        // Skip every page: zero reads.
+        let before = h.pool().stats().snapshot();
+        let (read, skipped) = h.scan_pages(|_| true, |_, _| {}).unwrap();
+        assert_eq!((read, skipped), (0, n));
+        let delta = h.pool().stats().snapshot().since(&before);
+        assert_eq!(delta.page_reads, 0, "skipped pages cost no disk I/O");
+
+        // Skip the first half.
+        let (read, skipped) = h.scan_pages(|ord| ord < n / 2, |_, _| {}).unwrap();
+        assert_eq!(read, n - n / 2);
+        assert_eq!(skipped, n / 2);
+    }
+
+    #[test]
+    fn read_page_returns_page_locals() {
+        let h = heap(4);
+        let mut by_page: HashMap<PageId, usize> = HashMap::new();
+        for i in 0..50u8 {
+            let rid = h.insert(&[i; 300]).unwrap();
+            *by_page.entry(rid.page).or_default() += 1;
+        }
+        for ord in 0..h.num_pages() {
+            let pid = h.page_id_of(ord).unwrap();
+            let tuples = h.read_page(ord).unwrap();
+            assert_eq!(tuples.len(), by_page[&pid]);
+            assert!(tuples.iter().all(|(rid, _)| rid.page == pid));
+            assert_eq!(h.tuples_on_page(ord).unwrap(), tuples.len());
+        }
+    }
+
+    #[test]
+    fn ordinal_mapping_is_bijective() {
+        let h = heap(4);
+        for _ in 0..30 {
+            h.insert(&[0u8; 1500]).unwrap();
+        }
+        for ord in 0..h.num_pages() {
+            let pid = h.page_id_of(ord).unwrap();
+            assert_eq!(h.ordinal_of(pid), Some(ord));
+        }
+        assert_eq!(h.page_id_of(h.num_pages()), None);
+        assert_eq!(h.ordinal_of(PageId(9999)), None);
+    }
+
+    #[test]
+    fn relocate_moves_to_another_page() {
+        let h = heap(8);
+        // Two pages: one nearly full, one nearly empty.
+        let mut first_page_rids = Vec::new();
+        while h.num_pages() <= 1 {
+            first_page_rids.push(h.insert(&[1u8; 700]).unwrap());
+        }
+        let victim = *first_page_rids.first().unwrap();
+        // Free space on page 0 by deleting some tuples.
+        for rid in first_page_rids.iter().skip(6) {
+            if h.ordinal_of(rid.page) == Some(0) {
+                h.delete(*rid).unwrap();
+            }
+        }
+        let lone = h.insert(&[2u8; 700]).unwrap(); // lands somewhere with space
+        let before = h.live_tuples();
+        let new_rid = h.relocate(victim).unwrap();
+        assert_ne!(new_rid.page, victim.page, "relocation must change pages");
+        assert_eq!(h.get(new_rid).unwrap(), vec![1u8; 700]);
+        assert_eq!(h.get(victim), Err(StorageError::UnknownRid(victim)));
+        assert_eq!(h.live_tuples(), before, "relocation preserves tuple count");
+        let _ = lone;
+    }
+
+    #[test]
+    fn relocate_falls_back_to_fresh_page() {
+        let h = heap(8);
+        // A single almost-full page: no other page can take the tuple.
+        let rid = h.insert(&[3u8; 4000]).unwrap();
+        h.insert(&[4u8; 4000]).unwrap();
+        let pages_before = h.num_pages();
+        let new_rid = h.relocate(rid).unwrap();
+        assert_ne!(new_rid.page, rid.page);
+        assert_eq!(h.num_pages(), pages_before + 1, "fresh page allocated");
+        assert_eq!(h.get(new_rid).unwrap(), vec![3u8; 4000]);
+    }
+
+    #[test]
+    fn foreign_rids_rejected() {
+        let h = heap(4);
+        let other = heap(4);
+        let foreign = other.insert(b"alien").unwrap();
+        assert!(matches!(h.get(foreign), Err(StorageError::UnknownPage(_))));
+        assert!(matches!(
+            h.delete(foreign),
+            Err(StorageError::UnknownPage(_))
+        ));
+        assert!(matches!(
+            h.update(foreign, b"z"),
+            Err(StorageError::UnknownPage(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let h = heap(4);
+        assert!(matches!(
+            h.insert(&vec![0u8; MAX_TUPLE_BYTES + 1]),
+            Err(StorageError::TupleTooLarge { .. })
+        ));
+        assert!(matches!(
+            h.insert(&[]),
+            Err(StorageError::TupleTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! Storage substrate for the Adaptive Index Buffer reproduction.
+//!
+//! This crate implements everything the paper's prototype got for free from
+//! the H2 Database Engine: a value/tuple model, slotted pages, a simulated
+//! disk manager with I/O accounting, a buffer pool with pluggable page
+//! replacement (LRU, Clock, LRU-K), and heap files that support
+//! page-granular scans — the substrate on which the Index Buffer's
+//! page-skipping logic operates.
+//!
+//! The disk is simulated in memory. All page reads and writes are counted in
+//! [`stats::IoStats`] and charged to a configurable [`disk::CostModel`], so
+//! experiments can report deterministic simulated I/O cost alongside wall
+//! time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer_pool;
+pub mod disk;
+pub mod error;
+pub mod freespace;
+pub mod heap;
+pub mod page;
+pub mod replacement;
+pub mod rid;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use buffer_pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard};
+pub use disk::{CostModel, DiskManager, PAGE_SIZE};
+pub use error::StorageError;
+pub use heap::HeapFile;
+pub use page::SlottedPage;
+pub use rid::{PageId, Rid, SlotId};
+pub use schema::{Column, ColumnType, Schema};
+pub use stats::IoStats;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenient result alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,211 @@
+//! Table schemas: ordered, named, typed columns.
+
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::value::Value;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length string.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `value` inhabits this type (NULL inhabits every nullable column).
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (ColumnType::Int, Value::Int(_)) | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "INTEGER"),
+            ColumnType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+    /// Whether NULL values are admitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Int,
+            nullable: false,
+        }
+    }
+
+    /// A non-nullable string column.
+    pub fn str(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            ty: ColumnType::Str,
+            nullable: false,
+        }
+    }
+
+    /// Makes the column nullable.
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema, panicking on duplicate column names (a catalog-level
+    /// programming error, not a runtime condition).
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// The paper's evaluation schema: three INTEGER key columns `A`, `B`, `C`
+    /// plus a VARCHAR payload column.
+    pub fn paper_eval() -> Self {
+        Schema::new(vec![
+            Column::int("A"),
+            Column::int("B"),
+            Column::int("C"),
+            Column::str("payload"),
+        ])
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in declaration order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Position of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Checks that `values` conforms to this schema.
+    pub fn validate(&self, values: &[Value]) -> Result<(), StorageError> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (col, v) in self.columns.iter().zip(values) {
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "NULL in non-nullable column {:?}",
+                        col.name
+                    )));
+                }
+            } else if !col.ty.admits(v) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "value {v} does not fit column {:?} of type {}",
+                    col.name, col.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_shape() {
+        let s = Schema::paper_eval();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_index("A"), Some(0));
+        assert_eq!(s.column_index("C"), Some(2));
+        assert_eq!(s.column_index("payload"), Some(3));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn validate_accepts_conforming_tuple() {
+        let s = Schema::paper_eval();
+        let t = vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+            Value::from("p"),
+        ];
+        assert!(s.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let s = Schema::paper_eval();
+        assert!(s.validate(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_type() {
+        let s = Schema::paper_eval();
+        let t = vec![
+            Value::from("x"),
+            Value::Int(2),
+            Value::Int(3),
+            Value::from("p"),
+        ];
+        assert!(s.validate(&t).is_err());
+    }
+
+    #[test]
+    fn validate_null_rules() {
+        let s = Schema::new(vec![Column::int("a").nullable(), Column::int("b")]);
+        assert!(s.validate(&[Value::Null, Value::Int(1)]).is_ok());
+        assert!(s.validate(&[Value::Int(1), Value::Null]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![Column::int("a"), Column::str("a")]);
+    }
+
+    #[test]
+    fn column_type_display() {
+        assert_eq!(ColumnType::Int.to_string(), "INTEGER");
+        assert_eq!(ColumnType::Str.to_string(), "VARCHAR");
+    }
+}

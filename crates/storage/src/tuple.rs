@@ -1,0 +1,211 @@
+//! Tuples: rows of [`Value`]s with a compact binary encoding.
+
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row of values. Tuples are schema-agnostic containers; validation against
+/// a [`Schema`] happens at table boundaries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Wraps a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Borrows all values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Borrows the value at column position `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Consumes the tuple, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Size of [`Tuple::to_bytes`] output.
+    pub fn encoded_len(&self) -> usize {
+        2 + self.values.iter().map(Value::encoded_len).sum::<usize>()
+    }
+
+    /// Serializes the tuple: a little-endian u16 arity, then each value.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a tuple previously produced by [`Tuple::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, StorageError> {
+        let arity_bytes: [u8; 2] = buf
+            .get(..2)
+            .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
+            .try_into()
+            .expect("slice of length 2");
+        let arity = u16::from_le_bytes(arity_bytes) as usize;
+        let mut pos = 2;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(Value::decode(buf, &mut pos)?);
+        }
+        if pos != buf.len() {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after tuple",
+                buf.len() - pos
+            )));
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Serializes after validating against `schema`.
+    pub fn to_bytes_checked(&self, schema: &Schema) -> Result<Vec<u8>, StorageError> {
+        schema.validate(&self.values)?;
+        Ok(self.to_bytes())
+    }
+
+    /// Decodes only the value at column position `idx` from serialized tuple
+    /// bytes, skipping earlier columns without materialising them.
+    ///
+    /// This is the table-scan hot path: paper Algorithm 1 evaluates the
+    /// query predicate `q(t)` against a single column, so decoding the
+    /// payload column (a up-to-512-byte string) for every visited tuple
+    /// would dominate the scan cost.
+    pub fn read_column(buf: &[u8], idx: usize) -> Result<Value, StorageError> {
+        let arity_bytes: [u8; 2] = buf
+            .get(..2)
+            .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
+            .try_into()
+            .expect("slice of length 2");
+        let arity = u16::from_le_bytes(arity_bytes) as usize;
+        if idx >= arity {
+            return Err(StorageError::Corrupt(format!(
+                "column {idx} out of range for arity {arity}"
+            )));
+        }
+        let mut pos = 2;
+        for _ in 0..idx {
+            Value::skip(buf, &mut pos)?;
+        }
+        Value::decode(buf, &mut pos)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![Value::Int(7), Value::from("ORD"), Value::Null])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        assert_eq!(bytes.len(), t.encoded_len());
+        assert_eq!(Tuple::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::new(vec![]);
+        assert_eq!(Tuple::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(Tuple::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        assert!(Tuple::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Tuple::from_bytes(&[1]).is_err());
+    }
+
+    #[test]
+    fn checked_serialization_respects_schema() {
+        use crate::schema::{Column, Schema};
+        let schema = Schema::new(vec![Column::int("k"), Column::str("v")]);
+        let good = Tuple::new(vec![Value::Int(1), Value::from("x")]);
+        let bad = Tuple::new(vec![Value::from("x"), Value::Int(1)]);
+        assert!(good.to_bytes_checked(&schema).is_ok());
+        assert!(bad.to_bytes_checked(&schema).is_err());
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(sample().to_string(), "(7, 'ORD', NULL)");
+    }
+
+    #[test]
+    fn read_column_projects_without_full_decode() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        assert_eq!(Tuple::read_column(&bytes, 0).unwrap(), Value::Int(7));
+        assert_eq!(Tuple::read_column(&bytes, 1).unwrap(), Value::from("ORD"));
+        assert_eq!(Tuple::read_column(&bytes, 2).unwrap(), Value::Null);
+        assert!(Tuple::read_column(&bytes, 3).is_err());
+        assert!(Tuple::read_column(&[1], 0).is_err());
+    }
+
+    #[test]
+    fn read_column_rejects_truncation_mid_skip() {
+        let t = Tuple::new(vec![Value::from("long string payload"), Value::Int(1)]);
+        let bytes = t.to_bytes();
+        assert!(Tuple::read_column(&bytes[..5], 1).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(7)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.clone().into_values().len(), 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! The value model: typed cell values with a total order and a compact
+//! byte serialization.
+//!
+//! The paper's evaluation table has `INTEGER` key columns and a
+//! `VARCHAR(512)` payload; [`Value`] covers both plus `NULL`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::StorageError;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-null value.
+    Null,
+    /// 64-bit signed integer (covers the paper's INTEGER columns).
+    Int(i64),
+    /// Variable-length string (covers the paper's VARCHAR payload).
+    Str(String),
+}
+
+impl Value {
+    /// Serialization tag for NULL.
+    const TAG_NULL: u8 = 0;
+    /// Serialization tag for integers.
+    const TAG_INT: u8 = 1;
+    /// Serialization tag for strings.
+    const TAG_STR: u8 = 2;
+
+    /// Returns the integer payload, if this value is an `Int`.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this value is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Number of bytes [`Value::encode`] will append.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+
+    /// Appends the compact binary encoding of the value to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(Self::TAG_NULL),
+            Value::Int(v) => {
+                out.push(Self::TAG_INT);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(Self::TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Advances `pos` past one encoded value without materialising it.
+    pub fn skip(buf: &[u8], pos: &mut usize) -> Result<(), StorageError> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::Corrupt("value tag past end of buffer".into()))?;
+        *pos += 1;
+        match tag {
+            Self::TAG_NULL => Ok(()),
+            Self::TAG_INT => {
+                if buf.len() < *pos + 8 {
+                    return Err(StorageError::Corrupt("truncated int value".into()));
+                }
+                *pos += 8;
+                Ok(())
+            }
+            Self::TAG_STR => {
+                let len_bytes: [u8; 4] = buf
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| StorageError::Corrupt("truncated string length".into()))?
+                    .try_into()
+                    .expect("slice of length 4");
+                *pos += 4;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                if buf.len() < *pos + len {
+                    return Err(StorageError::Corrupt("truncated string payload".into()));
+                }
+                *pos += len;
+                Ok(())
+            }
+            other => Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// Decodes a value from `buf[*pos..]`, advancing `pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value, StorageError> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::Corrupt("value tag past end of buffer".into()))?;
+        *pos += 1;
+        match tag {
+            Self::TAG_NULL => Ok(Value::Null),
+            Self::TAG_INT => {
+                let bytes: [u8; 8] = buf
+                    .get(*pos..*pos + 8)
+                    .ok_or_else(|| StorageError::Corrupt("truncated int value".into()))?
+                    .try_into()
+                    .expect("slice of length 8");
+                *pos += 8;
+                Ok(Value::Int(i64::from_le_bytes(bytes)))
+            }
+            Self::TAG_STR => {
+                let len_bytes: [u8; 4] = buf
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| StorageError::Corrupt("truncated string length".into()))?
+                    .try_into()
+                    .expect("slice of length 4");
+                *pos += 4;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let bytes = buf
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| StorageError::Corrupt("truncated string payload".into()))?;
+                *pos += len;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| StorageError::Corrupt(format!("invalid utf-8 in string: {e}")))?;
+                Ok(Value::Str(s.to_owned()))
+            }
+            other => Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: `Null < Int(_) < Str(_)`; same-variant values compare by
+    /// payload. Cross-type comparisons never happen for well-typed columns
+    /// but must still be total so values can key a B+-tree.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf.len(), v.encoded_len());
+        let mut pos = 0;
+        let out = Value::decode(&buf, &mut pos).expect("decode");
+        assert_eq!(pos, buf.len());
+        out
+    }
+
+    #[test]
+    fn roundtrip_null() {
+        assert_eq!(roundtrip(&Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn roundtrip_int_extremes() {
+        for v in [0, 1, -1, i64::MAX, i64::MIN] {
+            assert_eq!(roundtrip(&Value::Int(v)), Value::Int(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_strings() {
+        for s in ["", "a", "ORD", "Frankfurt Airport", "日本語"] {
+            assert_eq!(roundtrip(&Value::from(s)), Value::from(s));
+        }
+    }
+
+    #[test]
+    fn order_null_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::from(""));
+        assert!(Value::Int(i64::MAX) < Value::from(""));
+    }
+
+    #[test]
+    fn order_within_types() {
+        assert!(Value::Int(3) < Value::Int(4));
+        assert!(Value::from("FRA") < Value::from("ORD"));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        Value::Int(12345).encode(&mut buf);
+        buf.truncate(5);
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let buf = vec![9u8];
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8() {
+        let buf = vec![Value::TAG_STR, 2, 0, 0, 0, 0xff, 0xfe];
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::from("x").to_string(), "'x'");
+    }
+}

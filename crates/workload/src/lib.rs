@@ -1,0 +1,24 @@
+//! Data and query workload generators for the paper's evaluation (§V).
+//!
+//! * [`datagen::TableSpec`] — the evaluation table (500 k tuples, three
+//!   uniform INTEGER columns, VARCHAR payload), with deterministic seeding
+//!   and proportional down-scaling for tests.
+//! * [`distribution::KeyDist`] — uniform / Zipf / hot-set key distributions.
+//! * [`mix::QueryMix`] — weighted multi-phase column mixes (experiments 3/4).
+//! * [`experiments`] — the exact query streams of experiments 1–4.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datagen;
+pub mod distribution;
+pub mod experiments;
+pub mod mix;
+
+pub use datagen::TableSpec;
+pub use distribution::KeyDist;
+pub use experiments::{
+    exp4_ranges, experiment1_queries, experiment3_queries, experiment4_queries, QuerySpec,
+    PAPER_QUERIES, SWITCH_AT,
+};
+pub use mix::{Phase, QueryMix};

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests: the full pipeline from generated data
+//! through partial indexes, the Adaptive Index Buffer, DML, and the
+//! executor, validated against ground truth.
+
+use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
+use adaptive_index_buffer::engine::{AccessPath, Database, EngineConfig, Query};
+use adaptive_index_buffer::index::{Coverage, IndexBackend};
+use adaptive_index_buffer::storage::{CostModel, Tuple, Value};
+use adaptive_index_buffer::workload::{experiment1_queries, experiment3_queries, TableSpec};
+
+fn eval_db(rows: u64, space: SpaceConfig) -> (Database, TableSpec) {
+    let spec = TableSpec::scaled(rows, 77);
+    let mut db = Database::new(EngineConfig {
+        pool_frames: 64,
+        cost_model: CostModel::default(),
+        space,
+        ..Default::default()
+    });
+    db.create_table("eval", spec.schema());
+    for t in spec.tuples() {
+        db.insert("eval", &t).unwrap();
+    }
+    let (lo, hi) = spec.covered_range();
+    for col in ["A", "B", "C"] {
+        db.create_partial_index(
+            "eval",
+            col,
+            Coverage::IntRange { lo, hi },
+            IndexBackend::BTree,
+            Some(BufferConfig {
+                partition_pages: 200,
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+    }
+    (db, spec)
+}
+
+/// Ground truth by decoding every live tuple.
+fn truth(db: &Database, column: &str, value: i64) -> usize {
+    let table = db.table("eval").unwrap();
+    let ci = table.schema().column_index(column).unwrap();
+    table
+        .scan_all()
+        .unwrap()
+        .iter()
+        .filter(|(_, t)| t.get(ci).unwrap().as_int() == Some(value))
+        .count()
+}
+
+#[test]
+fn experiment1_workload_is_correct_and_converges() {
+    let space = SpaceConfig {
+        max_entries: None,
+        i_max: 100,
+        seed: 1,
+    };
+    let (mut db, spec) = eval_db(20_000, space);
+    let queries = experiment1_queries(&spec, 60, 5);
+    let mut last_skipped = 0;
+    for q in &queries {
+        let (r, m) = db
+            .execute(&Query::point("eval", &q.column, q.value))
+            .unwrap();
+        assert_eq!(r.count(), truth(&db, &q.column, q.value), "query {q:?}");
+        assert_eq!(r.path, AccessPath::BufferedScan);
+        let s = m.scan.unwrap();
+        assert!(
+            s.pages_skipped >= last_skipped.min(s.pages_skipped),
+            "skippable pages never regress under unlimited space"
+        );
+        last_skipped = s.pages_skipped;
+    }
+    // Convergence: with I^MAX=100 and ~700 pages, 60 queries suffice.
+    let (_, m) = db.execute(&Query::point("eval", "A", spec.domain)).unwrap();
+    assert_eq!(
+        m.scan.unwrap().pages_read,
+        0,
+        "table fully buffered for column A"
+    );
+    db.space().check_invariants();
+}
+
+#[test]
+fn experiment3_respects_space_bound_and_flips_allocation() {
+    let rows = 20_000u64;
+    let bound = (rows as f64 * 1.6) as usize;
+    let space = SpaceConfig {
+        max_entries: Some(bound),
+        i_max: 200,
+        seed: 2,
+    };
+    let (mut db, spec) = eval_db(rows, space);
+    let queries = experiment3_queries(&spec, 200, 9);
+    let mut entries_at_switch = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let (r, m) = db
+            .execute(&Query::point("eval", &q.column, q.value))
+            .unwrap();
+        assert_eq!(r.count(), truth(&db, &q.column, q.value));
+        // The space bound holds after every scan (scans re-establish it).
+        let total: usize = m.buffer_entries.iter().sum();
+        assert!(total <= bound, "query {i}: {total} > {bound}");
+        if i == 99 {
+            entries_at_switch = m.buffer_entries.clone();
+        }
+    }
+    let final_entries: Vec<usize> = (0..3).map(|b| db.space().buffer(b).num_entries()).collect();
+    assert!(
+        entries_at_switch[0] > entries_at_switch[2],
+        "A dominates C before the switch: {entries_at_switch:?}"
+    );
+    assert!(
+        final_entries[2] > final_entries[0],
+        "C dominates A after the switch: {final_entries:?}"
+    );
+    db.space().check_invariants();
+}
+
+#[test]
+fn dml_between_queries_never_breaks_results() {
+    let space = SpaceConfig {
+        max_entries: None,
+        i_max: 1_000_000,
+        seed: 3,
+    };
+    let (mut db, spec) = eval_db(5_000, space);
+    // Warm the buffer for column A.
+    let probe = spec.domain; // uncovered value
+    db.execute(&Query::point("eval", "A", probe)).unwrap();
+
+    // Insert new matching tuples; they must be visible immediately.
+    let mut my_rids = Vec::new();
+    for i in 0..20 {
+        let t = Tuple::new(vec![
+            Value::Int(probe),
+            Value::Int(1 + i % 50),
+            Value::Int(spec.domain - 1),
+            Value::from("fresh"),
+        ]);
+        my_rids.push(db.insert("eval", &t).unwrap());
+    }
+    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    assert_eq!(r.count(), truth(&db, "A", probe));
+    assert!(my_rids.iter().all(|rid| r.rids.contains(rid)));
+
+    // Delete half of them.
+    for rid in my_rids.iter().take(10) {
+        db.delete("eval", *rid).unwrap();
+    }
+    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    assert_eq!(r.count(), truth(&db, "A", probe));
+
+    // Update the rest to a covered value: they leave the buffer and enter
+    // the partial index.
+    for rid in my_rids.iter().skip(10) {
+        let t = db.fetch("eval", *rid).unwrap();
+        let mut vals = t.into_values();
+        vals[0] = Value::Int(1);
+        db.update("eval", *rid, &Tuple::new(vals)).unwrap();
+    }
+    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    assert_eq!(r.count(), truth(&db, "A", probe));
+    let (r, m) = db.execute(&Query::point("eval", "A", 1i64)).unwrap();
+    assert_eq!(m.path, AccessPath::PartialIndex);
+    assert_eq!(r.count(), truth(&db, "A", 1));
+    db.space().check_invariants();
+}
+
+#[test]
+fn counters_match_ground_truth_after_mixed_workload() {
+    let space = SpaceConfig {
+        max_entries: Some(4_000),
+        i_max: 50,
+        seed: 4,
+    };
+    let (mut db, spec) = eval_db(5_000, space);
+    // Mixed queries warm up all three buffers against the bound.
+    let queries = experiment3_queries(&spec, 80, 13);
+    for q in &queries {
+        db.execute(&Query::point("eval", &q.column, q.value))
+            .unwrap();
+    }
+    // Central invariant (paper §III): for each column and page, C[p] equals
+    // the number of live tuples on the page covered by neither the partial
+    // index nor the Index Buffer.
+    let (clo, chi) = spec.covered_range();
+    let table = db.table("eval").unwrap();
+    for (col_idx, col) in ["A", "B", "C"].iter().enumerate() {
+        let bid = db.buffer_id("eval", col).unwrap();
+        let buffer = db.space().buffer(bid);
+        let counters = db.space().counters(bid);
+        let ci = table.schema().column_index(col).unwrap();
+        for ord in 0..table.num_pages() {
+            let tuples = table.page_tuples(ord).unwrap();
+            let uncovered: Vec<_> = tuples
+                .iter()
+                .filter(|(_, t)| {
+                    let v = t.get(ci).unwrap().as_int().unwrap();
+                    !(clo <= v && v <= chi)
+                })
+                .collect();
+            if buffer.is_buffered(ord) {
+                assert_eq!(counters.get(ord), 0, "col {col} page {ord} buffered");
+                for (rid, t) in &uncovered {
+                    assert!(
+                        buffer.contains(t.get(ci).unwrap(), *rid),
+                        "col {col} page {ord}: buffered page misses entry"
+                    );
+                }
+            } else {
+                assert_eq!(
+                    counters.get(ord) as usize,
+                    uncovered.len(),
+                    "col {col} page {ord} counter (col_idx {col_idx})"
+                );
+            }
+        }
+    }
+    db.space().check_invariants();
+}
+
+#[test]
+fn range_queries_agree_with_ground_truth_across_coverage_boundary() {
+    let space = SpaceConfig {
+        max_entries: None,
+        i_max: 1_000_000,
+        seed: 5,
+    };
+    let (mut db, spec) = eval_db(5_000, space);
+    let (_, chi) = spec.covered_range();
+    let table = db.table("eval").unwrap();
+    let ci = table.schema().column_index("A").unwrap();
+    let all = table.scan_all().unwrap();
+    let truth_range = |lo: i64, hi: i64| {
+        all.iter()
+            .filter(|(_, t)| {
+                let v = t.get(ci).unwrap().as_int().unwrap();
+                lo <= v && v <= hi
+            })
+            .count()
+    };
+    for (lo, hi) in [
+        (1, 40),
+        (chi - 20, chi + 20),
+        (chi + 1, chi + 60),
+        (1, spec.domain),
+    ] {
+        for _ in 0..2 {
+            let (r, _) = db.execute(&Query::range("eval", "A", lo, hi)).unwrap();
+            assert_eq!(r.count(), truth_range(lo, hi), "range [{lo},{hi}]");
+        }
+    }
+}

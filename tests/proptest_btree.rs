@@ -1,0 +1,86 @@
+//! Property tests of the from-scratch B+-tree against
+//! `std::collections::BTreeMap`, with structural invariants checked along
+//! the way.
+
+use adaptive_index_buffer::index::BPlusTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32, u16),
+    Remove(i32),
+    Get(i32),
+    Range(i32, i32),
+}
+
+fn op(key_space: i32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space, any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..key_space).prop_map(Op::Remove),
+        1 => (0..key_space).prop_map(Op::Get),
+        1 => (0..key_space, 0..key_space).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Behavioural equivalence with BTreeMap at a deliberately tiny node
+    /// order, so splits and merges fire constantly.
+    #[test]
+    fn bplustree_matches_btreemap(
+        order in 3usize..9,
+        ops in prop::collection::vec(op(200), 1..400),
+    ) {
+        let mut tree = BPlusTree::with_order(order);
+        let mut model: BTreeMap<i32, u16> = BTreeMap::new();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v), "insert at {}", step);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k), "remove at {}", step);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k), "get at {}", step);
+                }
+                Op::Range(lo, hi) => {
+                    let got: Vec<(i32, u16)> = tree.range(&lo, &hi).map(|(k, v)| (*k, *v)).collect();
+                    let want: Vec<(i32, u16)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want, "range at {}", step);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+        // Final full iteration agrees.
+        let got: Vec<(i32, u16)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(i32, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(tree.first_key(), model.keys().next());
+        prop_assert_eq!(tree.last_key(), model.keys().next_back());
+    }
+
+    /// Bulk insert then bulk remove in arbitrary orders always drains the
+    /// tree, keeping invariants at every step.
+    #[test]
+    fn drain_keeps_invariants(
+        order in 3usize..8,
+        keys in prop::collection::btree_set(0i64..500, 1..200),
+    ) {
+        let keys: Vec<i64> = keys.iter().copied().collect();
+        let mut tree = BPlusTree::with_order(order);
+        for &k in &keys {
+            tree.insert(k, ());
+        }
+        tree.check_invariants();
+        // Remove in reversed order.
+        for &k in keys.iter().rev() {
+            prop_assert_eq!(tree.remove(&k), Some(()));
+            tree.check_invariants();
+        }
+        prop_assert!(tree.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the disk-resident B+-tree against a `BTreeSet` model,
+//! under a deliberately tiny buffer pool so every operation contends for
+//! frames.
+
+use adaptive_index_buffer::index::paged::{PagedBTree, PagedKey};
+use adaptive_index_buffer::storage::{BufferPool, BufferPoolConfig, CostModel, DiskManager};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i16, u8),
+    Remove(i16, u8),
+    Contains(i16, u8),
+    Lookup(i16),
+    Range(i16, i16),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let v = -50i16..50;
+    prop_oneof![
+        5 => (v.clone(), any::<u8>()).prop_map(|(k, s)| Op::Insert(k, s % 4)),
+        2 => (v.clone(), any::<u8>()).prop_map(|(k, s)| Op::Remove(k, s % 4)),
+        1 => (v.clone(), any::<u8>()).prop_map(|(k, s)| Op::Contains(k, s % 4)),
+        1 => v.clone().prop_map(Op::Lookup),
+        1 => (v.clone(), v).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn key(v: i16, s: u8) -> PagedKey {
+    PagedKey {
+        value: v as i64,
+        page: u32::from(s),
+        slot: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn paged_btree_matches_model(ops in prop::collection::vec(op(), 1..300)) {
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(4),
+        );
+        let mut tree = PagedBTree::create(pool).unwrap();
+        let mut model: BTreeSet<PagedKey> = BTreeSet::new();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Insert(v, s) => {
+                    let k = key(v, s);
+                    prop_assert_eq!(tree.insert(k).unwrap(), model.insert(k), "insert {}", step);
+                }
+                Op::Remove(v, s) => {
+                    let k = key(v, s);
+                    prop_assert_eq!(tree.remove(k).unwrap(), model.remove(&k), "remove {}", step);
+                }
+                Op::Contains(v, s) => {
+                    let k = key(v, s);
+                    prop_assert_eq!(tree.contains(k).unwrap(), model.contains(&k), "contains {}", step);
+                }
+                Op::Lookup(v) => {
+                    let got = tree.lookup(v as i64).unwrap();
+                    let want: Vec<_> = model
+                        .iter()
+                        .filter(|k| k.value == v as i64)
+                        .map(|k| k.rid())
+                        .collect();
+                    prop_assert_eq!(got, want, "lookup {}", step);
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree.range(lo as i64, hi as i64).unwrap();
+                    let want: Vec<_> = model
+                        .iter()
+                        .filter(|k| (lo as i64..=hi as i64).contains(&k.value))
+                        .map(|k| k.rid())
+                        .collect();
+                    prop_assert_eq!(got, want, "range {}", step);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        tree.check_invariants();
+    }
+
+    /// Bulk loads big enough to force leaf and internal splits, then checks
+    /// total order and exact membership.
+    #[test]
+    fn paged_btree_bulk_load(seed in 0u64..1000) {
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(16),
+        );
+        let mut tree = PagedBTree::create(pool).unwrap();
+        let mut model = BTreeSet::new();
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..3000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = PagedKey { value: (x % 4000) as i64, page: (x >> 32) as u32 % 8, slot: 0 };
+            prop_assert_eq!(tree.insert(k).unwrap(), model.insert(k));
+        }
+        tree.check_invariants();
+        let mut iterated = Vec::new();
+        tree.for_each(&mut |k| iterated.push(k)).unwrap();
+        let expected: Vec<PagedKey> = model.iter().copied().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+}
