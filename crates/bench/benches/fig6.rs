@@ -74,9 +74,11 @@ fn main() {
     let ix_rec = timed("run index baseline", || {
         let mut rec = WorkloadRecorder::new();
         for q in &queries {
-            ix_db
-                .execute_recorded(&Query::point(TABLE, &q.column, q.value), &mut rec)
-                .unwrap();
+            rec.record(
+                &ix_db
+                    .execute(&Query::point(TABLE, &q.column, q.value))
+                    .unwrap(),
+            );
         }
         rec
     });

@@ -67,9 +67,11 @@ fn main() {
                     .unwrap()
             });
         }
-        let result = db
-            .execute_recorded(&Query::point(TABLE, &q.column, q.value), &mut recorder)
+        let outcome = db
+            .execute(&Query::point(TABLE, &q.column, q.value))
             .unwrap();
+        recorder.record(&outcome);
+        let result = outcome.result;
         if q.column == "A" {
             let phase = usize::from(i >= SWITCH_AT);
             total_a[phase] += 1;

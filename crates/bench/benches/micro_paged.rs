@@ -58,15 +58,20 @@ fn run(db: &mut Database, spec: &TableSpec, label: &str) {
     let (_, chi) = spec.covered_range();
     // 30 hits, then 30 misses (warming the buffer), then 30 warm misses.
     for i in 0..30i64 {
-        db.execute_recorded(&Query::point("eval", "A", 1 + i * 37 % chi), &mut rec)
-            .unwrap();
+        rec.record(
+            &db.execute(&Query::point("eval", "A", 1 + i * 37 % chi))
+                .unwrap(),
+        );
     }
     for i in 0..60i64 {
-        db.execute_recorded(
-            &Query::point("eval", "A", chi + 1 + (i * 911) % (spec.domain - chi)),
-            &mut rec,
-        )
-        .unwrap();
+        rec.record(
+            &db.execute(&Query::point(
+                "eval",
+                "A",
+                chi + 1 + (i * 911) % (spec.domain - chi),
+            ))
+            .unwrap(),
+        );
     }
     let phase = |lo: usize, hi: usize| {
         let r = &rec.records()[lo..hi];

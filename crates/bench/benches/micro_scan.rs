@@ -56,7 +56,10 @@ fn bench_scans(c: &mut Criterion) {
     let mut plain = build(false);
     group.bench_function("plain_scan", |b| {
         b.iter(|| {
-            let (r, _) = plain.execute(&Query::point("t", "k", 4_000i64)).unwrap();
+            let (r, _) = plain
+                .execute(&Query::point("t", "k", 4_000i64))
+                .unwrap()
+                .into_parts();
             black_box(r.count())
         })
     });
@@ -66,7 +69,10 @@ fn bench_scans(c: &mut Criterion) {
     warm.execute(&Query::point("t", "k", 4_000i64)).unwrap();
     group.bench_function("buffered_scan_warm", |b| {
         b.iter(|| {
-            let (r, _) = warm.execute(&Query::point("t", "k", 4_001i64)).unwrap();
+            let (r, _) = warm
+                .execute(&Query::point("t", "k", 4_001i64))
+                .unwrap()
+                .into_parts();
             black_box(r.count())
         })
     });
@@ -74,7 +80,10 @@ fn bench_scans(c: &mut Criterion) {
     // Index hit for reference.
     group.bench_function("partial_index_hit", |b| {
         b.iter(|| {
-            let (r, _) = warm.execute(&Query::point("t", "k", 100i64)).unwrap();
+            let (r, _) = warm
+                .execute(&Query::point("t", "k", 100i64))
+                .unwrap()
+                .into_parts();
             black_box(r.count())
         })
     });
@@ -89,7 +98,10 @@ fn bench_first_indexing_scan(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cold_buffered_scan", |b| {
         b.iter_with_setup(build_cold, |mut db| {
-            let (r, _) = db.execute(&Query::point("t", "k", 4_000i64)).unwrap();
+            let (r, _) = db
+                .execute(&Query::point("t", "k", 4_000i64))
+                .unwrap()
+                .into_parts();
             black_box(r.count())
         })
     });

@@ -80,8 +80,10 @@ pub fn build_eval_db(
 pub fn run_workload(db: &mut Database, queries: &[QuerySpec]) -> WorkloadRecorder {
     let mut recorder = WorkloadRecorder::new();
     for q in queries {
-        db.execute_recorded(&Query::point(TABLE, &q.column, q.value), &mut recorder)
-            .expect("experiment queries execute");
+        recorder.record(
+            &db.execute(&Query::point(TABLE, &q.column, q.value))
+                .expect("experiment queries execute"),
+        );
     }
     recorder
 }

@@ -12,6 +12,9 @@
 //!   page (§III).
 //! * [`scan::indexing_scan`] — Algorithm 1: scan the buffer, skip
 //!   `C[p] == 0` pages, index selected pages as you pass them.
+//! * [`scan::indexing_scan_parallel`] — the same algorithm split into
+//!   parallel read-only discovery over partition-aligned page chunks plus a
+//!   sequential, ordered apply; bit-for-bit sequential-equivalent.
 //! * [`index_buffer::IndexBuffer`] / [`partition::Partition`] — the
 //!   partitioned scratch-pad itself (§IV, Fig. 5); displacement drops whole
 //!   partitions and restores counters exactly.
@@ -74,6 +77,9 @@ pub use counters::PageCounters;
 pub use history::LruKHistory;
 pub use index_buffer::{BufferId, DroppedPartition, IndexBuffer};
 pub use maintenance::{maintain, MaintAction, TupleRef};
-pub use partition::{Partition, PartitionId};
-pub use scan::{indexing_scan, Predicate, ScanStats};
+pub use partition::{page_range_chunks, Partition, PartitionId};
+pub use scan::{
+    apply_staged, indexing_scan, indexing_scan_parallel, planned_scan_threads, scan_chunk,
+    ChunkResult, Predicate, ScanStats, StagedPage, CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
+};
 pub use space::{Displacement, IndexBufferSpace, Selection};

@@ -13,10 +13,36 @@
 //! The scan is instrumented: the per-query series of the paper's Figures 6–9
 //! (runtime, buffer entries, pages skipped) come straight out of
 //! [`ScanStats`].
+//!
+//! # Parallel execution
+//!
+//! [`indexing_scan_parallel`] splits the same algorithm into three phases so
+//! that the table sweep can fan out across threads while the result stays
+//! *sequential-equivalent* — bit-for-bit the same `Q`, buffer contents,
+//! partition composition and `C[p]` counters as [`indexing_scan`]:
+//!
+//! 1. **Select + buffer scan (sequential).** `SelectPagesForBuffer` draws
+//!    from the space's RNG exactly once, and the buffer scan appends its
+//!    matches to `out` first — identical to the sequential path.
+//! 2. **Discover (parallel, read-only).** The page range is cut into
+//!    partition-aligned chunks ([`page_range_chunks`]); workers claim chunks
+//!    in order and run [`scan_chunk`], which only *reads* pages and stages
+//!    would-be buffer entries per page.
+//! 3. **Apply (sequential, ordered).** Chunk results merge in ascending page
+//!    order: matches append to `out` in page order, and staged pages feed
+//!    [`apply_staged`], which inserts into the buffer and zeroes `C[p]` in
+//!    the exact order the sequential scan would have.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
 
 use aib_storage::{HeapFile, Rid, StorageError, Tuple, Value};
 
-use crate::index_buffer::BufferId;
+use crate::counters::PageCounters;
+use crate::index_buffer::{BufferId, IndexBuffer};
+use crate::partition::page_range_chunks;
 use crate::space::IndexBufferSpace;
 
 /// Query predicate over a single column — the paper's `q`.
@@ -75,7 +101,7 @@ pub fn indexing_scan(
     space: &mut IndexBufferSpace,
     buffer_id: BufferId,
     column: usize,
-    covered: &dyn Fn(&Value) -> bool,
+    covered: &(dyn Fn(&Value) -> bool + Sync),
     predicate: &Predicate,
     out: &mut Vec<Rid>,
 ) -> Result<ScanStats, StorageError> {
@@ -95,25 +121,7 @@ pub fn indexing_scan(
     let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
 
     // Lines 8–10: Index Buffer scan.
-    let buffer_rids = match predicate {
-        Predicate::Equals(v) => buffer.scan_point(v),
-        Predicate::Between(lo, hi) => buffer.scan_range(lo, hi).unwrap_or_else(|| {
-            // Hash-backed buffers cannot range-scan; fall back to a full
-            // buffer sweep (still memory-only, no page I/O).
-            let mut rids = Vec::new();
-            for pid in buffer.partition_ids().collect::<Vec<_>>() {
-                if let Some(p) = buffer.partition(pid) {
-                    p.for_each(&mut |v, rid| {
-                        if predicate.matches(v) {
-                            rids.push(rid);
-                        }
-                    });
-                }
-            }
-            rids.sort_unstable();
-            rids
-        }),
-    };
+    let buffer_rids = buffer_scan_rids(buffer, predicate);
     stats.buffer_matches = buffer_rids.len();
     out.extend_from_slice(&buffer_rids);
 
@@ -159,6 +167,270 @@ pub fn indexing_scan(
     }
     stats.pages_read = read;
     stats.pages_skipped = skipped;
+    stats.matches = out.len();
+    Ok(stats)
+}
+
+/// Lines 8–10 of Algorithm 1: scan the Index Buffer itself for matches.
+fn buffer_scan_rids(buffer: &IndexBuffer, predicate: &Predicate) -> Vec<Rid> {
+    match predicate {
+        Predicate::Equals(v) => buffer.scan_point(v),
+        Predicate::Between(lo, hi) => buffer.scan_range(lo, hi).unwrap_or_else(|| {
+            // Hash-backed buffers cannot range-scan; fall back to a full
+            // buffer sweep (still memory-only, no page I/O).
+            let mut rids = Vec::new();
+            for pid in buffer.partition_ids().collect::<Vec<_>>() {
+                if let Some(p) = buffer.partition(pid) {
+                    p.for_each(&mut |v, rid| {
+                        if predicate.matches(v) {
+                            rids.push(rid);
+                        }
+                    });
+                }
+            }
+            rids.sort_unstable();
+            rids
+        }),
+    }
+}
+
+/// Chunks handed to each scan worker per thread — the load-balancing
+/// granularity of [`indexing_scan_parallel`].
+pub const CHUNKS_PER_THREAD: usize = 4;
+
+/// Minimum table pages needed to justify each additional scan worker; below
+/// `threads * MIN_PAGES_PER_THREAD` pages the planned parallelism degrades
+/// toward a plain sequential scan.
+pub const MIN_PAGES_PER_THREAD: u32 = 16;
+
+/// Number of scan workers the executor should actually use for a table of
+/// `num_pages` pages when the caller requested `requested` threads.
+///
+/// Returns 1 (sequential) for single-threaded requests and for tables too
+/// small to amortise worker start-up; otherwise `requested` capped so that
+/// every worker has at least [`MIN_PAGES_PER_THREAD`] pages to chew on.
+pub fn planned_scan_threads(num_pages: u32, requested: usize) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    let cap = (num_pages / MIN_PAGES_PER_THREAD) as usize;
+    requested.min(cap.max(1))
+}
+
+/// Entries one chunk scan discovered on a single page, waiting to be applied
+/// to the Index Buffer in page order.
+#[derive(Debug)]
+pub struct StagedPage {
+    /// Page ordinal the entries came from (the `p` of `C[p]`).
+    pub ordinal: u32,
+    /// Uncovered tuples of that page, in slot order — exactly what
+    /// Algorithm 1 line 16 would insert.
+    pub entries: Vec<(Value, Rid)>,
+}
+
+/// Read-only result of scanning one page-range chunk.
+#[derive(Debug, Default)]
+pub struct ChunkResult {
+    /// Rids matching the predicate, in page-then-slot order.
+    pub matches: Vec<Rid>,
+    /// Pages staged for buffer insertion, in ascending page order.
+    pub staged: Vec<StagedPage>,
+    /// Pages fetched by this chunk.
+    pub pages_read: u32,
+    /// Pages skipped (`C[p] == 0`) by this chunk.
+    pub pages_skipped: u32,
+}
+
+/// Scans one chunk of table pages without touching the buffer or counters.
+///
+/// This is the "discover" half of the split Algorithm 1: it evaluates the
+/// predicate (lines 13–14) and *stages* the tuples line 16 would insert,
+/// leaving all mutation to [`apply_staged`]. `skip` and `to_index` are
+/// snapshots taken before any worker starts, so every chunk sees the same
+/// counter state the sequential scan would.
+pub fn scan_chunk(
+    heap: &HeapFile,
+    range: Range<u32>,
+    skip: &[bool],
+    to_index: &[bool],
+    column: usize,
+    covered: &(dyn Fn(&Value) -> bool + Sync),
+    predicate: &Predicate,
+) -> Result<ChunkResult, StorageError> {
+    let mut result = ChunkResult::default();
+    let mut decode_error: Option<StorageError> = None;
+    let (read, skipped) = heap.scan_page_range_views(
+        range,
+        |ord| skip[ord as usize],
+        |ord, pid, view| {
+            if decode_error.is_some() {
+                return;
+            }
+            let index_this_page = to_index[ord as usize];
+            let mut pending: Vec<(Value, Rid)> = Vec::new();
+            for (slot, bytes) in view.iter() {
+                let value = match Tuple::read_column(bytes, column) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        decode_error = Some(e);
+                        return;
+                    }
+                };
+                let rid = Rid { page: pid, slot };
+                if predicate.matches(&value) {
+                    result.matches.push(rid);
+                }
+                if index_this_page && !covered(&value) {
+                    pending.push((value, rid));
+                }
+            }
+            if index_this_page {
+                result.staged.push(StagedPage {
+                    ordinal: ord,
+                    entries: pending,
+                });
+            }
+        },
+    )?;
+    if let Some(e) = decode_error {
+        return Err(e);
+    }
+    result.pages_read = read;
+    result.pages_skipped = skipped;
+    Ok(result)
+}
+
+/// Applies staged pages to the buffer in ascending page order — the "mutate"
+/// half of the split Algorithm 1 (lines 16–17).
+///
+/// Ascending order reproduces the sequential scan's insertion sequence, so
+/// partition composition (which pages share a partition) and the displacement
+/// victim order downstream are identical to a sequential run.
+pub fn apply_staged(
+    buffer: &mut IndexBuffer,
+    counters: &mut PageCounters,
+    mut staged: Vec<StagedPage>,
+    stats: &mut ScanStats,
+) {
+    staged.sort_by_key(|s| s.ordinal);
+    for page in staged {
+        stats.entries_added += u64::from(buffer.index_page(page.ordinal, page.entries));
+        counters.set_zero(page.ordinal);
+        stats.pages_indexed += 1;
+    }
+}
+
+/// Runs Algorithm 1 with the table sweep fanned out over `threads` workers.
+///
+/// Sequential-equivalent to [`indexing_scan`]: same result rids in the same
+/// order, same buffer contents and partition composition, same final `C[p]`
+/// counters, same [`ScanStats`] — only wall-clock differs. With `threads <=
+/// 1` (or a single chunk) this *is* the sequential scan.
+///
+/// On error (I/O or tuple decode in any chunk) the first failing chunk's
+/// error, in page order, is returned and **no** staged entries are applied:
+/// unlike the sequential path, the buffer and counters are left untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn indexing_scan_parallel(
+    heap: &HeapFile,
+    space: &mut IndexBufferSpace,
+    buffer_id: BufferId,
+    column: usize,
+    covered: &(dyn Fn(&Value) -> bool + Sync),
+    predicate: &Predicate,
+    out: &mut Vec<Rid>,
+    threads: usize,
+) -> Result<ScanStats, StorageError> {
+    if threads <= 1 {
+        return indexing_scan(heap, space, buffer_id, column, covered, predicate, out);
+    }
+    let mut stats = ScanStats::default();
+
+    // Phase 1 (sequential): page selection — the space's single RNG draw per
+    // scan, same as the sequential path — then the buffer scan.
+    let selection = space.select_pages_for_buffer(buffer_id);
+    stats.partitions_dropped = selection.displaced.len();
+    stats.entries_displaced = selection.displaced.iter().map(|d| d.entries_freed).sum();
+    let num_pages = heap.num_pages();
+    let mut to_index = vec![false; num_pages as usize];
+    for &p in &selection.pages {
+        if let Some(slot) = to_index.get_mut(p as usize) {
+            *slot = true;
+        }
+    }
+
+    let partition_pages = space.buffer(buffer_id).config().partition_pages;
+    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
+    let buffer_rids = buffer_scan_rids(buffer, predicate);
+    stats.buffer_matches = buffer_rids.len();
+    out.extend_from_slice(&buffer_rids);
+
+    // Snapshot of the skip bitmap; chunk workers never see mid-scan zeroing.
+    let skip: Vec<bool> = (0..num_pages)
+        .map(|p| counters.is_fully_indexed(p))
+        .collect();
+
+    // Phase 2 (parallel, read-only): workers claim chunks from a shared
+    // cursor and record results per chunk slot.
+    let chunks = page_range_chunks(num_pages, partition_pages, threads * CHUNKS_PER_THREAD);
+    if chunks.len() <= 1 {
+        // Not enough pages to split; finish on this thread.
+        let chunk = scan_chunk(
+            heap,
+            0..num_pages,
+            &skip,
+            &to_index,
+            column,
+            covered,
+            predicate,
+        )?;
+        stats.pages_read = chunk.pages_read;
+        stats.pages_skipped = chunk.pages_skipped;
+        out.extend_from_slice(&chunk.matches);
+        let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
+        apply_staged(buffer, counters, chunk.staged, &mut stats);
+        stats.matches = out.len();
+        return Ok(stats);
+    }
+    let workers = threads.min(chunks.len());
+    let results: Vec<OnceLock<Result<ChunkResult, StorageError>>> =
+        chunks.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    {
+        let (chunks, results, cursor) = (&chunks, &results, &cursor);
+        let (skip, to_index) = (&skip, &to_index);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = chunks.get(i) else { break };
+                    let r = scan_chunk(
+                        heap,
+                        range.clone(),
+                        skip,
+                        to_index,
+                        column,
+                        covered,
+                        predicate,
+                    );
+                    let set = results[i].set(r);
+                    debug_assert!(set.is_ok(), "chunk {i} claimed twice");
+                });
+            }
+        });
+    }
+
+    // Phase 3 (sequential): merge in ascending page order, then apply.
+    let mut staged_all: Vec<StagedPage> = Vec::new();
+    for cell in results {
+        let chunk = cell.into_inner().expect("every chunk was claimed")?;
+        stats.pages_read += chunk.pages_read;
+        stats.pages_skipped += chunk.pages_skipped;
+        out.extend_from_slice(&chunk.matches);
+        staged_all.extend(chunk.staged);
+    }
+    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
+    apply_staged(buffer, counters, staged_all, &mut stats);
     stats.matches = out.len();
     Ok(stats)
 }
@@ -391,6 +663,97 @@ mod tests {
         out.sort_unstable();
         out2.sort_unstable();
         assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn parallel_scan_is_sequential_equivalent() {
+        // Two identical worlds: one scanned sequentially, one in parallel.
+        let (heap_s, mut space_s, id_s) = setup(600, 150);
+        let (heap_p, mut space_p, id_p) = setup(600, 150);
+        let covered = covered_fn(150);
+        let predicates = [
+            Predicate::Equals(Value::Int(400)),
+            Predicate::Between(Value::Int(180), Value::Int(320)),
+            Predicate::Equals(Value::Int(599)),
+        ];
+        for (round, predicate) in predicates.iter().enumerate() {
+            space_s.on_query(Some(id_s), false);
+            space_p.on_query(Some(id_p), false);
+            let mut out_s = Vec::new();
+            let mut out_p = Vec::new();
+            let stats_s = indexing_scan(
+                &heap_s,
+                &mut space_s,
+                id_s,
+                0,
+                &covered,
+                predicate,
+                &mut out_s,
+            )
+            .unwrap();
+            let stats_p = indexing_scan_parallel(
+                &heap_p,
+                &mut space_p,
+                id_p,
+                0,
+                &covered,
+                predicate,
+                &mut out_p,
+                4,
+            )
+            .unwrap();
+            assert_eq!(out_p, out_s, "round {round}: rids in identical order");
+            assert_eq!(stats_p, stats_s, "round {round}: identical ScanStats");
+        }
+        assert_eq!(
+            space_p.buffer(id_p).num_entries(),
+            space_s.buffer(id_s).num_entries()
+        );
+        assert_eq!(
+            space_p.buffer(id_p).num_partitions(),
+            space_s.buffer(id_s).num_partitions(),
+            "partition composition must match a sequential run"
+        );
+        let counters_s: Vec<u32> = (0..heap_s.num_pages())
+            .map(|p| space_s.counters(id_s).get(p))
+            .collect();
+        let counters_p: Vec<u32> = (0..heap_p.num_pages())
+            .map(|p| space_p.counters(id_p).get(p))
+            .collect();
+        assert_eq!(counters_p, counters_s, "identical final C[p] vectors");
+        space_p.check_invariants();
+    }
+
+    #[test]
+    fn parallel_scan_with_one_thread_is_the_sequential_scan() {
+        let (heap, mut space, id) = setup(100, 0);
+        let covered = covered_fn(0);
+        space.on_query(Some(id), false);
+        let mut out = Vec::new();
+        let s = indexing_scan_parallel(
+            &heap,
+            &mut space,
+            id,
+            0,
+            &covered,
+            &Predicate::Equals(Value::Int(7)),
+            &mut out,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.pages_read, heap.num_pages());
+    }
+
+    #[test]
+    fn planned_threads_degrade_on_small_tables() {
+        assert_eq!(planned_scan_threads(10_000, 8), 8);
+        assert_eq!(planned_scan_threads(64, 4), 4);
+        assert_eq!(planned_scan_threads(48, 4), 3);
+        assert_eq!(planned_scan_threads(10, 4), 1);
+        assert_eq!(planned_scan_threads(0, 4), 1);
+        assert_eq!(planned_scan_threads(10_000, 1), 1);
+        assert_eq!(planned_scan_threads(10_000, 0), 1);
     }
 
     #[test]

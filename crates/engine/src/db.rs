@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aib_core::{
-    indexing_scan, maintain, BufferConfig, BufferId, IndexBufferSpace, PageCounters, Predicate,
-    SpaceConfig, TupleRef,
+    indexing_scan, indexing_scan_parallel, maintain, planned_scan_threads, BufferConfig, BufferId,
+    IndexBufferSpace, PageCounters, Predicate, SpaceConfig, TupleRef,
 };
 use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
 use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy, ReplacementPolicy};
@@ -29,8 +29,9 @@ use aib_storage::{
     StorageError, Tuple, Value,
 };
 
+use crate::error::{EngineError, EngineResult};
 use crate::metrics::{QueryMetrics, WorkloadRecorder};
-use crate::query::{AccessPath, Query, QueryResult};
+use crate::query::{AccessPath, ExecOutcome, Query, QueryResult};
 use crate::tuner::{OnlineTuner, TunerConfig};
 
 /// Buffer-pool page-replacement policy selection.
@@ -70,6 +71,11 @@ pub struct EngineConfig {
     pub index_probe_pages: u64,
     /// Partial-index entries per leaf page, for adaptation cost accounting.
     pub index_entries_per_page: u64,
+    /// Worker threads for the indexing scan (1 = always sequential). The
+    /// executor may use fewer for small tables; results are bit-for-bit
+    /// identical at any setting (sequential-equivalence). Defaults to the
+    /// machine's available parallelism.
+    pub scan_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +87,7 @@ impl Default for EngineConfig {
             space: SpaceConfig::default(),
             index_probe_pages: 3,
             index_entries_per_page: 400,
+            scan_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -127,7 +134,7 @@ impl Table {
 
     /// All live tuples with their rids, in page order (test/inspection aid;
     /// costs a full scan).
-    pub fn scan_all(&self) -> Result<Vec<(Rid, Tuple)>, StorageError> {
+    pub fn scan_all(&self) -> EngineResult<Vec<(Rid, Tuple)>> {
         let mut out = Vec::new();
         let mut err = None;
         self.heap.scan_pages(
@@ -138,13 +145,13 @@ impl Table {
             },
         )?;
         match err {
-            Some(e) => Err(e),
+            Some(e) => Err(e.into()),
             None => Ok(out),
         }
     }
 
     /// Live tuples of one page by table-local ordinal (test/inspection aid).
-    pub fn page_tuples(&self, ordinal: u32) -> Result<Vec<(Rid, Tuple)>, StorageError> {
+    pub fn page_tuples(&self, ordinal: u32) -> EngineResult<Vec<(Rid, Tuple)>> {
         self.heap
             .read_page(ordinal)?
             .into_iter()
@@ -185,12 +192,12 @@ impl Table {
 ///                         IndexBackend::BTree, Some(BufferConfig::default())).unwrap();
 ///
 /// // Covered value: partial index hit.
-/// let (r, _) = db.execute(&Query::point("t", "k", 7i64)).unwrap();
+/// let r = db.execute(&Query::on("t", "k").eq(7i64)).unwrap().result;
 /// assert_eq!((r.path, r.count()), (AccessPath::PartialIndex, 1));
 ///
 /// // Uncovered value: indexing scan builds the buffer; the repeat skips.
-/// let (_, m1) = db.execute(&Query::point("t", "k", 70i64)).unwrap();
-/// let (_, m2) = db.execute(&Query::point("t", "k", 71i64)).unwrap();
+/// let m1 = db.execute(&Query::on("t", "k").eq(70i64)).unwrap().metrics;
+/// let m2 = db.execute(&Query::on("t", "k").eq(71i64)).unwrap().metrics;
 /// assert!(m1.scan.unwrap().pages_indexed > 0);
 /// assert_eq!(m2.scan.unwrap().pages_read, 0);
 /// ```
@@ -273,25 +280,25 @@ impl Database {
         self.table_names.get(name).map(|&i| &self.tables[i])
     }
 
-    fn table_index(&self, name: &str) -> Result<usize, StorageError> {
+    fn table_index(&self, name: &str) -> EngineResult<usize> {
         self.table_names
             .get(name)
             .copied()
-            .ok_or_else(|| StorageError::SchemaMismatch(format!("unknown table {name:?}")))
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
-    fn column_index(&self, table: usize, column: &str) -> Result<usize, StorageError> {
+    fn column_index(&self, table: usize, column: &str) -> EngineResult<usize> {
         self.tables[table]
             .schema
             .column_index(column)
-            .ok_or_else(|| StorageError::SchemaMismatch(format!("unknown column {column:?}")))
+            .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))
     }
 
     // ------------------------------------------------------------------ DML
 
     /// Inserts a tuple, maintaining all partial indexes and Index Buffers
     /// (Table I, insert column).
-    pub fn insert(&mut self, table: &str, tuple: &Tuple) -> Result<Rid, StorageError> {
+    pub fn insert(&mut self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
         let ti = self.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
         let rid = self.tables[ti].heap.insert(&bytes)?;
@@ -310,7 +317,7 @@ impl Database {
     }
 
     /// Deletes the tuple at `rid` (Table I, delete row).
-    pub fn delete(&mut self, table: &str, rid: Rid) -> Result<(), StorageError> {
+    pub fn delete(&mut self, table: &str, rid: Rid) -> EngineResult<()> {
         let ti = self.table_index(table)?;
         let bytes = self.tables[ti].heap.get(rid)?;
         let old = Tuple::from_bytes(&bytes)?;
@@ -331,7 +338,7 @@ impl Database {
 
     /// Updates the tuple at `rid`, returning its possibly new record id
     /// (Table I, full matrix — the tuple may change pages).
-    pub fn update(&mut self, table: &str, rid: Rid, tuple: &Tuple) -> Result<Rid, StorageError> {
+    pub fn update(&mut self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
         let ti = self.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
         let old_bytes = self.tables[ti].heap.get(rid)?;
@@ -354,9 +361,9 @@ impl Database {
     }
 
     /// Fetches the tuple at `rid`.
-    pub fn fetch(&self, table: &str, rid: Rid) -> Result<Tuple, StorageError> {
+    pub fn fetch(&self, table: &str, rid: Rid) -> EngineResult<Tuple> {
         let ti = self.table_index(table)?;
-        Tuple::from_bytes(&self.tables[ti].heap.get(rid)?)
+        Ok(Tuple::from_bytes(&self.tables[ti].heap.get(rid)?)?)
     }
 
     // ---------------------------------------------------------------- DDL
@@ -373,7 +380,7 @@ impl Database {
         coverage: Coverage,
         backend: IndexBackend,
         buffer: Option<BufferConfig>,
-    ) -> Result<(), StorageError> {
+    ) -> EngineResult<()> {
         let partial = PartialIndex::new(format!("{table}.{column}"), coverage, backend).with_cost(
             AdaptationCost::charged(
                 Arc::clone(&self.stats),
@@ -395,7 +402,7 @@ impl Database {
         column: &str,
         coverage: Coverage,
         buffer: Option<BufferConfig>,
-    ) -> Result<(), StorageError> {
+    ) -> EngineResult<()> {
         let index = PagedIndex::create(Arc::clone(&self.pool))?;
         let partial =
             PartialIndex::with_index(format!("{table}.{column}"), coverage, Box::new(index));
@@ -409,7 +416,7 @@ impl Database {
         mut partial: PartialIndex,
         buffer: Option<BufferConfig>,
         paged: bool,
-    ) -> Result<(), StorageError> {
+    ) -> EngineResult<()> {
         let ti = self.table_index(table)?;
         let ci = self.column_index(ti, column)?;
         assert!(
@@ -453,12 +460,12 @@ impl Database {
     /// The buffer's slot in the Index Buffer Space stays registered but
     /// empty — buffer ids are stable handles and an empty buffer costs
     /// nothing (its history only ticks).
-    pub fn drop_partial_index(&mut self, table: &str, column: &str) -> Result<(), StorageError> {
+    pub fn drop_partial_index(&mut self, table: &str, column: &str) -> EngineResult<()> {
         let ti = self.table_index(table)?;
         let ci = self.column_index(ti, column)?;
-        let slot = self.tables[ti].indexed_column(ci).ok_or_else(|| {
-            StorageError::SchemaMismatch(format!("column {column:?} is not indexed"))
-        })?;
+        let slot = self.tables[ti]
+            .indexed_column(ci)
+            .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let ic = self.tables[ti].indexed.remove(slot);
         if let Some(bid) = ic.buffer {
             let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
@@ -495,7 +502,7 @@ impl Database {
         table: &str,
         column: &str,
         coverage: Coverage,
-    ) -> Result<(), StorageError> {
+    ) -> EngineResult<()> {
         let ti = self.table_index(table)?;
         let ci = self.column_index(ti, column)?;
         let slot = self.tables[ti]
@@ -546,7 +553,7 @@ impl Database {
     /// Vacuuming improves the physical/logical correlation story of paper
     /// Fig. 3 in reverse: it *concentrates* tuples, raising page occupancy
     /// so page-skipping decisions are about full pages.
-    pub fn vacuum(&mut self, table: &str, min_occupancy: f64) -> Result<(u32, u64), StorageError> {
+    pub fn vacuum(&mut self, table: &str, min_occupancy: f64) -> EngineResult<(u32, u64)> {
         let ti = self.table_index(table)?;
         let pages = self.tables[ti].heap.num_pages();
         if pages == 0 {
@@ -584,8 +591,9 @@ impl Database {
 
     // ------------------------------------------------------------ queries
 
-    /// Executes a query, returning the matching rids and full metrics.
-    pub fn execute(&mut self, query: &Query) -> Result<(QueryResult, QueryMetrics), StorageError> {
+    /// Executes a query, returning the result set together with its full
+    /// metrics as one [`ExecOutcome`].
+    pub fn execute(&mut self, query: &Query) -> EngineResult<ExecOutcome> {
         let seq = self.queries_executed;
         self.queries_executed += 1;
         let before = self.stats.snapshot();
@@ -595,8 +603,8 @@ impl Database {
         let ci = self.column_index(ti, &query.column)?;
         let slot = self.tables[ti].indexed_column(ci);
 
-        let (result, scan_stats) = match slot {
-            None => (self.plain_scan(ti, ci, &query.predicate)?, None),
+        let (result, scan_stats, scan_threads) = match slot {
+            None => (self.plain_scan(ti, ci, &query.predicate)?, None, 1),
             Some(slot) => {
                 let hit = {
                     let ic = &self.tables[ti].indexed[slot];
@@ -611,12 +619,12 @@ impl Database {
                 // Table II: every query adjusts every buffer's history.
                 self.space.on_query(buffer, hit);
                 if hit {
-                    (self.index_hit(ti, slot, &query.predicate)?, None)
+                    (self.index_hit(ti, slot, &query.predicate)?, None, 1)
                 } else if buffer.is_some() {
-                    let (r, s) = self.buffered_scan(ti, slot, ci, &query.predicate)?;
-                    (r, Some(s))
+                    let (r, s, threads) = self.buffered_scan(ti, slot, ci, &query.predicate)?;
+                    (r, Some(s), threads)
                 } else {
-                    (self.plain_scan(ti, ci, &query.predicate)?, None)
+                    (self.plain_scan(ti, ci, &query.predicate)?, None, 1)
                 }
             }
         };
@@ -640,20 +648,25 @@ impl Database {
             io,
             wall,
             scan: scan_stats,
+            scan_threads,
             buffer_entries,
         };
-        Ok((result, metrics))
+        Ok(ExecOutcome { result, metrics })
     }
 
     /// Executes a query and appends its metrics to `recorder`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `execute` and `WorkloadRecorder::record` on the outcome"
+    )]
     pub fn execute_recorded(
         &mut self,
         query: &Query,
         recorder: &mut WorkloadRecorder,
-    ) -> Result<QueryResult, StorageError> {
-        let (result, metrics) = self.execute(query)?;
-        recorder.push(metrics);
-        Ok(result)
+    ) -> EngineResult<QueryResult> {
+        let outcome = self.execute(query)?;
+        recorder.record(&outcome);
+        Ok(outcome.result)
     }
 
     /// Index-hit path: probe the partial index, fetch matching tuples.
@@ -691,29 +704,48 @@ impl Database {
         })
     }
 
-    /// Miss path with an Index Buffer: paper Algorithm 1.
+    /// Miss path with an Index Buffer: paper Algorithm 1, executed with the
+    /// configured scan parallelism. Returns the result, the scan stats and
+    /// the worker count actually used.
     fn buffered_scan(
         &mut self,
         ti: usize,
         slot: usize,
         ci: usize,
         predicate: &Predicate,
-    ) -> Result<(QueryResult, aib_core::ScanStats), StorageError> {
+    ) -> Result<(QueryResult, aib_core::ScanStats, usize), StorageError> {
         let t = &self.tables[ti];
         let ic = &t.indexed[slot];
         let bid = ic.buffer.expect("buffered_scan requires a buffer");
         let partial = &ic.partial;
-        let covered = |v: &Value| partial.covers(v);
+        // The coverage test is the only piece of the partial index the scan
+        // workers need, and unlike the index itself it is `Sync`.
+        let coverage = partial.coverage();
+        let covered = |v: &Value| coverage.covers(v);
+        let threads = planned_scan_threads(t.heap.num_pages(), self.config.scan_threads);
         let mut rids = Vec::new();
-        let stats = indexing_scan(
-            &t.heap,
-            &mut self.space,
-            bid,
-            ci,
-            &covered,
-            predicate,
-            &mut rids,
-        )?;
+        let stats = if threads > 1 {
+            indexing_scan_parallel(
+                &t.heap,
+                &mut self.space,
+                bid,
+                ci,
+                &covered,
+                predicate,
+                &mut rids,
+                threads,
+            )?
+        } else {
+            indexing_scan(
+                &t.heap,
+                &mut self.space,
+                bid,
+                ci,
+                &covered,
+                predicate,
+                &mut rids,
+            )?
+        };
         if let Predicate::Between(lo, hi) = predicate {
             // A straddling range also matches *covered* tuples, which live
             // in pages the scan may have skipped — answer that fraction from
@@ -734,6 +766,7 @@ impl Database {
                 path: AccessPath::BufferedScan,
             },
             stats,
+            threads,
         ))
     }
 
@@ -829,7 +862,7 @@ impl Database {
     /// cardinality when the partial index can answer it (§VI contrast: the
     /// Index Buffer's own bookkeeping makes this free, unlike what-if
     /// optimizer calls).
-    pub fn explain(&self, query: &Query) -> Result<crate::explain::Explanation, StorageError> {
+    pub fn explain(&self, query: &Query) -> EngineResult<crate::explain::Explanation> {
         let ti = self.table_index(&query.table)?;
         let ci = self.column_index(ti, &query.column)?;
         let table_pages = self.tables[ti].heap.num_pages();
@@ -842,6 +875,7 @@ impl Database {
                 table_pages,
                 None,
                 0,
+                1,
             ));
         };
         let ic = &self.tables[ti].indexed[slot];
@@ -865,6 +899,7 @@ impl Database {
                 0,
                 cardinality,
                 ic.buffer.map_or(0, |b| self.space.buffer(b).num_entries()),
+                1,
             ));
         }
         match ic.buffer {
@@ -881,6 +916,7 @@ impl Database {
                     to_read,
                     None,
                     self.space.buffer(bid).num_entries(),
+                    planned_scan_threads(table_pages, self.config.scan_threads),
                 ))
             }
             None => Ok(crate::explain::explanation(
@@ -891,6 +927,7 @@ impl Database {
                 table_pages,
                 None,
                 0,
+                1,
             )),
         }
     }

@@ -1,0 +1,87 @@
+//! Engine-level error type.
+//!
+//! Storage failures (I/O, corruption, pool exhaustion) stay
+//! [`StorageError`]s, but the engine adds failure modes of its own — names
+//! that don't resolve, indexes that don't exist. [`EngineError`] is the
+//! single error type every public [`Database`](crate::db::Database) method
+//! returns, so callers can match catalog mistakes without digging through
+//! stringly-typed storage errors.
+
+use std::fmt;
+
+use aib_storage::StorageError;
+
+/// Errors produced by the engine's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A storage-layer failure bubbled up unchanged.
+    Storage(StorageError),
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// The named column does not exist in the table's schema.
+    UnknownColumn(String),
+    /// The table/column pair has no partial index to operate on.
+    NoSuchIndex(String),
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            EngineError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            EngineError::NoSuchIndex(name) => write!(f, "no partial index on {name}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Shorthand for engine results.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Former name of [`EngineError`], kept for one release.
+#[deprecated(since = "0.2.0", note = "renamed to EngineError")]
+pub type DbError = EngineError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert_and_chain() {
+        let e: EngineError = StorageError::PoolExhausted.into();
+        assert_eq!(e, EngineError::Storage(StorageError::PoolExhausted));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("buffer pool exhausted"));
+    }
+
+    #[test]
+    fn catalog_errors_display_their_name() {
+        assert_eq!(
+            EngineError::UnknownTable("t".into()).to_string(),
+            "unknown table \"t\""
+        );
+        assert_eq!(
+            EngineError::UnknownColumn("k".into()).to_string(),
+            "unknown column \"k\""
+        );
+        assert!(EngineError::NoSuchIndex("t.k".into())
+            .to_string()
+            .contains("t.k"));
+        assert!(std::error::Error::source(&EngineError::UnknownTable("t".into())).is_none());
+    }
+}

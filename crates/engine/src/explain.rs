@@ -33,6 +33,9 @@ pub struct Explanation {
     pub known_cardinality: Option<usize>,
     /// Buffer entries currently held for this column.
     pub buffer_entries: usize,
+    /// Worker threads the executor would run the indexing scan with (1 for
+    /// index hits and plain scans).
+    pub scan_threads: usize,
 }
 
 impl Explanation {
@@ -52,13 +55,19 @@ impl Explanation {
                 self.known_cardinality
                     .map_or(String::new(), |n| format!(" ({n} rows)"))
             ),
-            AccessPath::BufferedScan => format!(
-                "indexing scan: {} of {} pages to read ({:.0}% skippable), buffer holds {} entries",
-                self.pages_to_read,
-                self.table_pages,
-                100.0 * self.skip_ratio(),
-                self.buffer_entries
-            ),
+            AccessPath::BufferedScan => {
+                let mut s = format!(
+                    "indexing scan: {} of {} pages to read ({:.0}% skippable), buffer holds {} entries",
+                    self.pages_to_read,
+                    self.table_pages,
+                    100.0 * self.skip_ratio(),
+                    self.buffer_entries
+                );
+                if self.scan_threads > 1 {
+                    s.push_str(&format!(", {} scan threads", self.scan_threads));
+                }
+                s
+            }
             AccessPath::PlainScan => {
                 format!("full table scan: {} pages", self.table_pages)
             }
@@ -68,6 +77,7 @@ impl Explanation {
 
 /// Used by [`crate::db::Database::explain`]; kept separate so the type can
 /// be constructed in tests.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn explanation(
     path: AccessPath,
     has_partial_index: bool,
@@ -76,6 +86,7 @@ pub(crate) fn explanation(
     pages_to_read: u32,
     known_cardinality: Option<usize>,
     buffer_entries: usize,
+    scan_threads: usize,
 ) -> Explanation {
     Explanation {
         path,
@@ -86,6 +97,7 @@ pub(crate) fn explanation(
         pages_skippable: table_pages - pages_to_read,
         known_cardinality,
         buffer_entries,
+        scan_threads,
     }
 }
 
@@ -101,23 +113,27 @@ mod tests {
 
     #[test]
     fn summaries_are_informative() {
-        let hit = explanation(AccessPath::PartialIndex, true, true, 100, 0, Some(7), 0);
+        let hit = explanation(AccessPath::PartialIndex, true, true, 100, 0, Some(7), 0, 1);
         assert_eq!(hit.summary(), "partial index hit (7 rows)");
         assert_eq!(hit.skip_ratio(), 1.0);
 
-        let scan = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900);
+        let scan = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900, 1);
         assert_eq!(scan.pages_skippable, 75);
         assert!(scan.summary().contains("25 of 100 pages"));
         assert!(scan.summary().contains("75% skippable"));
+        assert!(!scan.summary().contains("scan threads"));
 
-        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0);
+        let par = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900, 4);
+        assert!(par.summary().contains("4 scan threads"));
+
+        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0, 1);
         assert_eq!(plain.summary(), "full table scan: 40 pages");
         assert_eq!(plain.skip_ratio(), 0.0);
     }
 
     #[test]
     fn empty_table_skip_ratio_is_zero() {
-        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0);
+        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0, 1);
         assert_eq!(e.skip_ratio(), 0.0);
     }
 }

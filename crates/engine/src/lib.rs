@@ -14,15 +14,19 @@
 #![forbid(unsafe_code)]
 
 pub mod db;
+pub mod error;
 pub mod explain;
 pub mod metrics;
 pub mod query;
 pub mod tuner;
 
 pub use db::{Database, EngineConfig, PoolPolicy, Table};
+#[allow(deprecated)]
+pub use error::DbError;
+pub use error::{EngineError, EngineResult};
 pub use explain::Explanation;
 pub use metrics::{QueryMetrics, WorkloadRecorder};
-pub use query::{AccessPath, Query, QueryResult};
+pub use query::{AccessPath, ExecOutcome, Query, QueryBuilder, QueryResult};
 pub use tuner::{OnlineTuner, TunerConfig, TunerDecision};
 
 #[cfg(test)]
@@ -71,7 +75,10 @@ mod tests {
     #[test]
     fn covered_query_hits_partial_index() {
         let mut db = setup(500, 100);
-        let (r, m) = db.execute(&Query::point("t", "k", 42i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 42i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 1);
         assert!(m.io.page_reads >= 3, "probe cost charged");
@@ -81,7 +88,10 @@ mod tests {
     #[test]
     fn uncovered_query_takes_buffered_scan_then_buffer() {
         let mut db = setup(500, 100);
-        let (r1, m1) = db.execute(&Query::point("t", "k", 400i64)).unwrap();
+        let (r1, m1) = db
+            .execute(&Query::point("t", "k", 400i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r1.path, AccessPath::BufferedScan);
         assert_eq!(r1.count(), 1);
         let s1 = m1.scan.unwrap();
@@ -92,7 +102,10 @@ mod tests {
         assert!(s1.pages_read > 0);
         assert_eq!(s1.entries_added, 400, "uncovered tuples buffered");
 
-        let (r2, m2) = db.execute(&Query::point("t", "k", 450i64)).unwrap();
+        let (r2, m2) = db
+            .execute(&Query::point("t", "k", 450i64))
+            .unwrap()
+            .into_parts();
         let s2 = m2.scan.unwrap();
         assert_eq!(s2.pages_read, 0, "fully buffered table: all pages skipped");
         assert_eq!(r2.count(), 1);
@@ -108,8 +121,8 @@ mod tests {
                 .unwrap();
         }
         let q = Query::point("t", "k", 200i64);
-        let (r1, _) = db.execute(&q).unwrap();
-        let (r2, _) = db.execute(&q).unwrap();
+        let (r1, _) = db.execute(&q).unwrap().into_parts();
+        let (r2, _) = db.execute(&q).unwrap().into_parts();
         let mut a = r1.rids.clone();
         let mut b = r2.rids.clone();
         a.sort_unstable();
@@ -127,12 +140,18 @@ mod tests {
         let rid = db
             .insert("t", &Tuple::new(vec![Value::Int(199), Value::from("x")]))
             .unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 199i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 199i64))
+            .unwrap()
+            .into_parts();
         assert!(r.rids.contains(&rid));
         assert_eq!(r.count(), 2);
         // Delete it; it must disappear.
         db.delete("t", rid).unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 199i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 199i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 1);
         // Update a tuple's key from uncovered to covered.
         let victim = r.rids[0];
@@ -142,9 +161,15 @@ mod tests {
             &Tuple::new(vec![Value::Int(10), Value::from("y")]),
         )
         .unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 199i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 199i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 0);
-        let (r, m) = db.execute(&Query::point("t", "k", 10i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 10i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 2, "original k=10 plus the update");
     }
@@ -153,15 +178,24 @@ mod tests {
     fn range_queries_work_on_both_paths() {
         let mut db = setup(300, 100);
         // Fully covered range: index hit.
-        let (r, _) = db.execute(&Query::range("t", "k", 10i64, 20i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::range("t", "k", 10i64, 20i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 11);
         // Straddling range: miss -> buffered scan.
-        let (r, _) = db.execute(&Query::range("t", "k", 90i64, 110i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::range("t", "k", 90i64, 110i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::BufferedScan);
         assert_eq!(r.count(), 21);
         // Repeat: buffer + partial must still produce all 21.
-        let (r, m) = db.execute(&Query::range("t", "k", 90i64, 110i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::range("t", "k", 90i64, 110i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 21);
         assert_eq!(m.scan.unwrap().pages_read, 0);
     }
@@ -173,7 +207,10 @@ mod tests {
         for i in 0..50 {
             db.insert("t", &Tuple::new(vec![Value::Int(i)])).unwrap();
         }
-        let (r, m) = db.execute(&Query::point("t", "k", 7i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 7i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::PlainScan);
         assert_eq!(r.count(), 1);
         assert!(m.scan.is_none());
@@ -210,15 +247,24 @@ mod tests {
 
         // Hammer value 7: after 3 queries it must be indexed.
         for _ in 0..3 {
-            let (r, _) = db.execute(&Query::point("t", "k", 7i64)).unwrap();
+            let (r, _) = db
+                .execute(&Query::point("t", "k", 7i64))
+                .unwrap()
+                .into_parts();
             assert_eq!(r.count(), 10);
         }
-        let (r, m) = db.execute(&Query::point("t", "k", 7i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 7i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::PartialIndex, "tuner adapted the index");
         assert_eq!(r.count(), 10);
         assert_eq!(db.partial_index_len("t", "k"), Some(10));
         // Results stay correct after adaptation (buffer/counters adjusted).
-        let (r, _) = db.execute(&Query::point("t", "k", 8i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 8i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 10);
         db.space().check_invariants();
     }
@@ -233,10 +279,16 @@ mod tests {
         db.redefine_coverage("t", "k", Coverage::IntRange { lo: 200, hi: 299 })
             .unwrap();
         assert_eq!(db.space().buffer(0).num_entries(), 0, "buffer invalidated");
-        let (r, m) = db.execute(&Query::point("t", "k", 250i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 250i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 1);
-        let (r, m) = db.execute(&Query::point("t", "k", 50i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::BufferedScan);
         assert_eq!(r.count(), 1);
         let _ = m;
@@ -248,8 +300,7 @@ mod tests {
         let mut db = setup(400, 100);
         let mut recorder = WorkloadRecorder::new();
         for i in 0..5 {
-            db.execute_recorded(&Query::point("t", "k", 300 + i), &mut recorder)
-                .unwrap();
+            recorder.record(&db.execute(&Query::point("t", "k", 300 + i)).unwrap());
         }
         let records = recorder.records();
         // Page fetches shrink to zero as the buffer completes the table
@@ -285,12 +336,21 @@ mod tests {
             }),
         )
         .unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 25i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 25i64))
+            .unwrap()
+            .into_parts();
         assert_eq!((r.path, r.count()), (AccessPath::PartialIndex, 1));
-        let (r, _) = db.execute(&Query::point("t", "k", 75i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 75i64))
+            .unwrap()
+            .into_parts();
         assert_eq!((r.path, r.count()), (AccessPath::BufferedScan, 1));
         // Ranges on a hash partial index are never hits.
-        let (r, _) = db.execute(&Query::range("t", "k", 10i64, 20i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::range("t", "k", 10i64, 20i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::BufferedScan);
         assert_eq!(r.count(), 11);
     }
@@ -302,7 +362,10 @@ mod tests {
         assert!(db.space().buffer(0).num_entries() > 0);
         db.drop_partial_index("t", "k").unwrap();
         assert_eq!(db.space().buffer(0).num_entries(), 0, "buffer emptied");
-        let (r, m) = db.execute(&Query::point("t", "k", 10i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 10i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::PlainScan);
         assert_eq!(r.count(), 1);
         assert!(
@@ -318,7 +381,10 @@ mod tests {
             Some(BufferConfig::default()),
         )
         .unwrap();
-        let (r, m) = db.execute(&Query::point("t", "k", 10i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 10i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 1);
     }
@@ -348,9 +414,15 @@ mod tests {
                 Some(BufferConfig::default()),
             )
             .unwrap();
-            let (r, _) = db.execute(&Query::point("t", "k", 400i64)).unwrap();
+            let (r, _) = db
+                .execute(&Query::point("t", "k", 400i64))
+                .unwrap()
+                .into_parts();
             assert_eq!(r.count(), 1, "{policy:?}");
-            let (r, _) = db.execute(&Query::point("t", "k", 42i64)).unwrap();
+            let (r, _) = db
+                .execute(&Query::point("t", "k", 42i64))
+                .unwrap()
+                .into_parts();
             assert_eq!(r.count(), 1, "{policy:?}");
         }
     }
@@ -364,14 +436,14 @@ mod tests {
         assert_eq!(e.path, AccessPath::PartialIndex);
         assert_eq!(e.known_cardinality, Some(1));
         assert!(e.summary().contains("partial index hit"));
-        let (r, _) = db.execute(&q).unwrap();
+        let (r, _) = db.execute(&q).unwrap().into_parts();
         assert_eq!(r.path, e.path);
 
         // Uncovered point, cold buffer: explain forecasts the page reads.
         let q = Query::point("t", "k", 300i64);
         let e = db.explain(&q).unwrap();
         assert_eq!(e.path, AccessPath::BufferedScan);
-        let (_, m) = db.execute(&q).unwrap();
+        let (_, m) = db.execute(&q).unwrap().into_parts();
         assert_eq!(m.scan.as_ref().unwrap().pages_read, e.pages_to_read);
 
         // Warm buffer: everything skippable now.
@@ -395,7 +467,10 @@ mod tests {
         // Warm the buffer, then punch holes in the table.
         db.execute(&Query::point("t", "k", 400i64)).unwrap();
         let (all, _) = {
-            let (r, m) = db.execute(&Query::range("t", "k", 100i64, 599i64)).unwrap();
+            let (r, m) = db
+                .execute(&Query::range("t", "k", 100i64, 599i64))
+                .unwrap()
+                .into_parts();
             (r.rids.clone(), m)
         };
         for rid in all.iter().step_by(3) {
@@ -410,7 +485,10 @@ mod tests {
         assert!(moved > 0);
         assert_eq!(db.table("t").unwrap().live_tuples(), live_before);
         // Queries still agree with ground truth on both paths.
-        let (r, m) = db.execute(&Query::point("t", "k", 401i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 401i64))
+            .unwrap()
+            .into_parts();
         let expected = db
             .table("t")
             .unwrap()
@@ -421,7 +499,10 @@ mod tests {
             .count();
         assert_eq!(r.count(), expected);
         let _ = m;
-        let (r, _) = db.execute(&Query::point("t", "k", 50i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
         let expected = db
             .table("t")
             .unwrap()
@@ -464,21 +545,33 @@ mod tests {
         .unwrap();
 
         // Covered point query: hit via the paged tree, probe I/O is real.
-        let (r, m) = db.execute(&Query::point("t", "k", 50i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 10);
         assert!(m.io.page_reads > 0, "paged probe reads pages: {:?}", m.io);
 
         // Covered range query works through lookup_range.
-        let (r, _) = db.execute(&Query::range("t", "k", 10i64, 12i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::range("t", "k", 10i64, 12i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::PartialIndex);
         assert_eq!(r.count(), 30);
 
         // Uncovered query: buffered scan, then skips.
-        let (r, _) = db.execute(&Query::point("t", "k", 200i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 200i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.path, AccessPath::BufferedScan);
         assert_eq!(r.count(), 10);
-        let (r, m) = db.execute(&Query::point("t", "k", 250i64)).unwrap();
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 250i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(m.scan.unwrap().pages_read, 0);
         assert_eq!(r.count(), 10);
 
@@ -486,11 +579,17 @@ mod tests {
         let rid = db
             .insert("t", &Tuple::new(vec![Value::Int(50), Value::from("new")]))
             .unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 50i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 11);
         assert!(r.rids.contains(&rid));
         db.delete("t", rid).unwrap();
-        let (r, _) = db.execute(&Query::point("t", "k", 50i64)).unwrap();
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), 10);
         db.space().check_invariants();
     }

@@ -23,6 +23,9 @@ pub struct QueryMetrics {
     pub wall: Duration,
     /// Scan instrumentation, for scan paths.
     pub scan: Option<ScanStats>,
+    /// Worker threads the indexing scan actually ran with (1 for sequential
+    /// scans and for non-scan paths).
+    pub scan_threads: usize,
     /// Entries per Index Buffer after the query (Figures 8 and 9 plot this
     /// series), in buffer-id order.
     pub buffer_entries: Vec<usize>,
@@ -55,6 +58,13 @@ impl WorkloadRecorder {
     /// Appends one query's metrics.
     pub fn push(&mut self, m: QueryMetrics) {
         self.records.push(m);
+    }
+
+    /// Records the metrics half of an execution outcome — the idiomatic way
+    /// to capture a workload:
+    /// `recorder.record(&db.execute(&q)?)`.
+    pub fn record(&mut self, outcome: &crate::query::ExecOutcome) {
+        self.records.push(outcome.metrics.clone());
     }
 
     /// All records, in execution order.
@@ -144,6 +154,7 @@ mod tests {
             },
             wall: Duration::from_micros(5),
             scan: None,
+            scan_threads: 1,
             buffer_entries: vec![10, 20],
         }
     }

@@ -16,6 +16,24 @@ pub struct Query {
 }
 
 impl Query {
+    /// Starts a fluent query against `table.column`; finish it with
+    /// [`QueryBuilder::eq`] or [`QueryBuilder::between`].
+    ///
+    /// ```
+    /// use aib_engine::Query;
+    /// assert_eq!(Query::on("t", "k").eq(42i64), Query::point("t", "k", 42i64));
+    /// assert_eq!(
+    ///     Query::on("t", "k").between(1i64, 9i64),
+    ///     Query::range("t", "k", 1i64, 9i64),
+    /// );
+    /// ```
+    pub fn on(table: impl Into<String>, column: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+
     /// `SELECT * FROM table WHERE column = value`.
     pub fn point(
         table: impl Into<String>,
@@ -39,6 +57,34 @@ impl Query {
         Query {
             table: table.into(),
             column: column.into(),
+            predicate: Predicate::Between(lo.into(), hi.into()),
+        }
+    }
+}
+
+/// A table/column pair waiting for its predicate — created by
+/// [`Query::on`].
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    table: String,
+    column: String,
+}
+
+impl QueryBuilder {
+    /// Finishes the query with `column = value`.
+    pub fn eq(self, value: impl Into<Value>) -> Query {
+        Query {
+            table: self.table,
+            column: self.column,
+            predicate: Predicate::Equals(value.into()),
+        }
+    }
+
+    /// Finishes the query with `lo <= column <= hi`.
+    pub fn between(self, lo: impl Into<Value>, hi: impl Into<Value>) -> Query {
+        Query {
+            table: self.table,
+            column: self.column,
             predicate: Predicate::Between(lo.into(), hi.into()),
         }
     }
@@ -68,6 +114,27 @@ impl QueryResult {
     /// Number of matches.
     pub fn count(&self) -> usize {
         self.rids.len()
+    }
+}
+
+/// Everything one [`Database::execute`](crate::db::Database::execute) call
+/// produced: the result set and its instrumentation.
+///
+/// Replaces the old `(QueryResult, QueryMetrics)` tuple so the two halves
+/// can't be mixed up across calls; [`ExecOutcome::into_parts`] recovers the
+/// tuple form where destructuring is more convenient.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The matching rids and the access path that found them.
+    pub result: QueryResult,
+    /// Per-query instrumentation (Figures 6–9 series).
+    pub metrics: crate::metrics::QueryMetrics,
+}
+
+impl ExecOutcome {
+    /// Splits the outcome into the former `(result, metrics)` tuple.
+    pub fn into_parts(self) -> (QueryResult, crate::metrics::QueryMetrics) {
+        (self.result, self.metrics)
     }
 }
 

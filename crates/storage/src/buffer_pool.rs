@@ -9,6 +9,7 @@
 //! a disk read once the table exceeds pool capacity.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
@@ -54,7 +55,6 @@ struct FrameCell {
 /// guarded per-frame, so I/O and page reads proceed without this lock).
 struct PoolState {
     page_table: HashMap<PageId, FrameId>,
-    pins: Vec<u32>,
     free: Vec<FrameId>,
     policy: Box<dyn ReplacementPolicy>,
 }
@@ -63,6 +63,10 @@ struct PoolState {
 /// frame pinned for their lifetime.
 pub struct BufferPool {
     frames: Vec<Arc<RwLock<FrameCell>>>,
+    /// Per-frame pin counts. Increments happen under the state lock (so
+    /// eviction scans see a stable floor); decrements are lock-free, which
+    /// keeps guard drops off the state mutex entirely.
+    pins: Vec<AtomicU32>,
     state: Mutex<PoolState>,
     disk: Mutex<DiskManager>,
     stats: Arc<IoStats>,
@@ -87,9 +91,9 @@ impl BufferPool {
             .collect();
         Arc::new(BufferPool {
             frames,
+            pins: (0..config.frames).map(|_| AtomicU32::new(0)).collect(),
             state: Mutex::new(PoolState {
                 page_table: HashMap::new(),
-                pins: vec![0; config.frames],
                 free: (0..config.frames).rev().collect(),
                 policy: config.policy,
             }),
@@ -187,10 +191,46 @@ impl BufferPool {
     fn try_pin_resident(&self, pid: PageId) -> Option<FrameId> {
         let mut state = self.state.lock();
         let frame = *state.page_table.get(&pid)?;
-        state.pins[frame] += 1;
+        self.pins[frame].fetch_add(1, Ordering::Relaxed);
         state.policy.record_access(frame);
         self.stats.record_hit();
         Some(frame)
+    }
+
+    /// Pins every already-resident page of `pids` in one pass under the
+    /// state lock, returning one entry per input page (`None` = not
+    /// resident, fetch it through the ordinary miss path). Scans use this to
+    /// amortise pool bookkeeping over a whole page batch: pinning is one
+    /// lock acquisition per batch instead of two per page, which is what
+    /// lets parallel scan workers share the pool without serialising on it.
+    ///
+    /// A pinned frame cannot be evicted or remapped, so callers may hold
+    /// the returned pins across the batch and lock each frame only while
+    /// actually reading it — the same page-level isolation as repeated
+    /// [`BufferPool::fetch_read`] calls.
+    pub fn pin_resident(self: &Arc<Self>, pids: &[PageId]) -> Vec<Option<PinnedPage>> {
+        let mut pinned = Vec::with_capacity(pids.len());
+        let mut hits = 0u64;
+        {
+            let mut state = self.state.lock();
+            for &pid in pids {
+                match state.page_table.get(&pid) {
+                    Some(&frame) => {
+                        self.pins[frame].fetch_add(1, Ordering::Relaxed);
+                        state.policy.record_access(frame);
+                        hits += 1;
+                        pinned.push(Some(PinnedPage {
+                            pool: Arc::clone(self),
+                            frame,
+                            pid,
+                        }));
+                    }
+                    None => pinned.push(None),
+                }
+            }
+        }
+        self.stats.record_hits(hits);
+        pinned
     }
 
     /// Miss path: claims a frame for `pid` (possibly evicting), performs the
@@ -225,7 +265,7 @@ impl BufferPool {
                 // Undo the mapping: the frame now holds garbage.
                 let mut state = self.state.lock();
                 state.page_table.remove(&pid);
-                state.pins[frame] -= 1;
+                self.pins[frame].fetch_sub(1, Ordering::Release);
                 state.policy.remove(frame);
                 state.free.push(frame);
                 guard.page = None;
@@ -248,7 +288,7 @@ impl BufferPool {
     ) -> Result<(FrameId, ArcRwLockWriteGuard<RawRwLock, FrameCell>), StorageError> {
         let mut state = self.state.lock();
         if let Some(&frame) = state.page_table.get(&pid) {
-            state.pins[frame] += 1;
+            self.pins[frame].fetch_add(1, Ordering::Relaxed);
             state.policy.record_access(frame);
             self.stats.record_hit();
             drop(state);
@@ -258,12 +298,10 @@ impl BufferPool {
         self.stats.record_miss();
         let frame = match state.free.pop() {
             Some(f) => f,
-            None => {
-                let PoolState { pins, policy, .. } = &mut *state;
-                policy
-                    .evict(&|f| pins[f] > 0)
-                    .ok_or(StorageError::PoolExhausted)?
-            }
+            None => state
+                .policy
+                .evict(&|f| self.pins[f].load(Ordering::Acquire) > 0)
+                .ok_or(StorageError::PoolExhausted)?,
         };
         // Unpinned frames have no guard holders, so this cannot block while
         // we hold the state lock.
@@ -272,16 +310,16 @@ impl BufferPool {
             state.page_table.remove(&old_pid);
         }
         state.page_table.insert(pid, frame);
-        state.pins[frame] += 1;
+        self.pins[frame].fetch_add(1, Ordering::Relaxed);
         state.policy.record_access(frame);
         Ok((frame, guard))
     }
 
-    /// Unpins a frame (guard drop).
+    /// Unpins a frame (guard drop). Lock-free: pin counts are atomics, and
+    /// eviction double-checks them under the state lock.
     fn unpin(&self, frame: FrameId) {
-        let mut state = self.state.lock();
-        debug_assert!(state.pins[frame] > 0, "unpin without pin");
-        state.pins[frame] -= 1;
+        let prev = self.pins[frame].fetch_sub(1, Ordering::Release);
+        debug_assert!(prev > 0, "unpin without pin");
     }
 
     /// Writes every dirty resident page back to disk.
@@ -302,6 +340,51 @@ impl std::fmt::Debug for BufferPool {
         f.debug_struct("BufferPool")
             .field("frames", &self.frames.len())
             .finish_non_exhaustive()
+    }
+}
+
+/// A page pinned by [`BufferPool::pin_resident`] but not yet locked. The
+/// pin blocks eviction and remapping; [`PinnedPage::read`] takes the
+/// frame's read lock when the caller is ready to look at the bytes.
+pub struct PinnedPage {
+    pool: Arc<BufferPool>,
+    frame: FrameId,
+    pid: PageId,
+}
+
+impl PinnedPage {
+    /// The pinned page id.
+    pub fn pid(&self) -> PageId {
+        self.pid
+    }
+
+    /// Locks the frame for reading, converting the pin into a full guard.
+    pub fn read(self) -> PageReadGuard {
+        let guard = RwLock::read_arc(&self.pool.frames[self.frame]);
+        debug_assert_eq!(guard.page, Some(self.pid), "pin kept the mapping");
+        let pool = Arc::clone(&self.pool);
+        let frame = self.frame;
+        std::mem::forget(self); // the guard inherits this pin
+        PageReadGuard {
+            pool,
+            frame,
+            guard: Some(guard),
+        }
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+impl std::fmt::Debug for PinnedPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage")
+            .field("frame", &self.frame)
+            .field("pid", &self.pid)
+            .finish()
     }
 }
 

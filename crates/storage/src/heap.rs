@@ -308,25 +308,77 @@ impl HeapFile {
     /// lines 15–17). Returns `(pages_read, pages_skipped)`.
     pub fn scan_page_views(
         &self,
+        skip: impl FnMut(u32) -> bool,
+        visit: impl FnMut(u32, PageId, PageView<'_>),
+    ) -> Result<(u32, u32), StorageError> {
+        self.scan_page_range_views(0..self.num_pages(), skip, visit)
+    }
+
+    /// [`HeapFile::scan_page_views`] restricted to a contiguous ordinal
+    /// range — the chunk primitive of the parallel indexing scan. Ordinals
+    /// past the current end of the heap are ignored. Returns
+    /// `(pages_read, pages_skipped)` for this range only.
+    pub fn scan_page_range_views(
+        &self,
+        range: std::ops::Range<u32>,
         mut skip: impl FnMut(u32) -> bool,
         mut visit: impl FnMut(u32, PageId, PageView<'_>),
     ) -> Result<(u32, u32), StorageError> {
-        let n = self.num_pages();
+        // Snapshot the covered page-id slice in one heap-lock acquisition:
+        // the page list is append-only and ordinals are stable, so the copy
+        // stays valid for the whole scan and concurrent scanners never
+        // contend on the heap lock per page.
+        let (start, page_ids) = {
+            let inner = self.inner.read();
+            let end = range.end.min(inner.pages.len() as u32);
+            let start = range.start.min(end);
+            (start, inner.pages[start as usize..end as usize].to_vec())
+        };
         let mut read = 0;
         let mut skipped = 0;
-        for ord in 0..n {
+        // Batch size: amortise pool bookkeeping without monopolising frames.
+        // A batch pins at most `capacity / 8` pages, so several concurrent
+        // scanners plus the miss path always have frames left to claim.
+        let batch = (self.pool.capacity() / 8).clamp(1, 64);
+        let mut wanted: Vec<(u32, PageId)> = Vec::with_capacity(batch);
+        for (i, &pid) in page_ids.iter().enumerate() {
+            let ord = start + i as u32;
             if skip(ord) {
                 skipped += 1;
                 continue;
             }
-            // Page list only grows and ordinals are stable, so the id lookup
-            // cannot fail for ord < n.
-            let pid = self.page_id_of(ord).expect("ordinal < num_pages");
-            let guard = self.pool.fetch_read(pid)?;
+            wanted.push((ord, pid));
+            if wanted.len() == batch {
+                read += self.visit_batch(&wanted, &mut visit)?;
+                wanted.clear();
+            }
+        }
+        if !wanted.is_empty() {
+            read += self.visit_batch(&wanted, &mut visit)?;
+        }
+        Ok((read, skipped))
+    }
+
+    /// Visits one batch of pages: resident pages are pinned in a single
+    /// bookkeeping pass, misses go through the ordinary fetch path. Each
+    /// frame is read-locked only while its page is being visited.
+    fn visit_batch(
+        &self,
+        wanted: &[(u32, PageId)],
+        visit: &mut impl FnMut(u32, PageId, PageView<'_>),
+    ) -> Result<u32, StorageError> {
+        let pids: Vec<PageId> = wanted.iter().map(|&(_, pid)| pid).collect();
+        let pinned = self.pool.pin_resident(&pids);
+        let mut read = 0;
+        for (&(ord, pid), pin) in wanted.iter().zip(pinned) {
+            let guard = match pin {
+                Some(pin) => pin.read(),
+                None => self.pool.fetch_read(pid)?,
+            };
             read += 1;
             visit(ord, pid, PageView::new(&guard[..]));
         }
-        Ok((read, skipped))
+        Ok(read)
     }
 
     fn check_owned(&self, page: PageId) -> Result<u32, StorageError> {
@@ -471,6 +523,47 @@ mod tests {
         let (read, skipped) = h.scan_pages(|ord| ord < n / 2, |_, _| {}).unwrap();
         assert_eq!(read, n - n / 2);
         assert_eq!(skipped, n / 2);
+    }
+
+    #[test]
+    fn range_scans_tile_into_the_full_scan() {
+        let h = heap(8);
+        for i in 0..120u8 {
+            h.insert(&[i; 300]).unwrap();
+        }
+        let n = h.num_pages();
+        assert!(n >= 4);
+        let mut full = Vec::new();
+        h.scan_page_views(
+            |_| false,
+            |ord, _, view| full.push((ord, view.live_count())),
+        )
+        .unwrap();
+        // Any tiling of 0..n by ranges reproduces the full scan in order.
+        let mid = n / 2;
+        let mut tiled = Vec::new();
+        for range in [0..mid, mid..n] {
+            let (read, skipped) = h
+                .scan_page_range_views(
+                    range.clone(),
+                    |_| false,
+                    |ord, _, view| tiled.push((ord, view.live_count())),
+                )
+                .unwrap();
+            assert_eq!(read, range.end - range.start);
+            assert_eq!(skipped, 0);
+        }
+        assert_eq!(tiled, full);
+        // Out-of-bounds ordinals are ignored, and skips count per range.
+        let (read, skipped) = h
+            .scan_page_range_views(n..n + 10, |_| false, |_, _, _| panic!("no pages here"))
+            .unwrap();
+        assert_eq!((read, skipped), (0, 0));
+        let (read, skipped) = h
+            .scan_page_range_views(0..n, |ord| ord % 2 == 0, |_, _, _| {})
+            .unwrap();
+        assert_eq!(read + skipped, n);
+        assert_eq!(skipped, n.div_ceil(2));
     }
 
     #[test]

@@ -49,6 +49,16 @@ impl IoStats {
         self.buffer_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` buffer-pool hits in one update — batch fetch paths use
+    /// this so a hot scan touches the shared counter once per batch instead
+    /// of once per page.
+    #[inline]
+    pub fn record_hits(&self, n: u64) {
+        if n > 0 {
+            self.buffer_hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Records a buffer-pool miss.
     #[inline]
     pub fn record_miss(&self) {

@@ -47,22 +47,22 @@ fn main() {
     println!("-- explain before any query --");
     show(
         &db,
-        &Query::point("events", "kind", 42i64),
+        &Query::on("events", "kind").eq(42i64),
         "covered kind=42",
     );
     let cold = show(
         &db,
-        &Query::point("events", "kind", 300i64),
+        &Query::on("events", "kind").eq(300i64),
         "uncovered kind=300 (cold)",
     );
     assert!(cold.pages_to_read > 0);
 
     // Execute once; the buffer completes pages.
-    db.execute(&Query::point("events", "kind", 300i64)).unwrap();
+    db.execute(&Query::on("events", "kind").eq(300i64)).unwrap();
     println!("\n-- explain after one indexing scan --");
     let warm = show(
         &db,
-        &Query::point("events", "kind", 301i64),
+        &Query::on("events", "kind").eq(301i64),
         "uncovered kind=301 (warm)",
     );
     assert_eq!(warm.pages_to_read, 0, "the whole table became skippable");
@@ -89,7 +89,10 @@ fn main() {
     assert!(drained > 0);
 
     // Everything still answers correctly after the relocations.
-    let (r, _) = db.execute(&Query::point("events", "kind", 301i64)).unwrap();
+    let (r, _) = db
+        .execute(&Query::on("events", "kind").eq(301i64))
+        .unwrap()
+        .into_parts();
     let expected = db
         .table("events")
         .unwrap()

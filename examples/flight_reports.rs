@@ -65,8 +65,9 @@ fn main() {
 
     // U.S. report: the partial index answers it.
     let (r, m) = db
-        .execute(&Query::point("flights", "airport", "ORD"))
-        .unwrap();
+        .execute(&Query::on("flights", "airport").eq("ORD"))
+        .unwrap()
+        .into_parts();
     println!(
         "ORD report: {:?}, {} flights, {} simulated µs",
         r.path,
@@ -78,8 +79,9 @@ fn main() {
     // First German report: full scan — but the Index Buffer indexes the
     // remaining unindexed tuples of the pages it passes (Fig. 4).
     let (r, m) = db
-        .execute(&Query::point("flights", "airport", "FRA"))
-        .unwrap();
+        .execute(&Query::on("flights", "airport").eq("FRA"))
+        .unwrap()
+        .into_parts();
     let s = m.scan.as_ref().unwrap().clone();
     println!(
         "FRA report (1st): {:?}, {} flights, {} simulated µs, {} pages read",
@@ -92,7 +94,10 @@ fn main() {
 
     // Subsequent international reports skip the completed pages.
     for ap in ["FRA", "HEL", "CDG"] {
-        let (r, m) = db.execute(&Query::point("flights", "airport", ap)).unwrap();
+        let (r, m) = db
+            .execute(&Query::on("flights", "airport").eq(ap))
+            .unwrap()
+            .into_parts();
         let s = m.scan.as_ref().unwrap();
         println!(
             "{ap} report: {:?}, {} flights, {} simulated µs, {} pages skipped of {}",

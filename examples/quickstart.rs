@@ -52,8 +52,9 @@ fn main() {
 
     // A covered query hits the partial index.
     let (r, m) = db
-        .execute(&Query::point("orders", "amount", 500i64))
-        .unwrap();
+        .execute(&Query::on("orders", "amount").eq(500i64))
+        .unwrap()
+        .into_parts();
     println!(
         "amount=500: {:?}, {} rows, {} simulated µs",
         r.path,
@@ -64,8 +65,9 @@ fn main() {
 
     // An uncovered query scans — and builds the Index Buffer as it goes.
     let (r, m) = db
-        .execute(&Query::point("orders", "amount", 5_000i64))
-        .unwrap();
+        .execute(&Query::on("orders", "amount").eq(5_000i64))
+        .unwrap()
+        .into_parts();
     let scan = m.scan.as_ref().unwrap();
     println!(
         "amount=5000 (1st): {:?}, {} rows, {} simulated µs, {} pages read, {} pages newly indexed",
@@ -78,8 +80,9 @@ fn main() {
 
     // The second uncovered query skips every completed page.
     let (r, m) = db
-        .execute(&Query::point("orders", "amount", 7_777i64))
-        .unwrap();
+        .execute(&Query::on("orders", "amount").eq(7_777i64))
+        .unwrap()
+        .into_parts();
     let scan = m.scan.as_ref().unwrap();
     println!(
         "amount=7777 (2nd): {:?}, {} rows, {} simulated µs, {} pages read, {} pages skipped",

@@ -68,8 +68,7 @@ fn run(db: &mut Database) -> WorkloadRecorder {
         // Phase 1 queries keys 1..=12, phase 2 keys 13..=24.
         let base = if q < SHIFT_AT { 1 } else { HOT_VALUES + 1 };
         let k = base + (x % HOT_VALUES as u64) as i64;
-        db.execute_recorded(&Query::point("t", "k", k), &mut rec)
-            .unwrap();
+        rec.record(&db.execute(&Query::on("t", "k").eq(k)).unwrap());
     }
     rec
 }

@@ -49,8 +49,9 @@ fn main() {
     let queries = experiment3_queries(&spec, 200, 42);
     for (i, q) in queries.iter().enumerate() {
         let (_, m) = db
-            .execute(&Query::point("eval", &q.column, q.value))
-            .unwrap();
+            .execute(&Query::on("eval", &q.column).eq(q.value))
+            .unwrap()
+            .into_parts();
         if i % 10 == 9 || i + 1 == queries.len() {
             println!(
                 "{:>5}  {:^6}  {:>10}  {:>10}  {:>10}",

@@ -62,7 +62,8 @@ fn experiment1_workload_is_correct_and_converges() {
     for q in &queries {
         let (r, m) = db
             .execute(&Query::point("eval", &q.column, q.value))
-            .unwrap();
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), truth(&db, &q.column, q.value), "query {q:?}");
         assert_eq!(r.path, AccessPath::BufferedScan);
         let s = m.scan.unwrap();
@@ -73,7 +74,10 @@ fn experiment1_workload_is_correct_and_converges() {
         last_skipped = s.pages_skipped;
     }
     // Convergence: with I^MAX=100 and ~700 pages, 60 queries suffice.
-    let (_, m) = db.execute(&Query::point("eval", "A", spec.domain)).unwrap();
+    let (_, m) = db
+        .execute(&Query::point("eval", "A", spec.domain))
+        .unwrap()
+        .into_parts();
     assert_eq!(
         m.scan.unwrap().pages_read,
         0,
@@ -97,7 +101,8 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
     for (i, q) in queries.iter().enumerate() {
         let (r, m) = db
             .execute(&Query::point("eval", &q.column, q.value))
-            .unwrap();
+            .unwrap()
+            .into_parts();
         assert_eq!(r.count(), truth(&db, &q.column, q.value));
         // The space bound holds after every scan (scans re-establish it).
         let total: usize = m.buffer_entries.iter().sum();
@@ -141,7 +146,10 @@ fn dml_between_queries_never_breaks_results() {
         ]);
         my_rids.push(db.insert("eval", &t).unwrap());
     }
-    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    let (r, _) = db
+        .execute(&Query::point("eval", "A", probe))
+        .unwrap()
+        .into_parts();
     assert_eq!(r.count(), truth(&db, "A", probe));
     assert!(my_rids.iter().all(|rid| r.rids.contains(rid)));
 
@@ -149,7 +157,10 @@ fn dml_between_queries_never_breaks_results() {
     for rid in my_rids.iter().take(10) {
         db.delete("eval", *rid).unwrap();
     }
-    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    let (r, _) = db
+        .execute(&Query::point("eval", "A", probe))
+        .unwrap()
+        .into_parts();
     assert_eq!(r.count(), truth(&db, "A", probe));
 
     // Update the rest to a covered value: they leave the buffer and enter
@@ -160,9 +171,15 @@ fn dml_between_queries_never_breaks_results() {
         vals[0] = Value::Int(1);
         db.update("eval", *rid, &Tuple::new(vals)).unwrap();
     }
-    let (r, _) = db.execute(&Query::point("eval", "A", probe)).unwrap();
+    let (r, _) = db
+        .execute(&Query::point("eval", "A", probe))
+        .unwrap()
+        .into_parts();
     assert_eq!(r.count(), truth(&db, "A", probe));
-    let (r, m) = db.execute(&Query::point("eval", "A", 1i64)).unwrap();
+    let (r, m) = db
+        .execute(&Query::point("eval", "A", 1i64))
+        .unwrap()
+        .into_parts();
     assert_eq!(m.path, AccessPath::PartialIndex);
     assert_eq!(r.count(), truth(&db, "A", 1));
     db.space().check_invariants();
@@ -248,7 +265,10 @@ fn range_queries_agree_with_ground_truth_across_coverage_boundary() {
         (1, spec.domain),
     ] {
         for _ in 0..2 {
-            let (r, _) = db.execute(&Query::range("eval", "A", lo, hi)).unwrap();
+            let (r, _) = db
+                .execute(&Query::range("eval", "A", lo, hi))
+                .unwrap()
+                .into_parts();
             assert_eq!(r.count(), truth_range(lo, hi), "range [{lo},{hi}]");
         }
     }

@@ -62,7 +62,8 @@ fn fig2_partial_index_hit_and_miss() {
     // ORD is covered: the partial index answers it without a scan.
     let (r, m) = db
         .execute(&Query::point("flights", "airport", "ORD"))
-        .unwrap();
+        .unwrap()
+        .into_parts();
     assert_eq!(r.path, AccessPath::PartialIndex);
     assert_eq!(r.count(), 400);
     assert!(m.scan.is_none());
@@ -70,7 +71,8 @@ fn fig2_partial_index_hit_and_miss() {
     // answered with a full scan of the table".
     let (r, m) = db
         .execute(&Query::point("flights", "airport", "FRA"))
-        .unwrap();
+        .unwrap()
+        .into_parts();
     assert_eq!(r.path, AccessPath::BufferedScan);
     assert_eq!(r.count(), 400);
     let s = m.scan.unwrap();
@@ -97,7 +99,8 @@ fn fig4_buffer_completes_pages_and_serves_the_extra_tuple() {
     // tuple — the buffer scan supplies them (Fig. 4's second FRA tuple).
     let (r, m) = db
         .execute(&Query::point("flights", "airport", "FRA"))
-        .unwrap();
+        .unwrap()
+        .into_parts();
     let s = m.scan.unwrap();
     assert_eq!(s.pages_read, 0);
     assert_eq!(s.buffer_matches, 400);
@@ -105,7 +108,8 @@ fn fig4_buffer_completes_pages_and_serves_the_extra_tuple() {
     // HEL also profits although it was never queried before.
     let (r, m) = db
         .execute(&Query::point("flights", "airport", "HEL"))
-        .unwrap();
+        .unwrap()
+        .into_parts();
     assert_eq!(r.count(), 400);
     assert_eq!(m.scan.unwrap().pages_read, 0);
 }

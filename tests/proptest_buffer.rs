@@ -173,7 +173,7 @@ fn run_case(mut db: Database, mut rids: Vec<Rid>, ops: Vec<Op>, bound: Option<us
             }
             Op::Query(c, v) => {
                 let col = if c == 0 { "a" } else { "b" };
-                let (r, m) = db.execute(&Query::point("t", col, v)).unwrap();
+                let (r, m) = db.execute(&Query::point("t", col, v)).unwrap().into_parts();
                 let mut got = r.rids.clone();
                 got.sort_unstable();
                 assert_eq!(got, truth(&db, col, v), "query {col}={v}");

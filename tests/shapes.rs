@@ -54,8 +54,10 @@ fn run(
 ) -> WorkloadRecorder {
     let mut rec = WorkloadRecorder::new();
     for q in queries {
-        db.execute_recorded(&Query::point("eval", &q.column, q.value), &mut rec)
-            .unwrap();
+        rec.record(
+            &db.execute(&Query::point("eval", &q.column, q.value))
+                .unwrap(),
+        );
     }
     rec
 }
