@@ -29,6 +29,7 @@ fn main() {
         max_entries: None,
         i_max,
         seed: 6,
+        ..Default::default()
     };
 
     header(

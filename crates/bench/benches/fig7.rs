@@ -40,6 +40,7 @@ fn main() {
             max_entries: None,
             i_max,
             seed: 7,
+            ..Default::default()
         };
         let mut db = timed(&format!("populate (I_MAX={i_max})"), || {
             build_eval_db(
@@ -85,6 +86,7 @@ fn main() {
             max_entries,
             i_max,
             seed: 7,
+            ..Default::default()
         };
         let mut db = timed(&format!("populate (L={label})"), || {
             build_eval_db(

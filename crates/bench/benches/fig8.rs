@@ -38,6 +38,7 @@ fn main() {
         max_entries: Some(l),
         i_max,
         seed: 8,
+        ..Default::default()
     };
     let buffer = BufferConfig {
         partition_pages: p,

@@ -37,6 +37,7 @@ fn main() {
         max_entries: Some(l),
         i_max,
         seed: 9,
+        ..Default::default()
     };
     let buffer = BufferConfig {
         partition_pages: p,

@@ -1,7 +1,7 @@
 //! Criterion microbenchmarks of the buffer pool: hit/miss fetch cost and
 //! the replacement policies under a scan-like access pattern.
 
-use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy, ReplacementPolicy};
+use aib_storage::replacement::{ClockPolicy, DisplacementPolicy, LruKPolicy, LruPolicy};
 use aib_storage::{BufferPool, BufferPoolConfig, CostModel, DiskManager, PageId};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
@@ -60,11 +60,11 @@ fn bench_policies(c: &mut Criterion) {
             })
             .collect()
     };
-    let run = |policy: &mut dyn ReplacementPolicy| {
+    let run = |policy: &mut dyn DisplacementPolicy| {
         for (i, &f) in accesses.iter().enumerate() {
             policy.record_access(f);
             if i % 16 == 0 {
-                if let Some(victim) = policy.evict(&|_| false) {
+                if let Some(victim) = policy.displace(&|_| false) {
                     black_box(victim);
                 }
             }

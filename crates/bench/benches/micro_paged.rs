@@ -24,6 +24,7 @@ fn build(paged: bool) -> (Database, TableSpec) {
             max_entries: None,
             i_max: 1_000,
             seed: 3,
+            ..Default::default()
         },
         ..Default::default()
     });

@@ -29,6 +29,7 @@ fn build(scan_threads: usize) -> Database {
             max_entries: Some(0), // nothing is ever buffered: scans stay full-size
             i_max: 1,
             seed: 3,
+            ..Default::default()
         },
         scan_threads,
         ..Default::default()

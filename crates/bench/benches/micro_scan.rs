@@ -18,6 +18,7 @@ fn build(buffered: bool) -> Database {
             max_entries: None,
             i_max: 1_000_000,
             seed: 3,
+            ..Default::default()
         },
         ..Default::default()
     });

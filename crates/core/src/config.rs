@@ -2,6 +2,7 @@
 //! the paper's parameters.
 
 use aib_index::IndexBackend;
+use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 
 /// Per-Index-Buffer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +52,19 @@ pub struct SpaceConfig {
     /// `L` — upper bound on total entries across all Index Buffers
     /// (paper §IV / experiment 3: 800,000 entries). `None` = unlimited
     /// (experiment 1).
+    ///
+    /// **Deprecated shim**: the space is governed in bytes now (see the
+    /// memory-governor section of DESIGN.md). This knob is kept so
+    /// paper-denominated experiments keep reading like the paper; it
+    /// compiles down to `L ×` [`DEFAULT_ENTRY_FOOTPRINT`] budget bytes via
+    /// [`SpaceConfig::budget_bytes`], which is exact for the INTEGER key
+    /// columns the paper evaluates. Prefer [`SpaceConfig::max_bytes`].
     pub max_entries: Option<usize>,
+    /// Byte cap for the Index Buffer Space component of the shared
+    /// [`aib_storage::MemoryBudget`]. Takes precedence over the
+    /// `max_entries` shim when both are set. `None` = unlimited (unless
+    /// `max_entries` provides the shim value).
+    pub max_bytes: Option<usize>,
     /// `I^MAX` — maximum pages newly indexed during one table scan
     /// (paper Algorithm 2; the experiments use 5,000 / 10,000).
     pub i_max: u32,
@@ -64,6 +77,7 @@ impl Default for SpaceConfig {
     fn default() -> Self {
         SpaceConfig {
             max_entries: None,
+            max_bytes: None,
             i_max: 5_000,
             seed: 0x5EED_1DE4,
         }
@@ -71,6 +85,17 @@ impl Default for SpaceConfig {
 }
 
 impl SpaceConfig {
+    /// The byte cap this configuration imposes on the Index Buffer Space:
+    /// `max_bytes` when set, otherwise the `max_entries` shim converted at
+    /// [`DEFAULT_ENTRY_FOOTPRINT`] bytes per entry, otherwise `None`
+    /// (unlimited).
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.max_bytes.or_else(|| {
+            self.max_entries
+                .map(|entries| entries.saturating_mul(DEFAULT_ENTRY_FOOTPRINT))
+        })
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -91,8 +116,28 @@ mod tests {
         let s = SpaceConfig::default();
         assert_eq!(s.i_max, 5_000, "paper experiments 1-3: I^MAX = 5,000");
         assert_eq!(s.max_entries, None, "experiment 1: unlimited space");
+        assert_eq!(s.budget_bytes(), None, "no cap -> no byte budget");
         b.validate();
         s.validate();
+    }
+
+    #[test]
+    fn entry_shim_converts_to_bytes_exactly() {
+        let entries = SpaceConfig {
+            max_entries: Some(800_000), // paper experiment 3
+            ..Default::default()
+        };
+        assert_eq!(
+            entries.budget_bytes(),
+            Some(800_000 * DEFAULT_ENTRY_FOOTPRINT)
+        );
+        // An explicit byte cap wins over the shim.
+        let bytes = SpaceConfig {
+            max_entries: Some(800_000),
+            max_bytes: Some(1 << 20),
+            ..Default::default()
+        };
+        assert_eq!(bytes.budget_bytes(), Some(1 << 20));
     }
 
     #[test]

@@ -16,15 +16,23 @@
 //!
 //! The mean access interval `T_B = K⁻¹ · Σ H_B[i]` feeds the benefit model:
 //! a frequently used buffer has a small `T_B` and thus valuable partitions.
+//!
+//! Interval bookkeeping is a reformulation of LRU-K's use-timestamp
+//! history: with a per-buffer query clock, `H_B[0]++` is one clock tick and
+//! `shift(H_B, +1); H_B[0] = 0` records a use at the current tick — the
+//! intervals are the gaps between retained timestamps. The timestamp form
+//! lives in [`aib_storage::AccessHistory`], shared with the buffer pool's
+//! LRU-K page displacement, so both layers run the *same* LRU-K code.
 
-use std::collections::VecDeque;
+use aib_storage::AccessHistory;
 
-/// The LRU-K history `H_B` of one Index Buffer.
+/// The LRU-K history `H_B` of one Index Buffer: a shared [`AccessHistory`]
+/// driven by a per-buffer query clock (Table II semantics).
 #[derive(Debug, Clone)]
 pub struct LruKHistory {
-    k: usize,
-    intervals: VecDeque<u64>,
-    uses: u64,
+    history: AccessHistory,
+    /// Queries elapsed, in this buffer's frame of reference.
+    clock: u64,
 }
 
 impl LruKHistory {
@@ -33,45 +41,36 @@ impl LruKHistory {
     /// # Panics
     /// If `k == 0`.
     pub fn new(k: usize) -> Self {
-        assert!(k > 0, "LRU-K history needs k >= 1");
         LruKHistory {
-            k,
-            intervals: VecDeque::with_capacity(k),
-            uses: 0,
+            history: AccessHistory::new(k),
+            clock: 0,
         }
     }
 
     /// History depth `K`.
     pub fn k(&self) -> usize {
-        self.k
+        self.history.k()
     }
 
     /// How many times this buffer has been used (partial-index misses on its
     /// column).
     pub fn uses(&self) -> u64 {
-        self.uses
+        self.history.uses()
     }
 
     /// `H_B[0]++` — a query ran that did not use this buffer (Table II, all
     /// cases except "no hit on the queried column").
     pub fn tick(&mut self) {
-        if let Some(front) = self.intervals.front_mut() {
-            *front += 1;
-        } else {
-            // Before the first use there is no open interval; queries that
-            // pass by an unused buffer leave it with an empty history and
-            // thus an undefined (infinite) mean interval.
-        }
+        // Before the first use there is no open interval; advancing the
+        // clock is still harmless because intervals are timestamp gaps and
+        // the first use anchors at whatever the clock then reads.
+        self.clock += 1;
     }
 
     /// `shift(H_B, +1); H_B[0] = 0` — the buffer was used by this query
     /// (Table II, no-hit case for the queried column).
     pub fn record_use(&mut self) {
-        self.uses += 1;
-        self.intervals.push_front(0);
-        while self.intervals.len() > self.k {
-            self.intervals.pop_back();
-        }
+        self.history.record(self.clock);
     }
 
     /// Mean access interval `T_B`, or `None` if the buffer was never used
@@ -82,11 +81,7 @@ impl LruKHistory {
     /// 1.0: a buffer used on every query has `T_B = 1`, giving the maximum
     /// finite benefit rather than a division by zero.
     pub fn mean_interval(&self) -> Option<f64> {
-        if self.intervals.is_empty() {
-            return None;
-        }
-        let sum: u64 = self.intervals.iter().sum();
-        Some((sum as f64 / self.intervals.len() as f64).max(1.0))
+        self.history.mean_interval(self.clock)
     }
 
     /// `T_B⁻¹` as a benefit factor: 0 for never-used buffers.
@@ -96,7 +91,7 @@ impl LruKHistory {
 
     /// Raw intervals, most recent first (diagnostics / Table II harness).
     pub fn intervals(&self) -> impl Iterator<Item = u64> + '_ {
-        self.intervals.iter().copied()
+        self.history.intervals(self.clock)
     }
 }
 
@@ -182,6 +177,19 @@ mod tests {
         h.record_use(); // [0, 0]
         assert_eq!(h.mean_interval(), Some(1.0));
         assert_eq!(h.use_frequency(), 1.0);
+    }
+
+    #[test]
+    fn ticks_before_first_use_do_not_skew_intervals() {
+        // The timestamp reformulation must agree with the interval form even
+        // when the clock ran before the first use.
+        let mut h = LruKHistory::new(2);
+        h.tick();
+        h.tick();
+        h.record_use(); // [0]
+        h.tick(); // [1]
+        assert_eq!(h.intervals().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(h.mean_interval(), Some(1.0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use aib_storage::{Rid, Value};
+use aib_storage::{MemoryUsage, Rid, Value};
 
 use crate::config::BufferConfig;
 use crate::history::LruKHistory;
@@ -28,6 +28,9 @@ pub struct DroppedPartition {
     pub pages: Vec<(u32, u32)>,
     /// Entries freed.
     pub entries_freed: usize,
+    /// Bytes returned to the memory budget — exactly the partition's
+    /// [`MemoryUsage::footprint`] at drop time.
+    pub bytes_freed: usize,
 }
 
 /// A scratch-pad index for one column's partial index.
@@ -277,11 +280,13 @@ impl IndexBuffer {
             self.page_to_partition.remove(&page);
         }
         let entries_freed = p.num_entries();
+        let bytes_freed = p.footprint();
         self.total_entries -= entries_freed;
         Some(DroppedPartition {
             partition,
             pages,
             entries_freed,
+            bytes_freed,
         })
     }
 
@@ -345,6 +350,16 @@ impl IndexBuffer {
                 "partition over P pages"
             );
         }
+    }
+}
+
+impl MemoryUsage for IndexBuffer {
+    /// Bytes resident across all partitions. Computed on demand from the
+    /// partitions' own byte counters, so maintenance churn (Table I
+    /// add/remove/update) is reflected without a second set of counters
+    /// that could drift.
+    fn footprint(&self) -> usize {
+        self.partitions.values().map(Partition::footprint).sum()
     }
 }
 
@@ -446,8 +461,16 @@ mod tests {
         b.index_page(0, vec![(v(1), Rid::new(0, 0)), (v(2), Rid::new(0, 1))]);
         b.index_page(5, vec![(v(3), Rid::new(5, 0))]);
         let pid = *b.page_to_partition.get(&0).unwrap();
+        let before = b.footprint();
         let dropped = b.drop_partition(pid).unwrap();
         assert_eq!(dropped.entries_freed, 3);
+        assert_eq!(
+            dropped.bytes_freed,
+            3 * aib_storage::DEFAULT_ENTRY_FOOTPRINT,
+            "INTEGER entries cost exactly the default footprint"
+        );
+        assert_eq!(before - b.footprint(), dropped.bytes_freed);
+        assert_eq!(b.footprint(), 0);
         let mut pages = dropped.pages.clone();
         pages.sort_unstable();
         assert_eq!(pages, vec![(0, 2), (5, 1)]);

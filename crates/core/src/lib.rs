@@ -20,9 +20,12 @@
 //!   partitions and restores counters exactly.
 //! * [`history::LruKHistory`] — per-buffer LRU-K access intervals
 //!   (Table II).
-//! * [`space::IndexBufferSpace`] — the shared entry budget `L`, the benefit
-//!   model `b_p = X_p / T_B`, and Algorithm 2's page selection with
-//!   two-stage probabilistic victim selection.
+//! * [`space::IndexBufferSpace`] — the byte-accurate memory budget (the
+//!   paper's entry bound `L` compiles down to bytes, shared with the buffer
+//!   pool via [`aib_storage::MemoryBudget`]), the benefit model
+//!   `b_p = X_p / T_B`, and Algorithm 2's page selection with two-stage
+//!   probabilistic victim selection expressed as a
+//!   [`aib_storage::DisplacementPolicy`].
 //! * [`maintenance::maintain`] — the 16 DML maintenance cases of Table I.
 //!
 //! ```
@@ -82,4 +85,4 @@ pub use scan::{
     apply_staged, indexing_scan, indexing_scan_parallel, planned_scan_threads, scan_chunk,
     ChunkResult, Predicate, ScanStats, StagedPage, CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
 };
-pub use space::{Displacement, IndexBufferSpace, Selection};
+pub use space::{BenefitPolicy, Displacement, IndexBufferSpace, Selection};

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::ops::Range;
 
 use aib_index::{IndexBackend, SecondaryIndex};
-use aib_storage::{Rid, Value};
+use aib_storage::{MemoryUsage, Rid, Value};
 
 /// Identifier of a partition within its Index Buffer (monotonic).
 pub type PartitionId = u64;
@@ -162,6 +162,17 @@ impl Partition {
     /// Visits every entry.
     pub fn for_each(&self, f: &mut dyn FnMut(&Value, Rid)) {
         self.entries.for_each(f);
+    }
+}
+
+impl MemoryUsage for Partition {
+    /// Bytes resident in this partition's entries, as reported by the
+    /// backing index. The per-page restore counts are deliberately *not*
+    /// charged: they are bookkeeping the space manager keeps regardless of
+    /// budget pressure, and excluding them keeps the paper's entry bound
+    /// `L` exactly convertible to bytes for INTEGER columns.
+    fn footprint(&self) -> usize {
+        self.entries.footprint()
     }
 }
 

@@ -165,6 +165,9 @@ pub fn indexing_scan(
     if let Some(e) = decode_error {
         return Err(e);
     }
+    // The scan mutated the buffer through a direct borrow; reconcile the
+    // governor's IndexSpace charge with the new resident footprint.
+    space.sync_budget();
     stats.pages_read = read;
     stats.pages_skipped = skipped;
     stats.matches = out.len();
@@ -389,6 +392,7 @@ pub fn indexing_scan_parallel(
         out.extend_from_slice(&chunk.matches);
         let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
         apply_staged(buffer, counters, chunk.staged, &mut stats);
+        space.sync_budget();
         stats.matches = out.len();
         return Ok(stats);
     }
@@ -431,6 +435,7 @@ pub fn indexing_scan_parallel(
     }
     let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
     apply_staged(buffer, counters, staged_all, &mut stats);
+    space.sync_budget();
     stats.matches = out.len();
     Ok(stats)
 }
@@ -472,6 +477,7 @@ mod tests {
             max_entries: None,
             i_max: 1_000_000,
             seed: 1,
+            ..Default::default()
         });
         let id = space.register(
             "k",
@@ -593,6 +599,7 @@ mod tests {
             max_entries: None,
             i_max: 3,
             seed: 1,
+            ..Default::default()
         });
         let id = space.register(
             "k",

@@ -1,5 +1,6 @@
-//! The Index Buffer Space: all Index Buffers of the system, a shared entry
-//! budget, and the displacement machinery of paper §IV.
+//! The Index Buffer Space: all Index Buffers of the system, their share of
+//! the byte-accurate [`MemoryBudget`], and the displacement machinery of
+//! paper §IV.
 //!
 //! Responsibilities:
 //!
@@ -9,7 +10,15 @@
 //! * **Algorithm 2** — [`IndexBufferSpace::select_pages_for_buffer`]:
 //!   choosing the pages an indexing scan should buffer, displacing old
 //!   partitions only while the new index information is more beneficial
-//!   than what is discarded, and never exceeding the space bound `L`.
+//!   than what is discarded, and never exceeding the governor's byte
+//!   headroom (the paper's entry bound `L` compiles down to bytes via
+//!   [`SpaceConfig::budget_bytes`]).
+//!
+//! Victim selection is expressed as an
+//! [`aib_storage::DisplacementPolicy`]: the
+//! [`BenefitPolicy`] here plays the same role for partitions that LRU/Clock/
+//! LRU-K play for buffer-pool frames, so both displacement pipelines share
+//! one trait and one governor.
 //!
 //! ### Deviation from the paper's pseudocode
 //!
@@ -25,16 +34,117 @@
 //! grow the victim set one partition at a time, recompute the achievable
 //! page set, and commit while `b_I > Σ b_p` over the victims.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use aib_storage::{
+    BudgetComponent, DisplacementPolicy, FrameId, MemoryBudget, MemoryUsage,
+    DEFAULT_ENTRY_FOOTPRINT,
+};
 
 use crate::config::{BufferConfig, SpaceConfig};
 use crate::counters::PageCounters;
 use crate::index_buffer::{BufferId, IndexBuffer};
 use crate::partition::PartitionId;
 
+/// Stage 1 of §IV's victim selection as a [`DisplacementPolicy`].
+///
+/// The space feeds every eligible Index Buffer's benefit `b_B` via
+/// [`record_weight`](DisplacementPolicy::record_weight) (in ascending id
+/// order) and then asks [`displace`](DisplacementPolicy::displace) for a
+/// victim: never-used buffers (`b_B = 0`) are picked first, uniformly among
+/// themselves; otherwise a buffer is picked with probability proportional
+/// to `1 / b_B`. The RNG is seeded so experiments stay reproducible.
+pub struct BenefitPolicy {
+    rng: StdRng,
+    /// Candidate weights, iterated in ascending id order so the RNG
+    /// consumption is deterministic for a given candidate set.
+    weights: BTreeMap<FrameId, f64>,
+}
+
+impl BenefitPolicy {
+    /// Creates a policy with a seeded RNG and no candidates.
+    pub fn new(seed: u64) -> Self {
+        BenefitPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            weights: BTreeMap::new(),
+        }
+    }
+
+    /// Forgets all candidate weights. The space re-feeds them before every
+    /// pick because benefits change with every query.
+    pub fn clear_weights(&mut self) {
+        self.weights.clear();
+    }
+}
+
+impl DisplacementPolicy for BenefitPolicy {
+    fn record_access(&mut self, _id: FrameId) {
+        // Recency is already folded into the weights (benefit embeds the
+        // LRU-K use frequency), so accesses carry no extra signal here.
+    }
+
+    fn record_weight(&mut self, id: FrameId, weight: f64) {
+        self.weights.insert(id, weight);
+    }
+
+    fn displace(&mut self, blocked: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
+        let eligible: Vec<(FrameId, f64)> = self
+            .weights
+            .iter()
+            .map(|(&id, &b)| (id, b))
+            .filter(|&(id, _)| !blocked(id))
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Zero-benefit candidates are infinitely likely under 1/b weighting.
+        let zeros: Vec<FrameId> = eligible
+            .iter()
+            .filter(|&&(_, b)| b <= f64::EPSILON)
+            .map(|&(id, _)| id)
+            .collect();
+        let chosen = if !zeros.is_empty() {
+            zeros[self.rng.gen_range(0..zeros.len())]
+        } else {
+            let total: f64 = eligible.iter().map(|&(_, b)| 1.0 / b).sum();
+            let mut roll = self.rng.gen_range(0.0..total);
+            let mut chosen = eligible.last().expect("non-empty").0;
+            for &(id, b) in &eligible {
+                roll -= 1.0 / b;
+                if roll <= 0.0 {
+                    chosen = id;
+                    break;
+                }
+            }
+            chosen
+        };
+        self.weights.remove(&chosen);
+        Some(chosen)
+    }
+
+    fn remove(&mut self, id: FrameId) {
+        self.weights.remove(&id);
+    }
+
+    fn name(&self) -> &'static str {
+        "benefit"
+    }
+}
+
+impl std::fmt::Debug for BenefitPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenefitPolicy")
+            .field("candidates", &self.weights.len())
+            .finish()
+    }
+}
+
 /// A displacement performed during page selection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Displacement {
     /// Buffer that lost a partition.
     pub buffer: BufferId,
@@ -42,8 +152,12 @@ pub struct Displacement {
     pub partition: PartitionId,
     /// Entries freed by the drop.
     pub entries_freed: usize,
+    /// Bytes returned to the governor by the drop.
+    pub bytes_freed: usize,
     /// Pages that ceased to be skippable.
     pub pages_uncovered: usize,
+    /// The partition's benefit `b_p` at displacement time.
+    pub benefit: f64,
 }
 
 /// Result of [`IndexBufferSpace::select_pages_for_buffer`].
@@ -54,6 +168,12 @@ pub struct Selection {
     pub pages: Vec<u32>,
     /// Entries the new index information will occupy (`n_I = Σ C[s]`).
     pub expected_entries: usize,
+    /// Byte estimate for the new index information, at
+    /// [`DEFAULT_ENTRY_FOOTPRINT`] per expected entry (exact for INTEGER
+    /// key columns).
+    pub expected_bytes: usize,
+    /// Benefit `b_I` of the new index information.
+    pub benefit: f64,
     /// Partitions dropped to make room.
     pub displaced: Vec<Displacement>,
 }
@@ -67,23 +187,46 @@ struct Slot {
 pub struct IndexBufferSpace {
     slots: Vec<Slot>,
     config: SpaceConfig,
-    rng: StdRng,
+    budget: Arc<MemoryBudget>,
+    victim_policy: BenefitPolicy,
 }
 
 impl IndexBufferSpace {
-    /// Creates an empty space.
+    /// Creates an empty space with its own private [`MemoryBudget`], capped
+    /// at [`SpaceConfig::budget_bytes`] (unlimited when the config sets no
+    /// bound).
     pub fn new(config: SpaceConfig) -> Self {
+        let budget = match config.budget_bytes() {
+            Some(bytes) => {
+                MemoryBudget::unlimited().with_component_limit(BudgetComponent::IndexSpace, bytes)
+            }
+            None => MemoryBudget::unlimited(),
+        };
+        Self::with_budget(config, Arc::new(budget))
+    }
+
+    /// Creates an empty space drawing from a shared [`MemoryBudget`] — the
+    /// engine passes the same budget to the buffer pool, so either side's
+    /// growth shrinks the other's headroom. The caller is responsible for
+    /// configuring the budget's limits (this constructor applies none).
+    pub fn with_budget(config: SpaceConfig, budget: Arc<MemoryBudget>) -> Self {
         config.validate();
         IndexBufferSpace {
             slots: Vec::new(),
+            victim_policy: BenefitPolicy::new(config.seed),
             config,
-            rng: StdRng::seed_from_u64(config.seed),
+            budget,
         }
     }
 
     /// The space configuration.
     pub fn config(&self) -> &SpaceConfig {
         &self.config
+    }
+
+    /// The governor this space draws from.
+    pub fn budget(&self) -> &Arc<MemoryBudget> {
+        &self.budget
     }
 
     /// Registers a new Index Buffer with its initial page counters
@@ -129,7 +272,8 @@ impl IndexBufferSpace {
     }
 
     /// Mutably borrows a buffer together with its counters (the indexing
-    /// scan needs both at once).
+    /// scan needs both at once). Callers that add or drop entries through
+    /// this seam should call [`sync_budget`](Self::sync_budget) when done.
     pub fn buffer_and_counters_mut(
         &mut self,
         id: BufferId,
@@ -143,11 +287,32 @@ impl IndexBufferSpace {
         self.slots.iter().map(|s| s.buffer.num_entries()).sum()
     }
 
-    /// Free entries under the bound `L` (`usize::MAX` when unlimited).
+    /// Reconciles the governor's [`BudgetComponent::IndexSpace`] charge with
+    /// the true resident footprint. Mutations flow through `&mut IndexBuffer`
+    /// borrows the space hands out, so it cannot intercept them one by one;
+    /// instead the selection path and the scan/maintenance drivers reconcile
+    /// here at their natural barriers.
+    pub fn sync_budget(&self) {
+        self.budget
+            .set_component_usage(BudgetComponent::IndexSpace, self.footprint());
+    }
+
+    /// Byte headroom the governor grants this space right now (reconciles
+    /// first; `usize::MAX` when unlimited).
+    pub fn free_bytes(&self) -> usize {
+        self.sync_budget();
+        self.budget.headroom(BudgetComponent::IndexSpace)
+    }
+
+    /// Free *entries* under the byte budget, at [`DEFAULT_ENTRY_FOOTPRINT`]
+    /// bytes per entry (`usize::MAX` when unlimited). Kept so
+    /// paper-denominated experiments and tests can keep reasoning in the
+    /// paper's unit `L`.
     pub fn free_entries(&self) -> usize {
-        match self.config.max_entries {
-            None => usize::MAX,
-            Some(max) => max.saturating_sub(self.total_entries()),
+        if self.budget.is_unlimited(BudgetComponent::IndexSpace) {
+            usize::MAX
+        } else {
+            self.free_bytes() / DEFAULT_ENTRY_FOOTPRINT
         }
     }
 
@@ -169,8 +334,9 @@ impl IndexBufferSpace {
 
     /// Algorithm 2: selects the pages to index for `target` during the
     /// upcoming table scan, displacing partitions as justified by the
-    /// benefit model. On return, enough space is free for the selection and
-    /// all counter restores for displaced pages have been applied.
+    /// benefit model. On return, enough budget headroom is free for the
+    /// selection and all counter restores for displaced pages have been
+    /// applied.
     pub fn select_pages_for_buffer(&mut self, target: BufferId) -> Selection {
         let i_max = self.config.i_max as usize;
         // Candidate pages in ascending counter order (cheapest completions
@@ -181,44 +347,52 @@ impl IndexBufferSpace {
         }
         let target_freq = self.slots[target].buffer.use_frequency();
 
-        // Grow the page set within `available` entries, up to I^MAX pages.
-        let grow = |available: usize| -> (usize, usize) {
+        // Grow the page set within `available` budget bytes, up to I^MAX
+        // pages. Expected entries are costed at DEFAULT_ENTRY_FOOTPRINT —
+        // exact for the INTEGER columns of the paper's experiments, an
+        // estimate otherwise (the post-scan sync reconciles the difference).
+        let grow = |available: usize| -> (usize, usize, usize) {
             let mut pages = 0;
             let mut entries = 0usize;
+            let mut bytes = 0usize;
             for &(_, c) in &candidates {
-                if pages >= i_max || entries + c as usize > available {
+                let page_bytes = (c as usize).saturating_mul(DEFAULT_ENTRY_FOOTPRINT);
+                if pages >= i_max || bytes.saturating_add(page_bytes) > available {
                     break;
                 }
                 pages += 1;
                 entries += c as usize;
+                bytes += page_bytes;
             }
-            (pages, entries)
+            (pages, entries, bytes)
         };
 
-        let free = self.free_entries();
-        let (mut best_pages, mut best_entries) = grow(free);
-        let mut committed_victims: Vec<(BufferId, PartitionId)> = Vec::new();
+        let free = self.free_bytes();
+        let (mut best_pages, mut best_entries, mut best_bytes) = grow(free);
+        let mut committed_victims: Vec<(BufferId, PartitionId, f64)> = Vec::new();
 
-        if self.config.max_entries.is_some() {
-            let mut victims: Vec<(BufferId, PartitionId)> = Vec::new();
-            let mut victim_entries = 0usize;
+        if !self.budget.is_unlimited(BudgetComponent::IndexSpace) {
+            let mut victims: Vec<(BufferId, PartitionId, f64)> = Vec::new();
+            let mut victim_bytes = 0usize;
             let mut victim_benefit = 0.0f64;
             while best_pages < i_max && best_pages < candidates.len() {
                 let Some((buf, part)) = self.pick_victim(target, &victims) else {
                     break;
                 };
-                victim_benefit += self.slots[buf].buffer.partition_benefit(part);
-                victim_entries += self.slots[buf]
+                let benefit = self.slots[buf].buffer.partition_benefit(part);
+                victim_benefit += benefit;
+                victim_bytes += self.slots[buf]
                     .buffer
                     .partition(part)
                     .expect("picked partition exists")
-                    .num_entries();
-                victims.push((buf, part));
-                let (pages, entries) = grow(free.saturating_add(victim_entries));
+                    .footprint();
+                victims.push((buf, part, benefit));
+                let (pages, entries, bytes) = grow(free.saturating_add(victim_bytes));
                 let b_new = pages as f64 * target_freq;
                 if b_new > victim_benefit && pages > best_pages {
                     best_pages = pages;
                     best_entries = entries;
+                    best_bytes = bytes;
                     committed_victims = victims.clone();
                 } else {
                     break;
@@ -228,7 +402,7 @@ impl IndexBufferSpace {
 
         // Perform the committed displacements, restoring counters.
         let mut displaced = Vec::with_capacity(committed_victims.len());
-        for (buf, part) in committed_victims {
+        for (buf, part, benefit) in committed_victims {
             let dropped = self.slots[buf]
                 .buffer
                 .drop_partition(part)
@@ -240,13 +414,19 @@ impl IndexBufferSpace {
                 buffer: buf,
                 partition: part,
                 entries_freed: dropped.entries_freed,
+                bytes_freed: dropped.bytes_freed,
                 pages_uncovered: dropped.pages.len(),
+                benefit,
             });
         }
+        if !displaced.is_empty() {
+            self.budget.record_displacements(displaced.len() as u64);
+        }
+        self.sync_budget();
 
         debug_assert!(
-            best_entries <= self.free_entries(),
-            "selection must fit the freed space"
+            best_bytes <= self.free_bytes(),
+            "selection must fit the freed budget headroom"
         );
         Selection {
             pages: candidates
@@ -255,79 +435,68 @@ impl IndexBufferSpace {
                 .map(|&(p, _)| p)
                 .collect(),
             expected_entries: best_entries,
+            expected_bytes: best_bytes,
+            benefit: best_pages as f64 * target_freq,
             displaced,
         }
     }
 
     /// The two-stage victim selection of §IV.
     ///
-    /// Stage 1 picks an Index Buffer other than the target, with probability
-    /// proportional to `1 / b_B` (never-used buffers have zero benefit and
-    /// are picked first, uniformly among themselves). Stage 2 picks that
-    /// buffer's incomplete partition if any, then complete partitions in
-    /// descending entry count. Partitions already in `excluded` are skipped.
+    /// Stage 1 delegates to the [`BenefitPolicy`]: an Index Buffer other
+    /// than the target, with probability proportional to `1 / b_B`
+    /// (never-used buffers have zero benefit and are picked first, uniformly
+    /// among themselves). Stage 2 picks that buffer's incomplete partition
+    /// if any, then complete partitions in descending entry count.
+    /// Partitions already in `excluded` are skipped.
     fn pick_victim(
         &mut self,
         target: BufferId,
-        excluded: &[(BufferId, PartitionId)],
+        excluded: &[(BufferId, PartitionId, f64)],
     ) -> Option<(BufferId, PartitionId)> {
         // Stage 2 helper: first non-excluded partition in victim order.
-        let next_of = |slots: &Vec<Slot>, id: BufferId| -> Option<PartitionId> {
+        let next_of = |slots: &[Slot], id: BufferId| -> Option<PartitionId> {
             slots[id]
                 .buffer
                 .partitions_in_victim_order()
                 .into_iter()
-                .find(|&p| !excluded.contains(&(id, p)))
+                .find(|&p| !excluded.iter().any(|&(b, q, _)| (b, q) == (id, p)))
         };
 
-        // Buffers with at least one selectable partition.
-        let eligible: Vec<(BufferId, f64)> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|&(id, _)| id != target)
-            .filter(|&(id, _)| next_of(&self.slots, id).is_some())
-            .map(|(id, slot)| (id, slot.buffer.benefit()))
-            .collect();
-        if eligible.is_empty() {
-            return None;
-        }
-        // Zero-benefit buffers are infinitely likely under 1/b weighting.
-        let zeros: Vec<BufferId> = eligible
-            .iter()
-            .filter(|&&(_, b)| b <= f64::EPSILON)
-            .map(|&(id, _)| id)
-            .collect();
-        let chosen = if !zeros.is_empty() {
-            zeros[self.rng.gen_range(0..zeros.len())]
-        } else {
-            let total: f64 = eligible.iter().map(|&(_, b)| 1.0 / b).sum();
-            let mut roll = self.rng.gen_range(0.0..total);
-            let mut chosen = eligible.last().expect("non-empty").0;
-            for &(id, b) in &eligible {
-                roll -= 1.0 / b;
-                if roll <= 0.0 {
-                    chosen = id;
-                    break;
-                }
+        // Feed the policy fresh weights for every buffer with at least one
+        // selectable partition (ascending id keeps the RNG deterministic).
+        self.victim_policy.clear_weights();
+        for (id, slot) in self.slots.iter().enumerate() {
+            if id != target && next_of(&self.slots, id).is_some() {
+                self.victim_policy.record_weight(id, slot.buffer.benefit());
             }
-            chosen
-        };
+        }
+        let chosen = self.victim_policy.displace(&|_| false)?;
         // Keep the borrow checker happy: recompute stage 2 on the chosen id.
         let part = next_of(&self.slots, chosen).expect("eligible buffer has a partition");
         Some((chosen, part))
     }
 
-    /// Consistency check across buffers (tests).
+    /// Consistency check across buffers (tests): per-buffer invariants plus
+    /// budget reconciliation — after a sync, the governor's IndexSpace
+    /// charge must equal the summed partition footprints exactly.
     pub fn check_invariants(&self) {
         for slot in &self.slots {
             slot.buffer.check_invariants();
         }
-        if let Some(max) = self.config.max_entries {
-            // Maintenance inserts may transiently exceed the bound; scans
-            // re-establish it. Still, the accounting itself must agree.
-            let _ = max;
-        }
+        self.sync_budget();
+        assert_eq!(
+            self.budget.used(BudgetComponent::IndexSpace),
+            self.footprint(),
+            "governor charge reconciles with resident footprint"
+        );
+    }
+}
+
+impl MemoryUsage for IndexBufferSpace {
+    /// Bytes resident across all Index Buffers.
+    fn footprint(&self) -> usize {
+        self.slots.iter().map(|s| s.buffer.footprint()).sum()
     }
 }
 
@@ -336,7 +505,8 @@ impl std::fmt::Debug for IndexBufferSpace {
         f.debug_struct("IndexBufferSpace")
             .field("buffers", &self.slots.len())
             .field("total_entries", &self.total_entries())
-            .field("max_entries", &self.config.max_entries)
+            .field("resident_bytes", &self.footprint())
+            .field("budget_bytes", &self.config.budget_bytes())
             .finish()
     }
 }
@@ -349,6 +519,7 @@ mod tests {
     fn cfg(max: Option<usize>, i_max: u32) -> SpaceConfig {
         SpaceConfig {
             max_entries: max,
+            max_bytes: None,
             i_max,
             seed: 42,
         }
@@ -369,6 +540,7 @@ mod tests {
             buffer.index_page(p, vec![(Value::Int(p as i64), Rid::new(p, 0))]);
             counters.set_zero(p);
         }
+        space.sync_budget();
     }
 
     #[test]
@@ -382,6 +554,7 @@ mod tests {
         assert_eq!(s.counters(b).total_unindexed(), 100);
         assert_eq!(s.total_entries(), 0);
         assert_eq!(s.free_entries(), usize::MAX);
+        assert_eq!(s.free_bytes(), usize::MAX, "no cap -> unlimited headroom");
     }
 
     #[test]
@@ -418,6 +591,7 @@ mod tests {
             "ascending counter order, capped at I^MAX=3"
         );
         assert_eq!(sel.expected_entries, 6);
+        assert_eq!(sel.expected_bytes, 6 * DEFAULT_ENTRY_FOOTPRINT);
         assert!(sel.displaced.is_empty());
     }
 
@@ -445,6 +619,24 @@ mod tests {
     }
 
     #[test]
+    fn explicit_byte_budget_gates_selection_like_the_entry_shim() {
+        // The same bound expressed directly in bytes must behave
+        // identically to the max_entries shim.
+        let bytes = SpaceConfig {
+            max_entries: None,
+            max_bytes: Some(5 * DEFAULT_ENTRY_FOOTPRINT),
+            i_max: 100,
+            seed: 42,
+        };
+        let mut s = IndexBufferSpace::new(bytes);
+        let a = s.register("A", bcfg(10), PageCounters::from_counts(vec![2; 10]));
+        s.on_query(Some(a), false);
+        let sel = s.select_pages_for_buffer(a);
+        assert_eq!(sel.pages.len(), 2);
+        assert_eq!(sel.expected_bytes, 4 * DEFAULT_ENTRY_FOOTPRINT);
+    }
+
+    #[test]
     fn hot_buffer_displaces_cold_buffer() {
         let mut s = IndexBufferSpace::new(cfg(Some(10), 100));
         let cold = s.register("cold", bcfg(5), PageCounters::from_counts(vec![1; 20]));
@@ -453,10 +645,12 @@ mod tests {
         s.on_query(Some(cold), false);
         fill_pages(&mut s, cold, 0..10);
         assert_eq!(s.free_entries(), 0);
+        assert_eq!(s.free_bytes(), 0);
         // Cold goes quiet; hot is used every query.
         for _ in 0..50 {
             s.on_query(Some(hot), false);
         }
+        let before_displacements = s.budget().displacements();
         let sel = s.select_pages_for_buffer(hot);
         assert!(
             !sel.displaced.is_empty(),
@@ -465,6 +659,18 @@ mod tests {
         assert!(sel.displaced.iter().all(|d| d.buffer == cold));
         assert!(!sel.pages.is_empty());
         assert!(sel.expected_entries <= s.free_entries());
+        // Every displacement reports its exact byte yield and the governor
+        // counted each drop.
+        for d in &sel.displaced {
+            assert_eq!(d.bytes_freed, d.entries_freed * DEFAULT_ENTRY_FOOTPRINT);
+        }
+        assert_eq!(
+            s.budget().displacements() - before_displacements,
+            sel.displaced.len() as u64
+        );
+        // The incoming benefit must exceed what was discarded.
+        let discarded: f64 = sel.displaced.iter().map(|d| d.benefit).sum();
+        assert!(sel.benefit > discarded, "{} !> {discarded}", sel.benefit);
         // Displaced pages of the cold buffer are unindexed again.
         let restored: usize = sel.displaced.iter().map(|d| d.pages_uncovered).sum();
         assert_eq!(s.counters(cold).total_unindexed() as usize, 10 + restored);
@@ -544,5 +750,42 @@ mod tests {
             5,
             "at most I^MAX pages per scan (paper §IV)"
         );
+    }
+
+    #[test]
+    fn shared_budget_lets_pool_residency_shrink_the_space() {
+        // One governor, both components: bytes parked in buffer-pool
+        // frames reduce what the Index Buffer Space may select.
+        let budget = Arc::new(MemoryBudget::with_total(6 * DEFAULT_ENTRY_FOOTPRINT));
+        let mut s = IndexBufferSpace::with_budget(cfg(None, 100), Arc::clone(&budget));
+        let a = s.register("a", bcfg(10), PageCounters::from_counts(vec![1; 10]));
+        s.on_query(Some(a), false);
+        // The "pool" claims 4 entries' worth of the shared total.
+        budget.charge(BudgetComponent::BufferPool, 4 * DEFAULT_ENTRY_FOOTPRINT);
+        let sel = s.select_pages_for_buffer(a);
+        assert_eq!(
+            sel.pages.len(),
+            2,
+            "only the unclaimed remainder is selectable"
+        );
+        assert!(sel.displaced.is_empty(), "nothing of ours to displace");
+        budget.release(BudgetComponent::BufferPool, 4 * DEFAULT_ENTRY_FOOTPRINT);
+        let sel = s.select_pages_for_buffer(a);
+        assert_eq!(sel.pages.len(), 6, "released frames restore headroom");
+    }
+
+    #[test]
+    fn benefit_policy_prefers_zero_weight_and_forgets_victims() {
+        let mut p = BenefitPolicy::new(7);
+        p.record_weight(0, 2.0);
+        p.record_weight(1, 0.0);
+        p.record_weight(2, 5.0);
+        assert_eq!(p.displace(&|_| false), Some(1), "zero-benefit goes first");
+        let next = p.displace(&|id| id == 2).expect("0 is unblocked");
+        assert_eq!(next, 0, "blocked ids are skipped");
+        assert_eq!(p.displace(&|id| id == 2), None, "only blocked ids remain");
+        p.remove(2);
+        assert_eq!(p.displace(&|_| false), None, "removed ids are forgotten");
+        assert_eq!(p.name(), "benefit");
     }
 }

@@ -1,12 +1,12 @@
 //! Property tests of Algorithm 2 (`SelectPagesForBuffer`) and the
 //! displacement machinery: whatever the buffer population and counter
-//! state, a selection must respect the space bound, `I^MAX`, the
-//! ascending-counter order, and exact counter restoration for displaced
-//! pages.
+//! state, a selection must respect the byte budget, `I^MAX`, the
+//! ascending-counter order, exact counter restoration for displaced pages,
+//! and exact byte restoration to the memory governor.
 
 use aib_core::{BufferConfig, IndexBufferSpace, PageCounters, SpaceConfig};
 use aib_index::IndexBackend;
-use aib_storage::{Rid, Value};
+use aib_storage::{BudgetComponent, MemoryUsage, Rid, Value, DEFAULT_ENTRY_FOOTPRINT};
 use proptest::prelude::*;
 
 /// A randomly pre-populated space: `n_buffers` buffers, each with its own
@@ -57,6 +57,7 @@ fn setup_strategy() -> impl Strategy<Value = SpaceSetup> {
 fn build(setup: &SpaceSetup) -> IndexBufferSpace {
     let mut space = IndexBufferSpace::new(SpaceConfig {
         max_entries: Some(setup.max_entries),
+        max_bytes: None,
         i_max: setup.i_max,
         seed: 7,
     });
@@ -113,6 +114,7 @@ proptest! {
             .map(|b| space.counters(b).total_unindexed())
             .collect();
         let skippable_before = space.counters(target).fully_indexed_pages();
+        let footprint_before = space.footprint();
 
         let selection = space.select_pages_for_buffer(target);
 
@@ -153,6 +155,26 @@ proptest! {
         // (7) The target never loses skippable pages by selecting.
         prop_assert!(space.counters(target).fully_indexed_pages() >= skippable_before.min(
             space.counters(target).fully_indexed_pages()));
+        // (8) Byte accounting: the selection's byte estimate matches its
+        // entry estimate, and fits the governor's headroom.
+        prop_assert_eq!(selection.expected_bytes,
+            selection.expected_entries * DEFAULT_ENTRY_FOOTPRINT);
+        prop_assert!(selection.expected_bytes <= space.free_bytes());
+        // (9) Displacement only fires when the incoming benefit strictly
+        // exceeds the benefit of everything discarded.
+        if !selection.displaced.is_empty() {
+            let discarded: f64 = selection.displaced.iter().map(|d| d.benefit).sum();
+            prop_assert!(selection.benefit > discarded,
+                "benefit {} must exceed discarded {}", selection.benefit, discarded);
+        }
+        // (10) Dropping a partition returns exactly the bytes its footprint
+        // reported: the resident footprint shrank by the sum of bytes_freed.
+        let bytes_freed: usize = selection.displaced.iter().map(|d| d.bytes_freed).sum();
+        prop_assert_eq!(space.footprint(), footprint_before - bytes_freed);
+        for d in &selection.displaced {
+            prop_assert_eq!(d.bytes_freed, d.entries_freed * DEFAULT_ENTRY_FOOTPRINT,
+                "INTEGER entries cost exactly DEFAULT_ENTRY_FOOTPRINT each");
+        }
         space.check_invariants();
 
         // Simulate the scan actually indexing the selection; the bound must
@@ -168,6 +190,16 @@ proptest! {
         }
         prop_assert!(space.total_entries() <= setup.max_entries,
             "bound holds after indexing: {} > {}", space.total_entries(), setup.max_entries);
+        // (11) The governor never exceeds its byte budget: after indexing
+        // the selection, resident bytes stay under the configured cap.
+        space.sync_budget();
+        let budget = space.budget();
+        let cap = budget.component_limit(BudgetComponent::IndexSpace)
+            .expect("bounded setup carries a byte cap");
+        prop_assert!(budget.used(BudgetComponent::IndexSpace) <= cap,
+            "governor bound: {} > {}", budget.used(BudgetComponent::IndexSpace), cap);
+        prop_assert_eq!(cap, setup.max_entries * DEFAULT_ENTRY_FOOTPRINT,
+            "max_entries shim maps to bytes exactly");
         space.check_invariants();
     }
 }

@@ -23,14 +23,15 @@ use aib_core::{
     IndexBufferSpace, PageCounters, Predicate, SpaceConfig, TupleRef,
 };
 use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
-use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy, ReplacementPolicy};
+use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy};
 use aib_storage::{
-    BufferPool, BufferPoolConfig, CostModel, DiskManager, HeapFile, IoStats, Rid, Schema,
-    StorageError, Tuple, Value,
+    BudgetComponent, BudgetSnapshot, BufferPool, BufferPoolConfig, CostModel, DiskManager,
+    DisplacementPolicy, HeapFile, IoStats, MemoryBudget, MemoryUsage, Rid, Schema, StorageError,
+    Tuple, Value,
 };
 
 use crate::error::{EngineError, EngineResult};
-use crate::metrics::{QueryMetrics, WorkloadRecorder};
+use crate::metrics::QueryMetrics;
 use crate::query::{AccessPath, ExecOutcome, Query, QueryResult};
 use crate::tuner::{OnlineTuner, TunerConfig};
 
@@ -47,7 +48,7 @@ pub enum PoolPolicy {
 }
 
 impl PoolPolicy {
-    fn build(self, frames: usize) -> Box<dyn ReplacementPolicy> {
+    fn build(self, frames: usize) -> Box<dyn DisplacementPolicy> {
         match self {
             PoolPolicy::Lru => Box::new(LruPolicy::new()),
             PoolPolicy::Clock => Box::new(ClockPolicy::new(frames)),
@@ -67,6 +68,13 @@ pub struct EngineConfig {
     pub cost_model: CostModel,
     /// Index Buffer Space parameters (`L`, `I^MAX`, seed).
     pub space: SpaceConfig,
+    /// Shared byte cap across buffer-pool frames *and* index-buffer
+    /// partitions. When set, one [`MemoryBudget`] arbitrates both: index
+    /// growth can deny the pool a frame (forcing an eviction) and pool
+    /// residency shrinks what Algorithm 2 may select. `None` (default)
+    /// leaves the components independently governed — the pool by its frame
+    /// count, the space by [`SpaceConfig`]'s byte budget.
+    pub total_memory_bytes: Option<usize>,
     /// Simulated page reads charged per partial-index probe (tree descent).
     pub index_probe_pages: u64,
     /// Partial-index entries per leaf page, for adaptation cost accounting.
@@ -85,6 +93,7 @@ impl Default for EngineConfig {
             pool_policy: PoolPolicy::default(),
             cost_model: CostModel::default(),
             space: SpaceConfig::default(),
+            total_memory_bytes: None,
             index_probe_pages: 3,
             index_entries_per_page: 400,
             scan_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -216,17 +225,29 @@ impl Database {
     pub fn new(config: EngineConfig) -> Self {
         let disk = DiskManager::new(config.cost_model);
         let stats = disk.stats();
+        // One governor for the whole engine: the pool reserves frame bytes
+        // against it and the space draws Algorithm 2's headroom from it, so
+        // either side's growth is the other side's denial.
+        let mut budget = match config.total_memory_bytes {
+            Some(total) => MemoryBudget::with_total(total),
+            None => MemoryBudget::unlimited(),
+        };
+        if let Some(bytes) = config.space.budget_bytes() {
+            budget = budget.with_component_limit(BudgetComponent::IndexSpace, bytes);
+        }
+        let budget = Arc::new(budget);
         let pool = BufferPool::new(
             disk,
             BufferPoolConfig::with_policy(
                 config.pool_frames,
                 config.pool_policy.build(config.pool_frames),
-            ),
+            )
+            .with_budget(Arc::clone(&budget)),
         );
         Database {
             pool,
             stats,
-            space: IndexBufferSpace::new(config.space),
+            space: IndexBufferSpace::with_budget(config.space, budget),
             tables: Vec::new(),
             table_names: HashMap::new(),
             config,
@@ -247,6 +268,18 @@ impl Database {
     /// The Index Buffer Space (inspection).
     pub fn space(&self) -> &IndexBufferSpace {
         &self.space
+    }
+
+    /// The shared memory governor (inspection).
+    pub fn budget(&self) -> &Arc<MemoryBudget> {
+        self.space.budget()
+    }
+
+    /// A point-in-time copy of the governor's byte counters, after
+    /// reconciling the Index Buffer Space's resident footprint.
+    pub fn memory(&self) -> BudgetSnapshot {
+        self.space.sync_budget();
+        self.space.budget().snapshot()
     }
 
     /// The engine configuration.
@@ -474,6 +507,7 @@ impl Database {
                 buffer.drop_partition(p);
             }
             *counters = PageCounters::new();
+            self.space.sync_budget();
         }
         Ok(())
     }
@@ -539,6 +573,7 @@ impl Database {
         )?;
         if let Some(bid) = ic.buffer {
             *self.space.counters_mut(bid) = PageCounters::from_counts(counts);
+            self.space.sync_budget();
         }
         Ok(())
     }
@@ -650,23 +685,9 @@ impl Database {
             scan: scan_stats,
             scan_threads,
             buffer_entries,
+            memory: self.memory(),
         };
         Ok(ExecOutcome { result, metrics })
-    }
-
-    /// Executes a query and appends its metrics to `recorder`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `execute` and `WorkloadRecorder::record` on the outcome"
-    )]
-    pub fn execute_recorded(
-        &mut self,
-        query: &Query,
-        recorder: &mut WorkloadRecorder,
-    ) -> EngineResult<QueryResult> {
-        let outcome = self.execute(query)?;
-        recorder.record(&outcome);
-        Ok(outcome.result)
     }
 
     /// Index-hit path: probe the partial index, fetch matching tuples.
@@ -854,6 +875,7 @@ impl Database {
                 }
             }
         }
+        self.space.sync_budget();
         Ok(())
     }
 
@@ -874,6 +896,7 @@ impl Database {
                 table_pages,
                 table_pages,
                 None,
+                0,
                 0,
                 1,
             ));
@@ -899,6 +922,7 @@ impl Database {
                 0,
                 cardinality,
                 ic.buffer.map_or(0, |b| self.space.buffer(b).num_entries()),
+                ic.buffer.map_or(0, |b| self.space.buffer(b).footprint()),
                 1,
             ));
         }
@@ -916,6 +940,7 @@ impl Database {
                     to_read,
                     None,
                     self.space.buffer(bid).num_entries(),
+                    self.space.buffer(bid).footprint(),
                     planned_scan_threads(table_pages, self.config.scan_threads),
                 ))
             }
@@ -926,6 +951,7 @@ impl Database {
                 table_pages,
                 table_pages,
                 None,
+                0,
                 0,
                 1,
             )),
@@ -979,6 +1005,9 @@ fn apply_maintenance(
         Some(bid) => {
             let (buffer, counters) = space.buffer_and_counters_mut(bid);
             maintain(&mut ic.partial, buffer, counters, old, new);
+            // Maintenance mutates partitions behind the governor's back;
+            // reconcile the byte charge at this barrier.
+            space.sync_budget();
         }
         None => {
             // Only the partial-index row of Table I applies.

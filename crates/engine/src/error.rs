@@ -53,10 +53,6 @@ impl std::error::Error for EngineError {
 /// Shorthand for engine results.
 pub type EngineResult<T> = Result<T, EngineError>;
 
-/// Former name of [`EngineError`], kept for one release.
-#[deprecated(since = "0.2.0", note = "renamed to EngineError")]
-pub type DbError = EngineError;
-
 #[cfg(test)]
 mod tests {
     use super::*;

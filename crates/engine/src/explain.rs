@@ -33,6 +33,9 @@ pub struct Explanation {
     pub known_cardinality: Option<usize>,
     /// Buffer entries currently held for this column.
     pub buffer_entries: usize,
+    /// Resident bytes those entries charge to the memory governor
+    /// ([`aib_storage::MemoryUsage`] footprint of the column's buffer).
+    pub buffer_bytes: usize,
     /// Worker threads the executor would run the indexing scan with (1 for
     /// index hits and plain scans).
     pub scan_threads: usize,
@@ -57,11 +60,12 @@ impl Explanation {
             ),
             AccessPath::BufferedScan => {
                 let mut s = format!(
-                    "indexing scan: {} of {} pages to read ({:.0}% skippable), buffer holds {} entries",
+                    "indexing scan: {} of {} pages to read ({:.0}% skippable), buffer holds {} entries ({} bytes)",
                     self.pages_to_read,
                     self.table_pages,
                     100.0 * self.skip_ratio(),
-                    self.buffer_entries
+                    self.buffer_entries,
+                    self.buffer_bytes
                 );
                 if self.scan_threads > 1 {
                     s.push_str(&format!(", {} scan threads", self.scan_threads));
@@ -86,6 +90,7 @@ pub(crate) fn explanation(
     pages_to_read: u32,
     known_cardinality: Option<usize>,
     buffer_entries: usize,
+    buffer_bytes: usize,
     scan_threads: usize,
 ) -> Explanation {
     Explanation {
@@ -97,6 +102,7 @@ pub(crate) fn explanation(
         pages_skippable: table_pages - pages_to_read,
         known_cardinality,
         buffer_entries,
+        buffer_bytes,
         scan_threads,
     }
 }
@@ -113,27 +119,58 @@ mod tests {
 
     #[test]
     fn summaries_are_informative() {
-        let hit = explanation(AccessPath::PartialIndex, true, true, 100, 0, Some(7), 0, 1);
+        let hit = explanation(
+            AccessPath::PartialIndex,
+            true,
+            true,
+            100,
+            0,
+            Some(7),
+            0,
+            0,
+            1,
+        );
         assert_eq!(hit.summary(), "partial index hit (7 rows)");
         assert_eq!(hit.skip_ratio(), 1.0);
 
-        let scan = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900, 1);
+        let scan = explanation(
+            AccessPath::BufferedScan,
+            true,
+            true,
+            100,
+            25,
+            None,
+            900,
+            28_800,
+            1,
+        );
         assert_eq!(scan.pages_skippable, 75);
         assert!(scan.summary().contains("25 of 100 pages"));
         assert!(scan.summary().contains("75% skippable"));
+        assert!(scan.summary().contains("900 entries (28800 bytes)"));
         assert!(!scan.summary().contains("scan threads"));
 
-        let par = explanation(AccessPath::BufferedScan, true, true, 100, 25, None, 900, 4);
+        let par = explanation(
+            AccessPath::BufferedScan,
+            true,
+            true,
+            100,
+            25,
+            None,
+            900,
+            28_800,
+            4,
+        );
         assert!(par.summary().contains("4 scan threads"));
 
-        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0, 1);
+        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0, 0, 1);
         assert_eq!(plain.summary(), "full table scan: 40 pages");
         assert_eq!(plain.skip_ratio(), 0.0);
     }
 
     #[test]
     fn empty_table_skip_ratio_is_zero() {
-        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0, 1);
+        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0, 0, 1);
         assert_eq!(e.skip_ratio(), 0.0);
     }
 }

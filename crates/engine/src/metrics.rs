@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use aib_core::ScanStats;
 use aib_storage::stats::IoSnapshot;
+use aib_storage::BudgetSnapshot;
 
 use crate::query::AccessPath;
 
@@ -29,6 +30,10 @@ pub struct QueryMetrics {
     /// Entries per Index Buffer after the query (Figures 8 and 9 plot this
     /// series), in buffer-id order.
     pub buffer_entries: Vec<usize>,
+    /// Memory-governor counters after the query: bytes resident per
+    /// component, combined high-water mark, denied reservations and
+    /// displacements performed so far.
+    pub memory: BudgetSnapshot,
 }
 
 impl QueryMetrics {
@@ -97,7 +102,7 @@ impl WorkloadRecorder {
     }
 
     /// Renders the series as CSV with one row per query. Columns:
-    /// `seq,path,results,pages_read,pages_skipped,sim_us,wall_us,entries_b0,entries_b1,...`
+    /// `seq,path,results,pages_read,pages_skipped,sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,entries_b0,entries_b1,...`
     pub fn to_csv(&self) -> String {
         let buffers = self
             .records
@@ -105,7 +110,10 @@ impl WorkloadRecorder {
             .map(|r| r.buffer_entries.len())
             .max()
             .unwrap_or(0);
-        let mut out = String::from("seq,path,results,pages_read,pages_skipped,sim_us,wall_us");
+        let mut out = String::from(
+            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,\
+             pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements",
+        );
         for b in 0..buffers {
             out.push_str(&format!(",entries_b{b}"));
         }
@@ -117,7 +125,7 @@ impl WorkloadRecorder {
                 AccessPath::PlainScan => "scan",
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.seq,
                 path,
                 r.result_count,
@@ -125,6 +133,11 @@ impl WorkloadRecorder {
                 r.pages_skipped(),
                 r.simulated_us(),
                 r.wall.as_micros(),
+                r.memory.buffer_pool_bytes,
+                r.memory.index_bytes,
+                r.memory.high_water,
+                r.memory.denials,
+                r.memory.displacements,
             ));
             for b in 0..buffers {
                 out.push_str(&format!(
@@ -156,6 +169,14 @@ mod tests {
             scan: None,
             scan_threads: 1,
             buffer_entries: vec![10, 20],
+            memory: BudgetSnapshot {
+                buffer_pool_bytes: 16_384,
+                index_bytes: 960,
+                total_limit: None,
+                high_water: 17_344,
+                denials: 1,
+                displacements: 2,
+            },
         }
     }
 
@@ -180,9 +201,14 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,entries_b0,entries_b1"
+            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,\
+             pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,\
+             entries_b0,entries_b1"
         );
-        assert_eq!(lines.next().unwrap(), "0,index,1,2,0,200,5,10,20");
+        assert_eq!(
+            lines.next().unwrap(),
+            "0,index,1,2,0,200,5,16384,960,17344,1,2,10,20"
+        );
     }
 
     #[test]

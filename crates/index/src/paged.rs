@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use aib_storage::{BufferPool, PageId, Rid, StorageError, PAGE_SIZE};
+use aib_storage::{BufferPool, MemoryUsage, PageId, Rid, StorageError, PAGE_SIZE};
 
 const HEADER: usize = 8;
 const ENTRY: usize = 16;
@@ -179,6 +179,7 @@ pub struct PagedBTree {
     pool: Arc<BufferPool>,
     root: PageId,
     len: usize,
+    nodes: usize,
 }
 
 enum InsertResult {
@@ -196,7 +197,12 @@ impl PagedBTree {
         let (root, mut guard) = pool.new_page()?;
         init_node(&mut guard[..], TAG_LEAF);
         drop(guard);
-        Ok(PagedBTree { pool, root, len: 0 })
+        Ok(PagedBTree {
+            pool,
+            root,
+            len: 0,
+            nodes: 1,
+        })
     }
 
     /// Number of entries.
@@ -207,6 +213,19 @@ impl PagedBTree {
     /// True when the tree holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Number of node pages this tree has allocated.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Bytes the tree occupies on the (simulated) disk: node pages times
+    /// [`PAGE_SIZE`]. This is *not* a memory footprint — nodes reach memory
+    /// only through the buffer pool, which charges them to the governor's
+    /// buffer-pool component while cached.
+    pub fn disk_footprint(&self) -> usize {
+        self.nodes * PAGE_SIZE
     }
 
     /// Inserts `key`; returns `false` if it was already present.
@@ -225,6 +244,7 @@ impl PagedBTree {
             } => {
                 // Grow a new root above the old one.
                 let (new_root, mut guard) = self.pool.new_page()?;
+                self.nodes += 1;
                 init_node(&mut guard[..], TAG_INTERNAL);
                 set_count(&mut guard[..], 1);
                 set_entry(&mut guard[..], 0, sep);
@@ -241,7 +261,7 @@ impl PagedBTree {
         }
     }
 
-    fn insert_rec(&self, node: PageId, key: PagedKey) -> Result<InsertResult, StorageError> {
+    fn insert_rec(&mut self, node: PageId, key: PagedKey) -> Result<InsertResult, StorageError> {
         // Read the routing decision with a cheap read guard first.
         let (node_tag, child) = {
             let guard = self.pool.fetch_read(node)?;
@@ -274,7 +294,7 @@ impl PagedBTree {
     /// Inserts `sep`/`right` into internal `node` at key position `idx`,
     /// splitting the node if full.
     fn insert_separator(
-        &self,
+        &mut self,
         node: PageId,
         idx: usize,
         sep: PagedKey,
@@ -304,6 +324,7 @@ impl PagedBTree {
         write_internal(&mut guard[..], &left_keys, &left_children);
         drop(guard);
         let (right_pid, mut rguard) = self.pool.new_page()?;
+        self.nodes += 1;
         init_node(&mut rguard[..], TAG_INTERNAL);
         write_internal(&mut rguard[..], &right_keys, &right_children);
         drop(rguard);
@@ -314,7 +335,11 @@ impl PagedBTree {
         })
     }
 
-    fn insert_into_leaf(&self, leaf: PageId, key: PagedKey) -> Result<InsertResult, StorageError> {
+    fn insert_into_leaf(
+        &mut self,
+        leaf: PageId,
+        key: PagedKey,
+    ) -> Result<InsertResult, StorageError> {
         let mut guard = self.pool.fetch_write(leaf)?;
         let n = count(&guard[..]);
         let idx = match search(&guard[..], &key) {
@@ -341,6 +366,7 @@ impl PagedBTree {
         }
         let old_next = next_leaf(&guard[..]);
         let (right_pid, mut rguard) = self.pool.new_page()?;
+        self.nodes += 1;
         init_node(&mut rguard[..], TAG_LEAF);
         for (i, k) in upper.iter().enumerate() {
             set_entry(&mut rguard[..], i, *k);
@@ -526,6 +552,7 @@ impl std::fmt::Debug for PagedBTree {
         f.debug_struct("PagedBTree")
             .field("len", &self.len)
             .field("root", &self.root)
+            .field("nodes", &self.nodes)
             .finish()
     }
 }
@@ -563,6 +590,17 @@ impl PagedIndex {
         value
             .as_int()
             .expect("paged indexes support INTEGER columns only")
+    }
+}
+
+impl MemoryUsage for PagedIndex {
+    /// Zero resident bytes of its own: every node lives on the simulated
+    /// disk and reaches memory only through the buffer pool, which already
+    /// charges cached node pages to the governor's buffer-pool component.
+    /// Charging here too would double-count; see
+    /// [`PagedBTree::disk_footprint`] for the on-disk size.
+    fn footprint(&self) -> usize {
+        0
     }
 }
 
@@ -677,6 +715,9 @@ mod tests {
             height >= 2,
             "tree split past a single leaf (height {height})"
         );
+        // ~59 leaves plus internals; every one was counted at allocation.
+        assert!(t.nodes() >= 60, "node count tracks splits: {}", t.nodes());
+        assert_eq!(t.disk_footprint(), t.nodes() * PAGE_SIZE);
         // Every key findable.
         for v in [0, 1, n / 2, n - 1] {
             assert!(t

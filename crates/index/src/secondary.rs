@@ -8,14 +8,21 @@
 //! backend supports range scans; the hash backend trades them for O(1)
 //! point lookups.
 
-use aib_storage::{Rid, Value};
+use aib_storage::{entry_footprint, MemoryUsage, Rid, Value};
 
 use crate::btree::BPlusTree;
 use crate::key::EntryKey;
 use std::collections::HashMap;
 
 /// A multi-map from column values to record ids.
-pub trait SecondaryIndex: Send {
+///
+/// Every backend reports a byte-accurate [`MemoryUsage::footprint`] so the
+/// memory governor can charge resident entries against the shared budget:
+/// memory-resident backends account [`entry_footprint`] bytes per entry;
+/// disk-resident backends (the paged B+-tree) report zero here because
+/// their pages are already charged to the buffer-pool component while
+/// cached.
+pub trait SecondaryIndex: MemoryUsage + Send {
     /// Adds an entry. Returns `false` if it was already present.
     fn add(&mut self, value: Value, rid: Rid) -> bool;
     /// Removes an entry. Returns `false` if it was not present.
@@ -45,6 +52,7 @@ pub trait SecondaryIndex: Send {
 #[derive(Debug, Default)]
 pub struct BTreeIndex {
     tree: BPlusTree<EntryKey, ()>,
+    bytes: usize,
 }
 
 impl BTreeIndex {
@@ -58,19 +66,36 @@ impl BTreeIndex {
     pub fn with_order(order: usize) -> Self {
         BTreeIndex {
             tree: BPlusTree::with_order(order),
+            bytes: 0,
         }
+    }
+}
+
+impl MemoryUsage for BTreeIndex {
+    fn footprint(&self) -> usize {
+        self.bytes
     }
 }
 
 impl SecondaryIndex for BTreeIndex {
     fn add(&mut self, value: Value, rid: Rid) -> bool {
-        self.tree.insert(EntryKey::new(value, rid), ()).is_none()
+        let bytes = entry_footprint(&value);
+        let inserted = self.tree.insert(EntryKey::new(value, rid), ()).is_none();
+        if inserted {
+            self.bytes += bytes;
+        }
+        inserted
     }
 
     fn remove(&mut self, value: &Value, rid: Rid) -> bool {
-        self.tree
+        let removed = self
+            .tree
             .remove(&EntryKey::new(value.clone(), rid))
-            .is_some()
+            .is_some();
+        if removed {
+            self.bytes -= entry_footprint(value);
+        }
+        removed
     }
 
     fn contains(&self, value: &Value, rid: Rid) -> bool {
@@ -95,6 +120,7 @@ impl SecondaryIndex for BTreeIndex {
 
     fn clear(&mut self) {
         self.tree.clear();
+        self.bytes = 0;
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Value, Rid)) {
@@ -113,6 +139,7 @@ impl SecondaryIndex for BTreeIndex {
 pub struct HashIndex {
     map: HashMap<Value, Vec<Rid>>,
     len: usize,
+    bytes: usize,
 }
 
 impl HashIndex {
@@ -122,14 +149,22 @@ impl HashIndex {
     }
 }
 
+impl MemoryUsage for HashIndex {
+    fn footprint(&self) -> usize {
+        self.bytes
+    }
+}
+
 impl SecondaryIndex for HashIndex {
     fn add(&mut self, value: Value, rid: Rid) -> bool {
+        let bytes = entry_footprint(&value);
         let rids = self.map.entry(value).or_default();
         match rids.binary_search(&rid) {
             Ok(_) => false,
             Err(i) => {
                 rids.insert(i, rid);
                 self.len += 1;
+                self.bytes += bytes;
                 true
             }
         }
@@ -146,6 +181,7 @@ impl SecondaryIndex for HashIndex {
                     self.map.remove(value);
                 }
                 self.len -= 1;
+                self.bytes -= entry_footprint(value);
                 true
             }
             Err(_) => false,
@@ -173,6 +209,7 @@ impl SecondaryIndex for HashIndex {
     fn clear(&mut self) {
         self.map.clear();
         self.len = 0;
+        self.bytes = 0;
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&Value, Rid)) {
@@ -277,6 +314,29 @@ mod tests {
             let mut n = 0;
             ix.for_each(&mut |_, _| n += 1);
             assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn footprint_tracks_entry_bytes_exactly() {
+        for mut ix in backends() {
+            assert_eq!(ix.footprint(), 0);
+            ix.add(Value::Int(7), Rid::new(0, 0));
+            ix.add(Value::Int(7), Rid::new(0, 1));
+            ix.add(Value::from("ORD"), Rid::new(1, 0));
+            assert!(!ix.add(Value::Int(7), Rid::new(0, 0)), "duplicate free");
+            let int_bytes = entry_footprint(&Value::Int(7));
+            let str_bytes = entry_footprint(&Value::from("ORD"));
+            assert_eq!(
+                ix.footprint(),
+                2 * int_bytes + str_bytes,
+                "{}",
+                ix.backend_name()
+            );
+            ix.remove(&Value::Int(7), Rid::new(0, 1));
+            assert_eq!(ix.footprint(), int_bytes + str_bytes);
+            ix.clear();
+            assert_eq!(ix.footprint(), 0);
         }
     }
 

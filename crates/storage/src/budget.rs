@@ -1,0 +1,387 @@
+//! Byte-accurate memory governor shared by the buffer pool and the Index
+//! Buffer Space.
+//!
+//! The paper bounds the Index Buffer with an entry count `L` (§IV) because
+//! its prototype lived inside H2's heap. A production Adaptive Index Buffer
+//! by definition lives *inside* the database buffer, so this crate accounts
+//! real bytes instead: every memory-resident structure implements
+//! [`MemoryUsage`], and one [`MemoryBudget`] arbitrates between the two
+//! components that compete for the same pool — page frames
+//! ([`BudgetComponent::BufferPool`]) and index-buffer partitions
+//! ([`BudgetComponent::IndexSpace`]).
+//!
+//! The budget supports three limits, all optional:
+//!
+//! * a **total** cap shared by both components — growth on one side denies
+//!   reservations on the other;
+//! * a per-component cap for [`BufferPool`](BudgetComponent::BufferPool);
+//! * a per-component cap for [`IndexSpace`](BudgetComponent::IndexSpace) —
+//!   this is what the paper's `L` compiles down to, via
+//!   [`entry_footprint`]-derived bytes.
+//!
+//! Accounting is atomic (reservation loops CAS the component counter), and
+//! the governor tracks a high-water mark, denied reservations, and
+//! displacement counts for `engine::metrics`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::value::Value;
+
+/// Types that can report their resident memory footprint in bytes.
+///
+/// Footprints are *logical*: they count the bytes the structure holds on
+/// behalf of the budget (entry payloads, page images), not allocator
+/// overhead, so that accounting stays deterministic across platforms.
+pub trait MemoryUsage {
+    /// Resident bytes currently held by this structure.
+    fn footprint(&self) -> usize;
+}
+
+/// Fixed per-entry bookkeeping bytes charged on top of the encoded value:
+/// an 8-byte rid, an 8-byte next pointer, a 4-byte page id, a 2-byte slot,
+/// and a 1-byte tag — the per-entry overhead of the in-memory index node.
+pub const ENTRY_BASE_BYTES: usize = 23;
+
+/// Footprint of one index-buffer entry holding `value`.
+///
+/// An `Int` entry is exactly [`DEFAULT_ENTRY_FOOTPRINT`] bytes, which makes
+/// the paper's entry bound `L` translate losslessly into a byte budget for
+/// integer key columns (all of the paper's evaluation columns are INTEGER).
+pub fn entry_footprint(value: &Value) -> usize {
+    ENTRY_BASE_BYTES + value.encoded_len()
+}
+
+/// Bytes assumed per entry when only an entry *count* is known: the exact
+/// footprint of an integer entry (`ENTRY_BASE_BYTES + 9`).
+pub const DEFAULT_ENTRY_FOOTPRINT: usize = ENTRY_BASE_BYTES + 9;
+
+/// The two consumers sharing one [`MemoryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetComponent {
+    /// Buffer-pool page frames.
+    BufferPool,
+    /// Index Buffer Space partitions.
+    IndexSpace,
+}
+
+const COMPONENTS: usize = 2;
+
+impl BudgetComponent {
+    fn idx(self) -> usize {
+        match self {
+            BudgetComponent::BufferPool => 0,
+            BudgetComponent::IndexSpace => 1,
+        }
+    }
+
+    fn other(self) -> usize {
+        1 - self.idx()
+    }
+}
+
+/// Sentinel for "no limit" (a limit of `usize::MAX` bytes is unreachable).
+const UNLIMITED: usize = usize::MAX;
+
+/// Shared byte budget with atomic reservation/release accounting.
+///
+/// Owned by the engine and handed (via `Arc`) to both the buffer pool and
+/// the Index Buffer Space. A reservation succeeds only if it fits the
+/// requesting component's own cap *and* the shared total; either side can
+/// therefore starve the other of headroom, which is exactly the production
+/// constraint the paper's standalone `L` ignores.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    total_limit: usize,
+    component_limits: [usize; COMPONENTS],
+    used: [AtomicUsize; COMPONENTS],
+    high_water: AtomicUsize,
+    denials: AtomicU64,
+    displacements: AtomicU64,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl MemoryBudget {
+    /// A budget with no caps: every reservation succeeds, usage is still
+    /// tracked. This is the default wiring and preserves the pre-governor
+    /// behaviour of both components.
+    pub fn unlimited() -> Self {
+        MemoryBudget {
+            total_limit: UNLIMITED,
+            component_limits: [UNLIMITED; COMPONENTS],
+            used: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            high_water: AtomicUsize::new(0),
+            denials: AtomicU64::new(0),
+            displacements: AtomicU64::new(0),
+        }
+    }
+
+    /// A budget whose *combined* usage may not exceed `total` bytes.
+    pub fn with_total(total: usize) -> Self {
+        let mut b = Self::unlimited();
+        b.total_limit = total;
+        b
+    }
+
+    /// Caps `component` at `limit` bytes (builder-style).
+    pub fn with_component_limit(mut self, component: BudgetComponent, limit: usize) -> Self {
+        self.component_limits[component.idx()] = limit;
+        self
+    }
+
+    /// The shared total cap, if any.
+    pub fn total_limit(&self) -> Option<usize> {
+        (self.total_limit != UNLIMITED).then_some(self.total_limit)
+    }
+
+    /// The per-component cap, if any.
+    pub fn component_limit(&self, component: BudgetComponent) -> Option<usize> {
+        let limit = self.component_limits[component.idx()];
+        (limit != UNLIMITED).then_some(limit)
+    }
+
+    /// True when neither the total nor `component` carries a cap.
+    pub fn is_unlimited(&self, component: BudgetComponent) -> bool {
+        self.total_limit == UNLIMITED && self.component_limits[component.idx()] == UNLIMITED
+    }
+
+    /// Bytes currently charged to `component`.
+    pub fn used(&self, component: BudgetComponent) -> usize {
+        self.used[component.idx()].load(Ordering::Acquire)
+    }
+
+    /// Combined bytes charged to both components.
+    pub fn total_used(&self) -> usize {
+        self.used.iter().map(|u| u.load(Ordering::Acquire)).sum()
+    }
+
+    /// Bytes `component` may still reserve before a cap denies it
+    /// (`usize::MAX` when unlimited).
+    pub fn headroom(&self, component: BudgetComponent) -> usize {
+        let mine = self.used(component);
+        let component_room = self.component_limits[component.idx()].saturating_sub(mine);
+        let other = self.used[component.other()].load(Ordering::Acquire);
+        let total_room = self.total_limit.saturating_sub(other).saturating_sub(mine);
+        component_room.min(total_room)
+    }
+
+    /// Atomically reserves `bytes` for `component`. Returns `false` (and
+    /// counts a denial) when the reservation would exceed the component cap
+    /// or the shared total.
+    pub fn try_reserve(&self, component: BudgetComponent, bytes: usize) -> bool {
+        let slot = &self.used[component.idx()];
+        let mut mine = slot.load(Ordering::Acquire);
+        loop {
+            let other = self.used[component.other()].load(Ordering::Acquire);
+            let fits = mine.checked_add(bytes).is_some_and(|new| {
+                new <= self.component_limits[component.idx()]
+                    && other
+                        .checked_add(new)
+                        .is_some_and(|t| t <= self.total_limit)
+            });
+            if !fits {
+                self.denials.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            match slot.compare_exchange_weak(
+                mine,
+                mine + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.note_high_water();
+                    return true;
+                }
+                Err(actual) => mine = actual,
+            }
+        }
+    }
+
+    /// Charges `bytes` to `component` unconditionally (no cap check). Used
+    /// for transient overshoot during maintenance, where denying would lose
+    /// updates; the caller is expected to displace back under budget.
+    pub fn charge(&self, component: BudgetComponent, bytes: usize) {
+        self.used[component.idx()].fetch_add(bytes, Ordering::AcqRel);
+        self.note_high_water();
+    }
+
+    /// Releases `bytes` previously reserved or charged to `component`,
+    /// saturating at zero.
+    pub fn release(&self, component: BudgetComponent, bytes: usize) {
+        let slot = &self.used[component.idx()];
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Reconciles `component`'s charge with an externally computed
+    /// footprint (components that mutate structures in place report their
+    /// true [`MemoryUsage::footprint`] here after the fact).
+    pub fn set_component_usage(&self, component: BudgetComponent, bytes: usize) {
+        self.used[component.idx()].store(bytes, Ordering::Release);
+        self.note_high_water();
+    }
+
+    /// Highest combined usage ever observed, in bytes.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Acquire)
+    }
+
+    /// Reservations denied so far.
+    pub fn denials(&self) -> u64 {
+        self.denials.load(Ordering::Relaxed)
+    }
+
+    /// Displacements recorded so far (partition drops + frame evictions).
+    pub fn displacements(&self) -> u64 {
+        self.displacements.load(Ordering::Relaxed)
+    }
+
+    /// Counts `n` displacements performed to make room under this budget.
+    pub fn record_displacements(&self, n: u64) {
+        self.displacements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every governor counter.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            buffer_pool_bytes: self.used(BudgetComponent::BufferPool),
+            index_bytes: self.used(BudgetComponent::IndexSpace),
+            total_limit: self.total_limit(),
+            high_water: self.high_water(),
+            denials: self.denials(),
+            displacements: self.displacements(),
+        }
+    }
+
+    fn note_high_water(&self) {
+        let total = self.total_used();
+        self.high_water.fetch_max(total, Ordering::AcqRel);
+    }
+}
+
+/// Point-in-time governor counters, surfaced through `engine::metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSnapshot {
+    /// Bytes resident in buffer-pool frames.
+    pub buffer_pool_bytes: usize,
+    /// Bytes resident in index-buffer partitions.
+    pub index_bytes: usize,
+    /// The shared total cap, if any.
+    pub total_limit: Option<usize>,
+    /// Highest combined usage observed.
+    pub high_water: usize,
+    /// Reservations denied.
+    pub denials: u64,
+    /// Displacements performed.
+    pub displacements: u64,
+}
+
+impl BudgetSnapshot {
+    /// Combined resident bytes across both components.
+    pub fn total_bytes(&self) -> usize {
+        self.buffer_pool_bytes + self.index_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BudgetComponent::{BufferPool, IndexSpace};
+
+    #[test]
+    fn unlimited_budget_accepts_everything() {
+        let b = MemoryBudget::unlimited();
+        assert!(b.is_unlimited(BufferPool));
+        assert!(b.try_reserve(BufferPool, usize::MAX / 2));
+        assert!(b.try_reserve(IndexSpace, usize::MAX / 2));
+        assert_eq!(b.denials(), 0);
+        assert_eq!(b.total_limit(), None);
+    }
+
+    #[test]
+    fn component_cap_denies_and_counts() {
+        let b = MemoryBudget::unlimited().with_component_limit(IndexSpace, 100);
+        assert!(b.try_reserve(IndexSpace, 60));
+        assert!(
+            !b.try_reserve(IndexSpace, 41),
+            "61..=100 leaves room for 40"
+        );
+        assert!(b.try_reserve(IndexSpace, 40));
+        assert_eq!(b.used(IndexSpace), 100);
+        assert_eq!(b.denials(), 1);
+        assert_eq!(b.headroom(IndexSpace), 0);
+        // The other component is unaffected by a per-component cap.
+        assert!(b.try_reserve(BufferPool, 1_000_000));
+    }
+
+    #[test]
+    fn shared_total_lets_one_component_starve_the_other() {
+        let b = MemoryBudget::with_total(1_000);
+        assert!(b.try_reserve(IndexSpace, 900));
+        assert!(
+            !b.try_reserve(BufferPool, 200),
+            "index growth denies the pool"
+        );
+        assert_eq!(b.headroom(BufferPool), 100);
+        b.release(IndexSpace, 500);
+        assert!(
+            b.try_reserve(BufferPool, 200),
+            "released bytes free the pool"
+        );
+    }
+
+    #[test]
+    fn release_saturates_and_reconcile_overwrites() {
+        let b = MemoryBudget::unlimited();
+        b.charge(IndexSpace, 10);
+        b.release(IndexSpace, 25);
+        assert_eq!(b.used(IndexSpace), 0);
+        b.set_component_usage(IndexSpace, 77);
+        assert_eq!(b.used(IndexSpace), 77);
+    }
+
+    #[test]
+    fn high_water_tracks_combined_peak() {
+        let b = MemoryBudget::unlimited();
+        b.charge(BufferPool, 300);
+        b.charge(IndexSpace, 200);
+        b.release(BufferPool, 300);
+        b.charge(IndexSpace, 50);
+        assert_eq!(b.high_water(), 500);
+        let snap = b.snapshot();
+        assert_eq!(snap.buffer_pool_bytes, 0);
+        assert_eq!(snap.index_bytes, 250);
+        assert_eq!(snap.total_bytes(), 250);
+        assert_eq!(snap.high_water, 500);
+    }
+
+    #[test]
+    fn displacement_counter_accumulates() {
+        let b = MemoryBudget::unlimited();
+        b.record_displacements(2);
+        b.record_displacements(3);
+        assert_eq!(b.displacements(), 5);
+        assert_eq!(b.snapshot().displacements, 5);
+    }
+
+    #[test]
+    fn entry_footprint_is_exact_for_integers() {
+        assert_eq!(entry_footprint(&Value::Int(42)), DEFAULT_ENTRY_FOOTPRINT);
+        assert_eq!(entry_footprint(&Value::Null), ENTRY_BASE_BYTES + 1);
+        assert_eq!(
+            entry_footprint(&Value::from("ORD")),
+            ENTRY_BASE_BYTES + 5 + 3
+        );
+    }
+}

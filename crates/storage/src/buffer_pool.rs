@@ -1,12 +1,17 @@
 //! The database buffer: a fixed set of in-memory frames caching disk pages,
-//! with pinning and pluggable replacement.
+//! with pinning and pluggable displacement.
 //!
 //! The Adaptive Index Buffer "resides within the database buffer" (paper
-//! §III); in this reproduction the Index Buffer Space is accounted in
-//! entries (as the paper's experiments do) while heap pages flow through
-//! this pool, so table-scan I/O behaves like a real system: a scan of a
-//! large table cycles pages through the pool and every unskipped page costs
-//! a disk read once the table exceeds pool capacity.
+//! §III); heap pages flow through this pool, so table-scan I/O behaves like
+//! a real system: a scan of a large table cycles pages through the pool and
+//! every unskipped page costs a disk read once the table exceeds pool
+//! capacity. Resident frames are charged byte-accurately to the shared
+//! [`MemoryBudget`] under [`BudgetComponent::BufferPool`]: claiming a fresh
+//! frame reserves [`PAGE_SIZE`] bytes, and when the governor denies the
+//! reservation the pool displaces a resident page instead (byte-neutral),
+//! so index-buffer growth on the other side of the budget shrinks the
+//! pool's effective working set — the co-tenancy the paper assumes by
+//! placing the Index Buffer *inside* the database buffer.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -14,9 +19,10 @@ use std::sync::Arc;
 
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
 
+use crate::budget::{BudgetComponent, MemoryBudget, MemoryUsage};
 use crate::disk::{DiskManager, PAGE_SIZE};
 use crate::error::StorageError;
-use crate::replacement::{FrameId, LruPolicy, ReplacementPolicy};
+use crate::replacement::{DisplacementPolicy, FrameId, LruPolicy};
 use crate::rid::PageId;
 use crate::stats::IoStats;
 
@@ -24,22 +30,35 @@ use crate::stats::IoStats;
 pub struct BufferPoolConfig {
     /// Number of page frames.
     pub frames: usize,
-    /// Replacement policy; defaults to LRU.
-    pub policy: Box<dyn ReplacementPolicy>,
+    /// Displacement policy; defaults to LRU.
+    pub policy: Box<dyn DisplacementPolicy>,
+    /// Shared memory governor; defaults to an unlimited budget.
+    pub budget: Arc<MemoryBudget>,
 }
 
 impl BufferPoolConfig {
-    /// A pool with `frames` frames and LRU replacement.
+    /// A pool with `frames` frames and LRU displacement.
     pub fn lru(frames: usize) -> Self {
         BufferPoolConfig {
             frames,
             policy: Box::new(LruPolicy::new()),
+            budget: Arc::new(MemoryBudget::unlimited()),
         }
     }
 
     /// A pool with `frames` frames and the given policy.
-    pub fn with_policy(frames: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
-        BufferPoolConfig { frames, policy }
+    pub fn with_policy(frames: usize, policy: Box<dyn DisplacementPolicy>) -> Self {
+        BufferPoolConfig {
+            frames,
+            policy,
+            budget: Arc::new(MemoryBudget::unlimited()),
+        }
+    }
+
+    /// Attaches a shared memory governor (builder-style).
+    pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -51,12 +70,24 @@ struct FrameCell {
     data: Box<[u8; PAGE_SIZE]>,
 }
 
+impl MemoryUsage for FrameCell {
+    /// A frame costs a full page image while it holds one, nothing while
+    /// free (the backing allocation is reusable capacity, not residency).
+    fn footprint(&self) -> usize {
+        if self.page.is_some() {
+            PAGE_SIZE
+        } else {
+            0
+        }
+    }
+}
+
 /// Pool bookkeeping guarded by a single mutex (the frame *contents* are
 /// guarded per-frame, so I/O and page reads proceed without this lock).
 struct PoolState {
     page_table: HashMap<PageId, FrameId>,
     free: Vec<FrameId>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: Box<dyn DisplacementPolicy>,
 }
 
 /// The buffer pool. Cheaply shareable via [`Arc`]; page guards keep their
@@ -70,6 +101,7 @@ pub struct BufferPool {
     state: Mutex<PoolState>,
     disk: Mutex<DiskManager>,
     stats: Arc<IoStats>,
+    budget: Arc<MemoryBudget>,
 }
 
 impl BufferPool {
@@ -99,12 +131,18 @@ impl BufferPool {
             }),
             disk: Mutex::new(disk),
             stats,
+            budget: config.budget,
         })
     }
 
     /// The shared I/O statistics (same sink the disk manager reports to).
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The shared memory governor this pool charges its frames to.
+    pub fn budget(&self) -> Arc<MemoryBudget> {
+        Arc::clone(&self.budget)
     }
 
     /// Number of frames.
@@ -262,7 +300,9 @@ impl BufferPool {
                 Ok((frame, guard))
             }
             Err(e) => {
-                // Undo the mapping: the frame now holds garbage.
+                // Undo the mapping: the frame now holds garbage. Returning
+                // it to the free list ends its residency, so its page image
+                // comes off the governor's books.
                 let mut state = self.state.lock();
                 state.page_table.remove(&pid);
                 self.pins[frame].fetch_sub(1, Ordering::Release);
@@ -270,6 +310,7 @@ impl BufferPool {
                 state.free.push(frame);
                 guard.page = None;
                 guard.dirty = false;
+                self.budget.release(BudgetComponent::BufferPool, PAGE_SIZE);
                 Err(e)
             }
         }
@@ -296,12 +337,39 @@ impl BufferPool {
             return Ok((frame, guard));
         }
         self.stats.record_miss();
+        // Occupying a fresh frame grows resident bytes by one page image and
+        // must clear the governor; displacing swaps one resident page for
+        // another (byte-neutral), so it needs no reservation. A denied
+        // reservation therefore degrades into displacement: the pool keeps
+        // working, just with a smaller working set.
         let frame = match state.free.pop() {
-            Some(f) => f,
-            None => state
-                .policy
-                .evict(&|f| self.pins[f].load(Ordering::Acquire) > 0)
-                .ok_or(StorageError::PoolExhausted)?,
+            Some(f)
+                if self
+                    .budget
+                    .try_reserve(BudgetComponent::BufferPool, PAGE_SIZE) =>
+            {
+                f
+            }
+            Some(f) => match self.displace_from(&mut state) {
+                Ok(victim) => {
+                    state.free.push(f);
+                    victim
+                }
+                // Every resident page is pinned (e.g. a scan batch holds
+                // them) but physical capacity exists: overshoot the governor
+                // rather than fail a fetch real frames could serve. The
+                // charge keeps accounting exact; later claims are denied
+                // into displacement until the overshoot is worked off.
+                Err(StorageError::PoolExhausted) => {
+                    self.budget.charge(BudgetComponent::BufferPool, PAGE_SIZE);
+                    f
+                }
+                Err(e) => {
+                    state.free.push(f);
+                    return Err(e);
+                }
+            },
+            None => self.displace_from(&mut state)?,
         };
         // Unpinned frames have no guard holders, so this cannot block while
         // we hold the state lock.
@@ -315,8 +383,18 @@ impl BufferPool {
         Ok((frame, guard))
     }
 
+    /// Picks a displacement victim, counting it against the governor.
+    fn displace_from(&self, state: &mut PoolState) -> Result<FrameId, StorageError> {
+        let frame = state
+            .policy
+            .displace(&|f| self.pins[f].load(Ordering::Acquire) > 0)
+            .ok_or(StorageError::PoolExhausted)?;
+        self.budget.record_displacements(1);
+        Ok(frame)
+    }
+
     /// Unpins a frame (guard drop). Lock-free: pin counts are atomics, and
-    /// eviction double-checks them under the state lock.
+    /// displacement double-checks them under the state lock.
     fn unpin(&self, frame: FrameId) {
         let prev = self.pins[frame].fetch_sub(1, Ordering::Release);
         debug_assert!(prev > 0, "unpin without pin");
@@ -332,6 +410,15 @@ impl BufferPool {
             }
         }
         Ok(())
+    }
+}
+
+impl MemoryUsage for BufferPool {
+    /// Bytes resident across all occupied frames (free frames cost nothing;
+    /// see `FrameCell`'s impl).
+    fn footprint(&self) -> usize {
+        let free = self.state.lock().free.len();
+        (self.frames.len() - free) * PAGE_SIZE
     }
 }
 
@@ -592,6 +679,77 @@ mod tests {
         for (i, pid) in pids.iter().enumerate() {
             assert_eq!(pool.fetch_read(*pid).unwrap()[0], i as u8);
         }
+    }
+
+    #[test]
+    fn budget_denial_shrinks_working_set_instead_of_failing() {
+        // 4 frames, but the governor only grants two page images: the pool
+        // must displace within a 2-page working set and never touch the
+        // other two frames.
+        let budget = Arc::new(
+            MemoryBudget::unlimited()
+                .with_component_limit(BudgetComponent::BufferPool, 2 * PAGE_SIZE),
+        );
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(4).with_budget(Arc::clone(&budget)),
+        );
+        let mut pids = Vec::new();
+        for i in 0..6u8 {
+            let (pid, mut w) = pool.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        assert_eq!(budget.used(BudgetComponent::BufferPool), 2 * PAGE_SIZE);
+        assert_eq!(pool.footprint(), 2 * PAGE_SIZE, "two frames stay free");
+        assert!(budget.denials() >= 4, "third..sixth page denied a frame");
+        assert!(
+            budget.displacements() >= 4,
+            "denials degrade to displacement"
+        );
+        // Data still correct through the shrunken pool.
+        for (i, pid) in pids.iter().enumerate() {
+            assert_eq!(pool.fetch_read(*pid).unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn pinned_working_set_overshoots_budget_instead_of_failing() {
+        // One-page budget, but the only resident page is pinned when the
+        // second claim arrives: with free frames available the pool must
+        // charge the overshoot and serve the fetch, not error.
+        let budget = Arc::new(
+            MemoryBudget::unlimited().with_component_limit(BudgetComponent::BufferPool, PAGE_SIZE),
+        );
+        let pool = BufferPool::new(
+            DiskManager::new(CostModel::free()),
+            BufferPoolConfig::lru(2).with_budget(Arc::clone(&budget)),
+        );
+        let (_p0, g0) = pool.new_page().unwrap();
+        let (_p1, g1) = pool.new_page().unwrap();
+        assert_eq!(
+            budget.used(BudgetComponent::BufferPool),
+            2 * PAGE_SIZE,
+            "overshoot is charged exactly"
+        );
+        assert!(budget.denials() >= 1);
+        drop((g0, g1));
+        // With pins released, further growth is denied back into
+        // displacement: residency does not keep climbing.
+        let (_p2, g2) = pool.new_page().unwrap();
+        drop(g2);
+        assert_eq!(budget.used(BudgetComponent::BufferPool), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn unlimited_budget_tracks_resident_bytes() {
+        let pool = pool(4);
+        let budget = pool.budget();
+        let (_pid, w) = pool.new_page().unwrap();
+        drop(w);
+        assert_eq!(budget.used(BudgetComponent::BufferPool), PAGE_SIZE);
+        assert_eq!(budget.high_water(), PAGE_SIZE);
+        assert_eq!(pool.footprint(), PAGE_SIZE);
     }
 
     #[test]

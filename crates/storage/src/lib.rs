@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod buffer_pool;
 pub mod disk;
 pub mod error;
 pub mod freespace;
 pub mod heap;
+pub mod lruk;
 pub mod page;
 pub mod replacement;
 pub mod rid;
@@ -28,11 +30,17 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use budget::{
+    entry_footprint, BudgetComponent, BudgetSnapshot, MemoryBudget, MemoryUsage,
+    DEFAULT_ENTRY_FOOTPRINT, ENTRY_BASE_BYTES,
+};
 pub use buffer_pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard};
 pub use disk::{CostModel, DiskManager, PAGE_SIZE};
 pub use error::StorageError;
 pub use heap::HeapFile;
+pub use lruk::AccessHistory;
 pub use page::SlottedPage;
+pub use replacement::{DisplacementPolicy, FrameId};
 pub use rid::{PageId, Rid, SlotId};
 pub use schema::{Column, ColumnType, Schema};
 pub use stats::IoStats;

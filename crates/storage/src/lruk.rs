@@ -1,0 +1,181 @@
+//! The one LRU-K access history shared by every layer.
+//!
+//! The paper reuses O'Neil et al.'s LRU-K access-interval idea (its ref. 5)
+//! twice: the buffer pool can replace pages by backward K-distance, and the
+//! Index Buffer derives per-buffer use frequencies from the mean access
+//! interval (§IV-B, Table II). Both views are projections of the same
+//! K-bounded timestamp history, so both layers share [`AccessHistory`]:
+//!
+//! * `backward_k_distance(now)` — the page-replacement key: how far in the
+//!   past the K-th most recent access lies (`None` while fewer than K
+//!   accesses are recorded, which LRU-K treats as infinite distance).
+//! * `mean_interval(now)` — the Index Buffer key: the average gap between
+//!   retained accesses, floored at one tick so a freshly used buffer never
+//!   reports an infinite use frequency.
+//!
+//! Timestamps are caller-supplied logical clocks: the buffer pool advances
+//! one shared clock per access, while the Index Buffer advances one clock
+//! per query (Table II semantics). The history itself is clock-agnostic.
+
+use std::collections::VecDeque;
+
+/// A bounded history of the K most recent access timestamps.
+#[derive(Debug, Clone)]
+pub struct AccessHistory {
+    k: usize,
+    /// Retained access timestamps, most recent first.
+    stamps: VecDeque<u64>,
+    uses: u64,
+}
+
+impl AccessHistory {
+    /// Creates an empty history retaining the `k` most recent accesses.
+    ///
+    /// # Panics
+    /// If `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "LRU-K requires k >= 1");
+        AccessHistory {
+            k,
+            stamps: VecDeque::with_capacity(k),
+            uses: 0,
+        }
+    }
+
+    /// The configured history depth K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Records an access at logical time `now`, discarding the oldest
+    /// retained timestamp once more than K are held.
+    pub fn record(&mut self, now: u64) {
+        self.uses += 1;
+        self.stamps.push_front(now);
+        self.stamps.truncate(self.k);
+    }
+
+    /// Number of retained timestamps (at most K).
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True when no access has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Total accesses ever recorded (not capped at K).
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+
+    /// Timestamp of the most recent access.
+    pub fn newest(&self) -> Option<u64> {
+        self.stamps.front().copied()
+    }
+
+    /// Timestamp of the oldest *retained* access (the K-th most recent once
+    /// the history is full).
+    pub fn oldest(&self) -> Option<u64> {
+        self.stamps.back().copied()
+    }
+
+    /// Backward K-distance at time `now`: `now` minus the K-th most recent
+    /// access. `None` while fewer than K accesses are recorded — LRU-K
+    /// treats that as infinite distance (displace first).
+    pub fn backward_k_distance(&self, now: u64) -> Option<u64> {
+        if self.stamps.len() < self.k {
+            return None;
+        }
+        self.oldest().map(|oldest| now.saturating_sub(oldest))
+    }
+
+    /// Mean interval between retained accesses at time `now`, floored at
+    /// `1.0` tick (Table II floors T_B so frequencies stay finite). `None`
+    /// until the first access.
+    ///
+    /// The interval sum telescopes, so the mean is simply
+    /// `(now - oldest) / len` — no per-interval bookkeeping needed.
+    pub fn mean_interval(&self, now: u64) -> Option<f64> {
+        let oldest = self.oldest()?;
+        let mean = now.saturating_sub(oldest) as f64 / self.stamps.len() as f64;
+        Some(mean.max(1.0))
+    }
+
+    /// The retained access intervals at time `now`, most recent first:
+    /// `now - t_0, t_0 - t_1, …` for timestamps `t_0 > t_1 > …`.
+    pub fn intervals(&self, now: u64) -> impl Iterator<Item = u64> + '_ {
+        std::iter::once(now)
+            .chain(self.stamps.iter().copied())
+            .zip(self.stamps.iter().copied())
+            .map(|(later, earlier)| later.saturating_sub(earlier))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_reports_nothing() {
+        let h = AccessHistory::new(2);
+        assert!(h.is_empty());
+        assert_eq!(h.uses(), 0);
+        assert_eq!(h.mean_interval(10), None);
+        assert_eq!(h.backward_k_distance(10), None);
+        assert_eq!(h.intervals(10).count(), 0);
+    }
+
+    #[test]
+    fn record_bounds_retained_stamps_at_k() {
+        let mut h = AccessHistory::new(2);
+        for now in [1, 2, 3, 4] {
+            h.record(now);
+        }
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.uses(), 4);
+        assert_eq!(h.newest(), Some(4));
+        assert_eq!(h.oldest(), Some(3));
+    }
+
+    #[test]
+    fn backward_k_distance_is_infinite_below_k() {
+        let mut h = AccessHistory::new(2);
+        h.record(5);
+        assert_eq!(h.backward_k_distance(9), None, "one access, K=2");
+        h.record(7);
+        assert_eq!(h.backward_k_distance(9), Some(4));
+    }
+
+    #[test]
+    fn mean_interval_telescopes_and_floors() {
+        let mut h = AccessHistory::new(3);
+        h.record(0);
+        h.record(2);
+        // Intervals at now=2: [0, 2] -> mean 1.0.
+        assert_eq!(h.mean_interval(2), Some(1.0));
+        // Intervals at now=3: [1, 2] -> mean 1.5.
+        assert_eq!(h.mean_interval(3), Some(1.5));
+        // A burst at one instant floors at 1.0 rather than reporting 0.
+        let mut b = AccessHistory::new(3);
+        b.record(4);
+        b.record(4);
+        assert_eq!(b.mean_interval(4), Some(1.0));
+    }
+
+    #[test]
+    fn intervals_enumerate_most_recent_first() {
+        let mut h = AccessHistory::new(3);
+        h.record(1);
+        h.record(4);
+        h.record(6);
+        assert_eq!(h.intervals(9).collect::<Vec<_>>(), vec![3, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_is_rejected() {
+        AccessHistory::new(0);
+    }
+}

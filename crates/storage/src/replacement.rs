@@ -1,33 +1,50 @@
-//! Pluggable page-replacement policies for the buffer pool.
+//! Pluggable displacement policies.
 //!
-//! Three classics are provided: LRU, Clock (second chance), and LRU-K —
-//! the paper cites O'Neil et al.'s LRU-K (its ref. 5) and reuses its access-interval
-//! idea for Index Buffer benefit accounting (see `aib-core::history`).
+//! One trait serves both places the system throws memory overboard: the
+//! buffer pool displacing page frames, and the Index Buffer Space displacing
+//! partitions (Algorithm 2's benefit-weighted victim selection lives in
+//! `aib-core::space` but implements the same [`DisplacementPolicy`] trait).
+//! Three classic frame policies are provided here: LRU, Clock (second
+//! chance), and LRU-K — the paper cites O'Neil et al.'s LRU-K (its ref. 5)
+//! and reuses its access-interval idea for Index Buffer benefit accounting,
+//! so [`LruKPolicy`] shares the [`crate::lruk::AccessHistory`]
+//! implementation with `aib-core::history`.
 
 use std::collections::{BTreeMap, HashMap};
+
+use crate::lruk::AccessHistory;
 
 /// Frame index within the buffer pool.
 pub type FrameId = usize;
 
-/// A page-replacement policy.
+/// A displacement policy over abstract resource ids (buffer-pool frames or
+/// index-buffer slots).
 ///
-/// The pool calls [`record_access`](ReplacementPolicy::record_access) on
-/// every fetch and [`evict`](ReplacementPolicy::evict) when it needs a frame;
-/// `evict` must skip frames for which `pinned` returns true and must forget
-/// the frame it returns (the pool re-registers it on the next access).
-pub trait ReplacementPolicy: Send {
-    /// Notes that `frame` was just accessed.
-    fn record_access(&mut self, frame: FrameId);
-    /// Picks an unpinned victim frame and removes it from the policy's
-    /// bookkeeping, or returns `None` if every tracked frame is pinned.
-    fn evict(&mut self, pinned: &dyn Fn(FrameId) -> bool) -> Option<FrameId>;
-    /// Forgets `frame` entirely (frame freed outside eviction).
-    fn remove(&mut self, frame: FrameId);
+/// The owner calls [`record_access`](DisplacementPolicy::record_access) on
+/// every use and [`displace`](DisplacementPolicy::displace) when it needs
+/// room; `displace` must skip ids for which `blocked` returns true and must
+/// forget the id it returns (the owner re-registers it on the next access).
+/// Benefit-aware policies additionally receive
+/// [`record_weight`](DisplacementPolicy::record_weight) updates; recency
+/// policies ignore them.
+pub trait DisplacementPolicy: Send {
+    /// Notes that `id` was just accessed.
+    fn record_access(&mut self, id: FrameId);
+    /// Notes the current benefit weight of `id` — larger weights displace
+    /// later. Pure-recency policies ignore this (default no-op).
+    fn record_weight(&mut self, id: FrameId, weight: f64) {
+        let _ = (id, weight);
+    }
+    /// Picks an unblocked victim id and removes it from the policy's
+    /// bookkeeping, or returns `None` if every tracked id is blocked.
+    fn displace(&mut self, blocked: &dyn Fn(FrameId) -> bool) -> Option<FrameId>;
+    /// Forgets `id` entirely (resource freed outside displacement).
+    fn remove(&mut self, id: FrameId);
     /// Human-readable policy name.
     fn name(&self) -> &'static str;
 }
 
-/// Least-recently-used replacement.
+/// Least-recently-used displacement.
 #[derive(Debug, Default)]
 pub struct LruPolicy {
     clock: u64,
@@ -42,30 +59,30 @@ impl LruPolicy {
     }
 }
 
-impl ReplacementPolicy for LruPolicy {
-    fn record_access(&mut self, frame: FrameId) {
-        if let Some(old) = self.stamp_of.remove(&frame) {
+impl DisplacementPolicy for LruPolicy {
+    fn record_access(&mut self, id: FrameId) {
+        if let Some(old) = self.stamp_of.remove(&id) {
             self.by_stamp.remove(&old);
         }
         self.clock += 1;
-        self.stamp_of.insert(frame, self.clock);
-        self.by_stamp.insert(self.clock, frame);
+        self.stamp_of.insert(id, self.clock);
+        self.by_stamp.insert(self.clock, id);
     }
 
-    fn evict(&mut self, pinned: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
+    fn displace(&mut self, blocked: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
         let victim = self
             .by_stamp
             .iter()
-            .map(|(&stamp, &frame)| (stamp, frame))
-            .find(|&(_, frame)| !pinned(frame));
-        let (stamp, frame) = victim?;
+            .map(|(&stamp, &id)| (stamp, id))
+            .find(|&(_, id)| !blocked(id));
+        let (stamp, id) = victim?;
         self.by_stamp.remove(&stamp);
-        self.stamp_of.remove(&frame);
-        Some(frame)
+        self.stamp_of.remove(&id);
+        Some(id)
     }
 
-    fn remove(&mut self, frame: FrameId) {
-        if let Some(stamp) = self.stamp_of.remove(&frame) {
+    fn remove(&mut self, id: FrameId) {
+        if let Some(stamp) = self.stamp_of.remove(&id) {
             self.by_stamp.remove(&stamp);
         }
     }
@@ -75,7 +92,7 @@ impl ReplacementPolicy for LruPolicy {
     }
 }
 
-/// Clock (second chance) replacement over a fixed frame count.
+/// Clock (second chance) displacement over a fixed id count.
 #[derive(Debug)]
 pub struct ClockPolicy {
     referenced: Vec<bool>,
@@ -84,7 +101,7 @@ pub struct ClockPolicy {
 }
 
 impl ClockPolicy {
-    /// Creates a clock over `capacity` frames.
+    /// Creates a clock over `capacity` ids.
     pub fn new(capacity: usize) -> Self {
         ClockPolicy {
             referenced: vec![false; capacity],
@@ -94,23 +111,23 @@ impl ClockPolicy {
     }
 }
 
-impl ReplacementPolicy for ClockPolicy {
-    fn record_access(&mut self, frame: FrameId) {
-        self.referenced[frame] = true;
-        self.present[frame] = true;
+impl DisplacementPolicy for ClockPolicy {
+    fn record_access(&mut self, id: FrameId) {
+        self.referenced[id] = true;
+        self.present[id] = true;
     }
 
-    fn evict(&mut self, pinned: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
+    fn displace(&mut self, blocked: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
         let n = self.referenced.len();
         if n == 0 {
             return None;
         }
         // Two sweeps suffice: the first clears reference bits, the second
-        // must find an unreferenced, unpinned, present frame if one exists.
+        // must find an unreferenced, unblocked, present id if one exists.
         for _ in 0..2 * n {
             let f = self.hand;
             self.hand = (self.hand + 1) % n;
-            if !self.present[f] || pinned(f) {
+            if !self.present[f] || blocked(f) {
                 continue;
             }
             if self.referenced[f] {
@@ -123,9 +140,9 @@ impl ReplacementPolicy for ClockPolicy {
         None
     }
 
-    fn remove(&mut self, frame: FrameId) {
-        self.present[frame] = false;
-        self.referenced[frame] = false;
+    fn remove(&mut self, id: FrameId) {
+        self.present[id] = false;
+        self.referenced[id] = false;
     }
 
     fn name(&self) -> &'static str {
@@ -133,15 +150,15 @@ impl ReplacementPolicy for ClockPolicy {
     }
 }
 
-/// LRU-K replacement (O'Neil, O'Neil, Weikum; SIGMOD'93): evicts the frame
-/// whose K-th most recent access lies furthest in the past. Frames with
-/// fewer than K recorded accesses have infinite backward K-distance and are
-/// evicted first, oldest first.
+/// LRU-K displacement (O'Neil, O'Neil, Weikum; SIGMOD'93): displaces the id
+/// whose K-th most recent access lies furthest in the past. Ids with fewer
+/// than K recorded accesses have infinite backward K-distance and are
+/// displaced first, oldest first.
 #[derive(Debug)]
 pub struct LruKPolicy {
     k: usize,
     clock: u64,
-    history: HashMap<FrameId, Vec<u64>>,
+    history: HashMap<FrameId, AccessHistory>,
 }
 
 impl LruKPolicy {
@@ -159,41 +176,45 @@ impl LruKPolicy {
     }
 }
 
-impl ReplacementPolicy for LruKPolicy {
-    fn record_access(&mut self, frame: FrameId) {
+impl DisplacementPolicy for LruKPolicy {
+    fn record_access(&mut self, id: FrameId) {
         self.clock += 1;
-        let h = self.history.entry(frame).or_default();
-        h.push(self.clock);
         let k = self.k;
-        if h.len() > k {
-            h.remove(0);
-        }
+        self.history
+            .entry(id)
+            .or_insert_with(|| AccessHistory::new(k))
+            .record(self.clock);
     }
 
-    fn evict(&mut self, pinned: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
-        // Candidate key: (has fewer than K accesses, backward distance,
-        // oldest first-access) — max wins.
-        let mut best: Option<(bool, u64, u64, FrameId)> = None;
-        for (&frame, h) in &self.history {
-            if pinned(frame) {
+    fn displace(&mut self, blocked: &dyn Fn(FrameId) -> bool) -> Option<FrameId> {
+        // Candidate key: (has fewer than K accesses, backward K-distance) —
+        // max wins. Access stamps are unique, so distances break every tie
+        // among full histories; among short histories the distance to the
+        // oldest retained stamp prefers the longest-idle id, matching LRU-K's
+        // "infinite distance, oldest first" rule.
+        let mut best: Option<(bool, u64, FrameId)> = None;
+        for (&id, h) in &self.history {
+            if blocked(id) {
                 continue;
             }
-            let infinite = h.len() < self.k;
-            let kth = *h.first().expect("history entries are never empty");
-            let dist = self.clock - kth;
-            let age = u64::MAX - kth; // older first access -> larger age
-            let key = (infinite, dist, age, frame);
-            if best.is_none_or(|b| (key.0, key.1, key.2) > (b.0, b.1, b.2)) {
-                best = Some(key);
+            let (infinite, dist) = match h.backward_k_distance(self.clock) {
+                Some(d) => (false, d),
+                None => (
+                    true,
+                    self.clock - h.oldest().expect("tracked ids have accesses"),
+                ),
+            };
+            if best.is_none_or(|b| (infinite, dist) > (b.0, b.1)) {
+                best = Some((infinite, dist, id));
             }
         }
-        let (_, _, _, frame) = best?;
-        self.history.remove(&frame);
-        Some(frame)
+        let (_, _, id) = best?;
+        self.history.remove(&id);
+        Some(id)
     }
 
-    fn remove(&mut self, frame: FrameId) {
-        self.history.remove(&frame);
+    fn remove(&mut self, id: FrameId) {
+        self.history.remove(&id);
     }
 
     fn name(&self) -> &'static str {
@@ -205,30 +226,30 @@ impl ReplacementPolicy for LruKPolicy {
 mod tests {
     use super::*;
 
-    fn none_pinned(_: FrameId) -> bool {
+    fn none_blocked(_: FrameId) -> bool {
         false
     }
 
     #[test]
-    fn lru_evicts_least_recent() {
+    fn lru_displaces_least_recent() {
         let mut p = LruPolicy::new();
         p.record_access(0);
         p.record_access(1);
         p.record_access(2);
         p.record_access(0); // refresh 0
-        assert_eq!(p.evict(&none_pinned), Some(1));
-        assert_eq!(p.evict(&none_pinned), Some(2));
-        assert_eq!(p.evict(&none_pinned), Some(0));
-        assert_eq!(p.evict(&none_pinned), None);
+        assert_eq!(p.displace(&none_blocked), Some(1));
+        assert_eq!(p.displace(&none_blocked), Some(2));
+        assert_eq!(p.displace(&none_blocked), Some(0));
+        assert_eq!(p.displace(&none_blocked), None);
     }
 
     #[test]
-    fn lru_skips_pinned() {
+    fn lru_skips_blocked() {
         let mut p = LruPolicy::new();
         p.record_access(0);
         p.record_access(1);
-        assert_eq!(p.evict(&|f| f == 0), Some(1));
-        assert_eq!(p.evict(&|f| f == 0), None);
+        assert_eq!(p.displace(&|f| f == 0), Some(1));
+        assert_eq!(p.displace(&|f| f == 0), None);
     }
 
     #[test]
@@ -237,8 +258,17 @@ mod tests {
         p.record_access(0);
         p.record_access(1);
         p.remove(0);
-        assert_eq!(p.evict(&none_pinned), Some(1));
-        assert_eq!(p.evict(&none_pinned), None);
+        assert_eq!(p.displace(&none_blocked), Some(1));
+        assert_eq!(p.displace(&none_blocked), None);
+    }
+
+    #[test]
+    fn weights_are_ignored_by_recency_policies() {
+        let mut p = LruPolicy::new();
+        p.record_access(0);
+        p.record_access(1);
+        p.record_weight(0, 1e9); // LRU doesn't care how beneficial 0 is
+        assert_eq!(p.displace(&none_blocked), Some(0));
     }
 
     #[test]
@@ -247,40 +277,40 @@ mod tests {
         p.record_access(0);
         p.record_access(1);
         p.record_access(2);
-        // All referenced; first sweep clears bits, second evicts frame 0.
-        assert_eq!(p.evict(&none_pinned), Some(0));
+        // All referenced; first sweep clears bits, second displaces frame 0.
+        assert_eq!(p.displace(&none_blocked), Some(0));
         // Re-referencing 1 saves it over 2.
         p.record_access(1);
-        assert_eq!(p.evict(&none_pinned), Some(2));
+        assert_eq!(p.displace(&none_blocked), Some(2));
     }
 
     #[test]
-    fn clock_all_pinned_returns_none() {
+    fn clock_all_blocked_returns_none() {
         let mut p = ClockPolicy::new(2);
         p.record_access(0);
         p.record_access(1);
-        assert_eq!(p.evict(&|_| true), None);
+        assert_eq!(p.displace(&|_| true), None);
     }
 
     #[test]
     fn clock_empty_returns_none() {
         let mut p = ClockPolicy::new(0);
-        assert_eq!(p.evict(&none_pinned), None);
+        assert_eq!(p.displace(&none_blocked), None);
     }
 
     #[test]
-    fn lruk_prefers_frames_without_k_accesses() {
+    fn lruk_prefers_ids_without_k_accesses() {
         let mut p = LruKPolicy::new(2);
         p.record_access(0);
         p.record_access(0); // 0 has K=2 accesses
         p.record_access(1); // 1 has 1 access -> infinite distance
         p.record_access(2);
         p.record_access(2);
-        assert_eq!(p.evict(&none_pinned), Some(1));
+        assert_eq!(p.displace(&none_blocked), Some(1));
     }
 
     #[test]
-    fn lruk_evicts_largest_backward_k_distance() {
+    fn lruk_displaces_largest_backward_k_distance() {
         let mut p = LruKPolicy::new(2);
         for _ in 0..2 {
             p.record_access(0);
@@ -289,9 +319,9 @@ mod tests {
             p.record_access(1);
         }
         // 0's 2nd-last access is older than 1's.
-        assert_eq!(p.evict(&none_pinned), Some(0));
-        assert_eq!(p.evict(&none_pinned), Some(1));
-        assert_eq!(p.evict(&none_pinned), None);
+        assert_eq!(p.displace(&none_blocked), Some(0));
+        assert_eq!(p.displace(&none_blocked), Some(1));
+        assert_eq!(p.displace(&none_blocked), None);
     }
 
     #[test]
@@ -309,8 +339,8 @@ mod tests {
         p.record_access(1);
         // 0's K-th most recent (2nd-last) access is very recent; 1's is
         // also recent. 0 survived the burst; 1's kth = access 13. 0's kth =
-        // access 11. So 0 is evicted despite being touched 10 times.
-        assert_eq!(p.evict(&none_pinned), Some(0));
+        // access 11. So 0 is displaced despite being touched 10 times.
+        assert_eq!(p.displace(&none_blocked), Some(0));
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn main() {
             max_entries: Some((spec.rows as f64 * 1.6) as usize),
             i_max: (spec.rows / 100) as u32,
             seed: 5,
+            ..Default::default()
         },
         ..Default::default()
     });

@@ -55,6 +55,7 @@ fn experiment1_workload_is_correct_and_converges() {
         max_entries: None,
         i_max: 100,
         seed: 1,
+        ..Default::default()
     };
     let (mut db, spec) = eval_db(20_000, space);
     let queries = experiment1_queries(&spec, 60, 5);
@@ -94,6 +95,7 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
         max_entries: Some(bound),
         i_max: 200,
         seed: 2,
+        ..Default::default()
     };
     let (mut db, spec) = eval_db(rows, space);
     let queries = experiment3_queries(&spec, 200, 9);
@@ -129,6 +131,7 @@ fn dml_between_queries_never_breaks_results() {
         max_entries: None,
         i_max: 1_000_000,
         seed: 3,
+        ..Default::default()
     };
     let (mut db, spec) = eval_db(5_000, space);
     // Warm the buffer for column A.
@@ -191,6 +194,7 @@ fn counters_match_ground_truth_after_mixed_workload() {
         max_entries: Some(4_000),
         i_max: 50,
         seed: 4,
+        ..Default::default()
     };
     let (mut db, spec) = eval_db(5_000, space);
     // Mixed queries warm up all three buffers against the bound.
@@ -244,6 +248,7 @@ fn range_queries_agree_with_ground_truth_across_coverage_boundary() {
         max_entries: None,
         i_max: 1_000_000,
         seed: 5,
+        ..Default::default()
     };
     let (mut db, spec) = eval_db(5_000, space);
     let (_, chi) = spec.covered_range();

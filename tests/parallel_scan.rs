@@ -20,6 +20,7 @@ fn build_db(scan_threads: usize) -> (Database, Vec<Rid>) {
             max_entries: Some(2_500),
             i_max: 60,
             seed: 11,
+            ..Default::default()
         },
         scan_threads,
         ..Default::default()

@@ -45,6 +45,7 @@ fn build(seed_rows: usize, bound: Option<usize>) -> (Database, Vec<Rid>) {
             max_entries: bound,
             i_max: 4,
             seed: 99,
+            ..Default::default()
         },
         ..Default::default()
     });

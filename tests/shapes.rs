@@ -78,6 +78,7 @@ fn fig6_shape_buffer_beats_scan_and_reaches_index_level() {
         max_entries: None,
         i_max,
         seed: 6,
+        ..Default::default()
     };
 
     let mut buffered = build(&spec, space, Some(BufferConfig::default()), &["A"]);
@@ -117,6 +118,7 @@ fn fig7_shape_imax_and_space_bound() {
             max_entries: None,
             i_max,
             seed: 7,
+            ..Default::default()
         };
         let mut db = build(&spec, space, Some(BufferConfig::default()), &["A"]);
         let rec = run(&mut db, &queries);
@@ -137,6 +139,7 @@ fn fig7_shape_imax_and_space_bound() {
             max_entries,
             i_max,
             seed: 7,
+            ..Default::default()
         };
         let mut db = build(&spec, space, Some(BufferConfig::default()), &["A"]);
         let rec = run(&mut db, &queries);
@@ -168,6 +171,7 @@ fn fig8_shape_allocation_flips_with_the_mix() {
         max_entries: Some(l),
         i_max,
         seed: 8,
+        ..Default::default()
     };
     let buffer = BufferConfig {
         partition_pages: p,

@@ -257,6 +257,7 @@ impl EngineFixture {
                 max_entries: None,
                 i_max: 100_000,
                 seed: 5,
+                ..Default::default()
             },
             ..Default::default()
         });
