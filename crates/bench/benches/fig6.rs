@@ -64,7 +64,7 @@ fn main() {
     // index over the whole domain answers every query.
     let mut ix_db = timed("populate index-baseline db", || {
         let mut db = Database::new(engine_config_for(&spec, space));
-        db.create_table(TABLE, spec.schema());
+        db.create_table(TABLE, spec.schema()).unwrap();
         for t in spec.tuples() {
             db.insert(TABLE, &t).unwrap();
         }

@@ -63,7 +63,7 @@ fn bench_maintenance(c: &mut Criterion) {
                 Rid::new(page, (1000 + i % 1000) as u16),
                 page,
             );
-            black_box(maintain(
+            let _ = black_box(maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,
@@ -85,7 +85,7 @@ fn bench_maintenance(c: &mut Criterion) {
                 Rid::new(page, (i % 1000) as u16),
                 page,
             );
-            black_box(maintain(
+            let _ = black_box(maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,
@@ -106,7 +106,7 @@ fn bench_maintenance(c: &mut Criterion) {
                 Rid::new(700 + (i % 100), (i / 100 % 1000) as u16),
                 700 + (i % 100),
             );
-            black_box(maintain(
+            let _ = black_box(maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,
@@ -127,7 +127,7 @@ fn bench_maintenance(c: &mut Criterion) {
             // Insert a fresh entry, then move it — measures add+update pair.
             let v = Value::Int(700_000 + i64::from(i));
             let old = TupleRef::new(v.clone(), Rid::new(from, 2000), from);
-            maintain(
+            let _ = maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,
@@ -135,7 +135,7 @@ fn bench_maintenance(c: &mut Criterion) {
                 Some(old.clone()),
             );
             let new = TupleRef::new(v, Rid::new(to, 2001), to);
-            black_box(maintain(
+            let _ = black_box(maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,
@@ -144,7 +144,7 @@ fn bench_maintenance(c: &mut Criterion) {
             ));
             // Clean up to keep the buffer size stable.
             let last = TupleRef::new(Value::Int(700_000 + i64::from(i)), Rid::new(to, 2001), to);
-            maintain(
+            let _ = maintain(
                 &mut f.partial,
                 &mut f.buffer,
                 &mut f.counters,

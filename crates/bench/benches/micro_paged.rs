@@ -28,7 +28,7 @@ fn build(paged: bool) -> (Database, TableSpec) {
         },
         ..Default::default()
     });
-    db.create_table("eval", spec.schema());
+    db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();
     }

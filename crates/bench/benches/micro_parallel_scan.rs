@@ -34,7 +34,8 @@ fn build(scan_threads: usize) -> Database {
         scan_threads,
         ..Default::default()
     });
-    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
     let mut x = 0x9e3779b9u64;
     while db.table("t").unwrap().num_pages() < TARGET_PAGES {
         x ^= x << 13;

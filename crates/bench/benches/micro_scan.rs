@@ -22,7 +22,8 @@ fn build(buffered: bool) -> Database {
         },
         ..Default::default()
     });
-    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
     let mut x = 0x12345u64;
     for _ in 0..ROWS {
         x ^= x << 13;

@@ -90,7 +90,8 @@ fn main() {
                 &mut counters,
                 Some(old),
                 Some(new),
-            );
+            )
+            .unwrap();
             println!(
                 "{:<28} {:<28} {:<12} {:<12} => {}",
                 if old_ix {
@@ -115,7 +116,7 @@ fn main() {
     for &(new_ix, new_b) in &[(true, false), (false, true), (false, false)] {
         let (mut partial, mut buffer, mut counters) = fixture();
         let new = new_tuple(new_ix, new_b);
-        let actions = maintain(&mut partial, &mut buffer, &mut counters, None, Some(new));
+        let actions = maintain(&mut partial, &mut buffer, &mut counters, None, Some(new)).unwrap();
         println!(
             "INSERT {:<20} {:<12} => {}",
             if new_ix {
@@ -130,7 +131,7 @@ fn main() {
     for &(old_ix, old_b) in &[(true, false), (false, true), (false, false)] {
         let (mut partial, mut buffer, mut counters) = fixture();
         let old = old_tuple(old_ix, old_b);
-        let actions = maintain(&mut partial, &mut buffer, &mut counters, Some(old), None);
+        let actions = maintain(&mut partial, &mut buffer, &mut counters, Some(old), None).unwrap();
         println!(
             "DELETE {:<20} {:<12} => {}",
             if old_ix {

@@ -9,7 +9,7 @@
 //! | no partial index hit | `shift(H_B, +1); H_B[0] = 0`    | `H_B'[0]++`        |
 
 use aib_bench::header;
-use aib_core::{BufferConfig, IndexBufferSpace, PageCounters, SpaceConfig};
+use aib_core::{BufferConfig, IndexBufferSpace, SpaceConfig};
 
 fn history_of(space: &IndexBufferSpace, id: usize) -> Vec<u64> {
     space.buffer(id).history().intervals().collect()
@@ -26,8 +26,8 @@ fn main() {
         history_k: 3,
         ..Default::default()
     };
-    let b = space.register("B (queried)", cfg, PageCounters::new());
-    let b_other = space.register("B' (other)", cfg, PageCounters::new());
+    let b = space.register("B (queried)", cfg, Vec::new());
+    let b_other = space.register("B' (other)", cfg, Vec::new());
 
     println!("{:<44} {:<18} {:<18}", "event", "H_B", "H_B'");
     let show = |label: &str, space: &IndexBufferSpace| {

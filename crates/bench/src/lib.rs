@@ -6,7 +6,11 @@
 //! runs — the workload scales proportionally (see
 //! [`aib_workload::TableSpec::scaled`]).
 
-#![warn(missing_docs)]
+// aib-lint: allow-file(no-panic) — this crate is the bench driver, not
+// engine code: setup failures (insert, index creation, query execution)
+// must abort the run loudly rather than skew measured results.
+
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
@@ -57,7 +61,7 @@ pub fn build_eval_db(
     columns: &[&str],
 ) -> Database {
     let mut db = Database::new(engine);
-    db.create_table(TABLE, spec.schema());
+    db.create_table(TABLE, spec.schema()).unwrap();
     for tuple in spec.tuples() {
         db.insert(TABLE, &tuple)
             .expect("generated tuples insert cleanly");
@@ -113,7 +117,7 @@ pub fn scale(spec: &TableSpec, paper_value: u64) -> u64 {
 
 /// Mean simulated query cost over records `[lo, hi)`.
 pub fn mean_sim_us(rec: &WorkloadRecorder, lo: usize, hi: usize) -> f64 {
-    let r = &rec.records()[lo..hi.min(rec.len())];
+    let r = rec.records().get(lo..hi.min(rec.len())).unwrap_or_default();
     if r.is_empty() {
         return 0.0;
     }

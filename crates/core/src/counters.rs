@@ -7,6 +7,38 @@
 //! indexed (by the partial index, the Index Buffer, or both) and can be
 //! skipped by a table scan.
 
+use std::fmt;
+
+/// A counter-bookkeeping violation detected at mutation time.
+///
+/// Surfaced as an `Err` when the `invariant-checks` feature is on; without
+/// the feature the same condition is a `debug_assert!` (and a saturating
+/// no-op in release builds), so production behaviour is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterError {
+    /// `C[p]--` was requested while `C[p] == 0`: Table I maintenance and the
+    /// heap have diverged.
+    Underflow {
+        /// The page whose counter would have gone negative.
+        page: u32,
+    },
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::Underflow { page } => {
+                write!(
+                    f,
+                    "C[{page}]-- on zero counter (maintenance diverged from heap)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CounterError {}
+
 /// The counter array `C` for one (table, column) pair.
 #[derive(Debug, Clone, Default)]
 pub struct PageCounters {
@@ -37,9 +69,15 @@ impl PageCounters {
     }
 
     /// True when the page can be skipped during a table scan.
+    ///
+    /// Only *tracked* pages are ever skippable: an untracked page past the
+    /// `ensure_page` range has no accounting behind its implicit zero, and a
+    /// page wrongly marked skippable loses tuples with no error. Reading it
+    /// conservatively costs at most one page scan; the scan then indexes it
+    /// and `set_zero` brings it into the tracked range.
     #[inline]
     pub fn is_fully_indexed(&self, page: u32) -> bool {
-        self.get(page) == 0
+        self.c.get(page as usize).is_some_and(|&c| c == 0)
     }
 
     /// Ensures page `page` is tracked, growing the array with zeroes.
@@ -54,34 +92,54 @@ impl PageCounters {
     /// buffer now holds for this page).
     pub fn set_zero(&mut self, page: u32) -> u32 {
         self.ensure_page(page);
-        std::mem::take(&mut self.c[page as usize])
+        self.c
+            .get_mut(page as usize)
+            .map(std::mem::take)
+            .unwrap_or(0)
     }
 
     /// Restores `C[p] = n` when buffer entries for the page are discarded
     /// (partition drop).
     pub fn restore(&mut self, page: u32, n: u32) {
         self.ensure_page(page);
-        self.c[page as usize] = n;
+        if let Some(slot) = self.c.get_mut(page as usize) {
+            *slot = n;
+        }
     }
 
     /// `C[p]++` — an unindexed tuple landed in an unbuffered page
     /// (Table I maintenance).
     pub fn increment(&mut self, page: u32) {
         self.ensure_page(page);
-        self.c[page as usize] += 1;
+        if let Some(slot) = self.c.get_mut(page as usize) {
+            *slot += 1;
+        }
     }
 
     /// `C[p]--` — an unindexed tuple left an unbuffered page (Table I
     /// maintenance).
     ///
-    /// # Panics
-    /// In debug builds, if the counter is already zero — that would mean
-    /// maintenance bookkeeping diverged from the heap.
-    pub fn decrement(&mut self, page: u32) {
+    /// An underflow (`C[p]` already zero) means maintenance bookkeeping
+    /// diverged from the heap. With the `invariant-checks` feature it is
+    /// returned as [`CounterError::Underflow`]; without it, debug builds
+    /// assert and release builds saturate (unchanged production behaviour).
+    pub fn decrement(&mut self, page: u32) -> Result<(), CounterError> {
         self.ensure_page(page);
-        let slot = &mut self.c[page as usize];
-        debug_assert!(*slot > 0, "C[{page}]-- on zero counter");
-        *slot = slot.saturating_sub(1);
+        let Some(slot) = self.c.get_mut(page as usize) else {
+            // Unreachable after ensure_page; report rather than panic.
+            return Err(CounterError::Underflow { page });
+        };
+        if *slot == 0 {
+            #[cfg(feature = "invariant-checks")]
+            return Err(CounterError::Underflow { page });
+            #[cfg(not(feature = "invariant-checks"))]
+            {
+                debug_assert!(false, "C[{page}]-- on zero counter");
+                return Ok(());
+            }
+        }
+        *slot -= 1;
+        Ok(())
     }
 
     /// Pages with `C[p] > 0`, i.e. pages a table scan must read, in page
@@ -159,16 +217,38 @@ mod tests {
         assert_eq!(c.num_pages(), 3);
         assert_eq!(c.get(2), 1);
         c.increment(2);
-        c.decrement(2);
+        c.decrement(2).unwrap();
         assert_eq!(c.get(2), 1);
     }
 
     #[test]
     #[should_panic(expected = "on zero counter")]
-    #[cfg(debug_assertions)]
+    #[cfg(all(debug_assertions, not(feature = "invariant-checks")))]
     fn decrement_below_zero_panics_in_debug() {
         let mut c = PageCounters::from_counts(vec![0]);
-        c.decrement(0);
+        let _ = c.decrement(0);
+    }
+
+    #[test]
+    #[cfg(feature = "invariant-checks")]
+    fn decrement_below_zero_is_a_counter_error() {
+        let mut c = PageCounters::from_counts(vec![0]);
+        assert_eq!(c.decrement(0), Err(CounterError::Underflow { page: 0 }));
+    }
+
+    #[test]
+    fn untracked_page_is_never_skippable() {
+        // A page past the `ensure_page` range has no accounting behind its
+        // implicit zero: it must be scanned, not skipped. (`get` still reads
+        // zero — the *value* is defined; only the skip decision is guarded.)
+        let c = PageCounters::from_counts(vec![0, 3]);
+        assert!(c.is_fully_indexed(0), "tracked zero page is skippable");
+        assert!(!c.is_fully_indexed(1));
+        assert_eq!(c.get(99), 0, "untracked pages still read as zero");
+        assert!(
+            !c.is_fully_indexed(99),
+            "untracked page must never be reported skippable"
+        );
     }
 
     #[test]

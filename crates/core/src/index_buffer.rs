@@ -190,45 +190,51 @@ impl IndexBuffer {
     /// If the page is already buffered.
     pub fn index_page(&mut self, page: u32, tuples: impl IntoIterator<Item = (Value, Rid)>) -> u32 {
         assert!(!self.is_buffered(page), "page {page} is already buffered");
-        let pid = self.open_partition_id();
-        let partition = self
-            .partitions
-            .get_mut(&pid)
-            .expect("open partition exists");
+        let partition_pages = self.config.partition_pages;
+        let (pid, partition) = self.open_partition_mut();
         let added = partition.index_page(page, tuples);
+        let partition_full = partition.pages_covered() >= partition_pages;
         self.total_entries += added as usize;
         self.page_to_partition.insert(page, pid);
-        if partition.pages_covered() >= self.config.partition_pages {
+        if partition_full {
             self.open_partition = None; // partition is complete
         }
         added
     }
 
     /// The open (incomplete) partition, creating one if needed.
-    fn open_partition_id(&mut self) -> PartitionId {
-        if let Some(pid) = self.open_partition {
-            return pid;
-        }
-        let pid = self.next_partition_id;
-        self.next_partition_id += 1;
-        self.partitions
-            .insert(pid, Partition::new(pid, self.config.backend));
-        self.open_partition = Some(pid);
-        pid
+    fn open_partition_mut(&mut self) -> (PartitionId, &mut Partition) {
+        let pid = match self.open_partition {
+            Some(pid) if self.partitions.contains_key(&pid) => pid,
+            _ => {
+                let pid = self.next_partition_id;
+                self.next_partition_id += 1;
+                self.open_partition = Some(pid);
+                pid
+            }
+        };
+        let backend = self.config.backend;
+        let partition = self
+            .partitions
+            .entry(pid)
+            .or_insert_with(|| Partition::new(pid, backend));
+        (pid, partition)
     }
 
     /// Table I `B.Add(t_new)`: an uncovered tuple landed in buffered page
     /// `page`.
     pub fn add(&mut self, value: Value, rid: Rid, page: u32) -> bool {
-        let pid = *self
+        // Caller contract (Table I): p ∈ B. An unmapped page reads as "not
+        // added" instead of panicking; debug builds still flag the misuse.
+        let Some(partition) = self
             .page_to_partition
             .get(&page)
-            .expect("B.Add requires p ∈ B");
-        let added = self
-            .partitions
-            .get_mut(&pid)
-            .expect("mapped partition exists")
-            .add_entry(value, rid, page);
+            .and_then(|pid| self.partitions.get_mut(pid))
+        else {
+            debug_assert!(false, "B.Add on unbuffered page {page}");
+            return false;
+        };
+        let added = partition.add_entry(value, rid, page);
         if added {
             self.total_entries += 1;
         }
@@ -238,15 +244,16 @@ impl IndexBuffer {
     /// Table I `B.Remove(t_old)`: an uncovered tuple left buffered page
     /// `page`.
     pub fn remove(&mut self, value: &Value, rid: Rid, page: u32) -> bool {
-        let pid = *self
+        // Caller contract (Table I): p ∈ B — same defensive shape as `add`.
+        let Some(partition) = self
             .page_to_partition
             .get(&page)
-            .expect("B.Remove requires p ∈ B");
-        let removed = self
-            .partitions
-            .get_mut(&pid)
-            .expect("mapped partition exists")
-            .remove_entry(value, rid, page);
+            .and_then(|pid| self.partitions.get_mut(pid))
+        else {
+            debug_assert!(false, "B.Remove on unbuffered page {page}");
+            return false;
+        };
+        let removed = partition.remove_entry(value, rid, page);
         if removed {
             self.total_entries -= 1;
         }
@@ -338,10 +345,11 @@ impl IndexBuffer {
             );
         }
         if let Some(open) = self.open_partition {
-            let p = &self.partitions[&open];
             assert!(
-                p.pages_covered() < self.config.partition_pages,
-                "open partition is full"
+                self.partitions
+                    .get(&open)
+                    .is_some_and(|p| p.pages_covered() < self.config.partition_pages),
+                "open partition is missing or full"
             );
         }
         for p in self.partitions.values() {

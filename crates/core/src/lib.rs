@@ -29,8 +29,7 @@
 //! * [`maintenance::maintain`] — the 16 DML maintenance cases of Table I.
 //!
 //! ```
-//! use aib_core::{BufferConfig, SpaceConfig, IndexBufferSpace, PageCounters,
-//!                Predicate, indexing_scan};
+//! use aib_core::{BufferConfig, SpaceConfig, IndexBufferSpace, Predicate, indexing_scan};
 //! # use aib_storage::{BufferPool, BufferPoolConfig, CostModel, DiskManager,
 //! #                   HeapFile, Tuple, Value};
 //! # let pool = BufferPool::new(DiskManager::new(CostModel::free()),
@@ -44,7 +43,7 @@
 //!     .map(|p| heap.tuples_on_page(p).unwrap() as u32)
 //!     .collect();
 //! let mut space = IndexBufferSpace::new(SpaceConfig::default());
-//! let col = space.register("A", BufferConfig::default(), PageCounters::from_counts(counts));
+//! let col = space.register("A", BufferConfig::default(), counts);
 //!
 //! // A query that misses the partial index: Table II, then Algorithm 1.
 //! space.on_query(Some(col), false);
@@ -63,23 +62,27 @@
 //! assert_eq!(result2, result);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod config;
 pub mod counters;
 pub mod history;
 pub mod index_buffer;
+#[cfg(feature = "invariant-checks")]
+pub mod invariants;
 pub mod maintenance;
 pub mod partition;
 pub mod scan;
 pub mod space;
 
 pub use config::{BufferConfig, SpaceConfig};
-pub use counters::PageCounters;
+pub use counters::{CounterError, PageCounters};
 pub use history::LruKHistory;
 pub use index_buffer::{BufferId, DroppedPartition, IndexBuffer};
-pub use maintenance::{maintain, MaintAction, TupleRef};
+#[cfg(feature = "invariant-checks")]
+pub use invariants::{verify_buffer, verify_space, GroundTruth, InvariantReport};
+pub use maintenance::{cover_tuple, maintain, uncover_tuple, MaintAction, TupleRef};
 pub use partition::{page_range_chunks, Partition, PartitionId};
 pub use scan::{
     apply_staged, indexing_scan, indexing_scan_parallel, planned_scan_threads, scan_chunk,

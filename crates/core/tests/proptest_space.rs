@@ -4,7 +4,7 @@
 //! ascending-counter order, exact counter restoration for displaced pages,
 //! and exact byte restoration to the memory governor.
 
-use aib_core::{BufferConfig, IndexBufferSpace, PageCounters, SpaceConfig};
+use aib_core::{BufferConfig, IndexBufferSpace, SpaceConfig};
 use aib_index::IndexBackend;
 use aib_storage::{BudgetComponent, MemoryUsage, Rid, Value, DEFAULT_ENTRY_FOOTPRINT};
 use proptest::prelude::*;
@@ -67,11 +67,7 @@ fn build(setup: &SpaceSetup) -> IndexBufferSpace {
             history_k: 4,
             backend: IndexBackend::BTree,
         };
-        let id = space.register(
-            format!("b{i}"),
-            cfg,
-            PageCounters::from_counts(counts.clone()),
-        );
+        let id = space.register(format!("b{i}"), cfg, counts.clone());
         // Pre-index some pages (as earlier scans would have), while budget
         // remains.
         for &raw in pre_index {

@@ -14,13 +14,18 @@
 //! * not covered, no buffer → **plain full scan** (the baseline the paper
 //!   plots as "table scan").
 
+// aib-lint: allow-file(no-index) — `tables` and `indexed` are only ever
+// indexed by positions this module itself computed (`table_index`,
+// `indexed_column`) and tables/columns are never removed, so the positions
+// cannot dangle; a miss would be an engine bug, not a caller mistake.
+
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use aib_core::{
-    indexing_scan, indexing_scan_parallel, maintain, planned_scan_threads, BufferConfig, BufferId,
-    IndexBufferSpace, PageCounters, Predicate, SpaceConfig, TupleRef,
+    cover_tuple, indexing_scan, indexing_scan_parallel, maintain, planned_scan_threads,
+    uncover_tuple, BufferConfig, BufferId, IndexBufferSpace, Predicate, SpaceConfig, TupleRef,
 };
 use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
 use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy};
@@ -193,7 +198,7 @@ impl Table {
 /// use aib_storage::{Column, Schema, Tuple, Value};
 ///
 /// let mut db = Database::with_defaults();
-/// db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("v")]));
+/// db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("v")])).unwrap();
 /// for i in 0..100i64 {
 ///     db.insert("t", &Tuple::new(vec![Value::Int(i), Value::from("x")])).unwrap();
 /// }
@@ -289,14 +294,13 @@ impl Database {
 
     /// Creates an empty table.
     ///
-    /// # Panics
-    /// If a table of that name exists.
-    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> &mut Table {
+    /// Fails with [`EngineError::TableExists`] if a table of that name
+    /// already exists.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> EngineResult<()> {
         let name = name.into();
-        assert!(
-            !self.table_names.contains_key(&name),
-            "table {name:?} already exists"
-        );
+        if self.table_names.contains_key(&name) {
+            return Err(EngineError::TableExists(name));
+        }
         let idx = self.tables.len();
         self.tables.push(Table {
             name: name.clone(),
@@ -305,12 +309,15 @@ impl Database {
             indexed: Vec::new(),
         });
         self.table_names.insert(name, idx);
-        &mut self.tables[idx]
+        Ok(())
     }
 
     /// Looks up a table.
-    pub fn table(&self, name: &str) -> Option<&Table> {
-        self.table_names.get(name).map(|&i| &self.tables[i])
+    pub fn table(&self, name: &str) -> EngineResult<&Table> {
+        self.table_names
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
     fn table_index(&self, name: &str) -> EngineResult<usize> {
@@ -338,14 +345,15 @@ impl Database {
         let page = self.tables[ti].ordinal(rid)?;
         let t = &mut self.tables[ti];
         for ic in &mut t.indexed {
-            let value = tuple.get(ic.column).expect("validated arity").clone();
+            let value = column_value(tuple, ic.column)?;
             apply_maintenance(
                 &mut self.space,
                 ic,
                 None,
                 Some(TupleRef::new(value, rid, page)),
-            );
+            )?;
         }
+        self.checkpoint()?;
         Ok(rid)
     }
 
@@ -358,14 +366,15 @@ impl Database {
         let page = self.tables[ti].ordinal(rid)?;
         let t = &mut self.tables[ti];
         for ic in &mut t.indexed {
-            let value = old.get(ic.column).expect("stored tuple arity").clone();
+            let value = column_value(&old, ic.column)?;
             apply_maintenance(
                 &mut self.space,
                 ic,
                 Some(TupleRef::new(value, rid, page)),
                 None,
-            );
+            )?;
         }
+        self.checkpoint()?;
         Ok(())
     }
 
@@ -381,15 +390,16 @@ impl Database {
         let new_page = self.tables[ti].ordinal(new_rid)?;
         let t = &mut self.tables[ti];
         for ic in &mut t.indexed {
-            let old_value = old.get(ic.column).expect("stored tuple arity").clone();
-            let new_value = tuple.get(ic.column).expect("validated arity").clone();
+            let old_value = column_value(&old, ic.column)?;
+            let new_value = column_value(tuple, ic.column)?;
             apply_maintenance(
                 &mut self.space,
                 ic,
                 Some(TupleRef::new(old_value, rid, old_page)),
                 Some(TupleRef::new(new_value, new_rid, new_page)),
-            );
+            )?;
         }
+        self.checkpoint()?;
         Ok(new_rid)
     }
 
@@ -452,30 +462,35 @@ impl Database {
     ) -> EngineResult<()> {
         let ti = self.table_index(table)?;
         let ci = self.column_index(ti, column)?;
-        assert!(
-            self.tables[ti].indexed_column(ci).is_none(),
-            "column {column:?} is already indexed"
-        );
+        if self.tables[ti].indexed_column(ci).is_some() {
+            return Err(EngineError::IndexExists(format!("{table}.{column}")));
+        }
         let heap = &self.tables[ti].heap;
         let mut counts: Vec<u32> = vec![0; heap.num_pages() as usize];
+        let mut scan_err: Option<EngineError> = None;
         heap.scan_pages(
             |_| false,
             |rid, bytes| {
-                let value = Tuple::read_column(bytes, ci).expect("stored tuples decode");
-                let ord = heap.ordinal_of(rid.page).expect("scanned page is owned");
+                let (value, ord) = match decode_site(heap, rid, bytes, ci) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        scan_err.get_or_insert(e);
+                        return;
+                    }
+                };
                 if partial.covers(&value) {
                     partial.add(value, rid);
-                } else {
-                    counts[ord as usize] += 1;
+                } else if let Some(slot) = counts.get_mut(ord as usize) {
+                    *slot += 1;
                 }
             },
         )?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
         let buffer_id = buffer.map(|cfg| {
-            self.space.register(
-                format!("{table}.{column}"),
-                cfg,
-                PageCounters::from_counts(counts),
-            )
+            self.space
+                .register(format!("{table}.{column}"), cfg, counts)
         });
         self.tables[ti].indexed.push(IndexedColumn {
             column: ci,
@@ -484,6 +499,8 @@ impl Database {
             tuner: None,
             paged,
         });
+        self.space.sync_budget();
+        self.checkpoint()?;
         Ok(())
     }
 
@@ -501,31 +518,35 @@ impl Database {
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let ic = self.tables[ti].indexed.remove(slot);
         if let Some(bid) = ic.buffer {
-            let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
-            let parts: Vec<_> = buffer.partition_ids().collect();
-            for p in parts {
-                buffer.drop_partition(p);
-            }
-            *counters = PageCounters::new();
-            self.space.sync_budget();
+            self.space.clear_buffer(bid);
         }
+        self.checkpoint()?;
         Ok(())
     }
 
     /// Attaches an online tuner to an indexed column. The column's coverage
-    /// must be a [`Coverage::Set`] (the tuner adapts value by value).
-    pub fn attach_tuner(&mut self, table: &str, column: &str, config: TunerConfig) {
-        let ti = self.table_index(table).expect("table exists");
-        let ci = self.column_index(ti, column).expect("column exists");
+    /// must be a [`Coverage::Set`] (the tuner adapts value by value);
+    /// anything else is [`EngineError::Unsupported`].
+    pub fn attach_tuner(
+        &mut self,
+        table: &str,
+        column: &str,
+        config: TunerConfig,
+    ) -> EngineResult<()> {
+        let ti = self.table_index(table)?;
+        let ci = self.column_index(ti, column)?;
         let slot = self.tables[ti]
             .indexed_column(ci)
-            .expect("column is indexed");
+            .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let ic = &mut self.tables[ti].indexed[slot];
-        assert!(
-            matches!(ic.partial.coverage(), Coverage::Set(_)),
-            "tuned columns need Coverage::Set"
-        );
+        if !matches!(ic.partial.coverage(), Coverage::Set(_)) {
+            return Err(EngineError::Unsupported(format!(
+                "tuned columns need Coverage::Set, {table}.{column} has {:?}",
+                ic.partial.coverage()
+            )));
+        }
         ic.tuner = Some(OnlineTuner::new(config));
+        Ok(())
     }
 
     /// Replaces the coverage of an indexed column wholesale (experiment 4's
@@ -541,40 +562,45 @@ impl Database {
         let ci = self.column_index(ti, column)?;
         let slot = self.tables[ti]
             .indexed_column(ci)
-            .expect("column is indexed");
+            .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let t = &mut self.tables[ti];
         let ic = &mut t.indexed[slot];
         ic.partial.redefine_coverage(coverage);
         // Rebuild entries and counters from the heap; any buffered pages are
         // invalidated (their composition changed under the buffer).
         if let Some(bid) = ic.buffer {
-            let (buffer, _) = self.space.buffer_and_counters_mut(bid);
-            let parts: Vec<_> = buffer.partition_ids().collect();
-            for p in parts {
-                buffer.drop_partition(p);
-            }
+            self.space.clear_buffer(bid);
         }
         let mut counts: Vec<u32> = vec![0; t.heap.num_pages() as usize];
         let heap = &t.heap;
         let partial = &mut ic.partial;
+        let mut scan_err: Option<EngineError> = None;
         heap.scan_pages(
             |_| false,
             |rid, bytes| {
-                let value = Tuple::read_column(bytes, ci).expect("stored tuples decode");
-                let ord = heap.ordinal_of(rid.page).expect("scanned page is owned");
+                let (value, ord) = match decode_site(heap, rid, bytes, ci) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        scan_err.get_or_insert(e);
+                        return;
+                    }
+                };
                 if partial.covers(&value) {
                     if !partial.contains(&value, rid) {
                         partial.add(value, rid);
                     }
-                } else {
-                    counts[ord as usize] += 1;
+                } else if let Some(slot) = counts.get_mut(ord as usize) {
+                    *slot += 1;
                 }
             },
         )?;
-        if let Some(bid) = ic.buffer {
-            *self.space.counters_mut(bid) = PageCounters::from_counts(counts);
-            self.space.sync_budget();
+        if let Some(e) = scan_err {
+            return Err(e);
         }
+        if let Some(bid) = ic.buffer {
+            self.space.reset_counters(bid, counts);
+        }
+        self.checkpoint()?;
         Ok(())
     }
 
@@ -611,16 +637,17 @@ impl Database {
                 moved += 1;
                 let t = &mut self.tables[ti];
                 for ic in &mut t.indexed {
-                    let value = tuple.get(ic.column).expect("stored tuple arity").clone();
+                    let value = column_value(&tuple, ic.column)?;
                     apply_maintenance(
                         &mut self.space,
                         ic,
                         Some(TupleRef::new(value.clone(), rid, ord)),
                         Some(TupleRef::new(value, new_rid, new_ord)),
-                    );
+                    )?;
                 }
             }
         }
+        self.checkpoint()?;
         Ok((drained, moved))
     }
 
@@ -687,6 +714,7 @@ impl Database {
             buffer_entries,
             memory: self.memory(),
         };
+        self.checkpoint()?;
         Ok(ExecOutcome { result, metrics })
     }
 
@@ -696,7 +724,7 @@ impl Database {
         ti: usize,
         slot: usize,
         predicate: &Predicate,
-    ) -> Result<QueryResult, StorageError> {
+    ) -> EngineResult<QueryResult> {
         let ic = &self.tables[ti].indexed[slot];
         if !ic.paged {
             // Charge the simulated tree descent (in-memory partial indexes
@@ -709,10 +737,9 @@ impl Database {
         }
         let rids = match predicate {
             Predicate::Equals(v) => ic.partial.lookup(v),
-            Predicate::Between(lo, hi) => ic
-                .partial
-                .lookup_range(lo, hi)
-                .expect("caller verified coverage and backend"),
+            Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).ok_or_else(|| {
+                EngineError::Internal("index_hit on a range the backend cannot scan".into())
+            })?,
         };
         // Materialise results: the paper's "index scan" baseline includes
         // fetching the qualifying tuples from their pages.
@@ -734,10 +761,12 @@ impl Database {
         slot: usize,
         ci: usize,
         predicate: &Predicate,
-    ) -> Result<(QueryResult, aib_core::ScanStats, usize), StorageError> {
+    ) -> EngineResult<(QueryResult, aib_core::ScanStats, usize)> {
         let t = &self.tables[ti];
         let ic = &t.indexed[slot];
-        let bid = ic.buffer.expect("buffered_scan requires a buffer");
+        let bid = ic.buffer.ok_or_else(|| {
+            EngineError::Internal("buffered_scan dispatched without a buffer".into())
+        })?;
         let partial = &ic.partial;
         // The coverage test is the only piece of the partial index the scan
         // workers need, and unlike the index itself it is `Sync`.
@@ -827,19 +856,19 @@ impl Database {
         slot: usize,
         value: &Value,
         matched: &[Rid],
-    ) -> Result<(), StorageError> {
-        let decision = self.tables[ti].indexed[slot]
-            .tuner
-            .as_mut()
-            .expect("caller checked tuner")
-            .observe(value);
+    ) -> EngineResult<()> {
+        let Some(tuner) = self.tables[ti].indexed[slot].tuner.as_mut() else {
+            return Ok(());
+        };
+        let decision = tuner.observe(value);
         if decision.is_noop() {
             return Ok(());
         }
         if let Some(v) = decision.add {
             // Newly covered tuples leave the "uncovered" bookkeeping: pages
             // buffered for this column drop the entries, unbuffered pages
-            // decrement their counters.
+            // decrement their counters (Table I's covering transition, via
+            // the maintenance module — the only code allowed to mutate C).
             let pages: Vec<(Rid, u32)> = matched
                 .iter()
                 .map(|&rid| Ok((rid, self.tables[ti].ordinal(rid)?)))
@@ -848,11 +877,8 @@ impl Database {
             if let Some(bid) = ic.buffer {
                 let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
                 for &(rid, page) in &pages {
-                    if buffer.is_buffered(page) {
-                        buffer.remove(&v, rid, page);
-                    } else {
-                        counters.decrement(page);
-                    }
+                    cover_tuple(buffer, counters, &v, rid, page)
+                        .map_err(|e| EngineError::Invariant(e.to_string()))?;
                 }
             }
             ic.partial.adapt_add_value(v, matched);
@@ -867,11 +893,7 @@ impl Database {
                 let page = self.tables[ti].ordinal(rid)?;
                 if let Some(bid) = buffer {
                     let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
-                    if buffer.is_buffered(page) {
-                        buffer.add(v.clone(), rid, page);
-                    } else {
-                        counters.increment(page);
-                    }
+                    uncover_tuple(buffer, counters, v.clone(), rid, page);
                 }
             }
         }
@@ -981,6 +1003,54 @@ impl Database {
         let slot = self.tables[ti].indexed_column(ci)?;
         self.tables[ti].indexed[slot].buffer
     }
+
+    // ------------------------------------------- invariant shadow model
+
+    /// Runs the full runtime shadow model (`invariant-checks` feature):
+    /// recomputes every buffered column's `C[p]` ground truth from the
+    /// heap, the coverage predicate and the buffer contents; checks every
+    /// buffer's partition structure; and checks that the governor's byte
+    /// charges equal the resident footprints on both sides of the budget.
+    ///
+    /// Every engine mutation path calls this automatically when the
+    /// feature is on; it is public so tests can also probe at their own
+    /// checkpoints. Costs a full scan of every buffered table.
+    #[cfg(feature = "invariant-checks")]
+    pub fn verify_invariants(&self) -> EngineResult<()> {
+        use aib_core::{verify_buffer, verify_space, GroundTruth};
+        let mut report = verify_space(&self.space);
+        for t in &self.tables {
+            for ic in &t.indexed {
+                let Some(bid) = ic.buffer else { continue };
+                let coverage = ic.partial.coverage();
+                let covered = |v: &Value| coverage.covers(v);
+                let truth =
+                    GroundTruth::compute(&t.heap, ic.column, &covered, self.space.buffer(bid))?;
+                report.merge(verify_buffer(
+                    self.space.buffer(bid),
+                    self.space.counters(bid),
+                    &truth,
+                ));
+            }
+        }
+        self.pool.verify_budget().map_err(EngineError::Invariant)?;
+        report.into_result().map_err(EngineError::Invariant)
+    }
+
+    /// Shadow-model checkpoint: diffs bookkeeping against ground truth
+    /// after every mutation when `invariant-checks` is on; free otherwise.
+    #[cfg(feature = "invariant-checks")]
+    #[inline]
+    fn checkpoint(&self) -> EngineResult<()> {
+        self.verify_invariants()
+    }
+
+    /// Shadow-model checkpoint (disabled build): compiles to nothing.
+    #[cfg(not(feature = "invariant-checks"))]
+    #[inline]
+    fn checkpoint(&self) -> EngineResult<()> {
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for Database {
@@ -994,17 +1064,20 @@ impl std::fmt::Debug for Database {
 }
 
 /// Routes one column's maintenance through Table I (buffered columns) or the
-/// plain partial-index ops (unbuffered columns).
+/// plain partial-index ops (unbuffered columns). A counter underflow inside
+/// `maintain` means engine bookkeeping diverged from the heap; it surfaces as
+/// [`EngineError::Invariant`].
 fn apply_maintenance(
     space: &mut IndexBufferSpace,
     ic: &mut IndexedColumn,
     old: Option<TupleRef>,
     new: Option<TupleRef>,
-) {
+) -> EngineResult<()> {
     match ic.buffer {
         Some(bid) => {
             let (buffer, counters) = space.buffer_and_counters_mut(bid);
-            maintain(&mut ic.partial, buffer, counters, old, new);
+            maintain(&mut ic.partial, buffer, counters, old, new)
+                .map_err(|e| EngineError::Invariant(e.to_string()))?;
             // Maintenance mutates partitions behind the governor's back;
             // reconcile the byte charge at this barrier.
             space.sync_budget();
@@ -1025,4 +1098,29 @@ fn apply_maintenance(
             }
         }
     }
+    Ok(())
+}
+
+/// Clones one column out of a tuple the engine already validated; arity
+/// mismatch at this point is an engine bug, not a caller mistake.
+fn column_value(tuple: &Tuple, column: usize) -> EngineResult<Value> {
+    tuple
+        .get(column)
+        .cloned()
+        .ok_or_else(|| EngineError::Internal(format!("stored tuple missing column {column}")))
+}
+
+/// Decodes the scanned column value and page ordinal of one heap tuple for
+/// the index-build scans (`install_partial_index`, `redefine_coverage`).
+fn decode_site(
+    heap: &HeapFile,
+    rid: Rid,
+    bytes: &[u8],
+    column: usize,
+) -> EngineResult<(Value, u32)> {
+    let value = Tuple::read_column(bytes, column)?;
+    let ord = heap
+        .ordinal_of(rid.page)
+        .ok_or_else(|| EngineError::Internal(format!("scanned page {} unowned", rid.page)))?;
+    Ok((value, ord))
 }

@@ -22,6 +22,19 @@ pub enum EngineError {
     UnknownColumn(String),
     /// The table/column pair has no partial index to operate on.
     NoSuchIndex(String),
+    /// A table of that name already exists.
+    TableExists(String),
+    /// The column already has a partial index.
+    IndexExists(String),
+    /// The operation is not supported for the target's configuration
+    /// (e.g. attaching a tuner to a non-`Coverage::Set` index).
+    Unsupported(String),
+    /// An internal invariant did not hold. Seeing this is a bug: it replaces
+    /// what would have been a panic in library code.
+    Internal(String),
+    /// The runtime shadow model (`invariant-checks` feature) found the
+    /// engine's bookkeeping out of agreement with recomputed ground truth.
+    Invariant(String),
 }
 
 impl From<StorageError> for EngineError {
@@ -37,6 +50,11 @@ impl fmt::Display for EngineError {
             EngineError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
             EngineError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
             EngineError::NoSuchIndex(name) => write!(f, "no partial index on {name}"),
+            EngineError::TableExists(name) => write!(f, "table {name:?} already exists"),
+            EngineError::IndexExists(name) => write!(f, "column {name} is already indexed"),
+            EngineError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            EngineError::Internal(what) => write!(f, "internal invariant violated: {what}"),
+            EngineError::Invariant(what) => write!(f, "shadow model disagreement: {what}"),
         }
     }
 }

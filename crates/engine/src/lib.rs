@@ -10,7 +10,7 @@
 //! * [`metrics`] — per-query instrumentation producing the series of
 //!   Figures 6–9.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod db;
@@ -52,7 +52,8 @@ mod tests {
     /// `0..n`, partial index covering `k < covered_below`, with a buffer.
     fn setup(n: i64, covered_below: i64) -> Database {
         let mut db = Database::new(config());
-        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
         for i in 0..n {
             let t = Tuple::new(vec![Value::Int(i), Value::from("p".repeat(100))]);
             db.insert("t", &t).unwrap();
@@ -202,7 +203,8 @@ mod tests {
     #[test]
     fn unindexed_column_plain_scans() {
         let mut db = Database::new(config());
-        db.create_table("t", Schema::new(vec![Column::int("k")]));
+        db.create_table("t", Schema::new(vec![Column::int("k")]))
+            .unwrap();
         for i in 0..50 {
             db.insert("t", &Tuple::new(vec![Value::Int(i)])).unwrap();
         }
@@ -218,7 +220,8 @@ mod tests {
     #[test]
     fn tuner_adapts_partial_index_online() {
         let mut db = Database::new(config());
-        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
         for i in 0..200 {
             db.insert(
                 "t",
@@ -242,7 +245,8 @@ mod tests {
                 threshold: 3,
                 capacity: 5,
             },
-        );
+        )
+        .unwrap();
 
         // Hammer value 7: after 3 queries it must be indexed.
         for _ in 0..3 {
@@ -320,7 +324,8 @@ mod tests {
     #[test]
     fn hash_backend_end_to_end() {
         let mut db = Database::new(config());
-        db.create_table("t", Schema::new(vec![Column::int("k")]));
+        db.create_table("t", Schema::new(vec![Column::int("k")]))
+            .unwrap();
         for i in 0..100 {
             db.insert("t", &Tuple::new(vec![Value::Int(i)])).unwrap();
         }
@@ -397,7 +402,8 @@ mod tests {
                 cost_model: CostModel::free(),
                 ..Default::default()
             });
-            db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+            db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+                .unwrap();
             for i in 0..500 {
                 db.insert(
                     "t",
@@ -453,7 +459,8 @@ mod tests {
 
         // Unindexed column.
         let mut db2 = Database::new(config());
-        db2.create_table("u", Schema::new(vec![Column::int("k")]));
+        db2.create_table("u", Schema::new(vec![Column::int("k")]))
+            .unwrap();
         db2.insert("u", &Tuple::new(vec![Value::Int(1)])).unwrap();
         let e = db2.explain(&Query::point("u", "k", 1i64)).unwrap();
         assert_eq!(e.path, AccessPath::PlainScan);
@@ -528,7 +535,8 @@ mod tests {
             },
             ..Default::default()
         });
-        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
         for i in 0..3_000 {
             db.insert(
                 "t",
@@ -606,7 +614,8 @@ mod tests {
         cfg.pool_frames = 4;
         cfg.total_memory_bytes = Some(TOTAL);
         let mut db = Database::new(cfg);
-        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
         let row = |k: i64| Tuple::new(vec![Value::Int(k), Value::from("p".repeat(200))]);
         for i in 0..30 {
             db.insert("t", &row(i)).unwrap();
@@ -671,7 +680,8 @@ mod tests {
     #[test]
     fn predicate_on_unknown_table_or_column_errors() {
         let mut db = Database::new(config());
-        db.create_table("t", Schema::new(vec![Column::int("k")]));
+        db.create_table("t", Schema::new(vec![Column::int("k")]))
+            .unwrap();
         assert!(db.execute(&Query::point("nope", "k", 1i64)).is_err());
         assert!(db.execute(&Query::point("t", "nope", 1i64)).is_err());
     }

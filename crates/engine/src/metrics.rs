@@ -90,7 +90,10 @@ impl WorkloadRecorder {
     /// Fraction of queries answered by the partial index within
     /// `[from, to)` — the hit-rate series of Figure 1.
     pub fn hit_rate(&self, from: usize, to: usize) -> f64 {
-        let slice = &self.records[from.min(self.records.len())..to.min(self.records.len())];
+        let slice = self
+            .records
+            .get(from.min(self.records.len())..to.min(self.records.len()))
+            .unwrap_or_default();
         if slice.is_empty() {
             return 0.0;
         }

@@ -128,11 +128,12 @@ impl OnlineTuner {
         self.window.push_back(value.clone());
         *self.counts.entry(value.clone()).or_insert(0) += 1;
         if self.window.len() > self.config.window {
-            let old = self.window.pop_front().expect("window non-empty");
-            if let Some(c) = self.counts.get_mut(&old) {
-                *c -= 1;
-                if *c == 0 {
-                    self.counts.remove(&old);
+            if let Some(old) = self.window.pop_front() {
+                if let Some(c) = self.counts.get_mut(&old) {
+                    *c -= 1;
+                    if *c == 0 {
+                        self.counts.remove(&old);
+                    }
                 }
             }
         }
@@ -149,12 +150,16 @@ impl OnlineTuner {
         self.covered.insert(value.clone(), self.clock);
         let mut evict = Vec::new();
         while self.covered.len() > self.config.capacity {
-            let victim = self
+            // An over-capacity set is non-empty, so a minimum always exists;
+            // the break is unreachable but keeps this loop panic-free.
+            let Some(victim) = self
                 .covered
                 .iter()
                 .min_by_key(|(_, &stamp)| stamp)
                 .map(|(v, _)| v.clone())
-                .expect("over-capacity set is non-empty");
+            else {
+                break;
+            };
             self.covered.remove(&victim);
             evict.push(victim);
         }

@@ -10,6 +10,14 @@
 //! `(value, rid)` keys (see [`crate::key::EntryKey`]), the classic way to
 //! make duplicate handling and precise deletion trivial.
 
+// aib-lint: allow-file(no-index) — nodes live in an arena (`Vec<Node>`)
+// and are addressed by NodeIds the tree itself allocated; ids are never
+// freed, so they cannot dangle.
+// aib-lint: allow-file(no-panic) — the remaining `expect`/`unreachable!`
+// sites assert structural invariants of the B+-tree algorithm (separator
+// counts, child arity) that are maintained locally by split/merge; a
+// violation is a bug in this module, not a recoverable input condition.
+
 use std::fmt::Debug;
 
 /// Default maximum number of keys per node.

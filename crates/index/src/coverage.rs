@@ -54,6 +54,7 @@ impl Coverage {
     pub fn add_value(&mut self, value: Value) -> bool {
         match self {
             Coverage::Set(set) => set.insert(value),
+            // aib-lint: allow(no-panic) — documented API contract (# Panics):
             other => panic!("add_value on non-set coverage {other:?}"),
         }
     }
@@ -66,6 +67,7 @@ impl Coverage {
     pub fn remove_value(&mut self, value: &Value) -> bool {
         match self {
             Coverage::Set(set) => set.remove(value),
+            // aib-lint: allow(no-panic) — documented API contract (# Panics):
             other => panic!("remove_value on non-set coverage {other:?}"),
         }
     }

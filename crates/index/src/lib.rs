@@ -10,7 +10,7 @@
 //!   coverage predicates (paper §II), including adaptation operations with
 //!   simulated I/O cost (paper §I's "index adaptation is not for free").
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod btree;

@@ -22,6 +22,14 @@
 //! leaves stay linked — standard practice for secondary indexes whose
 //! entry population only shrinks during coverage adaptation.
 
+// aib-lint: allow-file(no-index) — node images are fixed 8 KiB pages and
+// every offset is derived from the little-endian layout constants below;
+// the fanout bound keeps all slot arithmetic inside the page.
+// aib-lint: allow-file(no-panic) — the `expect` sites decode fields from
+// pages this module itself wrote (layout round-trip), guarded by the node
+// magic check on fetch; a failure is a corrupt page image, which the
+// storage layer already surfaces as StorageError on the I/O path.
+
 use std::sync::Arc;
 
 use aib_storage::{BufferPool, MemoryUsage, PageId, Rid, StorageError, PAGE_SIZE};

@@ -1,0 +1,358 @@
+//! Comment/string-stripping token scanner.
+//!
+//! `aib-lint` deliberately avoids a full Rust parser (the build is offline, so
+//! no `syn`). Instead, every rule operates on a *stripped* view of the source
+//! in which comments, string literals, char literals, and `#[cfg(test)]`
+//! items have been blanked out with spaces. Blanking (rather than deleting)
+//! preserves line and column positions, so diagnostics point at the original
+//! source and per-line allow directives line up.
+//!
+//! While stripping comments the lexer also harvests the escape-hatch
+//! directives:
+//!
+//! - `// aib-lint: allow(rule-a, rule-b)` — suppresses the named rules on the
+//!   directive's own line *and the next line* (so a directive can sit on its
+//!   own line above the code it excuses).
+//! - `// aib-lint: allow-file(rule)` — suppresses the rule for the whole file;
+//!   used for files where a pattern is pervasive and locally justified (e.g.
+//!   byte-layout arithmetic in the slotted page codec).
+
+use std::collections::BTreeSet;
+
+/// A source file after comment/string stripping, plus the allow directives
+/// harvested from its comments.
+pub struct Stripped {
+    /// Blanked source text; same byte-per-char line structure as the input.
+    pub text: String,
+    /// For each 0-based line, the set of rules allowed on that line.
+    pub line_allows: Vec<BTreeSet<String>>,
+    /// Rules allowed for the entire file via `allow-file(...)`.
+    pub file_allows: BTreeSet<String>,
+}
+
+impl Stripped {
+    /// True when `rule` is suppressed at 0-based `line` (by a file-level or
+    /// line-level directive).
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        if self.file_allows.contains(rule) {
+            return true;
+        }
+        self.line_allows
+            .get(line)
+            .is_some_and(|set| set.contains(rule))
+    }
+}
+
+/// Strips `source`, harvesting allow directives and blanking `#[cfg(test)]`
+/// items so test-only code inside library files is never linted.
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let total_lines = source.lines().count().max(1) + 1;
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut line_allows: Vec<BTreeSet<String>> = vec![BTreeSet::new(); total_lines];
+    let mut file_allows: BTreeSet<String> = BTreeSet::new();
+
+    let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
+    let mut i = 0usize;
+    let mut line = 0usize;
+
+    while i < chars.len() {
+        let c = at(i);
+        match c {
+            '/' if at(i + 1) == '/' => {
+                // Line comment: harvest directives, blank to end of line.
+                let start = i;
+                while i < chars.len() && at(i) != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars
+                    .get(start..i)
+                    .map(|s| s.iter().collect())
+                    .unwrap_or_default();
+                harvest_directives(&comment, line, &mut line_allows, &mut file_allows);
+                out.extend(std::iter::repeat_n(' ', i - start));
+            }
+            '/' if at(i + 1) == '*' => {
+                // Block comment with nesting; newlines preserved.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if at(i) == '/' && at(i + 1) == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if at(i) == '*' && at(i + 1) == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let comment: String = chars
+                    .get(start..i)
+                    .map(|s| s.iter().collect())
+                    .unwrap_or_default();
+                harvest_directives(&comment, line, &mut line_allows, &mut file_allows);
+                for j in start..i {
+                    if at(j) == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                }
+            }
+            '"' => {
+                i = blank_string(&chars, i, &mut out, &mut line);
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                i = blank_raw_string(&chars, i, &mut out, &mut line);
+            }
+            'b' if at(i + 1) == '"' => {
+                out.push(' ');
+                i = blank_string(&chars, i + 1, &mut out, &mut line);
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal closes with a quote
+                // after one (possibly escaped) character; a lifetime does not.
+                if at(i + 1) == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    let start = i;
+                    i += 2;
+                    while i < chars.len() && at(i) != '\'' && at(i) != '\n' {
+                        i += 1;
+                    }
+                    i += 1; // consume closing quote
+                    out.extend(std::iter::repeat_n(' ', i.min(chars.len() + 1) - start));
+                } else if at(i + 2) == '\'' && at(i + 1) != '\'' {
+                    out.push(' ');
+                    out.push(' ');
+                    out.push(' ');
+                    i += 3;
+                } else {
+                    // Lifetime (or stray quote): keep the tick, move on.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                // Identifiers pass through whole so `r`/`b` prefixes inside
+                // names (e.g. `number`) never trigger raw-string detection.
+                if c.is_alphanumeric() || c == '_' {
+                    while i < chars.len() && (at(i).is_alphanumeric() || at(i) == '_') {
+                        out.push(at(i));
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let mut text: String = out.iter().collect();
+    blank_cfg_test_items(&mut text);
+    Stripped {
+        text,
+        line_allows,
+        file_allows,
+    }
+}
+
+/// True when position `i` starts a raw (or raw-byte) string literal:
+/// `r"`, `r#"`, `br"`, `rb"`, etc.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let at = |k: usize| chars.get(k).copied().unwrap_or('\0');
+    // Must not be the tail of an identifier.
+    if i > 0 {
+        let prev = at(i - 1);
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if (at(j) == 'b' && at(j + 1) == 'r') || (at(j) == 'r' && at(j + 1) == 'b') {
+        j += 2;
+    } else if at(j) == 'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while at(j) == '#' {
+        j += 1;
+    }
+    at(j) == '"'
+}
+
+/// Blanks a plain string literal starting at the opening quote `chars[i]`.
+/// Returns the index just past the closing quote.
+fn blank_string(chars: &[char], i: usize, out: &mut Vec<char>, line: &mut usize) -> usize {
+    let at = |k: usize| chars.get(k).copied().unwrap_or('\0');
+    let mut j = i + 1;
+    out.push(' '); // opening quote
+    while j < chars.len() {
+        match at(j) {
+            '\\' => {
+                out.push(' ');
+                out.push(' ');
+                j += 2;
+            }
+            '"' => {
+                out.push(' ');
+                return j + 1;
+            }
+            '\n' => {
+                out.push('\n');
+                *line += 1;
+                j += 1;
+            }
+            _ => {
+                out.push(' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Blanks a raw string literal starting at its `r`/`b` prefix.
+/// Returns the index just past the closing delimiter.
+fn blank_raw_string(chars: &[char], i: usize, out: &mut Vec<char>, line: &mut usize) -> usize {
+    let at = |k: usize| chars.get(k).copied().unwrap_or('\0');
+    let mut j = i;
+    while at(j) == 'r' || at(j) == 'b' {
+        out.push(' ');
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while at(j) == '#' {
+        out.push(' ');
+        hashes += 1;
+        j += 1;
+    }
+    out.push(' '); // opening quote
+    j += 1;
+    while j < chars.len() {
+        if at(j) == '"' {
+            let mut k = 0usize;
+            while k < hashes && at(j + 1 + k) == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                for _ in 0..=hashes {
+                    out.push(' ');
+                }
+                return j + 1 + hashes;
+            }
+        }
+        if at(j) == '\n' {
+            out.push('\n');
+            *line += 1;
+        } else {
+            out.push(' ');
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses `aib-lint:` directives out of a comment's text.
+fn harvest_directives(
+    comment: &str,
+    line: usize,
+    line_allows: &mut [BTreeSet<String>],
+    file_allows: &mut BTreeSet<String>,
+) {
+    let Some(pos) = comment.find("aib-lint:") else {
+        return;
+    };
+    let rest = comment.get(pos + "aib-lint:".len()..).unwrap_or("").trim();
+    let (rules, file_scope) = if let Some(args) = rest.strip_prefix("allow-file(") {
+        (args, true)
+    } else if let Some(args) = rest.strip_prefix("allow(") {
+        (args, false)
+    } else {
+        return;
+    };
+    let Some(end) = rules.find(')') else {
+        return;
+    };
+    for rule in rules.get(..end).unwrap_or("").split(',') {
+        let rule = rule.trim().to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        if file_scope {
+            file_allows.insert(rule);
+        } else {
+            for l in [line, line + 1] {
+                if let Some(set) = line_allows.get_mut(l) {
+                    set.insert(rule.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Blanks every `#[cfg(test)]` item (typically `mod tests { ... }`) in
+/// already-stripped text, so inline unit tests in library files are exempt
+/// from the library-code rules.
+fn blank_cfg_test_items(text: &mut String) {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut search_from = 0usize;
+    loop {
+        let Some(rel) = text.get(search_from..).and_then(|s| s.find(ATTR)) else {
+            return;
+        };
+        let attr_start = search_from + rel;
+        let after_attr = attr_start + ATTR.len();
+        // Walk char indices (not bytes) to stay Unicode-correct.
+        let char_indices: Vec<(usize, char)> = text.char_indices().collect();
+
+        // Find the end of the item: either a `;` (e.g. `#[cfg(test)] use x;`)
+        // or a brace-matched `{ ... }` block.
+        let mut depth = 0i64;
+        let mut end: Option<usize> = None;
+        let mut saw_brace = false;
+        for (byte_pos, ch) in char_indices.iter().copied() {
+            if byte_pos < after_attr {
+                continue;
+            }
+            match ch {
+                '{' => {
+                    depth += 1;
+                    saw_brace = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if saw_brace && depth == 0 {
+                        end = Some(byte_pos + ch.len_utf8());
+                        break;
+                    }
+                }
+                ';' if !saw_brace && depth == 0 => {
+                    end = Some(byte_pos + ch.len_utf8());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else {
+            return;
+        };
+        let blanked: String = text
+            .get(attr_start..end)
+            .unwrap_or("")
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        text.replace_range(attr_start..end, &blanked);
+        search_from = end.min(text.len());
+    }
+}

@@ -1,0 +1,58 @@
+//! `aib-lint`: repo-specific static analysis for the Adaptive Index Buffer
+//! workspace.
+//!
+//! The reproduction's correctness rests on invariants the Rust compiler
+//! cannot see: per-page counters `C[p]` may only change through the Table I
+//! maintenance matrix and Algorithm 1's `set_zero`/`restore` (paper §III),
+//! skip decisions must only *read* counters, every byte charged to the
+//! `MemoryBudget` must equal the sum of live footprints, and lock acquisition
+//! must follow a fixed order. This crate machine-checks the statically
+//! checkable half of those invariants (the runtime half lives in
+//! `aib-core::invariants` behind the `invariant-checks` feature).
+//!
+//! Run it with `cargo run -p aib-lint` from the workspace root; it exits
+//! non-zero when any rule fires. Suppress a finding with
+//! `// aib-lint: allow(<rule>)` on (or directly above) the offending line, or
+//! `// aib-lint: allow-file(<rule>)` for a whole file — always with a written
+//! justification.
+//!
+//! The crate has **zero dependencies** and parses Rust with a
+//! comment/string-stripping token scanner, because the build environment is
+//! fully offline and `syn` is unavailable. That makes the rules heuristic —
+//! they match token patterns, not resolved paths — which is the right
+//! trade-off for a repo-local lint: false positives are handled with an
+//! inline allow and a sentence of justification.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use lexer::{strip, Stripped};
+pub use rules::{lint_file, Violation};
+pub use walk::{collect_rust_files, is_crate_root, is_test_code, SourceFile};
+
+use std::path::Path;
+
+/// Lints a single source string as if it lived at root-relative path `rel`.
+/// This is the entry point the self-tests use to seed violations.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+    let stripped = lexer::strip(source);
+    rules::lint_file(rel, &stripped)
+}
+
+/// Lints every `.rs` file under `root`. Returns all violations, sorted by
+/// file and line, or an I/O-ish error message.
+pub fn lint_root(root: &Path) -> Result<Vec<Violation>, String> {
+    let files = walk::collect_rust_files(root)?;
+    let mut all = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(&file.abs)
+            .map_err(|e| format!("read {}: {e}", file.abs.display()))?;
+        all.extend(lint_source(&file.rel, &source));
+    }
+    all.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(all)
+}

@@ -1,0 +1,29 @@
+//! `aib-lint` binary: lint the workspace (or a directory given as the first
+//! argument) and exit non-zero if any rule fires.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match aib_lint::lint_root(Path::new(&root)) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("aib-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+            eprintln!("aib-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("aib-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

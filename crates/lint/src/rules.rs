@@ -1,0 +1,564 @@
+//! The rule families.
+//!
+//! Each rule walks the stripped text of one file (comments, strings, and
+//! `#[cfg(test)]` items already blanked — see [`crate::lexer`]) and emits
+//! [`Violation`]s. Rules map one-to-one onto the paper invariants the
+//! compiler cannot check:
+//!
+//! | rule id              | invariant                                                        |
+//! |----------------------|------------------------------------------------------------------|
+//! | `counter-confinement`| `C[p]` mutates only via Table I / Algorithm 1 / displacement (§III) |
+//! | `no-panic`           | library code returns errors instead of panicking                 |
+//! | `no-index`           | no panicking slice/array indexing in library code                |
+//! | `atomics-order`      | `Ordering::Relaxed` only on allowlisted telemetry counters       |
+//! | `lock-order`         | BufferPool locks acquire before IndexBufferSpace locks           |
+//! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
+//! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
+//!
+//! (`no-index` and `database-result` are sub-rules of the panic-freedom and
+//! hygiene families, split out so the `allow(...)` escape hatch can target
+//! them individually.)
+
+use crate::lexer::Stripped;
+use crate::walk::{is_crate_root, is_test_code};
+
+/// One finding: file, 1-based line, rule id, human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (usable in `aib-lint: allow(<rule>)`).
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The only modules allowed to mutate `PageCounters` (`counters.rs` itself,
+/// plus the Table I maintenance matrix, Algorithm 1's indexing scan, and the
+/// Algorithm 2 displacement pipeline).
+const COUNTER_MUTATION_SITES: &[&str] = &[
+    "crates/core/src/counters.rs",
+    "crates/core/src/maintenance.rs",
+    "crates/core/src/scan.rs",
+    "crates/core/src/space.rs",
+];
+
+/// Mutating `PageCounters` API surface. `ensure_page` is deliberately absent:
+/// growing the tracked range is a registration concern, not a Table I
+/// transition, and the engine needs it when the heap allocates pages.
+const COUNTER_MUTATORS: &[&str] = &[
+    ".increment(",
+    ".decrement(",
+    ".set_zero(",
+    ".restore(",
+    ".from_counts(",
+    "PageCounters::from_counts",
+];
+
+/// `Ordering::Relaxed` allowlist: `(path suffix, required line substring)`.
+/// An empty substring allows every occurrence in the file. Everything here is
+/// monotonic telemetry or mutex-protected state — never an ordering that
+/// guards a reserve/charge decision (see `crates/storage/src/budget.rs` for
+/// the written audit).
+const RELAXED_ALLOWLIST: &[(&str, &str)] = &[
+    // I/O accounting: monotonic counters read only for reporting.
+    ("crates/storage/src/stats.rs", ""),
+    // Budget telemetry: denial/displacement tallies do not synchronize the
+    // CAS loop that admits reservations; that loop is Acquire/AcqRel.
+    ("crates/storage/src/budget.rs", "denials"),
+    ("crates/storage/src/budget.rs", "displacements"),
+    // Pin counts: every increment happens under the pool's state mutex,
+    // which already orders them; the lock-free decrement is Release and the
+    // evictor's read is Acquire, so the pair that matters is not Relaxed.
+    (
+        "crates/storage/src/buffer_pool.rs",
+        "pins[frame].fetch_add(1, Ordering::Relaxed)",
+    ),
+    // Work-claiming cursor: atomicity alone guarantees each chunk index is
+    // claimed once; result visibility comes from the scope join, not the
+    // counter.
+    ("crates/core/src/scan.rs", "cursor.fetch_add"),
+];
+
+/// Lints one stripped file. `rel` is the root-relative path.
+pub fn lint_file(rel: &str, stripped: &Stripped) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if is_crate_root(rel) {
+        crate_hygiene(rel, stripped, &mut out);
+    }
+    if is_test_code(rel) {
+        return out;
+    }
+    counter_confinement(rel, stripped, &mut out);
+    no_panic(rel, stripped, &mut out);
+    no_index(rel, stripped, &mut out);
+    atomics_order(rel, stripped, &mut out);
+    lock_order(rel, stripped, &mut out);
+    database_result(rel, stripped, &mut out);
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    stripped: &Stripped,
+    rel: &str,
+    line_idx: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if !stripped.is_allowed(line_idx, rule) {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: line_idx + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: counter-mutation confinement
+// ---------------------------------------------------------------------------
+
+fn counter_confinement(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    if COUNTER_MUTATION_SITES.contains(&rel) {
+        return;
+    }
+    for (idx, line) in stripped.text.lines().enumerate() {
+        for token in COUNTER_MUTATORS {
+            if line.contains(token) {
+                push(
+                    out,
+                    stripped,
+                    rel,
+                    idx,
+                    "counter-confinement",
+                    format!(
+                        "`{}` mutates PageCounters outside the Table I / Algorithm 1 / \
+                         displacement sites (aib-core maintenance, scan, space)",
+                        token.trim_matches(|c| c == '.' || c == '(')
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2a: no panicking calls in library code
+// ---------------------------------------------------------------------------
+
+fn no_panic(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    const PANICS: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for (idx, line) in stripped.text.lines().enumerate() {
+        for token in PANICS {
+            let Some(pos) = line.find(token) else {
+                continue;
+            };
+            // Word-boundary check for the macro tokens: `catch_panic!` or
+            // `my_unreachable!` must not match.
+            if !token.starts_with('.') {
+                let boundary_ok = pos == 0
+                    || line
+                        .get(..pos)
+                        .and_then(|s| s.chars().next_back())
+                        .is_none_or(|p| !(p.is_alphanumeric() || p == '_'));
+                if !boundary_ok {
+                    continue;
+                }
+            }
+            push(
+                out,
+                stripped,
+                rel,
+                idx,
+                "no-panic",
+                format!("`{token}` in library code; return an error instead"),
+            );
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2b: no panicking slice/array indexing in library code
+// ---------------------------------------------------------------------------
+
+fn no_index(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    for (idx, line) in stripped.text.lines().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut reported = false;
+        for (col, &c) in chars.iter().enumerate() {
+            if reported {
+                break;
+            }
+            if c != '[' {
+                continue;
+            }
+            // Indexing expression: `[` directly follows an identifier tail,
+            // `)`, or `]`. (`#[`, `![`, `vec![`, types and array literals all
+            // have a different preceding character and fall through.)
+            let prev = chars
+                .get(..col)
+                .and_then(|s| s.iter().rev().find(|ch| !ch.is_whitespace()))
+                .copied()
+                .unwrap_or('\0');
+            if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+                continue;
+            }
+            // `for x in [a, b]`, `match [..]` etc.: a keyword before `[`
+            // introduces an array literal operand, not an indexing expression.
+            if prev.is_alphanumeric() || prev == '_' {
+                let word: String = chars
+                    .get(..col)
+                    .map(|s| {
+                        s.iter()
+                            .rev()
+                            .skip_while(|ch| ch.is_whitespace())
+                            .take_while(|ch| ch.is_alphanumeric() || **ch == '_')
+                            .collect::<String>()
+                            .chars()
+                            .rev()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                const KEYWORDS: &[&str] = &[
+                    "in", "if", "else", "match", "return", "while", "mut", "ref", "move", "as",
+                    "let", "break", "loop", "yield",
+                ];
+                if KEYWORDS.iter().any(|k| *k == word) {
+                    continue;
+                }
+            }
+            // Full-range slicing `[..]` cannot panic; skip it.
+            let mut j = col + 1;
+            let mut content = String::new();
+            let mut depth = 1usize;
+            while let Some(&ch) = chars.get(j) {
+                if ch == '[' {
+                    depth += 1;
+                } else if ch == ']' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                content.push(ch);
+                j += 1;
+            }
+            if content.trim() == ".." {
+                continue;
+            }
+            push(
+                out,
+                stripped,
+                rel,
+                idx,
+                "no-index",
+                format!(
+                    "panicking index `[{}]` in library code; use `.get(..)` or prove \
+                     bounds and add an allow",
+                    content.trim()
+                ),
+            );
+            reported = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: atomics-ordering audit
+// ---------------------------------------------------------------------------
+
+fn atomics_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    for (idx, line) in stripped.text.lines().enumerate() {
+        if !line.contains("Ordering::Relaxed") {
+            continue;
+        }
+        let allowlisted = RELAXED_ALLOWLIST
+            .iter()
+            .any(|(suffix, needle)| rel.ends_with(suffix) && line.contains(needle));
+        if allowlisted {
+            continue;
+        }
+        push(
+            out,
+            stripped,
+            rel,
+            idx,
+            "atomics-order",
+            "`Ordering::Relaxed` outside the telemetry allowlist; use \
+             Acquire/Release/AcqRel or add the site to the audit"
+                .to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: lock-order discipline
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LockKind {
+    Pool,
+    Space,
+}
+
+fn lock_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    for body in function_bodies(&stripped.text) {
+        let mut space_seen: Option<usize> = None;
+        for (line_idx, kind) in lock_acquisitions(&stripped.text, body.clone()) {
+            match kind {
+                LockKind::Space => {
+                    space_seen.get_or_insert(line_idx);
+                }
+                LockKind::Pool => {
+                    if let Some(space_line) = space_seen {
+                        push(
+                            out,
+                            stripped,
+                            rel,
+                            line_idx,
+                            "lock-order",
+                            format!(
+                                "BufferPool lock acquired after IndexBufferSpace lock \
+                                 (space lock at line {}); pool locks must come first",
+                                space_line + 1
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Byte ranges of every `fn` body in the stripped text.
+fn function_bodies(text: &str) -> Vec<std::ops::Range<usize>> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let mut bodies = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars.get(i).map(|&(_, ch)| ch).unwrap_or('\0');
+        // Match the keyword `fn` on word boundaries.
+        if c == 'f'
+            && matches!(chars.get(i + 1), Some((_, 'n')))
+            && chars
+                .get(i + 2)
+                .is_none_or(|&(_, nx)| !(nx.is_alphanumeric() || nx == '_'))
+            && (i == 0
+                || chars
+                    .get(i - 1)
+                    .is_none_or(|&(_, pv)| !(pv.is_alphanumeric() || pv == '_')))
+        {
+            // Scan forward for the body `{`; a `;` at depth 0 means a trait
+            // method declaration with no body.
+            let mut j = i + 2;
+            let mut paren = 0i64;
+            let mut body_start: Option<usize> = None;
+            while let Some(&(p, ch)) = chars.get(j) {
+                match ch {
+                    '(' | '<' => paren += 1,
+                    ')' | '>' => paren -= 1,
+                    '{' if paren <= 0 => {
+                        body_start = Some(p);
+                        break;
+                    }
+                    ';' if paren <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = body_start {
+                // Brace-match to find the end.
+                let mut depth = 0i64;
+                let mut end = text.len();
+                let mut k = j;
+                while let Some(&(p, ch)) = chars.get(k) {
+                    if ch == '{' {
+                        depth += 1;
+                    } else if ch == '}' {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = p;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                bodies.push(start..end);
+            }
+            i = j.max(i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    bodies
+}
+
+/// Lock acquisitions (`.lock()` / `.read()` / `.write()` with no arguments)
+/// inside `range`, classified by receiver name, in source order.
+fn lock_acquisitions(text: &str, range: std::ops::Range<usize>) -> Vec<(usize, LockKind)> {
+    let body = text.get(range.clone()).unwrap_or("");
+    let base_line = text.get(..range.start).unwrap_or("").matches('\n').count();
+    let mut found = Vec::new();
+    for method in [".lock()", ".read()", ".write()"] {
+        let mut from = 0usize;
+        while let Some(rel_pos) = body.get(from..).and_then(|s| s.find(method)) {
+            let pos = from + rel_pos;
+            // Receiver chain: walk back over identifier chars and dots.
+            let recv: String = body
+                .get(..pos)
+                .unwrap_or("")
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            let recv = recv.to_lowercase();
+            let kind = if recv.contains("pool") || recv.contains("frame") {
+                Some(LockKind::Pool)
+            } else if recv.contains("space") {
+                Some(LockKind::Space)
+            } else {
+                None
+            };
+            if let Some(kind) = kind {
+                let line = base_line + body.get(..pos).unwrap_or("").matches('\n').count();
+                found.push((pos, line, kind));
+            }
+            from = pos + method.len();
+        }
+    }
+    found.sort_by_key(|&(pos, _, _)| pos);
+    found
+        .into_iter()
+        .map(|(_, line, kind)| (line, kind))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5a: crate hygiene
+// ---------------------------------------------------------------------------
+
+fn crate_hygiene(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    if !stripped.text.contains("#![forbid(unsafe_code)]") {
+        push(
+            out,
+            stripped,
+            rel,
+            0,
+            "crate-hygiene",
+            "crate root must carry `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+    if !stripped.text.contains("#![deny(missing_docs)]") {
+        push(
+            out,
+            stripped,
+            rel,
+            0,
+            "crate-hygiene",
+            "crate root must carry `#![deny(missing_docs)]` (or an allow-file \
+             directive with justification)"
+                .to_string(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5b: every state-mutating `pub fn` on `Database` returns
+// `Result<_, EngineError>`.
+//
+// Scope: methods taking `&mut self`. Constructors (no receiver) and `&self`
+// inspection accessors are exempt by design — they cannot fail and have no
+// engine error to report; forcing `Result` there would only add `.unwrap()`s
+// at call sites, the opposite of what the panic-freedom family wants.
+// ---------------------------------------------------------------------------
+
+fn database_result(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    let text = &stripped.text;
+    let mut from = 0usize;
+    while let Some(rel_pos) = text.get(from..).and_then(|s| s.find("impl Database")) {
+        let pos = from + rel_pos;
+        from = pos + "impl Database".len();
+        // Must be the inherent impl: next non-whitespace char is `{`.
+        let after = text.get(from..).unwrap_or("");
+        if !after.trim_start().starts_with('{') {
+            continue;
+        }
+        // Brace-match the impl block.
+        let chars: Vec<(usize, char)> = text.char_indices().filter(|&(p, _)| p >= from).collect();
+        let mut depth = 0i64;
+        let mut end = text.len();
+        for &(p, ch) in &chars {
+            if ch == '{' {
+                depth += 1;
+            } else if ch == '}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = p;
+                    break;
+                }
+            }
+        }
+        let body = text.get(from..end).unwrap_or("");
+        let body_base = from;
+        let mut scan = 0usize;
+        while let Some(fn_rel) = body.get(scan..).and_then(|s| s.find("pub fn ")) {
+            let fn_pos = scan + fn_rel;
+            scan = fn_pos + "pub fn ".len();
+            let line_idx = text
+                .get(..body_base + fn_pos)
+                .unwrap_or("")
+                .matches('\n')
+                .count();
+            // Signature: from `pub fn` to the body `{` (or `;`), skipping the
+            // parameter parens.
+            let sig_area = body.get(fn_pos..).unwrap_or("");
+            let mut paren = 0i64;
+            let mut sig_end = sig_area.len();
+            for (p, ch) in sig_area.char_indices() {
+                match ch {
+                    '(' => paren += 1,
+                    ')' => paren -= 1,
+                    '{' | ';' if paren == 0 && p > 0 => {
+                        sig_end = p;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let sig = sig_area.get(..sig_end).unwrap_or("");
+            if !sig.contains("&mut self") {
+                continue;
+            }
+            let returns_engine_result = sig.contains("EngineResult")
+                || (sig.contains("Result<") && sig.contains("EngineError"));
+            if !returns_engine_result {
+                push(
+                    out,
+                    stripped,
+                    rel,
+                    line_idx,
+                    "database-result",
+                    "state-mutating `pub fn` on Database must return \
+                     `EngineResult<_>` (Result<_, EngineError>)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}

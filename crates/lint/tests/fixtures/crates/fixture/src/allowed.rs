@@ -1,0 +1,14 @@
+//! Self-test fixture: every would-be violation here is suppressed by an
+//! escape-hatch directive, so linting this file must report nothing.
+
+// aib-lint: allow-file(no-index) — fixture: file-wide suppression under test.
+
+pub fn suppressed(items: &[u32], maybe: Option<u32>) -> u32 {
+    let first = items[0];
+    let second = items[1];
+    // aib-lint: allow(no-panic) — fixture: same-line suppression under test.
+    let a = maybe.unwrap(); // aib-lint: allow(no-panic) — own line.
+    // aib-lint: allow(no-panic) — fixture: next-line suppression under test.
+    let b = maybe.unwrap();
+    first + second + a + b
+}

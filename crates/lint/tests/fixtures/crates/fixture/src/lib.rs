@@ -1,0 +1,50 @@
+//! Self-test fixture: one seeded violation per rule family.
+//!
+//! This file is never compiled — it lives under `tests/fixtures/` purely so
+//! the lint self-test can point `aib-lint` at this directory and assert that
+//! every rule family fires. The crate root deliberately OMITS
+//! `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` (crate-hygiene).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub struct Database {
+    pool: Mutex<u32>,
+    space: Mutex<u32>,
+    counter: AtomicUsize,
+}
+
+impl Database {
+    // database-result: `&mut self` pub fn that does not return EngineResult.
+    pub fn mutate_without_result(&mut self, counters: &mut PageCounters) -> usize {
+        // counter-confinement: PageCounters mutated outside aib-core.
+        counters.increment(3);
+        // atomics-order: Relaxed outside the telemetry allowlist.
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    pub fn wrong_lock_order(&mut self) -> EngineResult<u32> {
+        // lock-order: space lock taken before the pool lock.
+        let space = self.space.lock();
+        let pool = self.pool.lock();
+        let a = *space.map_err(|_| EngineError)?;
+        let b = *pool.map_err(|_| EngineError)?;
+        Ok(a + b)
+    }
+}
+
+pub fn library_code(items: &[u32], maybe: Option<u32>) -> u32 {
+    // no-index: panicking slice indexing.
+    let first = items[0];
+    // no-panic: unwrap in library code.
+    let v = maybe.unwrap();
+    first + v
+}
+
+pub struct PageCounters;
+impl PageCounters {
+    pub fn increment(&mut self, _page: u32) {}
+}
+
+pub struct EngineError;
+pub type EngineResult<T> = Result<T, EngineError>;

@@ -1,0 +1,260 @@
+//! Lint self-test: every rule family must fire on the seeded fixture
+//! workspace and stay silent on the real workspace.
+//!
+//! Two layers:
+//! 1. library-level (`lint_source`): one assertion per rule family against
+//!    inline snippets, including the allow / allow-file escape hatches;
+//! 2. binary-level (`CARGO_BIN_EXE_aib-lint`): the shipped binary exits
+//!    non-zero on `tests/fixtures/` and zero on the repaired workspace.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::Command;
+
+use aib_lint::{lint_root, lint_source, Violation};
+
+fn rules_of(violations: &[Violation]) -> BTreeSet<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+fn lint_lib(source: &str) -> Vec<Violation> {
+    // A path that is library code but not a crate root and not a counter
+    // mutation site.
+    lint_source("crates/fixture/src/lib.rs", source)
+}
+
+#[test]
+fn counter_confinement_fires_outside_core() {
+    let v = lint_lib("fn f(c: &mut PageCounters) { c.increment(3); }\n");
+    assert!(rules_of(&v).contains("counter-confinement"), "{v:?}");
+    // The same call inside a designated mutation site is fine.
+    let v = lint_source(
+        "crates/core/src/maintenance.rs",
+        "fn f(c: &mut PageCounters) { c.increment(3); }\n",
+    );
+    assert!(!rules_of(&v).contains("counter-confinement"), "{v:?}");
+}
+
+#[test]
+fn no_panic_fires_on_each_macro_and_method() {
+    for snippet in [
+        "fn f(x: Option<u32>) { x.unwrap(); }\n",
+        "fn f(x: Option<u32>) { x.expect(\"boom\"); }\n",
+        "fn f() { panic!(\"boom\"); }\n",
+        "fn f() { unreachable!(); }\n",
+        "fn f() { todo!(); }\n",
+        "fn f() { unimplemented!(); }\n",
+    ] {
+        let v = lint_lib(snippet);
+        assert!(rules_of(&v).contains("no-panic"), "{snippet}: {v:?}");
+    }
+    // Identifiers that merely end in a macro name must not match.
+    let v = lint_lib("fn f() { my_unreachable!(); }\n");
+    assert!(!rules_of(&v).contains("no-panic"), "{v:?}");
+}
+
+#[test]
+fn no_index_fires_on_slice_indexing_only() {
+    let v = lint_lib("fn f(x: &[u32]) -> u32 { x[0] }\n");
+    assert!(rules_of(&v).contains("no-index"), "{v:?}");
+    // Attributes, array literals, and full-range slices are not indexing.
+    for snippet in [
+        "#[derive(Debug)]\nstruct S;\n",
+        "fn f() -> [u32; 2] { [1, 2] }\n",
+        "fn f(x: &[u32]) -> &[u32] { &x[..] }\n",
+        "fn f() { for v in [1, 2] { let _ = v; } }\n",
+    ] {
+        let v = lint_lib(snippet);
+        assert!(!rules_of(&v).contains("no-index"), "{snippet}: {v:?}");
+    }
+}
+
+#[test]
+fn atomics_order_fires_off_allowlist() {
+    let src = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+    let v = lint_lib(src);
+    assert!(rules_of(&v).contains("atomics-order"), "{v:?}");
+    // Allowlisted file + substring passes (I/O stats are whole-file).
+    let v = lint_source("crates/storage/src/stats.rs", src);
+    assert!(!rules_of(&v).contains("atomics-order"), "{v:?}");
+}
+
+#[test]
+fn lock_order_fires_on_space_before_pool() {
+    let bad = "fn f(&self) { let s = self.space.lock(); let p = self.pool.lock(); }\n";
+    let v = lint_lib(bad);
+    assert!(rules_of(&v).contains("lock-order"), "{v:?}");
+    let good = "fn f(&self) { let p = self.pool.lock(); let s = self.space.lock(); }\n";
+    let v = lint_lib(good);
+    assert!(!rules_of(&v).contains("lock-order"), "{v:?}");
+    // Order is per-function: separate bodies never interleave.
+    let split =
+        "fn a(&self) { let s = self.space.lock(); }\nfn b(&self) { let p = self.pool.lock(); }\n";
+    let v = lint_lib(split);
+    assert!(!rules_of(&v).contains("lock-order"), "{v:?}");
+}
+
+#[test]
+fn crate_hygiene_fires_on_bare_crate_root() {
+    let v = lint_source("crates/fixture/src/lib.rs", "pub fn f() {}\n");
+    let hygiene = v.iter().filter(|v| v.rule == "crate-hygiene").count();
+    assert_eq!(
+        hygiene, 2,
+        "missing forbid(unsafe_code) AND deny(missing_docs): {v:?}"
+    );
+    let v = lint_source(
+        "crates/fixture/src/lib.rs",
+        "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n",
+    );
+    assert!(!rules_of(&v).contains("crate-hygiene"), "{v:?}");
+    // Non-root files are exempt.
+    let v = lint_source("crates/fixture/src/other.rs", "pub fn f() {}\n");
+    assert!(!rules_of(&v).contains("crate-hygiene"), "{v:?}");
+}
+
+#[test]
+fn database_result_fires_on_mut_self_without_engine_result() {
+    let bad = "impl Database {\n    pub fn mutate(&mut self) -> usize { 0 }\n}\n";
+    let v = lint_lib(bad);
+    assert!(rules_of(&v).contains("database-result"), "{v:?}");
+    for good in [
+        // EngineResult alias.
+        "impl Database {\n    pub fn mutate(&mut self) -> EngineResult<usize> { Ok(0) }\n}\n",
+        // Spelled-out Result form.
+        "impl Database {\n    pub fn mutate(&mut self) -> Result<usize, EngineError> { Ok(0) }\n}\n",
+        // `&self` accessors and constructors are exempt by design.
+        "impl Database {\n    pub fn peek(&self) -> usize { 0 }\n    pub fn new() -> Self { Database }\n}\n",
+    ] {
+        let v = lint_lib(good);
+        assert!(!rules_of(&v).contains("database-result"), "{good}: {v:?}");
+    }
+}
+
+#[test]
+fn allow_covers_own_and_next_line_only() {
+    let v = lint_lib(
+        "// aib-lint: allow(no-panic) — justified\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(!rules_of(&v).contains("no-panic"), "{v:?}");
+    // Two lines below the directive is NOT covered.
+    let v = lint_lib(
+        "// aib-lint: allow(no-panic) — justified\n\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(rules_of(&v).contains("no-panic"), "{v:?}");
+    // A directive for one rule does not excuse another.
+    let v = lint_lib(
+        "// aib-lint: allow(no-index) — wrong rule\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(rules_of(&v).contains("no-panic"), "{v:?}");
+}
+
+#[test]
+fn allow_file_covers_whole_file() {
+    let v = lint_lib(
+        "// aib-lint: allow-file(no-panic) — justified\n\n\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(!rules_of(&v).contains("no-panic"), "{v:?}");
+}
+
+#[test]
+fn test_code_is_exempt_from_library_rules() {
+    let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+    for rel in [
+        "crates/fixture/tests/it.rs",
+        "crates/fixture/benches/b.rs",
+        "crates/fixture/examples/e.rs",
+    ] {
+        let v = lint_source(rel, src);
+        assert!(v.is_empty(), "{rel}: {v:?}");
+    }
+    // Inline #[cfg(test)] modules are blanked too (non-root path so the
+    // hygiene rule stays out of the picture).
+    let v = lint_source(
+        "crates/fixture/src/other.rs",
+        "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) { x.unwrap(); }\n}\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Fixture workspace + binary integration
+// ---------------------------------------------------------------------------
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every rule family fires at least once on the seeded fixture workspace.
+#[test]
+fn fixture_workspace_trips_every_rule_family() {
+    let violations = lint_root(&fixtures_dir()).expect("fixtures lint cleanly");
+    let rules = rules_of(&violations);
+    for family in [
+        "counter-confinement",
+        "no-panic",
+        "no-index",
+        "atomics-order",
+        "lock-order",
+        "crate-hygiene",
+        "database-result",
+    ] {
+        assert!(
+            rules.contains(family),
+            "fixture must trip {family}: {violations:?}"
+        );
+    }
+    // The allow-directive fixture file stays silent.
+    assert!(
+        violations.iter().all(|v| !v.file.ends_with("allowed.rs")),
+        "allowed.rs must be fully suppressed: {violations:?}"
+    );
+}
+
+/// The repaired workspace is clean — the whole point of this PR.
+#[test]
+fn real_workspace_is_clean() {
+    let violations = lint_root(&workspace_root()).expect("workspace lints cleanly");
+    assert!(
+        violations.is_empty(),
+        "workspace must be lint-clean: {violations:?}"
+    );
+}
+
+/// The shipped binary exits non-zero on the fixtures and reports each family.
+#[test]
+fn binary_flags_fixtures_and_passes_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_aib-lint"))
+        .arg(fixtures_dir())
+        .output()
+        .expect("run aib-lint on fixtures");
+    assert!(!out.status.success(), "fixtures must fail the lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for family in [
+        "counter-confinement",
+        "no-panic",
+        "no-index",
+        "atomics-order",
+        "lock-order",
+        "crate-hygiene",
+        "database-result",
+    ] {
+        assert!(
+            stdout.contains(family),
+            "binary output missing {family}:\n{stdout}"
+        );
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_aib-lint"))
+        .arg(workspace_root())
+        .output()
+        .expect("run aib-lint on workspace");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace must pass the lint:\n{stdout}"
+    );
+}

@@ -91,7 +91,10 @@ pub struct ControlLoopResult {
 impl ControlLoopResult {
     /// Hit rate over queries `[from, to)`.
     pub fn hit_rate(&self, from: usize, to: usize) -> f64 {
-        let slice = &self.records[from.min(self.records.len())..to.min(self.records.len())];
+        let slice = self
+            .records
+            .get(from.min(self.records.len())..to.min(self.records.len()))
+            .unwrap_or_default();
         if slice.is_empty() {
             return 0.0;
         }
@@ -110,8 +113,9 @@ impl ControlLoopResult {
         window: usize,
     ) -> Option<usize> {
         (0..self.records.len().saturating_sub(window)).find(|&q| {
-            let r = &self.records[q];
-            r.indexed_range.is_some_and(|(_, hi)| hi >= high_range.0)
+            self.records
+                .get(q)
+                .is_some_and(|r| r.indexed_range.is_some_and(|(_, hi)| hi >= high_range.0))
                 && self.hit_rate(q, q + window) >= level
         })
     }

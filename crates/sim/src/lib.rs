@@ -7,7 +7,7 @@
 //!   correlation between physical and logical order decays — the reason
 //!   partial indexes alone almost never allow page skipping.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clustering;

@@ -23,6 +23,10 @@
 //! the governor tracks a high-water mark, denied reservations, and
 //! displacement counts for `engine::metrics`.
 
+// aib-lint: allow-file(no-index) — per-component counters are fixed-size
+// arrays indexed by `BudgetComponent as usize`, a closed enum whose
+// discriminants are the array's definition.
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::value::Value;
@@ -89,6 +93,29 @@ const UNLIMITED: usize = usize::MAX;
 /// requesting component's own cap *and* the shared total; either side can
 /// therefore starve the other of headroom, which is exactly the production
 /// constraint the paper's standalone `L` ignores.
+///
+/// # Atomics ordering audit
+///
+/// This is the written audit `aib-lint`'s `atomics-order` allowlist points
+/// at. Two classes of atomics live here, with different ordering needs:
+///
+/// * **Admission state** (`used`, `high_water`): every load that feeds a
+///   reserve/charge decision is `Acquire` and every successful
+///   `compare_exchange_weak`/`fetch_add`/`store` that publishes a new
+///   charge is `AcqRel`/`Release`. The CAS loop in
+///   [`try_reserve`](MemoryBudget::try_reserve) is the correctness-critical
+///   pair: the `Acquire` re-load on failure observes the competing charge
+///   that invalidated the check, so two racing reservations can never both
+///   fit a cap only one of them respects. These sites must **never** be
+///   relaxed; they are deliberately absent from the lint allowlist.
+/// * **Telemetry** (`denials`, `displacements`): monotonic event tallies
+///   read only by [`snapshot`](MemoryBudget::snapshot) and the metrics
+///   accessors, for reporting. They guard no decision and order no other
+///   memory access, so `Ordering::Relaxed` is sound — atomicity alone
+///   gives an exact count, and a reader observing a slightly stale tally
+///   is indistinguishable from having read a moment earlier. These are
+///   the only `Relaxed` sites in this file, and the only ones the lint
+///   allowlist admits (substrings `denials` / `displacements`).
 #[derive(Debug)]
 pub struct MemoryBudget {
     total_limit: usize,

@@ -13,6 +13,11 @@
 //! pool's effective working set — the co-tenancy the paper assumes by
 //! placing the Index Buffer *inside* the database buffer.
 
+// aib-lint: allow-file(no-index) — `frames` and `pins` are fixed-size
+// arrays allocated at construction and only ever indexed by FrameIds the
+// pool itself handed out (from the page table or the policy), which are
+// `< frames.len()` by construction.
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -400,6 +405,25 @@ impl BufferPool {
         debug_assert!(prev > 0, "unpin without pin");
     }
 
+    /// Shadow-model hook (`invariant-checks` feature): the bytes the
+    /// governor charges to [`BudgetComponent::BufferPool`] must equal the
+    /// pool's resident footprint — every frame admission reserved, every
+    /// eviction released, nothing double-counted. The index-space side of
+    /// the same check lives in `aib-core::invariants::verify_space`.
+    #[cfg(feature = "invariant-checks")]
+    pub fn verify_budget(&self) -> Result<(), String> {
+        let charged = self.budget.used(BudgetComponent::BufferPool);
+        let footprint = self.footprint();
+        if charged == footprint {
+            Ok(())
+        } else {
+            Err(format!(
+                "governor charges {charged} bytes to BufferPool, resident \
+                 footprint is {footprint}"
+            ))
+        }
+    }
+
     /// Writes every dirty resident page back to disk.
     pub fn flush_all(&self) -> Result<(), StorageError> {
         for cell in &self.frames {
@@ -485,6 +509,8 @@ pub struct PageReadGuard {
 impl std::ops::Deref for PageReadGuard {
     type Target = [u8; PAGE_SIZE];
     fn deref(&self) -> &Self::Target {
+        // `guard` is Some from construction until Drop, the only taker.
+        // aib-lint: allow(no-panic) — Deref cannot return an error
         &self.guard.as_ref().expect("guard live until drop").data
     }
 }
@@ -517,12 +543,16 @@ pub struct PageWriteGuard {
 impl std::ops::Deref for PageWriteGuard {
     type Target = [u8; PAGE_SIZE];
     fn deref(&self) -> &Self::Target {
+        // `guard` is Some from construction until Drop, the only taker.
+        // aib-lint: allow(no-panic) — Deref cannot return an error
         &self.guard.as_ref().expect("guard live until drop").data
     }
 }
 
 impl std::ops::DerefMut for PageWriteGuard {
     fn deref_mut(&mut self) -> &mut Self::Target {
+        // `guard` is Some from construction until Drop, the only taker.
+        // aib-lint: allow(no-panic) — Deref cannot return an error
         &mut self.guard.as_mut().expect("guard live until drop").data
     }
 }

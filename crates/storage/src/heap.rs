@@ -92,7 +92,7 @@ impl HeapFile {
                 inner
                     .fsm
                     .find(bytes.len() + 4)
-                    .map(|ord| (ord, inner.pages[ord as usize]))
+                    .and_then(|ord| inner.pages.get(ord as usize).map(|&pid| (ord, pid)))
             };
             match candidate {
                 Some((ord, pid)) => {
@@ -115,9 +115,13 @@ impl HeapFile {
                     let (pid, mut guard) = self.pool.new_page()?;
                     let mut page = SlottedPage::new(&mut guard[..]);
                     page.init();
-                    let slot = page
-                        .insert(bytes)
-                        .expect("fresh page fits any tuple within MAX_TUPLE_BYTES");
+                    let Some(slot) = page.insert(bytes) else {
+                        // A fresh page fits any tuple within MAX_TUPLE_BYTES;
+                        // failing here means the page header is corrupt.
+                        return Err(StorageError::Corrupt(
+                            "fresh page rejected a size-validated tuple".into(),
+                        ));
+                    };
                     let free = page.free_bytes();
                     drop(guard);
                     let mut inner = self.inner.write();
@@ -206,7 +210,7 @@ impl HeapFile {
                 .filter(|&o| o != ord)
                 .filter(|&o| inner.fsm.get(o) >= bytes.len() + 4)
                 .max_by_key(|&o| inner.fsm.get(o))
-                .map(|o| (o, inner.pages[o as usize]))
+                .and_then(|o| inner.pages.get(o as usize).map(|&pid| (o, pid)))
         };
         let new_rid = match target {
             Some((tord, tpid)) => {
@@ -332,7 +336,14 @@ impl HeapFile {
             let inner = self.inner.read();
             let end = range.end.min(inner.pages.len() as u32);
             let start = range.start.min(end);
-            (start, inner.pages[start as usize..end as usize].to_vec())
+            (
+                start,
+                inner
+                    .pages
+                    .get(start as usize..end as usize)
+                    .map(<[_]>::to_vec)
+                    .unwrap_or_default(),
+            )
         };
         let mut read = 0;
         let mut skipped = 0;

@@ -12,7 +12,7 @@
 //! experiments can report deterministic simulated I/O cost alongside wall
 //! time.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod budget;

@@ -21,6 +21,12 @@
 //! ids are stored in partial indexes and in the Index Buffer, and Table I
 //! maintenance relies on a tuple keeping its `Rid` unless an update moves it.
 
+// aib-lint: allow-file(no-index) — every offset below is read from the
+// header or the slot directory and bounds-checked against PAGE_SIZE at
+// decode time (`slot`, `data_start`); indexing after those checks is the
+// point of the layout, and `.get()` noise would hide the arithmetic that
+// the checks protect.
+
 use crate::disk::PAGE_SIZE;
 use crate::rid::SlotId;
 

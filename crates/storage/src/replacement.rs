@@ -10,6 +10,10 @@
 //! so [`LruKPolicy`] shares the [`crate::lruk::AccessHistory`]
 //! implementation with `aib-core::history`.
 
+// aib-lint: allow-file(no-index) — policy state vectors are sized to the
+// pool's frame count at construction and indexed only by FrameIds the pool
+// handed out, which are `< frames` by construction.
+
 use std::collections::{BTreeMap, HashMap};
 
 use crate::lruk::AccessHistory;
@@ -199,10 +203,10 @@ impl DisplacementPolicy for LruKPolicy {
             }
             let (infinite, dist) = match h.backward_k_distance(self.clock) {
                 Some(d) => (false, d),
-                None => (
-                    true,
-                    self.clock - h.oldest().expect("tracked ids have accesses"),
-                ),
+                // Tracked ids record an access on admission; an empty history
+                // (unreachable) reads as maximally evictable rather than
+                // pinning the frame forever.
+                None => (true, h.oldest().map_or(u64::MAX, |o| self.clock - o)),
             };
             if best.is_none_or(|b| (infinite, dist) > (b.0, b.1)) {
                 best = Some((infinite, dist, id));

@@ -82,7 +82,7 @@ impl Schema {
     pub fn new(columns: Vec<Column>) -> Self {
         for (i, c) in columns.iter().enumerate() {
             assert!(
-                !columns[..i].iter().any(|p| p.name == c.name),
+                !columns.iter().take(i).any(|p| p.name == c.name),
                 "duplicate column name {:?}",
                 c.name
             );

@@ -63,7 +63,7 @@ impl Tuple {
             .get(..2)
             .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
             .try_into()
-            .expect("slice of length 2");
+            .map_err(|_| StorageError::Corrupt("arity header width".into()))?;
         let arity = u16::from_le_bytes(arity_bytes) as usize;
         let mut pos = 2;
         let mut values = Vec::with_capacity(arity);
@@ -97,7 +97,7 @@ impl Tuple {
             .get(..2)
             .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
             .try_into()
-            .expect("slice of length 2");
+            .map_err(|_| StorageError::Corrupt("arity header width".into()))?;
         let arity = u16::from_le_bytes(arity_bytes) as usize;
         if idx >= arity {
             return Err(StorageError::Corrupt(format!(

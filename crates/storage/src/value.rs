@@ -97,7 +97,7 @@ impl Value {
                     .get(*pos..*pos + 4)
                     .ok_or_else(|| StorageError::Corrupt("truncated string length".into()))?
                     .try_into()
-                    .expect("slice of length 4");
+                    .map_err(|_| StorageError::Corrupt("string length width".into()))?;
                 *pos += 4;
                 let len = u32::from_le_bytes(len_bytes) as usize;
                 if buf.len() < *pos + len {
@@ -123,7 +123,7 @@ impl Value {
                     .get(*pos..*pos + 8)
                     .ok_or_else(|| StorageError::Corrupt("truncated int value".into()))?
                     .try_into()
-                    .expect("slice of length 8");
+                    .map_err(|_| StorageError::Corrupt("int payload width".into()))?;
                 *pos += 8;
                 Ok(Value::Int(i64::from_le_bytes(bytes)))
             }
@@ -132,7 +132,7 @@ impl Value {
                     .get(*pos..*pos + 4)
                     .ok_or_else(|| StorageError::Corrupt("truncated string length".into()))?
                     .try_into()
-                    .expect("slice of length 4");
+                    .map_err(|_| StorageError::Corrupt("string length width".into()))?;
                 *pos += 4;
                 let len = u32::from_le_bytes(len_bytes) as usize;
                 let bytes = buf

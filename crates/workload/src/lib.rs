@@ -7,7 +7,7 @@
 //! * [`mix::QueryMix`] — weighted multi-phase column mixes (experiments 3/4).
 //! * [`experiments`] — the exact query streams of experiments 1–4.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod datagen;

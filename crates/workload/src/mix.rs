@@ -66,7 +66,11 @@ impl QueryMix {
     /// Picks the column for query number `seq` (0-based).
     pub fn pick(&self, seq: usize, rng: &mut impl Rng) -> &str {
         let mut at = seq;
-        let mut phase = self.phases.last().expect("non-empty");
+        // `new` guarantees at least one phase and positive weights; the
+        // empty fallbacks here are unreachable but panic-free.
+        let Some(mut phase) = self.phases.last() else {
+            return "";
+        };
         for p in &self.phases {
             match p.queries {
                 Some(q) if at >= q => at -= q,
@@ -84,7 +88,7 @@ impl QueryMix {
                 return col;
             }
         }
-        &phase.weights.last().expect("non-empty weights").0
+        phase.weights.last().map_or("", |(col, _)| col.as_str())
     }
 }
 

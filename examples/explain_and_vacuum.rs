@@ -17,7 +17,8 @@ fn main() {
     db.create_table(
         "events",
         Schema::new(vec![Column::int("kind"), Column::str("payload")]),
-    );
+    )
+    .unwrap();
     for i in 0..30_000i64 {
         db.insert(
             "events",

@@ -29,7 +29,8 @@ fn main() {
             Column::int("delay_minutes"),
             Column::str("details"),
         ]),
-    );
+    )
+    .unwrap();
 
     // Mostly U.S. flights (the customer base), some international.
     let mut n = 0i64;

@@ -24,7 +24,8 @@ fn main() {
             Column::int("amount"),
             Column::str("note"),
         ]),
-    );
+    )
+    .unwrap();
     for i in 0..50_000i64 {
         let amount = (i * 7919) % 10_000; // pseudo-random amounts 0..10000
         db.insert(

@@ -25,7 +25,8 @@ fn build(with_buffer: bool) -> Database {
         cost_model: CostModel::default(),
         ..Default::default()
     });
-    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
     for i in 0..ROWS {
         // 2,000 distinct keys (~20 rows each), so an index hit is far
         // cheaper than a scan; the workload's hot set is keys 1..=24.
@@ -54,7 +55,8 @@ fn build(with_buffer: bool) -> Database {
             threshold: 6,
             capacity: 12,
         },
-    );
+    )
+    .unwrap();
     db
 }
 

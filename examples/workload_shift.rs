@@ -26,7 +26,7 @@ fn main() {
         ..Default::default()
     });
 
-    db.create_table("eval", spec.schema());
+    db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();
     }

@@ -17,7 +17,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use aib_core as core;

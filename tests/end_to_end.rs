@@ -16,7 +16,7 @@ fn eval_db(rows: u64, space: SpaceConfig) -> (Database, TableSpec) {
         space,
         ..Default::default()
     });
-    db.create_table("eval", spec.schema());
+    db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();
     }

@@ -9,9 +9,7 @@
 //!   Index Buffer Space, partitioned into groups of `P` pages that are
 //!   disjoint in the pages they reference.
 
-use adaptive_index_buffer::core::{
-    BufferConfig, IndexBuffer, IndexBufferSpace, PageCounters, SpaceConfig,
-};
+use adaptive_index_buffer::core::{BufferConfig, IndexBuffer, IndexBufferSpace, SpaceConfig};
 use adaptive_index_buffer::engine::{AccessPath, Database, EngineConfig, Query};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
 use adaptive_index_buffer::storage::{Column, Rid, Schema, Tuple, Value};
@@ -26,7 +24,8 @@ fn flights_db() -> Database {
     db.create_table(
         "flights",
         Schema::new(vec![Column::str("airport"), Column::str("info")]),
-    );
+    )
+    .unwrap();
     let airports = ["ORD", "JFK", "LAX", "FRA", "HEL"];
     for i in 0..2_000 {
         let ap = airports[i % airports.len()];
@@ -122,8 +121,8 @@ fn fig5_partitions_group_p_pages_disjointly() {
         partition_pages: 2,
         ..Default::default()
     };
-    let x = space.register("X", cfg, PageCounters::from_counts(vec![2; 8]));
-    let a = space.register("A", cfg, PageCounters::from_counts(vec![2; 8]));
+    let x = space.register("X", cfg, vec![2; 8]);
+    let a = space.register("A", cfg, vec![2; 8]);
 
     // Index buffer X covers pages 1 and 7 in one partition — like Fig. 5's
     // partition 1 — then pages 2 and 4, then page 6 (incomplete).

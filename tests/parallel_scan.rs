@@ -25,7 +25,8 @@ fn build_db(scan_threads: usize) -> (Database, Vec<Rid>) {
         scan_threads,
         ..Default::default()
     });
-    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
     let mut rids = Vec::new();
     for i in 0..ROWS {
         let t = Tuple::new(vec![

@@ -52,7 +52,8 @@ fn build(seed_rows: usize, bound: Option<usize>) -> (Database, Vec<Rid>) {
     db.create_table(
         "t",
         Schema::new(vec![Column::int("a"), Column::int("b"), Column::str("pad")]),
-    );
+    )
+    .unwrap();
     let mut rids = Vec::new();
     for i in 0..seed_rows {
         let t = Tuple::new(vec![

@@ -1,0 +1,200 @@
+//! Shadow-model property test (`invariant-checks` feature only): arbitrary
+//! sequences of DML, queries (driving indexing scans and Algorithm 2
+//! partition displacement), online-tuner adaptation, coverage redefinition,
+//! and index drop/recreate must keep the engine's incremental bookkeeping in
+//! exact agreement with ground truth recomputed from the heap.
+//!
+//! The engine re-runs [`Database::verify_invariants`] after every mutation
+//! when the feature is on, so any divergence fails the op that caused it —
+//! the explicit call at the end of each case is the belt to that suspenders.
+//!
+//! Run with `cargo test --features invariant-checks --test proptest_invariants`.
+#![cfg(feature = "invariant-checks")]
+
+use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
+use adaptive_index_buffer::engine::tuner::TunerConfig;
+use adaptive_index_buffer::engine::{Database, EngineConfig, Query};
+use adaptive_index_buffer::index::{Coverage, IndexBackend};
+use adaptive_index_buffer::storage::{Column, CostModel, Rid, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+const DOMAIN: i64 = 40;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64, u16),
+    Delete(usize),
+    Update(usize, i64, i64),
+    /// Point query; column "a" misses its range coverage above the split,
+    /// column "b" drives the tuner's add/evict adaptation.
+    Query(u8, i64),
+    /// Redefine column "a"'s range coverage wholesale (experiment 4).
+    Redefine(i64, i64),
+    /// Drop column "a"'s partial index and recreate it from scratch.
+    DropRecreate(i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let val = 1..=DOMAIN;
+    prop_oneof![
+        3 => (val.clone(), val.clone(), 1u16..300).prop_map(|(a, b, n)| Op::Insert(a, b, n)),
+        2 => (0usize..1000).prop_map(Op::Delete),
+        2 => ((0usize..1000), val.clone(), val.clone()).prop_map(|(i, a, b)| Op::Update(i, a, b)),
+        6 => ((0u8..2), val.clone()).prop_map(|(c, v)| Op::Query(c, v)),
+        1 => (val.clone(), val.clone()).prop_map(|(lo, hi)| Op::Redefine(lo.min(hi), lo.max(hi))),
+        1 => val.prop_map(Op::DropRecreate),
+    ]
+}
+
+fn build(seed_rows: usize) -> (Database, Vec<Rid>) {
+    let mut db = Database::new(EngineConfig {
+        pool_frames: 8,
+        cost_model: CostModel::free(),
+        space: SpaceConfig {
+            // Tight bound: indexing scans constantly displace partitions,
+            // exercising the restore path against the shadow model.
+            max_entries: Some(50),
+            i_max: 4,
+            seed: 7,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    db.create_table(
+        "t",
+        Schema::new(vec![Column::int("a"), Column::int("b"), Column::str("pad")]),
+    )
+    .unwrap();
+    let mut rids = Vec::new();
+    for i in 0..seed_rows {
+        let t = Tuple::new(vec![
+            Value::Int((i as i64 * 13) % DOMAIN + 1),
+            Value::Int((i as i64 * 29) % DOMAIN + 1),
+            Value::from("x".repeat(1 + (i * 37) % 200)),
+        ]);
+        rids.push(db.insert("t", &t).unwrap());
+    }
+    // Column "a": range-covered partial index with a small-partition buffer.
+    db.create_partial_index(
+        "t",
+        "a",
+        Coverage::IntRange { lo: 1, hi: 12 },
+        IndexBackend::BTree,
+        Some(BufferConfig {
+            partition_pages: 2,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    // Column "b": tuned set coverage — queries mutate coverage value by
+    // value through cover_tuple/uncover_tuple, the adaptation surface.
+    db.create_partial_index(
+        "t",
+        "b",
+        Coverage::empty_set(),
+        IndexBackend::BTree,
+        Some(BufferConfig {
+            partition_pages: 2,
+            ..Default::default()
+        }),
+    )
+    .unwrap();
+    db.attach_tuner(
+        "t",
+        "b",
+        TunerConfig {
+            window: 8,
+            threshold: 2,
+            capacity: 3,
+        },
+    )
+    .unwrap();
+    (db, rids)
+}
+
+fn truth(db: &Database, col: &str, value: i64) -> Vec<Rid> {
+    let table = db.table("t").unwrap();
+    let ci = table.schema().column_index(col).unwrap();
+    let mut rids: Vec<Rid> = table
+        .scan_all()
+        .unwrap()
+        .into_iter()
+        .filter(|(_, t)| t.get(ci).unwrap().as_int() == Some(value))
+        .map(|(rid, _)| rid)
+        .collect();
+    rids.sort_unstable();
+    rids
+}
+
+fn run_case(mut db: Database, mut rids: Vec<Rid>, ops: Vec<Op>) {
+    for op in ops {
+        match op {
+            Op::Insert(a, b, n) => {
+                let t = Tuple::new(vec![
+                    Value::Int(a),
+                    Value::Int(b),
+                    Value::from("y".repeat(n as usize)),
+                ]);
+                rids.push(db.insert("t", &t).unwrap());
+            }
+            Op::Delete(i) => {
+                if rids.is_empty() {
+                    continue;
+                }
+                let rid = rids.remove(i % rids.len());
+                db.delete("t", rid).unwrap();
+            }
+            Op::Update(i, a, b) => {
+                if rids.is_empty() {
+                    continue;
+                }
+                let idx = i % rids.len();
+                let old = db.fetch("t", rids[idx]).unwrap();
+                let pad = old.get(2).unwrap().clone();
+                let t = Tuple::new(vec![Value::Int(a), Value::Int(b), pad]);
+                rids[idx] = db.update("t", rids[idx], &t).unwrap();
+            }
+            Op::Query(c, v) => {
+                let col = if c == 0 { "a" } else { "b" };
+                let r = db.execute(&Query::point("t", col, v)).unwrap().result;
+                let mut got = r.rids.clone();
+                got.sort_unstable();
+                assert_eq!(got, truth(&db, col, v), "query {col}={v}");
+            }
+            Op::Redefine(lo, hi) => {
+                db.redefine_coverage("t", "a", Coverage::IntRange { lo, hi })
+                    .unwrap();
+            }
+            Op::DropRecreate(hi) => {
+                db.drop_partial_index("t", "a").unwrap();
+                db.create_partial_index(
+                    "t",
+                    "a",
+                    Coverage::IntRange { lo: 1, hi },
+                    IndexBackend::BTree,
+                    Some(BufferConfig {
+                        partition_pages: 2,
+                        ..Default::default()
+                    }),
+                )
+                .unwrap();
+            }
+        }
+    }
+    // Belt to the per-op suspenders: one explicit full shadow-model pass.
+    db.verify_invariants().unwrap();
+}
+
+proptest! {
+    // Every op re-runs the full shadow model inside the engine, so keep the
+    // case count modest — depth of interleaving matters more than breadth.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn shadow_model_agrees_under_adaptation_and_displacement(
+        ops in prop::collection::vec(op(), 1..48),
+    ) {
+        let (db, rids) = build(120);
+        run_case(db, rids, ops);
+    }
+}

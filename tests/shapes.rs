@@ -30,7 +30,7 @@ fn build(
     cols: &[&str],
 ) -> Database {
     let mut db = Database::new(engine(space));
-    db.create_table("eval", spec.schema());
+    db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();
     }
@@ -183,7 +183,7 @@ fn fig8_shape_allocation_flips_with_the_mix() {
         space,
         ..Default::default()
     });
-    db.create_table("eval", spec.schema());
+    db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();
     }

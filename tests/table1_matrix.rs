@@ -101,7 +101,8 @@ fn all_sixteen_update_cases_match_table1() {
             &mut f.counters,
             Some(old_ref(old_ix, old_b)),
             Some(new_ref(new_ix, new_b)),
-        );
+        )
+        .unwrap();
         assert_eq!(
             actions, expected,
             "case (old∈IX={old_ix}, new∈IX={new_ix}, p_old∈B={old_b}, p_new∈B={new_b})"
@@ -126,7 +127,8 @@ fn insert_cases_match_table1_new_column() {
             &mut f.counters,
             None,
             Some(new_ref(in_ix, buffered)),
-        );
+        )
+        .unwrap();
         assert_eq!(
             actions, expected,
             "insert (in_ix={in_ix}, buffered={buffered})"
@@ -150,7 +152,8 @@ fn delete_cases_match_table1_old_column() {
             &mut f.counters,
             Some(old_ref(in_ix, buffered)),
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(
             actions, expected,
             "delete (in_ix={in_ix}, buffered={buffered})"
@@ -170,7 +173,8 @@ fn state_effects_are_consistent_with_actions() {
         &mut f.counters,
         Some(old_ref(false, true)),
         Some(new_ref(false, false)),
-    );
+    )
+    .unwrap();
     assert!(!f
         .buffer
         .contains(&Value::Int(500), Rid::new(BUFFERED_OLD, 0)));
@@ -189,7 +193,8 @@ fn state_effects_are_consistent_with_actions() {
         &mut f.counters,
         Some(old_ref(false, false)),
         Some(new_ref(true, true)),
-    );
+    )
+    .unwrap();
     assert!(f
         .partial
         .contains(&Value::Int(7), Rid::new(BUFFERED_NEW, 9)));
@@ -261,7 +266,8 @@ impl EngineFixture {
             },
             ..Default::default()
         });
-        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]));
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
         // Measure row capacity: fill page 0 until a row spills to page 1.
         let mut rids = Vec::new();
         let mut i = 0i64;
@@ -631,7 +637,8 @@ fn dml_entry_points_surface_catalog_errors() {
         cost_model: CostModel::free(),
         ..Default::default()
     });
-    db.create_table("t", Schema::new(vec![Column::int("k")]));
+    db.create_table("t", Schema::new(vec![Column::int("k")]))
+        .unwrap();
     let t = Tuple::new(vec![Value::Int(1)]);
     let rid = db.insert("t", &t).unwrap();
 
