@@ -1,11 +1,15 @@
 //! Criterion microbenchmarks of the scan paths: plain table scan vs. the
-//! Algorithm-1 indexing scan at cold, warming, and fully buffered states.
+//! Algorithm-1 indexing scan at cold, warming, and fully buffered states,
+//! plus the covered-fraction sweep that records the scan fast-path
+//! trajectory in `BENCH_scan.json` (see EXPERIMENTS.md).
+
+use std::time::Instant;
 
 use aib_core::{BufferConfig, SpaceConfig};
 use aib_engine::{Database, Query};
 use aib_index::{Coverage, IndexBackend};
 use aib_storage::{Column, CostModel, Schema, Tuple, Value};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 
 const ROWS: i64 = 50_000;
 const DOMAIN: i64 = 5_000;
@@ -114,5 +118,182 @@ fn build_cold() -> Database {
     build(true)
 }
 
+// ---------------------------------------------------------------------------
+// Covered-fraction sweep: one measurement per skippable-page fraction.
+//
+// Keys are inserted sequentially (1..=SWEEP_ROWS) so an `IntRange` partial
+// index covers a contiguous *prefix of pages*; with the Index Buffer budget
+// pinned to zero entries, the skippable fraction stays exactly at the
+// configured percentage across queries. Each query probes the first
+// uncovered key, forcing the indexing-scan path over the remaining pages.
+// ---------------------------------------------------------------------------
+
+const SWEEP_ROWS: i64 = 50_000;
+const FRACTIONS: [u32; 4] = [0, 50, 90, 100];
+
+/// One row of the covered-fraction sweep.
+struct SweepPoint {
+    skippable_pct: u32,
+    wall_us: f64,
+    pages_read: u32,
+    pages_skipped: u32,
+    rows_per_sec: f64,
+}
+
+fn build_fraction(pct: u32) -> (Database, i64) {
+    let mut db = Database::new(aib_engine::EngineConfig {
+        pool_frames: 1024, // whole table resident: measures scan CPU cost
+        cost_model: CostModel::free(),
+        space: SpaceConfig {
+            max_entries: Some(0), // buffer pinned empty: stable skip fraction
+            i_max: 1_000_000,
+            seed: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
+    for i in 1..=SWEEP_ROWS {
+        db.insert(
+            "t",
+            &Tuple::new(vec![Value::Int(i), Value::from("x".repeat(64))]),
+        )
+        .unwrap();
+    }
+    let hi = pct as i64 * SWEEP_ROWS / 100;
+    db.create_partial_index(
+        "t",
+        "k",
+        Coverage::IntRange { lo: 1, hi },
+        IndexBackend::BTree,
+        Some(BufferConfig::default()),
+    )
+    .unwrap();
+    (db, hi + 1)
+}
+
+fn covered_fraction_sweep(quick: bool) -> Vec<SweepPoint> {
+    let iters = if quick { 3 } else { 25 };
+    let mut points = Vec::new();
+    println!("covered-fraction sweep: {SWEEP_ROWS} rows, {iters} iters/fraction");
+    println!(
+        "{:>13} {:>12} {:>11} {:>13} {:>14}",
+        "skippable", "wall/query", "pages_read", "pages_skipped", "rows/sec"
+    );
+    for pct in FRACTIONS {
+        let (mut db, probe) = build_fraction(pct);
+        for _ in 0..2 {
+            let (r, _) = db
+                .execute(&Query::point("t", "k", probe))
+                .unwrap()
+                .into_parts();
+            black_box(r.count());
+        }
+        let mut samples = Vec::with_capacity(iters);
+        let mut pages_read = 0;
+        let mut pages_skipped = 0;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let (r, m) = db
+                .execute(&Query::point("t", "k", probe))
+                .unwrap()
+                .into_parts();
+            black_box(r.count());
+            samples.push(t0.elapsed().as_secs_f64() * 1e6);
+            if let Some(scan) = &m.scan {
+                pages_read = scan.pages_read;
+                pages_skipped = scan.pages_skipped;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let wall_us = samples[samples.len() / 2];
+        let scanned_rows = SWEEP_ROWS as f64 * (100 - pct) as f64 / 100.0;
+        let rows_per_sec = if wall_us > 0.0 {
+            scanned_rows / (wall_us / 1e6)
+        } else {
+            0.0
+        };
+        println!("{pct:>12}% {wall_us:>10.1}us {pages_read:>11} {pages_skipped:>13} {rows_per_sec:>14.0}");
+        points.push(SweepPoint {
+            skippable_pct: pct,
+            wall_us,
+            pages_read,
+            pages_skipped,
+            rows_per_sec,
+        });
+    }
+    points
+}
+
+fn points_json(points: &[SweepPoint], indent: &str) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{indent}  {{ \"skippable_pct\": {}, \"wall_us\": {:.1}, \"pages_read\": {}, \"pages_skipped\": {}, \"rows_per_sec\": {:.0} }}",
+                p.skippable_pct, p.wall_us, p.pages_read, p.pages_skipped, p.rows_per_sec
+            )
+        })
+        .collect();
+    format!("[\n{}\n{indent}]", rows.join(",\n"))
+}
+
+/// Extracts the `"<key>": { ... }` object from previously emitted JSON by
+/// brace counting (our own output contains no braces inside strings).
+fn extract_object(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let open = json[at..].find('{')? + at;
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn emit_bench_json(points: &[SweepPoint], quick: bool) {
+    let Ok(path) = std::env::var("AIB_SCAN_JSON") else {
+        println!("(set AIB_SCAN_JSON=<path> to record the sweep in BENCH_scan.json)");
+        return;
+    };
+    let current = format!(
+        "{{\n    \"label\": \"covered-fraction sweep\",\n    \"quick\": {quick},\n    \"points\": {}\n  }}",
+        points_json(points, "    ")
+    );
+    // Preserve the recorded pre-PR baseline across regenerations; a fresh
+    // file records the present numbers as its own first trajectory point.
+    let baseline = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|old| extract_object(&old, "baseline"))
+        .unwrap_or_else(|| current.clone());
+    let out = format!(
+        "{{\n  \"bench\": \"micro_scan covered-fraction sweep\",\n  \"rows\": {SWEEP_ROWS},\n  \"fractions_pct\": [0, 50, 90, 100],\n  \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+    );
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_scans, bench_first_indexing_scan);
-criterion_main!(benches);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test");
+    let sweep_only = args.iter().any(|a| a == "--sweep-only");
+    let points = covered_fraction_sweep(quick);
+    emit_bench_json(&points, quick);
+    if !sweep_only {
+        benches();
+    }
+}

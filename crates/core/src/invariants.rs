@@ -153,6 +153,12 @@ pub fn verify_buffer(
         }
     }
 
+    // 3. The maintained skip bitset must mirror `C[p] == 0` exactly — the
+    //    fast sweep trusts it to jump whole runs without reading `C`.
+    if let Err(e) = counters.check_bitset() {
+        report.push(format!("{name}: {e}"));
+    }
+
     report.merge(verify_structure(buffer));
     report
 }

@@ -77,7 +77,7 @@ pub mod scan;
 pub mod space;
 
 pub use config::{BufferConfig, SpaceConfig};
-pub use counters::{CounterError, PageCounters};
+pub use counters::{CounterError, PageCounters, SkipBitset, SkipRuns};
 pub use history::LruKHistory;
 pub use index_buffer::{BufferId, DroppedPartition, IndexBuffer};
 #[cfg(feature = "invariant-checks")]
@@ -86,6 +86,7 @@ pub use maintenance::{cover_tuple, maintain, uncover_tuple, MaintAction, TupleRe
 pub use partition::{page_range_chunks, Partition, PartitionId};
 pub use scan::{
     apply_staged, indexing_scan, indexing_scan_parallel, planned_scan_threads, scan_chunk,
-    ChunkResult, Predicate, ScanStats, StagedPage, CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
+    ChunkResult, CompiledPredicate, Predicate, ScanPlan, ScanStats, StagedPage, CHUNKS_PER_THREAD,
+    MIN_PAGES_PER_THREAD,
 };
 pub use space::{BenefitPolicy, Displacement, IndexBufferSpace, Selection};

@@ -14,6 +14,31 @@
 //! (runtime, buffer entries, pages skipped) come straight out of
 //! [`ScanStats`].
 //!
+//! # Fast path
+//!
+//! The table sweep is zero-copy on every page that is *not* being indexed by
+//! this scan. The predicate is compiled once per scan into a
+//! [`CompiledPredicate`]; its page-level driver
+//! ([`CompiledPredicate::matches_page`]) walks the slot directory with
+//! [`PageView::for_each_live`] and, for equality, compares the pre-encoded
+//! query-key bytes against a same-length byte window at the column's offset
+//! — in place, with no per-tuple `Value` allocation, no column decode, and
+//! an inline byte loop instead of an out-of-line `memcmp` call (the call
+//! overhead dominates at ~10-byte keys). Range predicates borrow the column
+//! extent ([`Tuple::read_column_raw`]) and compare under value ordering.
+//! Pages selected for indexing fall back to the decoding path, which the
+//! buffer insert needs anyway; equivalence of the paths is proven by unit
+//! tests here and by the `compiled_predicate_matches_decoded_values`
+//! proptest.
+//!
+//! Page skipping is run-at-a-time: the maintained
+//! [`SkipBitset`] in [`PageCounters`] yields alternating
+//! (extent, skippable) runs, skippable runs are jumped whole (word-at-a-time
+//! in the bitset, no per-page predicate), and each unskipped run is read
+//! through [`HeapFile::sweep_read_runs`], which pins pages in batches — one
+//! pool-bookkeeping pass and one batched disk request per batch rather than
+//! one of each per page.
+//!
 //! # Parallel execution
 //!
 //! [`indexing_scan_parallel`] splits the same algorithm into three phases so
@@ -23,7 +48,9 @@
 //!
 //! 1. **Select + buffer scan (sequential).** `SelectPagesForBuffer` draws
 //!    from the space's RNG exactly once, and the buffer scan appends its
-//!    matches to `out` first — identical to the sequential path.
+//!    matches to `out` first — identical to the sequential path. Both scans
+//!    share this preamble (and the [`ScanPlan`] it produces) via one
+//!    `prepare_scan` helper, so the two paths cannot drift.
 //! 2. **Discover (parallel, read-only).** The page range is cut into
 //!    partition-aligned chunks ([`page_range_chunks`]); workers claim chunks
 //!    in order and run [`scan_chunk`], which only *reads* pages and stages
@@ -31,16 +58,17 @@
 //! 3. **Apply (sequential, ordered).** Chunk results merge in ascending page
 //!    order: matches append to `out` in page order, and staged pages feed
 //!    [`apply_staged`], which inserts into the buffer and zeroes `C[p]` in
-//!    the exact order the sequential scan would have.
+//!    the exact order the sequential scan would.
 
+use std::cmp::Ordering as CmpOrdering;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
-use aib_storage::{HeapFile, Rid, StorageError, Tuple, Value};
+use aib_storage::{ColumnRef, HeapFile, PageId, PageView, Rid, StorageError, Tuple, Value};
 
-use crate::counters::PageCounters;
+use crate::counters::{PageCounters, SkipBitset};
 use crate::index_buffer::{BufferId, IndexBuffer};
 use crate::partition::page_range_chunks;
 use crate::space::IndexBufferSpace;
@@ -65,6 +93,159 @@ impl Predicate {
     }
 }
 
+/// A [`Predicate`] compiled for the zero-copy sweep: evaluated against the
+/// raw encoded column bytes of a stored tuple, without decoding a [`Value`].
+///
+/// Equality compares the pre-encoded query key against the column's raw
+/// extent — valid for every value variant because the tuple encoding is
+/// canonical (exactly one byte string per value), so raw-byte equality ⇔
+/// `Value` equality. Ranges compare through the borrowing
+/// [`ColumnView`](aib_storage::ColumnView), because little-endian integer
+/// bytes do not memcmp in value order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledPredicate {
+    /// `column = key` as a raw-byte comparison against the encoded key.
+    Equals {
+        /// The query value, pre-encoded once at compile time.
+        key: Vec<u8>,
+    },
+    /// `lo <= column <= hi` through the decoded-view comparison.
+    Between {
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+}
+
+impl CompiledPredicate {
+    /// Compiles `predicate` — done once per scan, before the sweep starts.
+    pub fn compile(predicate: &Predicate) -> Self {
+        match predicate {
+            Predicate::Equals(v) => {
+                let mut key = Vec::with_capacity(v.encoded_len());
+                v.encode(&mut key);
+                CompiledPredicate::Equals { key }
+            }
+            Predicate::Between(lo, hi) => CompiledPredicate::Between {
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+        }
+    }
+
+    /// Evaluates the predicate on a borrowed column. Equivalent to
+    /// [`Predicate::matches`] on the decoded value, without the decode.
+    #[inline]
+    pub fn matches(&self, col: &ColumnRef<'_>) -> bool {
+        match self {
+            CompiledPredicate::Equals { key } => col.raw() == &key[..],
+            CompiledPredicate::Between { lo, hi } => {
+                col.cmp_value(lo) != CmpOrdering::Less && col.cmp_value(hi) != CmpOrdering::Greater
+            }
+        }
+    }
+
+    /// Evaluates the predicate straight off a stored tuple's encoded bytes —
+    /// the per-tuple fast path. `Equals` compares the pre-encoded key against
+    /// the column's byte window in place, with no decode at all; `Between`
+    /// decodes a borrowed [`ColumnRef`] view. Structural corruption *before*
+    /// the column errors on both arms; corruption inside the compared column
+    /// reports as a non-match on the `Equals` arm (the window read does not
+    /// decode it), matching [`Predicate::matches`] on every well-formed
+    /// tuple.
+    #[inline]
+    pub fn matches_tuple(&self, bytes: &[u8], column: usize) -> Result<bool, StorageError> {
+        match self {
+            CompiledPredicate::Equals { key } => {
+                Ok(Tuple::read_column_window(bytes, column, key.len())?
+                    .is_some_and(|w| short_bytes_eq(w, key)))
+            }
+            CompiledPredicate::Between { .. } => {
+                let col = Tuple::read_column_raw(bytes, column)?;
+                Ok(self.matches(&col))
+            }
+        }
+    }
+
+    /// Pushes the rid of every matching live tuple on one page — the
+    /// page-level fast path behind both scan drivers. The predicate shape is
+    /// dispatched once per page, not once per row; the `Equals` row loop is
+    /// a slot-directory decode, a bounds-checked window read, and an inlined
+    /// short byte compare, nothing else. Failure modes: the `Between` arm
+    /// (and the decoding path on indexed pages) surface a corrupt tuple as
+    /// [`StorageError::Corrupt`]; the `Equals` arm reports it as a
+    /// non-match — its window read never decodes the tuple, which is exactly
+    /// why it is fast. On well-formed pages all paths agree with
+    /// [`Predicate::matches`] tuple for tuple.
+    pub fn matches_page(
+        &self,
+        view: &PageView<'_>,
+        page: PageId,
+        column: usize,
+        out: &mut Vec<Rid>,
+    ) -> Result<(), StorageError> {
+        match self {
+            CompiledPredicate::Equals { key } => {
+                if column == 0 {
+                    // First column: the window starts right after the 2-byte
+                    // arity header, so the row loop has no skip work at all.
+                    view.for_each_live(|slot, bytes| {
+                        let hit = bytes
+                            .get(2..2 + key.len())
+                            .is_some_and(|w| short_bytes_eq(w, key));
+                        if hit {
+                            out.push(Rid { page, slot });
+                        }
+                    });
+                } else {
+                    view.for_each_live(|slot, bytes| {
+                        let mut pos = 2usize;
+                        for _ in 0..column {
+                            if Value::skip(bytes, &mut pos).is_err() {
+                                return;
+                            }
+                        }
+                        let hit = pos
+                            .checked_add(key.len())
+                            .and_then(|end| bytes.get(pos..end))
+                            .is_some_and(|w| short_bytes_eq(w, key));
+                        if hit {
+                            out.push(Rid { page, slot });
+                        }
+                    });
+                }
+                Ok(())
+            }
+            CompiledPredicate::Between { .. } => {
+                let mut err: Option<StorageError> = None;
+                view.for_each_live(|slot, bytes| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match Tuple::read_column_raw(bytes, column) {
+                        Ok(col) => {
+                            if self.matches(&col) {
+                                out.push(Rid { page, slot });
+                            }
+                        }
+                        Err(e) => err = Some(e),
+                    }
+                });
+                err.map_or(Ok(()), Err)
+            }
+        }
+    }
+}
+
+/// Byte equality that inlines for the short keys predicates compare —
+/// dodges the out-of-line `memcmp` call a dynamic-length slice `==` lowers
+/// to, which dominates per-row cost on the scan fast path.
+#[inline]
+fn short_bytes_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x == y)
+}
+
 /// Instrumentation of one indexing scan.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScanStats {
@@ -78,12 +259,108 @@ pub struct ScanStats {
     pub pages_skipped: u32,
     /// Pages newly indexed into the buffer by this scan (`|I|` realised).
     pub pages_indexed: u32,
+    /// Contiguous fully-indexed runs the sweep jumped whole.
+    ///
+    /// Computed analytically from the skip snapshot so sequential and
+    /// parallel scans report the identical figure regardless of chunking.
+    pub skip_runs: u32,
+    /// Batched page-sweep requests a *sequential* sweep issues for the
+    /// unskipped runs (runs are read [`HeapFile::sweep_batch_pages`] pages
+    /// per batch; batches never span a skip gap).
+    ///
+    /// Computed analytically from the skip snapshot so sequential and
+    /// parallel scans report the identical figure regardless of chunking.
+    pub sweep_batches: u32,
     /// Buffer entries added by this scan.
     pub entries_added: u64,
     /// Partitions displaced to make room.
     pub partitions_dropped: usize,
     /// Entries freed by displacement.
     pub entries_displaced: usize,
+}
+
+/// Immutable per-scan sweep plan shared by every chunk worker: counter and
+/// selection snapshots taken before any page is read, plus the predicate
+/// compiled once per scan. Workers never see mid-scan counter zeroing, so
+/// every chunk observes the state the sequential scan started from.
+#[derive(Debug)]
+pub struct ScanPlan {
+    /// Snapshot of the `C[p] == 0` skip bitset, sized to the heap.
+    pub skip: SkipBitset,
+    /// Pages chosen by `SelectPagesForBuffer` (`I`), as a bitset.
+    pub to_index: SkipBitset,
+    /// The predicate, compiled once for the zero-copy path.
+    pub compiled: CompiledPredicate,
+    /// Heap size the snapshots were taken at.
+    pub num_pages: u32,
+}
+
+/// The shared pre-sweep portion of Algorithm 1 — everything both scan
+/// flavours do identically before touching table pages.
+struct ScanPrep {
+    /// Stats with selection, buffer-scan and analytic sweep fields filled.
+    stats: ScanStats,
+    /// The sweep plan handed to the page-visiting phase.
+    plan: ScanPlan,
+}
+
+/// Runs lines 1–10 of Algorithm 1 plus sweep planning: page selection (with
+/// displacement), the Index Buffer scan (matches appended to `out`), the
+/// skip/to-index snapshots, predicate compilation, and the analytic
+/// run/batch statistics. Both [`indexing_scan`] and
+/// [`indexing_scan_parallel`] start here, so the two paths cannot drift.
+fn prepare_scan(
+    heap: &HeapFile,
+    space: &mut IndexBufferSpace,
+    buffer_id: BufferId,
+    predicate: &Predicate,
+    out: &mut Vec<Rid>,
+) -> ScanPrep {
+    let mut stats = ScanStats::default();
+
+    // Line 7: I ← SelectPagesForBuffer() — with displacement as needed.
+    let selection = space.select_pages_for_buffer(buffer_id);
+    stats.partitions_dropped = selection.displaced.len();
+    stats.entries_displaced = selection.displaced.iter().map(|d| d.entries_freed).sum();
+    let num_pages = heap.num_pages();
+    let mut to_index = SkipBitset::with_len(num_pages);
+    for &p in &selection.pages {
+        to_index.insert(p);
+    }
+
+    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
+
+    // Lines 8–10: Index Buffer scan.
+    let buffer_rids = buffer_scan_rids(buffer, predicate);
+    stats.buffer_matches = buffer_rids.len();
+    out.extend_from_slice(&buffer_rids);
+
+    // Snapshot of the skip bitset; the sweep (and every chunk worker) never
+    // sees mid-scan zeroing.
+    let skip = counters.skip_snapshot(num_pages);
+
+    // Analytic sweep shape: how many fully-indexed runs a sequential sweep
+    // jumps whole and how many batched reads it issues for the rest.
+    // Derived from the plan, not from execution, so parallel chunking
+    // cannot change the reported figures.
+    let batch = (heap.sweep_batch_pages() as u32).max(1);
+    for (extent, skippable) in skip.runs(0..num_pages) {
+        if skippable {
+            stats.skip_runs += 1;
+        } else {
+            stats.sweep_batches += (extent.end - extent.start).div_ceil(batch);
+        }
+    }
+
+    ScanPrep {
+        stats,
+        plan: ScanPlan {
+            skip,
+            to_index,
+            compiled: CompiledPredicate::compile(predicate),
+            num_pages,
+        },
+    }
 }
 
 /// Runs Algorithm 1 for `buffer_id` over `heap`.
@@ -105,63 +382,44 @@ pub fn indexing_scan(
     predicate: &Predicate,
     out: &mut Vec<Rid>,
 ) -> Result<ScanStats, StorageError> {
-    let mut stats = ScanStats::default();
-
-    // Line 7: I ← SelectPagesForBuffer() — with displacement as needed.
-    let selection = space.select_pages_for_buffer(buffer_id);
-    stats.partitions_dropped = selection.displaced.len();
-    stats.entries_displaced = selection.displaced.iter().map(|d| d.entries_freed).sum();
-    let mut to_index = vec![false; heap.num_pages() as usize];
-    for &p in &selection.pages {
-        if let Some(slot) = to_index.get_mut(p as usize) {
-            *slot = true;
-        }
-    }
-
+    let ScanPrep { mut stats, plan } = prepare_scan(heap, space, buffer_id, predicate, out);
     let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
 
-    // Lines 8–10: Index Buffer scan.
-    let buffer_rids = buffer_scan_rids(buffer, predicate);
-    stats.buffer_matches = buffer_rids.len();
-    out.extend_from_slice(&buffer_rids);
-
-    // Lines 11–17: table scan with page skipping and on-the-fly indexing.
-    let skip: Vec<bool> = (0..heap.num_pages())
-        .map(|p| counters.is_fully_indexed(p))
-        .collect();
+    // Lines 11–17: table sweep with run skipping and on-the-fly indexing.
+    // Pages being indexed take the decoding path (the buffer insert needs
+    // owned values anyway); every other page takes the zero-copy path.
     let mut pending: Vec<(Value, Rid)> = Vec::new();
     let mut decode_error: Option<StorageError> = None;
-    let (read, skipped) = heap.scan_page_views(
-        |ord| skip.get(ord as usize).copied().unwrap_or(false),
-        |ord, pid, view| {
+    let (read, skipped) =
+        heap.sweep_read_runs(plan.skip.runs(0..plan.num_pages), |ord, pid, view| {
             if decode_error.is_some() {
                 return;
             }
-            let index_this_page = to_index.get(ord as usize).copied().unwrap_or(false);
-            pending.clear();
-            for (slot, bytes) in view.iter() {
-                let value = match Tuple::read_column(bytes, column) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        decode_error = Some(e);
-                        return;
+            if plan.to_index.contains(ord) {
+                pending.clear();
+                for (slot, bytes) in view.iter() {
+                    let value = match Tuple::read_column(bytes, column) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            decode_error = Some(e);
+                            return;
+                        }
+                    };
+                    let rid = Rid { page: pid, slot };
+                    if predicate.matches(&value) {
+                        out.push(rid);
                     }
-                };
-                let rid = Rid { page: pid, slot };
-                if predicate.matches(&value) {
-                    out.push(rid);
+                    if !covered(&value) {
+                        pending.push((value, rid));
+                    }
                 }
-                if index_this_page && !covered(&value) {
-                    pending.push((value, rid));
-                }
-            }
-            if index_this_page {
                 stats.entries_added += buffer.index_page(ord, pending.drain(..)) as u64;
                 counters.set_zero(ord);
                 stats.pages_indexed += 1;
+            } else if let Err(e) = plan.compiled.matches_page(&view, pid, column, out) {
+                decode_error = Some(e);
             }
-        },
-    )?;
+        })?;
     if let Some(e) = decode_error {
         return Err(e);
     }
@@ -182,7 +440,7 @@ fn buffer_scan_rids(buffer: &IndexBuffer, predicate: &Predicate) -> Vec<Rid> {
             // Hash-backed buffers cannot range-scan; fall back to a full
             // buffer sweep (still memory-only, no page I/O).
             let mut rids = Vec::new();
-            for pid in buffer.partition_ids().collect::<Vec<_>>() {
+            for pid in buffer.partition_ids() {
                 if let Some(p) = buffer.partition(pid) {
                     p.for_each(&mut |v, rid| {
                         if predicate.matches(v) {
@@ -248,29 +506,29 @@ pub struct ChunkResult {
 ///
 /// This is the "discover" half of the split Algorithm 1: it evaluates the
 /// predicate (lines 13–14) and *stages* the tuples line 16 would insert,
-/// leaving all mutation to [`apply_staged`]. `skip` and `to_index` are
-/// snapshots taken before any worker starts, so every chunk sees the same
-/// counter state the sequential scan would.
+/// leaving all mutation to [`apply_staged`]. The [`ScanPlan`] snapshots are
+/// taken before any worker starts, so every chunk sees the same counter
+/// state the sequential scan would, and the chunk sweep uses the same
+/// run-skipping batched reads as the sequential path.
 pub fn scan_chunk(
     heap: &HeapFile,
     range: Range<u32>,
-    skip: &[bool],
-    to_index: &[bool],
+    plan: &ScanPlan,
     column: usize,
     covered: &(dyn Fn(&Value) -> bool + Sync),
     predicate: &Predicate,
 ) -> Result<ChunkResult, StorageError> {
     let mut result = ChunkResult::default();
     let mut decode_error: Option<StorageError> = None;
-    let (read, skipped) = heap.scan_page_range_views(
-        range,
-        |ord| skip.get(ord as usize).copied().unwrap_or(false),
-        |ord, pid, view| {
-            if decode_error.is_some() {
-                return;
-            }
-            let index_this_page = to_index.get(ord as usize).copied().unwrap_or(false);
-            let mut pending: Vec<(Value, Rid)> = Vec::new();
+    // Hoisted out of the page callback: a page that stages entries hands the
+    // filled vec to its `StagedPage` (which must own them), while pages that
+    // stage nothing keep reusing the same allocation.
+    let mut pending: Vec<(Value, Rid)> = Vec::new();
+    let (read, skipped) = heap.sweep_read_runs(plan.skip.runs(range), |ord, pid, view| {
+        if decode_error.is_some() {
+            return;
+        }
+        if plan.to_index.contains(ord) {
             for (slot, bytes) in view.iter() {
                 let value = match Tuple::read_column(bytes, column) {
                     Ok(v) => v,
@@ -283,18 +541,21 @@ pub fn scan_chunk(
                 if predicate.matches(&value) {
                     result.matches.push(rid);
                 }
-                if index_this_page && !covered(&value) {
+                if !covered(&value) {
                     pending.push((value, rid));
                 }
             }
-            if index_this_page {
-                result.staged.push(StagedPage {
-                    ordinal: ord,
-                    entries: pending,
-                });
-            }
-        },
-    )?;
+            result.staged.push(StagedPage {
+                ordinal: ord,
+                entries: std::mem::take(&mut pending),
+            });
+        } else if let Err(e) = plan
+            .compiled
+            .matches_page(&view, pid, column, &mut result.matches)
+        {
+            decode_error = Some(e);
+        }
+    })?;
     if let Some(e) = decode_error {
         return Err(e);
     }
@@ -347,46 +608,19 @@ pub fn indexing_scan_parallel(
     if threads <= 1 {
         return indexing_scan(heap, space, buffer_id, column, covered, predicate, out);
     }
-    let mut stats = ScanStats::default();
 
-    // Phase 1 (sequential): page selection — the space's single RNG draw per
-    // scan, same as the sequential path — then the buffer scan.
-    let selection = space.select_pages_for_buffer(buffer_id);
-    stats.partitions_dropped = selection.displaced.len();
-    stats.entries_displaced = selection.displaced.iter().map(|d| d.entries_freed).sum();
-    let num_pages = heap.num_pages();
-    let mut to_index = vec![false; num_pages as usize];
-    for &p in &selection.pages {
-        if let Some(slot) = to_index.get_mut(p as usize) {
-            *slot = true;
-        }
-    }
-
+    // Phase 1 (sequential): the shared preamble — the space's single RNG
+    // draw per scan, the buffer scan, and the sweep-plan snapshots.
+    let ScanPrep { mut stats, plan } = prepare_scan(heap, space, buffer_id, predicate, out);
+    let num_pages = plan.num_pages;
     let partition_pages = space.buffer(buffer_id).config().partition_pages;
-    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
-    let buffer_rids = buffer_scan_rids(buffer, predicate);
-    stats.buffer_matches = buffer_rids.len();
-    out.extend_from_slice(&buffer_rids);
-
-    // Snapshot of the skip bitmap; chunk workers never see mid-scan zeroing.
-    let skip: Vec<bool> = (0..num_pages)
-        .map(|p| counters.is_fully_indexed(p))
-        .collect();
 
     // Phase 2 (parallel, read-only): workers claim chunks from a shared
     // cursor and record results per chunk slot.
     let chunks = page_range_chunks(num_pages, partition_pages, threads * CHUNKS_PER_THREAD);
     if chunks.len() <= 1 {
         // Not enough pages to split; finish on this thread.
-        let chunk = scan_chunk(
-            heap,
-            0..num_pages,
-            &skip,
-            &to_index,
-            column,
-            covered,
-            predicate,
-        )?;
+        let chunk = scan_chunk(heap, 0..num_pages, &plan, column, covered, predicate)?;
         stats.pages_read = chunk.pages_read;
         stats.pages_skipped = chunk.pages_skipped;
         out.extend_from_slice(&chunk.matches);
@@ -402,7 +636,7 @@ pub fn indexing_scan_parallel(
     let cursor = AtomicUsize::new(0);
     {
         let (chunks, results, cursor) = (&chunks, &results, &cursor);
-        let (skip, to_index) = (&skip, &to_index);
+        let plan = &plan;
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
@@ -410,15 +644,7 @@ pub fn indexing_scan_parallel(
                     // scope join publishes the per-chunk results.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(range) = chunks.get(i) else { break };
-                    let r = scan_chunk(
-                        heap,
-                        range.clone(),
-                        skip,
-                        to_index,
-                        column,
-                        covered,
-                        predicate,
-                    );
+                    let r = scan_chunk(heap, range.clone(), plan, column, covered, predicate);
                     if let Some(cell) = results.get(i) {
                         let set = cell.set(r);
                         debug_assert!(set.is_ok(), "chunk {i} claimed twice");
@@ -512,6 +738,12 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(s1.pages_read, heap.num_pages());
         assert_eq!(s1.pages_skipped, 0);
+        assert_eq!(s1.skip_runs, 0, "nothing skippable on a cold table");
+        assert_eq!(
+            s1.sweep_batches,
+            heap.num_pages().div_ceil(heap.sweep_batch_pages() as u32),
+            "one unskipped run, read in pool-sized batches"
+        );
         assert_eq!(
             s1.pages_indexed,
             heap.num_pages(),
@@ -535,6 +767,8 @@ mod tests {
         assert_eq!(out2, out, "same result from the buffer");
         assert_eq!(s2.pages_read, 0, "everything skipped");
         assert_eq!(s2.pages_skipped, heap.num_pages());
+        assert_eq!(s2.skip_runs, 1, "the whole table is one skippable run");
+        assert_eq!(s2.sweep_batches, 0, "no batched reads needed");
         assert_eq!(s2.buffer_matches, 1);
         space.check_invariants();
     }
@@ -771,5 +1005,47 @@ mod tests {
         assert!(between.matches(&Value::Int(3)));
         assert!(!between.matches(&Value::Int(0)));
         assert!(!between.matches(&Value::Int(4)));
+    }
+
+    #[test]
+    fn compiled_predicate_agrees_with_interpreted() {
+        let values = [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(7),
+            Value::Int(i64::MAX),
+            Value::from(""),
+            Value::from("abc"),
+            Value::from("abd"),
+        ];
+        let mut predicates = Vec::new();
+        for v in &values {
+            predicates.push(Predicate::Equals(v.clone()));
+        }
+        for lo in &values {
+            for hi in &values {
+                predicates.push(Predicate::Between(lo.clone(), hi.clone()));
+            }
+        }
+        for predicate in &predicates {
+            let compiled = CompiledPredicate::compile(predicate);
+            for v in &values {
+                let tuple = Tuple::new(vec![Value::from("pad"), v.clone()]);
+                let bytes = tuple.to_bytes();
+                let col = Tuple::read_column_raw(&bytes, 1).unwrap();
+                assert_eq!(
+                    compiled.matches(&col),
+                    predicate.matches(v),
+                    "{predicate:?} on {v:?}"
+                );
+                assert_eq!(
+                    compiled.matches_tuple(&bytes, 1).unwrap(),
+                    predicate.matches(v),
+                    "window path: {predicate:?} on {v:?}"
+                );
+            }
+        }
     }
 }

@@ -523,6 +523,12 @@ impl IndexBufferSpace {
     pub fn check_invariants(&self) {
         for slot in &self.slots {
             slot.buffer.check_invariants();
+            assert_eq!(
+                slot.counters.check_bitset(),
+                Ok(()),
+                "{}: skip bitset mirrors C[p] == 0",
+                slot.buffer.name()
+            );
         }
         self.sync_budget();
         assert_eq!(

@@ -917,6 +917,7 @@ impl Database {
                 false,
                 table_pages,
                 table_pages,
+                0,
                 None,
                 0,
                 0,
@@ -942,6 +943,7 @@ impl Database {
                 ic.buffer.is_some(),
                 table_pages,
                 0,
+                0,
                 cardinality,
                 ic.buffer.map_or(0, |b| self.space.buffer(b).num_entries()),
                 ic.buffer.map_or(0, |b| self.space.buffer(b).footprint()),
@@ -952,14 +954,17 @@ impl Database {
             Some(bid) => {
                 let counters = self.space.counters(bid);
                 // Pages with C[p] > 0; pages beyond the tracked range are
-                // fully covered and skippable.
-                let to_read = counters.unindexed_pages().count() as u32;
+                // fully covered and skippable. The maintained skip bitset
+                // answers both counts without walking C[p].
+                let to_read = counters.num_pages() - counters.fully_indexed_pages();
+                let skip_runs = counters.skippable_runs().count() as u32;
                 Ok(crate::explain::explanation(
                     AccessPath::BufferedScan,
                     true,
                     true,
                     table_pages,
                     to_read,
+                    skip_runs,
                     None,
                     self.space.buffer(bid).num_entries(),
                     self.space.buffer(bid).footprint(),
@@ -972,6 +977,7 @@ impl Database {
                 false,
                 table_pages,
                 table_pages,
+                0,
                 None,
                 0,
                 0,

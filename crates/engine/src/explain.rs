@@ -28,6 +28,10 @@ pub struct Explanation {
     pub pages_to_read: u32,
     /// Pages skippable thanks to full indexing (partial index + buffer).
     pub pages_skippable: u32,
+    /// Contiguous skippable runs the sweep would jump whole — read straight
+    /// off the maintained skip bitset, so it costs a word scan, not a page
+    /// scan. 0 for index hits and plain scans.
+    pub skip_runs: u32,
     /// Exact result cardinality for point lookups answerable from the
     /// partial index; `None` when only execution can tell.
     pub known_cardinality: Option<usize>,
@@ -67,6 +71,13 @@ impl Explanation {
                     self.buffer_entries,
                     self.buffer_bytes
                 );
+                if self.skip_runs > 0 {
+                    s.push_str(&format!(
+                        ", {} skip run{}",
+                        self.skip_runs,
+                        if self.skip_runs == 1 { "" } else { "s" }
+                    ));
+                }
                 if self.scan_threads > 1 {
                     s.push_str(&format!(", {} scan threads", self.scan_threads));
                 }
@@ -88,6 +99,7 @@ pub(crate) fn explanation(
     has_buffer: bool,
     table_pages: u32,
     pages_to_read: u32,
+    skip_runs: u32,
     known_cardinality: Option<usize>,
     buffer_entries: usize,
     buffer_bytes: usize,
@@ -100,6 +112,7 @@ pub(crate) fn explanation(
         table_pages,
         pages_to_read,
         pages_skippable: table_pages - pages_to_read,
+        skip_runs,
         known_cardinality,
         buffer_entries,
         buffer_bytes,
@@ -125,6 +138,7 @@ mod tests {
             true,
             100,
             0,
+            0,
             Some(7),
             0,
             0,
@@ -139,6 +153,7 @@ mod tests {
             true,
             100,
             25,
+            3,
             None,
             900,
             28_800,
@@ -148,7 +163,22 @@ mod tests {
         assert!(scan.summary().contains("25 of 100 pages"));
         assert!(scan.summary().contains("75% skippable"));
         assert!(scan.summary().contains("900 entries (28800 bytes)"));
+        assert!(scan.summary().contains("3 skip runs"));
         assert!(!scan.summary().contains("scan threads"));
+
+        let one_run = explanation(
+            AccessPath::BufferedScan,
+            true,
+            true,
+            100,
+            25,
+            1,
+            None,
+            900,
+            28_800,
+            1,
+        );
+        assert!(one_run.summary().ends_with("1 skip run"));
 
         let par = explanation(
             AccessPath::BufferedScan,
@@ -156,6 +186,7 @@ mod tests {
             true,
             100,
             25,
+            3,
             None,
             900,
             28_800,
@@ -163,14 +194,25 @@ mod tests {
         );
         assert!(par.summary().contains("4 scan threads"));
 
-        let plain = explanation(AccessPath::PlainScan, false, false, 40, 40, None, 0, 0, 1);
+        let plain = explanation(
+            AccessPath::PlainScan,
+            false,
+            false,
+            40,
+            40,
+            0,
+            None,
+            0,
+            0,
+            1,
+        );
         assert_eq!(plain.summary(), "full table scan: 40 pages");
         assert_eq!(plain.skip_ratio(), 0.0);
     }
 
     #[test]
     fn empty_table_skip_ratio_is_zero() {
-        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, None, 0, 0, 1);
+        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, 0, None, 0, 0, 1);
         assert_eq!(e.skip_ratio(), 0.0);
     }
 }

@@ -46,6 +46,17 @@ impl QueryMetrics {
     pub fn pages_skipped(&self) -> u32 {
         self.scan.as_ref().map_or(0, |s| s.pages_skipped)
     }
+
+    /// Fully-indexed runs the scan jumped whole (0 for index hits).
+    pub fn skip_runs(&self) -> u32 {
+        self.scan.as_ref().map_or(0, |s| s.skip_runs)
+    }
+
+    /// Batched page-sweep requests the scan's unskipped runs cost (0 for
+    /// index hits).
+    pub fn sweep_batches(&self) -> u32 {
+        self.scan.as_ref().map_or(0, |s| s.sweep_batches)
+    }
 }
 
 /// Collects the per-query series of a workload run.
@@ -105,7 +116,7 @@ impl WorkloadRecorder {
     }
 
     /// Renders the series as CSV with one row per query. Columns:
-    /// `seq,path,results,pages_read,pages_skipped,sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,entries_b0,entries_b1,...`
+    /// `seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,entries_b0,entries_b1,...`
     pub fn to_csv(&self) -> String {
         let buffers = self
             .records
@@ -114,7 +125,7 @@ impl WorkloadRecorder {
             .max()
             .unwrap_or(0);
         let mut out = String::from(
-            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,\
+            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,\
              pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements",
         );
         for b in 0..buffers {
@@ -128,12 +139,14 @@ impl WorkloadRecorder {
                 AccessPath::PlainScan => "scan",
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.seq,
                 path,
                 r.result_count,
                 r.io.page_reads,
                 r.pages_skipped(),
+                r.skip_runs(),
+                r.sweep_batches(),
                 r.simulated_us(),
                 r.wall.as_micros(),
                 r.memory.buffer_pool_bytes,
@@ -200,17 +213,30 @@ mod tests {
     fn csv_shape() {
         let mut rec = WorkloadRecorder::new();
         rec.push(record(0, AccessPath::PartialIndex));
+        let mut scanned = record(1, AccessPath::BufferedScan);
+        scanned.scan = Some(ScanStats {
+            pages_skipped: 4,
+            skip_runs: 2,
+            sweep_batches: 3,
+            ..Default::default()
+        });
+        rec.push(scanned);
         let csv = rec.to_csv();
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "seq,path,results,pages_read,pages_skipped,sim_us,wall_us,\
+            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,\
              pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,\
              entries_b0,entries_b1"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "0,index,1,2,0,200,5,16384,960,17344,1,2,10,20"
+            "0,index,1,2,0,0,0,200,5,16384,960,17344,1,2,10,20"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "1,buffered,1,2,4,2,3,200,5,16384,960,17344,1,2,10,20",
+            "scan rows carry the run/batch sweep columns"
         );
     }
 

@@ -219,24 +219,32 @@ fn no_index(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
             // `for x in [a, b]`, `match [..]` etc.: a keyword before `[`
             // introduces an array literal operand, not an indexing expression.
             if prev.is_alphanumeric() || prev == '_' {
+                let mut end = col;
+                while end > 0 && chars.get(end - 1).is_some_and(|ch| ch.is_whitespace()) {
+                    end -= 1;
+                }
+                let mut start = end;
+                while start > 0
+                    && chars
+                        .get(start - 1)
+                        .is_some_and(|ch| ch.is_alphanumeric() || *ch == '_')
+                {
+                    start -= 1;
+                }
                 let word: String = chars
-                    .get(..col)
-                    .map(|s| {
-                        s.iter()
-                            .rev()
-                            .skip_while(|ch| ch.is_whitespace())
-                            .take_while(|ch| ch.is_alphanumeric() || **ch == '_')
-                            .collect::<String>()
-                            .chars()
-                            .rev()
-                            .collect()
-                    })
+                    .get(start..end)
+                    .map(|s| s.iter().collect())
                     .unwrap_or_default();
                 const KEYWORDS: &[&str] = &[
                     "in", "if", "else", "match", "return", "while", "mut", "ref", "move", "as",
                     "let", "break", "loop", "yield",
                 ];
                 if KEYWORDS.iter().any(|k| *k == word) {
+                    continue;
+                }
+                // `&'a [u8]`, `&'static [T]`: a lifetime before `[` names a
+                // slice type, not an indexing base.
+                if start > 0 && chars.get(start - 1).copied() == Some('\'') {
                     continue;
                 }
             }

@@ -63,6 +63,9 @@ fn no_index_fires_on_slice_indexing_only() {
         "fn f() -> [u32; 2] { [1, 2] }\n",
         "fn f(x: &[u32]) -> &[u32] { &x[..] }\n",
         "fn f() { for v in [1, 2] { let _ = v; } }\n",
+        "fn f<'a>(x: &'a [u32]) -> &'a [u32] { x }\n",
+        "struct S<'a> { raw: &'a [u8] }\n",
+        "fn f(x: &'static [u32]) -> usize { x.len() }\n",
     ] {
         let v = lint_lib(snippet);
         assert!(!rules_of(&v).contains("no-index"), "{snippet}: {v:?}");

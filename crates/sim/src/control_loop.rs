@@ -238,7 +238,7 @@ mod tests {
         assert!(hi >= c.high_range.0);
         let inside = result.records[480..].iter().all(|r| {
             r.indexed_range
-                .is_some_and(|(lo, _)| lo > c.low_range.1 - 5)
+                .is_some_and(|(lo, _)| lo >= c.low_range.1 - 5)
         });
         assert!(inside, "most stale low values evicted by the end");
     }

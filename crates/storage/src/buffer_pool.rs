@@ -342,40 +342,7 @@ impl BufferPool {
             return Ok((frame, guard));
         }
         self.stats.record_miss();
-        // Occupying a fresh frame grows resident bytes by one page image and
-        // must clear the governor; displacing swaps one resident page for
-        // another (byte-neutral), so it needs no reservation. A denied
-        // reservation therefore degrades into displacement: the pool keeps
-        // working, just with a smaller working set.
-        let frame = match state.free.pop() {
-            Some(f)
-                if self
-                    .budget
-                    .try_reserve(BudgetComponent::BufferPool, PAGE_SIZE) =>
-            {
-                f
-            }
-            Some(f) => match self.displace_from(&mut state) {
-                Ok(victim) => {
-                    state.free.push(f);
-                    victim
-                }
-                // Every resident page is pinned (e.g. a scan batch holds
-                // them) but physical capacity exists: overshoot the governor
-                // rather than fail a fetch real frames could serve. The
-                // charge keeps accounting exact; later claims are denied
-                // into displacement until the overshoot is worked off.
-                Err(StorageError::PoolExhausted) => {
-                    self.budget.charge(BudgetComponent::BufferPool, PAGE_SIZE);
-                    f
-                }
-                Err(e) => {
-                    state.free.push(f);
-                    return Err(e);
-                }
-            },
-            None => self.displace_from(&mut state)?,
-        };
+        let frame = self.claim_frame(&mut state)?;
         // Unpinned frames have no guard holders, so this cannot block while
         // we hold the state lock.
         let guard = RwLock::write_arc(&self.frames[frame]);
@@ -386,6 +353,185 @@ impl BufferPool {
         self.pins[frame].fetch_add(1, Ordering::Relaxed);
         state.policy.record_access(frame);
         Ok((frame, guard))
+    }
+
+    /// Claims one frame for a not-yet-resident page, under the state lock.
+    ///
+    /// Occupying a fresh frame grows resident bytes by one page image and
+    /// must clear the governor; displacing swaps one resident page for
+    /// another (byte-neutral), so it needs no reservation. A denied
+    /// reservation therefore degrades into displacement: the pool keeps
+    /// working, just with a smaller working set. Shared by
+    /// [`BufferPool::prepare_frame`] and [`BufferPool::pin_batch`].
+    fn claim_frame(&self, state: &mut PoolState) -> Result<FrameId, StorageError> {
+        match state.free.pop() {
+            Some(f)
+                if self
+                    .budget
+                    .try_reserve(BudgetComponent::BufferPool, PAGE_SIZE) =>
+            {
+                Ok(f)
+            }
+            Some(f) => match self.displace_from(state) {
+                Ok(victim) => {
+                    state.free.push(f);
+                    Ok(victim)
+                }
+                // Every resident page is pinned (e.g. a scan batch holds
+                // them) but physical capacity exists: overshoot the governor
+                // rather than fail a fetch real frames could serve. The
+                // charge keeps accounting exact; later claims are denied
+                // into displacement until the overshoot is worked off.
+                Err(StorageError::PoolExhausted) => {
+                    self.budget.charge(BudgetComponent::BufferPool, PAGE_SIZE);
+                    Ok(f)
+                }
+                Err(e) => {
+                    state.free.push(f);
+                    Err(e)
+                }
+            },
+            None => self.displace_from(state),
+        }
+    }
+
+    /// Pins *every* page of `pids` — residents and misses alike — doing all
+    /// pool bookkeeping in one state-lock acquisition and all miss I/O in one
+    /// disk request ([`DiskManager::read_batch`]). This is the sweep read the
+    /// scan fast path feeds whole runs of unskipped pages into: per page it
+    /// costs two atomic pin updates and a hash probe, not a lock round-trip
+    /// and an individual disk call.
+    ///
+    /// Like [`BufferPool::pin_resident`], the returned pins (input order)
+    /// block eviction without holding frame locks, so callers lock one frame
+    /// at a time while visiting — the pool's locking discipline is unchanged.
+    /// `pids` must not contain duplicates (heap sweeps never do). On error
+    /// the pool is left consistent and nothing stays pinned.
+    pub fn pin_batch(self: &Arc<Self>, pids: &[PageId]) -> Result<Vec<PinnedPage>, StorageError> {
+        struct Miss {
+            /// Index into `pids` of the page this frame will hold.
+            at: usize,
+            frame: FrameId,
+            guard: ArcRwLockWriteGuard<RawRwLock, FrameCell>,
+        }
+        let mut misses: Vec<Miss> = Vec::new();
+        let mut frames: Vec<FrameId> = Vec::with_capacity(pids.len());
+        {
+            let mut state = self.state.lock();
+            for (i, &pid) in pids.iter().enumerate() {
+                debug_assert!(!pids[..i].contains(&pid), "pin_batch pids must be distinct");
+                if let Some(&frame) = state.page_table.get(&pid) {
+                    self.pins[frame].fetch_add(1, Ordering::Relaxed);
+                    state.policy.record_access(frame);
+                    frames.push(frame);
+                    continue;
+                }
+                match self.claim_frame(&mut state) {
+                    Ok(frame) => {
+                        // Unpinned frames have no guard holders: non-blocking.
+                        let guard = RwLock::write_arc(&self.frames[frame]);
+                        if let Some(old_pid) = guard.page {
+                            state.page_table.remove(&old_pid);
+                        }
+                        state.page_table.insert(pid, frame);
+                        self.pins[frame].fetch_add(1, Ordering::Relaxed);
+                        state.policy.record_access(frame);
+                        frames.push(frame);
+                        misses.push(Miss {
+                            at: i,
+                            frame,
+                            guard,
+                        });
+                    }
+                    Err(e) => {
+                        // Unwind so the pool is as if the call never
+                        // happened. No frame data was touched yet, so a
+                        // claimed frame that evicted a victim simply gets
+                        // its victim's mapping restored (no write-back, no
+                        // data loss — this path is reachable under ordinary
+                        // pin pressure); fresh frames go back to the free
+                        // list and return their reservation.
+                        for &frame in &frames {
+                            self.pins[frame].fetch_sub(1, Ordering::Release);
+                        }
+                        for m in &mut misses {
+                            state.page_table.remove(&pids[m.at]);
+                            match m.guard.page {
+                                Some(old_pid) => {
+                                    state.page_table.insert(old_pid, m.frame);
+                                }
+                                None => {
+                                    state.policy.remove(m.frame);
+                                    state.free.push(m.frame);
+                                    self.budget.release(BudgetComponent::BufferPool, PAGE_SIZE);
+                                }
+                            }
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        let hits = (pids.len() - misses.len()) as u64;
+        self.stats.record_hits(hits);
+        self.stats.record_misses(misses.len() as u64);
+        if !misses.is_empty() {
+            // One disk-lock acquisition for the whole run: write back every
+            // evicted dirty page, then fill all miss frames in one batched
+            // read request.
+            let fill = (|| {
+                let mut disk = self.disk.lock();
+                for m in &misses {
+                    if let (Some(old), true) = (m.guard.page, m.guard.dirty) {
+                        disk.write(old, &m.guard.data)?;
+                    }
+                }
+                let mut reqs: Vec<(PageId, &mut [u8; PAGE_SIZE])> = misses
+                    .iter_mut()
+                    .map(|m| (pids[m.at], &mut *m.guard.data))
+                    .collect();
+                disk.read_batch(&mut reqs)
+            })();
+            match fill {
+                Ok(()) => {
+                    for m in &mut misses {
+                        m.guard.page = Some(pids[m.at]);
+                        m.guard.dirty = false;
+                    }
+                }
+                Err(e) => {
+                    // Same undo as `load_into_frame`'s I/O error path: the
+                    // miss frames hold garbage, so end their residency; the
+                    // hit pins are released too.
+                    let miss_frames: std::collections::HashSet<FrameId> =
+                        misses.iter().map(|m| m.frame).collect();
+                    let mut state = self.state.lock();
+                    for m in &mut misses {
+                        state.page_table.remove(&pids[m.at]);
+                        self.pins[m.frame].fetch_sub(1, Ordering::Release);
+                        state.policy.remove(m.frame);
+                        state.free.push(m.frame);
+                        m.guard.page = None;
+                        m.guard.dirty = false;
+                        self.budget.release(BudgetComponent::BufferPool, PAGE_SIZE);
+                    }
+                    for &frame in frames.iter().filter(|f| !miss_frames.contains(f)) {
+                        self.pins[frame].fetch_sub(1, Ordering::Release);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        drop(misses);
+        Ok(frames
+            .into_iter()
+            .zip(pids)
+            .map(|(frame, &pid)| PinnedPage {
+                pool: Arc::clone(self),
+                frame,
+                pid,
+            })
+            .collect())
     }
 
     /// Picks a displacement victim, counting it against the governor.
@@ -780,6 +926,78 @@ mod tests {
         assert_eq!(budget.used(BudgetComponent::BufferPool), PAGE_SIZE);
         assert_eq!(budget.high_water(), PAGE_SIZE);
         assert_eq!(pool.footprint(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn pin_batch_mixes_hits_and_misses_with_batched_io() {
+        // All-resident case: every page is a hit, no I/O.
+        let big = pool(4);
+        let mut pids = Vec::new();
+        for i in 0..3u8 {
+            let (pid, mut w) = big.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        let before = big.stats().snapshot();
+        let pins = big.pin_batch(&pids).unwrap();
+        for (i, pin) in pins.into_iter().enumerate() {
+            assert_eq!(pin.pid(), pids[i]);
+            assert_eq!(pin.read()[0], i as u8);
+        }
+        let d = big.stats().snapshot().since(&before);
+        assert_eq!((d.buffer_hits, d.buffer_misses, d.page_reads), (3, 0, 0));
+
+        // Miss case: 2-frame pool, 4 pages, batch of 2 evicted pages.
+        let small = pool(2);
+        let mut pids = Vec::new();
+        for i in 0..4u8 {
+            let (pid, mut w) = small.new_page().unwrap();
+            w[0] = i;
+            pids.push(pid);
+        }
+        let before = small.stats().snapshot();
+        let pins = small.pin_batch(&pids[..2]).unwrap();
+        for (i, pin) in pins.into_iter().enumerate() {
+            assert_eq!(pin.read()[0], i as u8);
+        }
+        let d = small.stats().snapshot().since(&before);
+        assert_eq!((d.buffer_hits, d.buffer_misses), (0, 2));
+        assert_eq!(d.page_reads, 2, "one batched request, per-page accounting");
+    }
+
+    #[test]
+    fn pin_batch_exhaustion_leaves_pool_intact() {
+        let pool = pool(2);
+        // p2 and p3 end up on disk only.
+        let (p2, mut g2) = pool.new_page().unwrap();
+        g2[0] = 2;
+        drop(g2);
+        let (p3, mut g3) = pool.new_page().unwrap();
+        g3[0] = 3;
+        drop(g3);
+        // p0 resident + dirty + unpinned (never written to disk), p1 pinned.
+        let (p0, mut w0) = pool.new_page().unwrap();
+        w0[0] = 0xEE;
+        drop(w0);
+        let (_p1, g1) = pool.new_page().unwrap();
+        // The batch displaces p0 for its first claim, then fails the second:
+        // the unwind must restore p0's mapping without any disk I/O.
+        let before = pool.stats().snapshot();
+        let err = pool.pin_batch(&[p2, p3]).unwrap_err();
+        assert_eq!(err, StorageError::PoolExhausted);
+        let d = pool.stats().snapshot().since(&before);
+        assert_eq!(
+            (d.page_reads, d.page_writes),
+            (0, 0),
+            "no I/O on the claim-error unwind"
+        );
+        drop(g1);
+        // The dirty page survived with its data (disk never saw 0xEE).
+        assert_eq!(pool.fetch_read(p0).unwrap()[0], 0xEE);
+        // And the pool still serves the batch once pins are released.
+        let pins = pool.pin_batch(&[p2, p3]).unwrap();
+        let vals: Vec<u8> = pins.into_iter().map(|p| p.read()[0]).collect();
+        assert_eq!(vals, vec![2, 3]);
     }
 
     #[test]

@@ -370,6 +370,95 @@ impl HeapFile {
         Ok((read, skipped))
     }
 
+    /// Pages per sweep-read batch: a batch pins at most `capacity / 8`
+    /// frames so several concurrent scanners plus the miss path always have
+    /// frames left to claim. Scan planners use this to predict how many
+    /// batched disk requests a sweep will issue.
+    pub fn sweep_batch_pages(&self) -> usize {
+        (self.pool.capacity() / 8).clamp(1, 64)
+    }
+
+    /// The sweep read: drives `visit` over a pre-planned sequence of page
+    /// runs instead of asking `skip` per page. `runs` yields ascending,
+    /// non-overlapping `(ordinal_range, skippable)` extents — exactly what
+    /// a skip-bitset's run iterator produces. Skippable runs cost nothing;
+    /// each unskipped run is pinned through [`BufferPool::pin_batch`] in
+    /// batches of [`HeapFile::sweep_batch_pages`], so a run costs one
+    /// pool-bookkeeping pass and one batched disk request per batch, not
+    /// one of each per page. Ordinals past the current end of the heap are
+    /// ignored. Returns `(pages_read, pages_skipped)`.
+    pub fn sweep_read_runs(
+        &self,
+        runs: impl IntoIterator<Item = (std::ops::Range<u32>, bool)>,
+        mut visit: impl FnMut(u32, PageId, PageView<'_>),
+    ) -> Result<(u32, u32), StorageError> {
+        let runs: Vec<(std::ops::Range<u32>, bool)> = runs.into_iter().collect();
+        let lo = runs.iter().map(|(r, _)| r.start).min().unwrap_or(0);
+        let hi = runs.iter().map(|(r, _)| r.end).max().unwrap_or(0);
+        // Snapshot the covered page-id slice in one heap-lock acquisition:
+        // the page list is append-only and ordinals are stable, so the copy
+        // stays valid for the whole sweep.
+        let (start, page_ids) = {
+            let inner = self.inner.read();
+            let end = hi.min(inner.pages.len() as u32);
+            let start = lo.min(end);
+            (
+                start,
+                inner
+                    .pages
+                    .get(start as usize..end as usize)
+                    .map(<[_]>::to_vec)
+                    .unwrap_or_default(),
+            )
+        };
+        let limit = start + page_ids.len() as u32;
+        let batch = self.sweep_batch_pages();
+        let mut read = 0;
+        let mut skipped = 0;
+        let mut wanted: Vec<(u32, PageId)> = Vec::with_capacity(batch);
+        for (run, skippable) in runs {
+            let run_end = run.end.min(limit);
+            let run_start = run.start.min(run_end).max(start);
+            if skippable {
+                skipped += run_end - run_start;
+                continue;
+            }
+            for ord in run_start..run_end {
+                if let Some(&pid) = page_ids.get((ord - start) as usize) {
+                    wanted.push((ord, pid));
+                }
+                if wanted.len() == batch {
+                    read += self.visit_sweep_batch(&wanted, &mut visit)?;
+                    wanted.clear();
+                }
+            }
+            // Flush at the run boundary: batches never span a skip gap, so
+            // every disk request covers one contiguous extent of the heap.
+            if !wanted.is_empty() {
+                read += self.visit_sweep_batch(&wanted, &mut visit)?;
+                wanted.clear();
+            }
+        }
+        Ok((read, skipped))
+    }
+
+    /// Visits one sweep batch: every page — resident or not — is pinned by
+    /// a single [`BufferPool::pin_batch`] call, then each frame is
+    /// read-locked only while its page is being visited.
+    fn visit_sweep_batch(
+        &self,
+        wanted: &[(u32, PageId)],
+        visit: &mut impl FnMut(u32, PageId, PageView<'_>),
+    ) -> Result<u32, StorageError> {
+        let pids: Vec<PageId> = wanted.iter().map(|&(_, pid)| pid).collect();
+        let pins = self.pool.pin_batch(&pids)?;
+        for (&(ord, pid), pin) in wanted.iter().zip(pins) {
+            let guard = pin.read();
+            visit(ord, pid, PageView::new(&guard[..]));
+        }
+        Ok(wanted.len() as u32)
+    }
+
     /// Visits one batch of pages: resident pages are pinned in a single
     /// bookkeeping pass, misses go through the ordinary fetch path. Each
     /// frame is read-locked only while its page is being visited.
@@ -575,6 +664,51 @@ mod tests {
             .unwrap();
         assert_eq!(read + skipped, n);
         assert_eq!(skipped, n.div_ceil(2));
+    }
+
+    #[test]
+    fn sweep_read_runs_matches_per_page_scan() {
+        // 16 frames -> sweep batches of 2 pages; ~39 pages of tuples, so
+        // the sweep mixes resident hits with batched misses.
+        let h = heap(16);
+        for i in 0..1000u16 {
+            h.insert(&[(i % 251) as u8; 300]).unwrap();
+        }
+        let n = h.num_pages();
+        assert!(n >= 12);
+        h.pool().flush_all().unwrap();
+
+        // Alternating skip pattern as a per-page predicate...
+        let skip = |ord: u32| (ord / 3).is_multiple_of(2);
+        let mut per_page = Vec::new();
+        let (read_a, skipped_a) = h
+            .scan_page_views(skip, |ord, _, view| per_page.push((ord, view.live_count())))
+            .unwrap();
+        // ...and the same pattern expressed as runs for the sweep read.
+        let mut runs = Vec::new();
+        let mut at = 0;
+        while at < n {
+            let end = (at + 3).min(n);
+            runs.push((at..end, skip(at)));
+            at = end;
+        }
+        let before = h.pool().stats().snapshot();
+        let mut swept = Vec::new();
+        let (read_b, skipped_b) = h
+            .sweep_read_runs(runs, |ord, _, view| swept.push((ord, view.live_count())))
+            .unwrap();
+        assert_eq!((read_a, skipped_a), (read_b, skipped_b));
+        assert_eq!(per_page, swept);
+        let d = h.pool().stats().snapshot().since(&before);
+        assert_eq!(d.page_reads + d.buffer_hits, u64::from(read_b));
+
+        // Runs past the end of the heap are ignored entirely.
+        let (read, skipped) = h
+            .sweep_read_runs(vec![(n..n + 4, false), (n + 4..n + 8, true)], |_, _, _| {
+                panic!("no pages here")
+            })
+            .unwrap();
+        assert_eq!((read, skipped), (0, 0));
     }
 
     #[test]

@@ -34,18 +34,18 @@ pub use budget::{
     entry_footprint, BudgetComponent, BudgetSnapshot, MemoryBudget, MemoryUsage,
     DEFAULT_ENTRY_FOOTPRINT, ENTRY_BASE_BYTES,
 };
-pub use buffer_pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard};
+pub use buffer_pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard, PinnedPage};
 pub use disk::{CostModel, DiskManager, PAGE_SIZE};
 pub use error::StorageError;
 pub use heap::HeapFile;
 pub use lruk::AccessHistory;
-pub use page::SlottedPage;
+pub use page::{PageView, SlottedPage};
 pub use replacement::{DisplacementPolicy, FrameId};
 pub use rid::{PageId, Rid, SlotId};
 pub use schema::{Column, ColumnType, Schema};
 pub use stats::IoStats;
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{ColumnRef, ColumnView, Value};
 
 /// Convenient result alias used across the storage crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -65,6 +65,15 @@ impl IoStats {
         self.buffer_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` buffer-pool misses in one update; the batched counterpart
+    /// of [`IoStats::record_miss`] used by sweep reads.
+    #[inline]
+    pub fn record_misses(&self, n: u64) {
+        if n > 0 {
+            self.buffer_misses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a consistent-enough point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {

@@ -4,7 +4,7 @@ use std::fmt;
 
 use crate::error::StorageError;
 use crate::schema::Schema;
-use crate::value::Value;
+use crate::value::{ColumnRef, Value};
 
 /// A row of values. Tuples are schema-agnostic containers; validation against
 /// a [`Schema`] happens at table boundaries.
@@ -110,6 +110,65 @@ impl Tuple {
         }
         Value::decode(buf, &mut pos)
     }
+
+    /// Borrows `len` bytes starting at column `idx`'s encoded extent, or
+    /// `None` when fewer than `len` bytes remain — the cheapest possible
+    /// column access, for equality fast paths that compare a pre-encoded
+    /// key against the stored bytes in place.
+    ///
+    /// Columns before `idx` are structurally validated (same as
+    /// [`Tuple::read_column`]); the target column itself is *not* decoded,
+    /// so corruption inside it surfaces as a non-match rather than an error.
+    /// Because the value encoding is self-describing (tag first, then an
+    /// explicit length for strings), a window equal to a well-formed key's
+    /// encoding identifies exactly that value — a longer column cannot
+    /// collide, its tag or length bytes differ inside the window.
+    #[inline]
+    pub fn read_column_window(
+        buf: &[u8],
+        idx: usize,
+        len: usize,
+    ) -> Result<Option<&[u8]>, StorageError> {
+        let arity_bytes: [u8; 2] = buf
+            .get(..2)
+            .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("arity header width".into()))?;
+        let arity = u16::from_le_bytes(arity_bytes) as usize;
+        if idx >= arity {
+            return Err(StorageError::Corrupt(format!(
+                "column {idx} out of range for arity {arity}"
+            )));
+        }
+        let mut pos = 2;
+        for _ in 0..idx {
+            Value::skip(buf, &mut pos)?;
+        }
+        Ok(pos.checked_add(len).and_then(|end| buf.get(pos..end)))
+    }
+
+    /// Zero-copy variant of [`Tuple::read_column`]: borrows the encoded
+    /// extent of column `idx` as a [`ColumnRef`] instead of materialising a
+    /// [`Value`], so the scan fast path evaluates predicates without
+    /// allocating. Validation and failure modes match `read_column` exactly.
+    pub fn read_column_raw(buf: &[u8], idx: usize) -> Result<ColumnRef<'_>, StorageError> {
+        let arity_bytes: [u8; 2] = buf
+            .get(..2)
+            .ok_or_else(|| StorageError::Corrupt("tuple shorter than arity header".into()))?
+            .try_into()
+            .map_err(|_| StorageError::Corrupt("arity header width".into()))?;
+        let arity = u16::from_le_bytes(arity_bytes) as usize;
+        if idx >= arity {
+            return Err(StorageError::Corrupt(format!(
+                "column {idx} out of range for arity {arity}"
+            )));
+        }
+        let mut pos = 2;
+        for _ in 0..idx {
+            Value::skip(buf, &mut pos)?;
+        }
+        Value::decode_ref(buf, &mut pos)
+    }
 }
 
 impl From<Vec<Value>> for Tuple {
@@ -191,6 +250,27 @@ mod tests {
         assert_eq!(Tuple::read_column(&bytes, 2).unwrap(), Value::Null);
         assert!(Tuple::read_column(&bytes, 3).is_err());
         assert!(Tuple::read_column(&[1], 0).is_err());
+    }
+
+    #[test]
+    fn read_column_raw_agrees_with_read_column() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        for idx in 0..4 {
+            let owned = Tuple::read_column(&bytes, idx);
+            let raw = Tuple::read_column_raw(&bytes, idx);
+            match (owned, raw) {
+                (Ok(v), Ok(c)) => {
+                    assert_eq!(c.to_value(), v);
+                    let mut enc = Vec::new();
+                    v.encode(&mut enc);
+                    assert_eq!(c.raw(), &enc[..]);
+                }
+                (Err(_), Err(_)) => {}
+                (o, r) => panic!("column {idx}: owned={o:?} raw={r:?}"),
+            }
+        }
+        assert!(Tuple::read_column_raw(&[1], 0).is_err());
     }
 
     #[test]

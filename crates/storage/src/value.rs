@@ -110,6 +110,53 @@ impl Value {
         }
     }
 
+    /// Decodes a *borrowing* view of the value at `buf[*pos..]`, advancing
+    /// `pos` — the zero-copy counterpart of [`Value::decode`].
+    ///
+    /// Performs the exact validation sequence of `decode` (tag, payload
+    /// bounds, UTF-8), so the two fail identically on corrupt input; the
+    /// only difference is that string payloads are borrowed, not copied.
+    pub fn decode_ref<'a>(buf: &'a [u8], pos: &mut usize) -> Result<ColumnRef<'a>, StorageError> {
+        let start = *pos;
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::Corrupt("value tag past end of buffer".into()))?;
+        *pos += 1;
+        let view = match tag {
+            Self::TAG_NULL => ColumnView::Null,
+            Self::TAG_INT => {
+                let bytes: [u8; 8] = buf
+                    .get(*pos..*pos + 8)
+                    .ok_or_else(|| StorageError::Corrupt("truncated int value".into()))?
+                    .try_into()
+                    .map_err(|_| StorageError::Corrupt("int payload width".into()))?;
+                *pos += 8;
+                ColumnView::Int(i64::from_le_bytes(bytes))
+            }
+            Self::TAG_STR => {
+                let len_bytes: [u8; 4] = buf
+                    .get(*pos..*pos + 4)
+                    .ok_or_else(|| StorageError::Corrupt("truncated string length".into()))?
+                    .try_into()
+                    .map_err(|_| StorageError::Corrupt("string length width".into()))?;
+                *pos += 4;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let bytes = buf
+                    .get(*pos..*pos + len)
+                    .ok_or_else(|| StorageError::Corrupt("truncated string payload".into()))?;
+                *pos += len;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| StorageError::Corrupt(format!("invalid utf-8 in string: {e}")))?;
+                ColumnView::Str(s)
+            }
+            other => return Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+        };
+        let raw = buf
+            .get(start..*pos)
+            .ok_or_else(|| StorageError::Corrupt("column extent out of bounds".into()))?;
+        Ok(ColumnRef { raw, view })
+    }
+
     /// Decodes a value from `buf[*pos..]`, advancing `pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value, StorageError> {
         let tag = *buf
@@ -144,6 +191,69 @@ impl Value {
                 Ok(Value::Str(s.to_owned()))
             }
             other => Err(StorageError::Corrupt(format!("unknown value tag {other}"))),
+        }
+    }
+}
+
+/// A borrowed view of one encoded column value: the exact encoded byte
+/// extent plus the decoded payload, with nothing copied or allocated.
+///
+/// Produced by [`Value::decode_ref`] / `Tuple::read_column_raw`; this is what
+/// the scan fast path compares instead of materialising a [`Value`]. Because
+/// the encoding is canonical (one byte sequence per value), raw-byte equality
+/// of two well-formed extents is exactly [`Value`] equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnRef<'a> {
+    raw: &'a [u8],
+    view: ColumnView<'a>,
+}
+
+/// The decoded payload of a [`ColumnRef`], borrowing string bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnView<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Borrowed UTF-8 string payload.
+    Str(&'a str),
+}
+
+impl<'a> ColumnRef<'a> {
+    /// The encoded bytes of this value (tag + payload), exactly as
+    /// [`Value::encode`] would produce them.
+    #[inline]
+    pub fn raw(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// The decoded, borrowing payload.
+    #[inline]
+    pub fn view(&self) -> ColumnView<'a> {
+        self.view
+    }
+
+    /// Materialises an owned [`Value`] (allocates for strings).
+    pub fn to_value(&self) -> Value {
+        match self.view {
+            ColumnView::Null => Value::Null,
+            ColumnView::Int(v) => Value::Int(v),
+            ColumnView::Str(s) => Value::Str(s.to_owned()),
+        }
+    }
+
+    /// Compares against an owned [`Value`] under the same total order as
+    /// [`Value::cmp`] (`Null < Int(_) < Str(_)`), without allocating.
+    #[inline]
+    pub fn cmp_value(&self, other: &Value) -> Ordering {
+        match (self.view, other) {
+            (ColumnView::Null, Value::Null) => Ordering::Equal,
+            (ColumnView::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            (ColumnView::Int(a), Value::Int(b)) => a.cmp(b),
+            (ColumnView::Int(_), Value::Str(_)) => Ordering::Less,
+            (ColumnView::Str(_), Value::Int(_)) => Ordering::Greater,
+            (ColumnView::Str(a), Value::Str(b)) => a.cmp(b.as_str()),
         }
     }
 }
@@ -267,6 +377,67 @@ mod tests {
         let buf = vec![Value::TAG_STR, 2, 0, 0, 0, 0xff, 0xfe];
         let mut pos = 0;
         assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn decode_ref_matches_decode() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::from(""),
+            Value::from("Frankfurt Airport"),
+            Value::from("日本語"),
+        ] {
+            let mut buf = vec![0xAAu8; 3]; // leading garbage: extents must be exact
+            let start = buf.len();
+            v.encode(&mut buf);
+            let mut pos = start;
+            let col = Value::decode_ref(&buf, &mut pos).expect("decode_ref");
+            assert_eq!(pos, buf.len());
+            assert_eq!(col.raw(), &buf[start..]);
+            assert_eq!(col.to_value(), v);
+        }
+    }
+
+    #[test]
+    fn decode_ref_rejects_what_decode_rejects() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![9u8],
+            vec![Value::TAG_INT, 1, 2, 3],
+            vec![Value::TAG_STR, 2, 0, 0, 0, 0xff, 0xfe],
+            vec![Value::TAG_STR, 5, 0, 0, 0, b'a'],
+        ];
+        for buf in cases {
+            let mut p1 = 0;
+            let mut p2 = 0;
+            assert_eq!(
+                Value::decode(&buf, &mut p1).is_err(),
+                Value::decode_ref(&buf, &mut p2).is_err()
+            );
+            assert!(Value::decode_ref(&buf, &mut p2).is_err());
+        }
+    }
+
+    #[test]
+    fn cmp_value_mirrors_ord() {
+        let values = [
+            Value::Null,
+            Value::Int(-7),
+            Value::Int(42),
+            Value::from(""),
+            Value::from("ORD"),
+        ];
+        for a in &values {
+            let mut buf = Vec::new();
+            a.encode(&mut buf);
+            let col = Value::decode_ref(&buf, &mut 0).expect("decode_ref");
+            for b in &values {
+                assert_eq!(col.cmp_value(b), a.cmp(b), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

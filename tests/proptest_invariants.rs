@@ -198,3 +198,173 @@ proptest! {
         run_case(db, rids, ops);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scan fast path: compiled predicates and the maintained skip bitset
+// ---------------------------------------------------------------------------
+
+use adaptive_index_buffer::core::{CompiledPredicate, PageCounters, Predicate};
+
+/// Every [`Value`] variant, including the empty string and integer extremes
+/// the little-endian encoding makes interesting.
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        2 => prop_oneof![Just(i64::MIN), Just(-1i64), Just(0), Just(i64::MAX)]
+            .prop_map(Value::Int),
+        3 => any::<i64>().prop_map(Value::Int),
+        3 => ".{0,12}".prop_map(Value::from),
+    ]
+}
+
+/// Counter maintenance as the engine drives it: Table I DML
+/// (increment/decrement), Algorithm 1 indexing (`set_zero`), Algorithm 2
+/// displacement (`restore`), and heap growth (`ensure_page`).
+#[derive(Debug, Clone)]
+enum CounterOp {
+    Increment(u32),
+    Decrement(u32),
+    SetZero(u32),
+    Restore(u32, u32),
+    Ensure(u32),
+}
+
+fn counter_op() -> impl Strategy<Value = CounterOp> {
+    // Pages up to 130 span three bitset words, so word-boundary bits and the
+    // masked tail both get exercised.
+    let page = 0u32..130;
+    prop_oneof![
+        4 => page.clone().prop_map(CounterOp::Increment),
+        3 => page.clone().prop_map(CounterOp::Decrement),
+        2 => page.clone().prop_map(CounterOp::SetZero),
+        2 => (page.clone(), 0u32..4).prop_map(|(p, n)| CounterOp::Restore(p, n)),
+        1 => page.prop_map(CounterOp::Ensure),
+    ]
+}
+
+proptest! {
+    /// The zero-copy path and the interpreted path must agree on every
+    /// value variant: [`CompiledPredicate`] evaluated on the raw encoded
+    /// column bytes ⇔ [`Predicate::matches`] on the decoded [`Value`].
+    /// Referenced by the `aib-core` scan module docs.
+    #[test]
+    fn compiled_predicate_matches_decoded_values(
+        v in any_value(),
+        probe in any_value(),
+        lo in any_value(),
+        hi in any_value(),
+        pad in any_value(),
+    ) {
+        let tuple = Tuple::new(vec![pad, v.clone()]);
+        let bytes = tuple.to_bytes();
+        // Random probes mostly miss; the self-referential predicates pin the
+        // must-match side of the equivalence.
+        let preds = [
+            Predicate::Equals(probe),
+            Predicate::Equals(v.clone()),
+            Predicate::Between(lo, hi),
+            Predicate::Between(v.clone(), v.clone()),
+        ];
+        for pred in preds {
+            let col = Tuple::read_column_raw(&bytes, 1).unwrap();
+            let compiled = CompiledPredicate::compile(&pred);
+            prop_assert_eq!(
+                compiled.matches(&col),
+                pred.matches(&v),
+                "{:?} on {:?}", pred, v
+            );
+            // The in-place window compare (the production page-sweep path)
+            // must agree with the decoded semantics on well-formed tuples.
+            prop_assert_eq!(
+                compiled.matches_tuple(&bytes, 1).unwrap(),
+                pred.matches(&v),
+                "window path: {:?} on {:?}", pred, v
+            );
+        }
+    }
+
+    /// The maintained [`SkipBitset`] must mirror `C[p] == 0` exactly under
+    /// arbitrary interleavings of DML maintenance, indexing, displacement
+    /// restore, and growth — checked against an independent shadow `Vec<u32>`
+    /// after every op, plus the snapshot/runs surface the scans consume.
+    #[test]
+    fn skip_bitset_mirrors_counters_under_random_maintenance(
+        ops in prop::collection::vec(counter_op(), 1..120),
+        snapshot_len in 0u32..160,
+    ) {
+        let mut counters = PageCounters::new();
+        let mut shadow: Vec<u32> = Vec::new();
+        let track = |shadow: &mut Vec<u32>, p: u32| {
+            if shadow.len() <= p as usize {
+                shadow.resize(p as usize + 1, 0);
+            }
+        };
+        for op in ops {
+            match op {
+                CounterOp::Increment(p) => {
+                    counters.increment(p);
+                    track(&mut shadow, p);
+                    shadow[p as usize] += 1;
+                }
+                CounterOp::Decrement(p) => {
+                    let r = counters.decrement(p);
+                    track(&mut shadow, p);
+                    if shadow[p as usize] == 0 {
+                        prop_assert!(r.is_err(), "underflow on C[{}] must error", p);
+                    } else {
+                        prop_assert!(r.is_ok());
+                        shadow[p as usize] -= 1;
+                    }
+                }
+                CounterOp::SetZero(p) => {
+                    track(&mut shadow, p);
+                    let prev = counters.set_zero(p);
+                    prop_assert_eq!(prev, shadow[p as usize]);
+                    shadow[p as usize] = 0;
+                }
+                CounterOp::Restore(p, n) => {
+                    counters.restore(p, n);
+                    track(&mut shadow, p);
+                    shadow[p as usize] = n;
+                }
+                CounterOp::Ensure(p) => {
+                    counters.ensure_page(p);
+                    track(&mut shadow, p);
+                }
+            }
+            let chk = counters.check_bitset();
+            prop_assert!(chk.is_ok(), "bitset diverged: {:?}", chk);
+        }
+        // Per-page skippability, including untracked pages reading clear.
+        for p in 0..shadow.len() as u32 + 8 {
+            let expect = (p as usize) < shadow.len() && shadow[p as usize] == 0;
+            prop_assert_eq!(counters.is_fully_indexed(p), expect);
+        }
+        // The per-scan snapshot: tracked zero-counter pages set, everything
+        // else (including pages past the tracked range) clear.
+        let snap = counters.skip_snapshot(snapshot_len);
+        prop_assert_eq!(snap.len(), snapshot_len);
+        for p in 0..snapshot_len {
+            let expect = (p as usize) < shadow.len() && shadow[p as usize] == 0;
+            prop_assert_eq!(snap.contains(p), expect, "snapshot bit {}", p);
+        }
+        // Runs alternate, tile the range exactly, and agree bit-for-bit.
+        let mut at = 0u32;
+        let mut last: Option<bool> = None;
+        for (extent, skippable) in snap.runs(0..snapshot_len) {
+            prop_assert_eq!(extent.start, at);
+            prop_assert!(extent.start < extent.end);
+            prop_assert!(last != Some(skippable), "runs must alternate");
+            for p in extent.clone() {
+                prop_assert_eq!(snap.contains(p), skippable);
+            }
+            at = extent.end;
+            last = Some(skippable);
+        }
+        prop_assert_eq!(at, snapshot_len, "runs must tile the range");
+        prop_assert_eq!(
+            snap.count(),
+            (0..snapshot_len).filter(|&p| snap.contains(p)).count() as u32
+        );
+    }
+}
