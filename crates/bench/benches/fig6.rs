@@ -62,8 +62,8 @@ fn main() {
 
     // Index-scan baseline ("runtime without table scan"): a full secondary
     // index over the whole domain answers every query.
-    let mut ix_db = timed("populate index-baseline db", || {
-        let mut db = Database::new(engine_config_for(&spec, space));
+    let ix_db = timed("populate index-baseline db", || {
+        let db = Database::new(engine_config_for(&spec, space));
         db.create_table(TABLE, spec.schema()).unwrap();
         for t in spec.tuples() {
             db.insert(TABLE, &t).unwrap();

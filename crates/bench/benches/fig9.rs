@@ -43,7 +43,7 @@ fn main() {
         partition_pages: p,
         ..Default::default()
     };
-    let mut db = timed("populate db (3 indexed columns)", || {
+    let db = timed("populate db (3 indexed columns)", || {
         build_eval_db(
             &spec,
             engine_config_for(&spec, space),

@@ -17,7 +17,7 @@ const ROWS: u64 = 100_000;
 
 fn build(paged: bool) -> (Database, TableSpec) {
     let spec = TableSpec::scaled(ROWS, 0xDA7A);
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 200,
         cost_model: CostModel::default(),
         space: SpaceConfig {

@@ -32,7 +32,7 @@ const ITERS: usize = 5;
 const FRACTIONS: [u32; 4] = [0, 50, 90, 100];
 
 fn build(scan_threads: usize) -> Database {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: TARGET_PAGES as usize + 64,
         cost_model: CostModel::free(),
         space: SpaceConfig {
@@ -100,7 +100,7 @@ fn measure(db: &mut Database) -> (f64, usize) {
 /// skippable — in one leading run. `max_entries = 0` freezes skippability
 /// at registration time.
 fn build_fraction(scan_threads: usize, pages: u32, frac: u32) -> (Database, i64) {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: pages as usize + 64,
         cost_model: CostModel::free(),
         space: SpaceConfig {

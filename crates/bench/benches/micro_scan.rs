@@ -15,7 +15,7 @@ const ROWS: i64 = 50_000;
 const DOMAIN: i64 = 5_000;
 
 fn build(buffered: bool) -> Database {
-    let mut db = Database::new(aib_engine::EngineConfig {
+    let db = Database::new(aib_engine::EngineConfig {
         pool_frames: 256,
         cost_model: CostModel::free(),
         space: SpaceConfig {
@@ -59,7 +59,7 @@ fn bench_scans(c: &mut Criterion) {
     group.sample_size(20);
 
     // Plain scan: no buffer, every query reads every page.
-    let mut plain = build(false);
+    let plain = build(false);
     group.bench_function("plain_scan", |b| {
         b.iter(|| {
             let (r, _) = plain
@@ -71,7 +71,7 @@ fn bench_scans(c: &mut Criterion) {
     });
 
     // Fully buffered: warm up once, then every scan skips everything.
-    let mut warm = build(true);
+    let warm = build(true);
     warm.execute(&Query::point("t", "k", 4_000i64)).unwrap();
     group.bench_function("buffered_scan_warm", |b| {
         b.iter(|| {
@@ -103,7 +103,7 @@ fn bench_first_indexing_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("first_indexing_scan");
     group.sample_size(10);
     group.bench_function("cold_buffered_scan", |b| {
-        b.iter_with_setup(build_cold, |mut db| {
+        b.iter_with_setup(build_cold, |db| {
             let (r, _) = db
                 .execute(&Query::point("t", "k", 4_000i64))
                 .unwrap()
@@ -141,7 +141,7 @@ struct SweepPoint {
 }
 
 fn build_fraction(pct: u32) -> (Database, i64) {
-    let mut db = Database::new(aib_engine::EngineConfig {
+    let db = Database::new(aib_engine::EngineConfig {
         pool_frames: 1024, // whole table resident: measures scan CPU cost
         cost_model: CostModel::free(),
         space: SpaceConfig {
@@ -182,7 +182,7 @@ fn covered_fraction_sweep(quick: bool) -> Vec<SweepPoint> {
         "skippable", "wall/query", "pages_read", "pages_skipped", "rows/sec"
     );
     for pct in FRACTIONS {
-        let (mut db, probe) = build_fraction(pct);
+        let (db, probe) = build_fraction(pct);
         for _ in 0..2 {
             let (r, _) = db
                 .execute(&Query::point("t", "k", probe))

@@ -60,7 +60,7 @@ pub fn build_eval_db(
     buffer: Option<BufferConfig>,
     columns: &[&str],
 ) -> Database {
-    let mut db = Database::new(engine);
+    let db = Database::new(engine);
     db.create_table(TABLE, spec.schema()).unwrap();
     for tuple in spec.tuples() {
         db.insert(TABLE, &tuple)

@@ -85,8 +85,8 @@ pub use invariants::{verify_buffer, verify_space, GroundTruth, InvariantReport};
 pub use maintenance::{cover_tuple, maintain, uncover_tuple, MaintAction, TupleRef};
 pub use partition::{page_range_chunks, Partition, PartitionId};
 pub use scan::{
-    apply_staged, indexing_scan, indexing_scan_parallel, planned_scan_threads, scan_chunk,
-    ChunkResult, CompiledPredicate, Predicate, ScanPlan, ScanStats, StagedPage, CHUNKS_PER_THREAD,
-    MIN_PAGES_PER_THREAD,
+    apply_staged, apply_staged_checked, indexing_scan, indexing_scan_parallel,
+    planned_scan_threads, prepare_scan, scan_chunk, sweep_plan, ChunkResult, CompiledPredicate,
+    Predicate, ScanPlan, ScanPrep, ScanStats, StagedPage, CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
 };
 pub use space::{BenefitPolicy, Displacement, IndexBufferSpace, Selection};

@@ -297,11 +297,18 @@ pub struct ScanPlan {
 
 /// The shared pre-sweep portion of Algorithm 1 — everything both scan
 /// flavours do identically before touching table pages.
-struct ScanPrep {
+///
+/// Public because the staged-apply boundary is also the engine's
+/// *concurrency* boundary: a multi-client executor runs [`prepare_scan`]
+/// under its space write lock, the sweep ([`sweep_plan`]) with no space lock
+/// at all, and the apply ([`apply_staged_checked`]) under the write lock
+/// again.
+#[derive(Debug)]
+pub struct ScanPrep {
     /// Stats with selection, buffer-scan and analytic sweep fields filled.
-    stats: ScanStats,
+    pub stats: ScanStats,
     /// The sweep plan handed to the page-visiting phase.
-    plan: ScanPlan,
+    pub plan: ScanPlan,
 }
 
 /// Runs lines 1–10 of Algorithm 1 plus sweep planning: page selection (with
@@ -309,7 +316,7 @@ struct ScanPrep {
 /// skip/to-index snapshots, predicate compilation, and the analytic
 /// run/batch statistics. Both [`indexing_scan`] and
 /// [`indexing_scan_parallel`] start here, so the two paths cannot drift.
-fn prepare_scan(
+pub fn prepare_scan(
     heap: &HeapFile,
     space: &mut IndexBufferSpace,
     buffer_id: BufferId,
@@ -584,6 +591,109 @@ pub fn apply_staged(
     }
 }
 
+/// Like [`apply_staged`], but validates every staged page against the
+/// *current* counters first: a page whose `C[p]` has dropped to zero since
+/// the plan snapshot was indexed by a concurrent scan in the meantime — with
+/// exactly the entries staged here, because the heap and the coverage
+/// predicate are frozen for the duration of a read query — so it is skipped
+/// instead of double-inserted (the buffer treats a second `index_page` of a
+/// buffered page as a caller bug). Returns the number of staged pages
+/// skipped.
+///
+/// An uncontended scan skips nothing and mutates the buffer, counters and
+/// stats bit-for-bit identically to [`apply_staged`]; only overlapping scans
+/// of the same buffer ever diverge, and then only by not repeating work
+/// another scan already completed.
+pub fn apply_staged_checked(
+    buffer: &mut IndexBuffer,
+    counters: &mut PageCounters,
+    mut staged: Vec<StagedPage>,
+    stats: &mut ScanStats,
+) -> usize {
+    staged.sort_by_key(|s| s.ordinal);
+    let mut skipped = 0usize;
+    for page in staged {
+        if counters.get(page.ordinal) == 0 {
+            skipped += 1;
+            continue;
+        }
+        stats.entries_added += u64::from(buffer.index_page(page.ordinal, page.entries));
+        counters.set_zero(page.ordinal);
+        stats.pages_indexed += 1;
+    }
+    skipped
+}
+
+/// The "discover" phase of the split Algorithm 1 for a whole table: sweeps
+/// every page the plan does not skip — fanned out over `threads` workers
+/// when the table is big enough, on the calling thread otherwise — and
+/// returns one merged [`ChunkResult`] in ascending page order.
+///
+/// Touches only the heap and the immutable [`ScanPlan`]; never the space.
+/// That is the point: a concurrent executor calls this *without* holding any
+/// engine lock, between a [`prepare_scan`] and an
+/// [`apply_staged_checked`] that do. `partition_pages` is the queried
+/// buffer's partition extent (chunk boundaries align to it so staged pages
+/// group exactly as a sequential scan would group them).
+pub fn sweep_plan(
+    heap: &HeapFile,
+    plan: &ScanPlan,
+    partition_pages: u32,
+    column: usize,
+    covered: &(dyn Fn(&Value) -> bool + Sync),
+    predicate: &Predicate,
+    threads: usize,
+) -> Result<ChunkResult, StorageError> {
+    let num_pages = plan.num_pages;
+    let chunks = if threads <= 1 {
+        Vec::new()
+    } else {
+        page_range_chunks(num_pages, partition_pages, threads * CHUNKS_PER_THREAD)
+    };
+    if chunks.len() <= 1 {
+        // Sequential (or not enough pages to split): one chunk, this thread.
+        return scan_chunk(heap, 0..num_pages, plan, column, covered, predicate);
+    }
+
+    // Workers claim chunks from a shared cursor and record results per
+    // chunk slot.
+    let workers = threads.min(chunks.len());
+    let results: Vec<OnceLock<Result<ChunkResult, StorageError>>> =
+        chunks.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    {
+        let (chunks, results, cursor) = (&chunks, &results, &cursor);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    // Relaxed: atomicity alone makes each claim unique; the
+                    // scope join publishes the per-chunk results.
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = chunks.get(i) else { break };
+                    let r = scan_chunk(heap, range.clone(), plan, column, covered, predicate);
+                    if let Some(cell) = results.get(i) {
+                        let set = cell.set(r);
+                        debug_assert!(set.is_ok(), "chunk {i} claimed twice");
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge in ascending page order.
+    let mut merged = ChunkResult::default();
+    for cell in results {
+        let chunk = cell.into_inner().ok_or_else(|| {
+            StorageError::Corrupt("scan chunk never claimed by a worker".into())
+        })??;
+        merged.pages_read += chunk.pages_read;
+        merged.pages_skipped += chunk.pages_skipped;
+        merged.matches.extend(chunk.matches);
+        merged.staged.extend(chunk.staged);
+    }
+    Ok(merged)
+}
+
 /// Runs Algorithm 1 with the table sweep fanned out over `threads` workers.
 ///
 /// Sequential-equivalent to [`indexing_scan`]: same result rids in the same
@@ -612,61 +722,25 @@ pub fn indexing_scan_parallel(
     // Phase 1 (sequential): the shared preamble — the space's single RNG
     // draw per scan, the buffer scan, and the sweep-plan snapshots.
     let ScanPrep { mut stats, plan } = prepare_scan(heap, space, buffer_id, predicate, out);
-    let num_pages = plan.num_pages;
     let partition_pages = space.buffer(buffer_id).config().partition_pages;
 
-    // Phase 2 (parallel, read-only): workers claim chunks from a shared
-    // cursor and record results per chunk slot.
-    let chunks = page_range_chunks(num_pages, partition_pages, threads * CHUNKS_PER_THREAD);
-    if chunks.len() <= 1 {
-        // Not enough pages to split; finish on this thread.
-        let chunk = scan_chunk(heap, 0..num_pages, &plan, column, covered, predicate)?;
-        stats.pages_read = chunk.pages_read;
-        stats.pages_skipped = chunk.pages_skipped;
-        out.extend_from_slice(&chunk.matches);
-        let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
-        apply_staged(buffer, counters, chunk.staged, &mut stats);
-        space.sync_budget();
-        stats.matches = out.len();
-        return Ok(stats);
-    }
-    let workers = threads.min(chunks.len());
-    let results: Vec<OnceLock<Result<ChunkResult, StorageError>>> =
-        chunks.iter().map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    {
-        let (chunks, results, cursor) = (&chunks, &results, &cursor);
-        let plan = &plan;
-        thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(move || loop {
-                    // Relaxed: atomicity alone makes each claim unique; the
-                    // scope join publishes the per-chunk results.
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(range) = chunks.get(i) else { break };
-                    let r = scan_chunk(heap, range.clone(), plan, column, covered, predicate);
-                    if let Some(cell) = results.get(i) {
-                        let set = cell.set(r);
-                        debug_assert!(set.is_ok(), "chunk {i} claimed twice");
-                    }
-                });
-            }
-        });
-    }
+    // Phase 2 (parallel, read-only) + phase 3 merge.
+    let chunk = sweep_plan(
+        heap,
+        &plan,
+        partition_pages,
+        column,
+        covered,
+        predicate,
+        threads,
+    )?;
+    stats.pages_read = chunk.pages_read;
+    stats.pages_skipped = chunk.pages_skipped;
+    out.extend(chunk.matches);
 
-    // Phase 3 (sequential): merge in ascending page order, then apply.
-    let mut staged_all: Vec<StagedPage> = Vec::new();
-    for cell in results {
-        let chunk = cell.into_inner().ok_or_else(|| {
-            StorageError::Corrupt("scan chunk never claimed by a worker".into())
-        })??;
-        stats.pages_read += chunk.pages_read;
-        stats.pages_skipped += chunk.pages_skipped;
-        out.extend_from_slice(&chunk.matches);
-        staged_all.extend(chunk.staged);
-    }
+    // Phase 4 (sequential): apply in ascending page order.
     let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
-    apply_staged(buffer, counters, staged_all, &mut stats);
+    apply_staged(buffer, counters, chunk.staged, &mut stats);
     space.sync_budget();
     stats.matches = out.len();
     Ok(stats)

@@ -1,0 +1,90 @@
+//! Per-client handles over a shared [`Database`].
+//!
+//! The engine is multi-client: [`Database`] takes `&self` everywhere, so
+//! any number of threads can execute queries and DML against one instance
+//! behind an [`Arc`]. [`ClientHandle`] is the ergonomic wrapper for that
+//! pattern — one cheap clone per client thread, each forwarding to the
+//! shared engine:
+//!
+//! ```
+//! use aib_engine::{ClientHandle, Database, Query};
+//! use aib_storage::{Column, Schema, Tuple, Value};
+//!
+//! let db = Database::with_defaults().into_shared();
+//! db.create_table("t", Schema::new(vec![Column::int("k")])).unwrap();
+//! for i in 0..64i64 {
+//!     db.insert("t", &Tuple::new(vec![Value::Int(i)])).unwrap();
+//! }
+//!
+//! let handles: Vec<_> = (0..4).map(|_| ClientHandle::new(db.clone())).collect();
+//! std::thread::scope(|s| {
+//!     for client in &handles {
+//!         s.spawn(move || {
+//!             let out = client.execute(&Query::on("t", "k").eq(7i64)).unwrap();
+//!             assert_eq!(out.result.count(), 1);
+//!         });
+//!     }
+//! });
+//! ```
+
+use std::sync::Arc;
+
+use aib_storage::{Rid, Tuple};
+
+use crate::db::Database;
+use crate::error::EngineResult;
+use crate::explain::Explanation;
+use crate::query::{ExecOutcome, Query};
+
+/// A cheaply clonable client connection to a shared [`Database`].
+///
+/// Purely a convenience: it adds no state and no locking of its own (all
+/// synchronization lives in the engine's catalog/space locks), so a
+/// `ClientHandle` and a bare `Arc<Database>` are interchangeable.
+#[derive(Clone, Debug)]
+pub struct ClientHandle {
+    db: Arc<Database>,
+}
+
+impl ClientHandle {
+    /// A new client over the shared database.
+    pub fn new(db: Arc<Database>) -> Self {
+        ClientHandle { db }
+    }
+
+    /// The underlying database, for calls this wrapper does not forward
+    /// (DDL, inspection).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Executes a query. See [`Database::execute`].
+    pub fn execute(&self, query: &Query) -> EngineResult<ExecOutcome> {
+        self.db.execute(query)
+    }
+
+    /// Explains a query without executing it. See [`Database::explain`].
+    pub fn explain(&self, query: &Query) -> EngineResult<Explanation> {
+        self.db.explain(query)
+    }
+
+    /// Inserts a tuple. See [`Database::insert`].
+    pub fn insert(&self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
+        self.db.insert(table, tuple)
+    }
+
+    /// Deletes a tuple. See [`Database::delete`].
+    pub fn delete(&self, table: &str, rid: Rid) -> EngineResult<()> {
+        self.db.delete(table, rid)
+    }
+
+    /// Updates a tuple. See [`Database::update`].
+    pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
+        self.db.update(table, rid, tuple)
+    }
+
+    /// Fetches a tuple by rid. See [`Database::fetch`].
+    pub fn fetch(&self, table: &str, rid: Rid) -> EngineResult<Tuple> {
+        self.db.fetch(table, rid)
+    }
+}

@@ -13,6 +13,29 @@
 //!   selection);
 //! * not covered, no buffer → **plain full scan** (the baseline the paper
 //!   plots as "table scan").
+//!
+//! # Concurrency
+//!
+//! [`Database`] is shareable across client threads (`Arc<Database>`, or the
+//! [`crate::ClientHandle`] wrapper): every entry point takes `&self`. Engine
+//! state is split into two locks plus the already-concurrent storage layer:
+//!
+//! * the **catalog** (tables, heaps, partial indexes, tuners) behind one
+//!   `RwLock` — read queries hold its read lock end to end, so DML/DDL
+//!   (write lock) never interleaves with an in-flight query and each query
+//!   sees a frozen heap and coverage;
+//! * the **Index Buffer Space** (buffers + `C[p]` counters) behind a second
+//!   `RwLock` — written only in short sections: the Table II history tick +
+//!   Algorithm 2 selection before a sweep, the staged apply after it, and
+//!   DML maintenance.
+//!
+//! Lock order is **catalog → space → pool** (pool locks are
+//! storage-internal leaves; see `aib-storage::buffer_pool`). The indexing
+//! scan's three-phase shape (prepare under the space write lock, sweep with
+//! no engine lock, validated apply under the write lock) is what lets
+//! concurrent read queries overlap their page I/O: the paper's Algorithm 1
+//! mutates index structure as a side effect of reads, and the staged-apply
+//! split confines that mutation to the short write sections.
 
 // aib-lint: allow-file(no-index) — `tables` and `indexed` are only ever
 // indexed by positions this module itself computed (`table_index`,
@@ -20,15 +43,20 @@
 // cannot dangle; a miss would be an engine bug, not a caller mistake.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::{RwLock, RwLockReadGuard};
+
 use aib_core::{
-    cover_tuple, indexing_scan, indexing_scan_parallel, maintain, planned_scan_threads,
-    uncover_tuple, BufferConfig, BufferId, IndexBufferSpace, Predicate, SpaceConfig, TupleRef,
+    apply_staged_checked, cover_tuple, indexing_scan, indexing_scan_parallel, maintain,
+    planned_scan_threads, prepare_scan, sweep_plan, uncover_tuple, BufferConfig, BufferId,
+    IndexBufferSpace, Predicate, ScanPrep, ScanStats, SpaceConfig, TupleRef,
 };
 use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
 use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy};
+use aib_storage::stats::IoSnapshot;
 use aib_storage::{
     BudgetComponent, BudgetSnapshot, BufferPool, BufferPoolConfig, CostModel, DiskManager,
     DisplacementPolicy, HeapFile, IoStats, MemoryBudget, MemoryUsage, Rid, Schema, StorageError,
@@ -89,6 +117,12 @@ pub struct EngineConfig {
     /// identical at any setting (sequential-equivalence). Defaults to the
     /// machine's available parallelism.
     pub scan_threads: usize,
+    /// When `true`, buffer-pool read misses stall the calling thread for
+    /// the cost model's per-page read latency in *wall time* (see
+    /// [`BufferPoolConfig::io_wait`]). Off by default; multi-client
+    /// throughput experiments turn it on so concurrent queries overlap
+    /// their I/O waits the way they would against a real disk.
+    pub io_wait: bool,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +136,7 @@ impl Default for EngineConfig {
             index_probe_pages: 3,
             index_entries_per_page: 400,
             scan_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            io_wait: false,
         }
     }
 }
@@ -147,17 +182,27 @@ impl Table {
     }
 
     /// All live tuples with their rids, in page order (test/inspection aid;
-    /// costs a full scan).
+    /// costs a full scan). Reads run through the batched sweep path
+    /// ([`HeapFile::sweep_read_runs`]) — one pool pass and one batched disk
+    /// request per page batch, not a pin round-trip per page.
     pub fn scan_all(&self) -> EngineResult<Vec<(Rid, Tuple)>> {
         let mut out = Vec::new();
-        let mut err = None;
-        self.heap.scan_pages(
-            |_| false,
-            |rid, bytes| match Tuple::from_bytes(bytes) {
-                Ok(t) => out.push((rid, t)),
-                Err(e) => err = Some(e),
-            },
-        )?;
+        let mut err: Option<StorageError> = None;
+        self.heap
+            .sweep_read_runs([(0..self.heap.num_pages(), false)], |_ord, pid, view| {
+                if err.is_some() {
+                    return;
+                }
+                for (slot, bytes) in view.iter() {
+                    match Tuple::from_bytes(bytes) {
+                        Ok(t) => out.push((Rid { page: pid, slot }, t)),
+                        Err(e) => {
+                            err = Some(e);
+                            return;
+                        }
+                    }
+                }
+            })?;
         match err {
             Some(e) => Err(e.into()),
             None => Ok(out),
@@ -165,12 +210,32 @@ impl Table {
     }
 
     /// Live tuples of one page by table-local ordinal (test/inspection aid).
+    /// Single-page run through the same batched sweep path as
+    /// [`Table::scan_all`].
     pub fn page_tuples(&self, ordinal: u32) -> EngineResult<Vec<(Rid, Tuple)>> {
-        self.heap
-            .read_page(ordinal)?
-            .into_iter()
-            .map(|(rid, bytes)| Ok((rid, Tuple::from_bytes(&bytes)?)))
-            .collect()
+        let mut out = Vec::new();
+        let mut err: Option<StorageError> = None;
+        self.heap.sweep_read_runs(
+            [(ordinal..ordinal.saturating_add(1), false)],
+            |_, pid, view| {
+                if err.is_some() {
+                    return;
+                }
+                for (slot, bytes) in view.iter() {
+                    match Tuple::from_bytes(bytes) {
+                        Ok(t) => out.push((Rid { page: pid, slot }, t)),
+                        Err(e) => {
+                            err = Some(e);
+                            return;
+                        }
+                    }
+                }
+            },
+        )?;
+        match err {
+            Some(e) => Err(e.into()),
+            None => Ok(out),
+        }
     }
 
     /// Table-local ordinal of a rid's page (test/inspection aid).
@@ -189,7 +254,63 @@ impl Table {
     }
 }
 
-/// The database facade.
+/// The table/index layer of the engine: everything DML and DDL mutate that
+/// is not the Index Buffer Space. Guarded by the catalog `RwLock` — the
+/// outermost lock of the engine hierarchy.
+struct Catalog {
+    tables: Vec<Table>,
+    names: HashMap<String, usize>,
+}
+
+impl Catalog {
+    fn table_index(&self, name: &str) -> EngineResult<usize> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    fn column_index(&self, table: usize, column: &str) -> EngineResult<usize> {
+        self.tables[table]
+            .schema
+            .column_index(column)
+            .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))
+    }
+}
+
+/// Read access to one table of a shared database: an RAII guard over the
+/// catalog read lock that dereferences to the [`Table`]. Holding it blocks
+/// DML/DDL (catalog writers), so keep it scoped — exactly like holding any
+/// read lock.
+pub struct TableRef<'a> {
+    guard: RwLockReadGuard<'a, Catalog>,
+    index: usize,
+}
+
+impl std::ops::Deref for TableRef<'_> {
+    type Target = Table;
+    fn deref(&self) -> &Table {
+        &self.guard.tables[self.index]
+    }
+}
+
+/// Read access to the Index Buffer Space: an RAII guard over the space read
+/// lock. Holding it blocks buffer insertions (scans' staged apply) and DML
+/// maintenance; keep it scoped.
+pub struct SpaceRef<'a> {
+    guard: RwLockReadGuard<'a, IndexBufferSpace>,
+}
+
+impl std::ops::Deref for SpaceRef<'_> {
+    type Target = IndexBufferSpace;
+    fn deref(&self) -> &IndexBufferSpace {
+        &self.guard
+    }
+}
+
+/// The database facade. Shareable across client threads: every method takes
+/// `&self`, so queries and DML can run from an `Arc<Database>` (see
+/// [`crate::ClientHandle`]).
 ///
 /// ```
 /// use aib_core::BufferConfig;
@@ -197,7 +318,7 @@ impl Table {
 /// use aib_index::{Coverage, IndexBackend};
 /// use aib_storage::{Column, Schema, Tuple, Value};
 ///
-/// let mut db = Database::with_defaults();
+/// let db = Database::with_defaults();
 /// db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("v")])).unwrap();
 /// for i in 0..100i64 {
 ///     db.insert("t", &Tuple::new(vec![Value::Int(i), Value::from("x")])).unwrap();
@@ -218,12 +339,18 @@ impl Table {
 pub struct Database {
     pool: Arc<BufferPool>,
     stats: Arc<IoStats>,
-    space: IndexBufferSpace,
-    tables: Vec<Table>,
-    table_names: HashMap<String, usize>,
+    budget: Arc<MemoryBudget>,
+    catalog: RwLock<Catalog>,
+    space: RwLock<IndexBufferSpace>,
     config: EngineConfig,
-    queries_executed: usize,
+    queries_executed: AtomicUsize,
 }
+
+/// `Database` must stay shareable across client threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>()
+};
 
 impl Database {
     /// Creates an empty database.
@@ -247,16 +374,23 @@ impl Database {
                 config.pool_frames,
                 config.pool_policy.build(config.pool_frames),
             )
-            .with_budget(Arc::clone(&budget)),
+            .with_budget(Arc::clone(&budget))
+            .with_io_wait(config.io_wait),
         );
         Database {
             pool,
             stats,
-            space: IndexBufferSpace::with_budget(config.space, budget),
-            tables: Vec::new(),
-            table_names: HashMap::new(),
+            space: RwLock::new(IndexBufferSpace::with_budget(
+                config.space,
+                Arc::clone(&budget),
+            )),
+            budget,
+            catalog: RwLock::new(Catalog {
+                tables: Vec::new(),
+                names: HashMap::new(),
+            }),
             config,
-            queries_executed: 0,
+            queries_executed: AtomicUsize::new(0),
         }
     }
 
@@ -265,26 +399,36 @@ impl Database {
         Self::new(EngineConfig::default())
     }
 
+    /// Wraps this database in an [`Arc`] ready to hand to client threads
+    /// (each one via [`crate::ClientHandle::new`] or a plain clone).
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
     /// Shared I/O statistics.
     pub fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
     }
 
-    /// The Index Buffer Space (inspection).
-    pub fn space(&self) -> &IndexBufferSpace {
-        &self.space
+    /// The Index Buffer Space (inspection). Returns a read guard; holding
+    /// it blocks scans' buffer insertions and DML, so keep it scoped.
+    pub fn space(&self) -> SpaceRef<'_> {
+        SpaceRef {
+            guard: self.space.read(),
+        }
     }
 
     /// The shared memory governor (inspection).
     pub fn budget(&self) -> &Arc<MemoryBudget> {
-        self.space.budget()
+        &self.budget
     }
 
     /// A point-in-time copy of the governor's byte counters, after
     /// reconciling the Index Buffer Space's resident footprint.
     pub fn memory(&self) -> BudgetSnapshot {
-        self.space.sync_budget();
-        self.space.budget().snapshot()
+        let space = self.space.read();
+        space.sync_budget();
+        self.budget.snapshot()
     }
 
     /// The engine configuration.
@@ -296,117 +440,100 @@ impl Database {
     ///
     /// Fails with [`EngineError::TableExists`] if a table of that name
     /// already exists.
-    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> EngineResult<()> {
+    pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> EngineResult<()> {
         let name = name.into();
-        if self.table_names.contains_key(&name) {
+        let mut catalog = self.catalog.write();
+        if catalog.names.contains_key(&name) {
             return Err(EngineError::TableExists(name));
         }
-        let idx = self.tables.len();
-        self.tables.push(Table {
+        let idx = catalog.tables.len();
+        catalog.tables.push(Table {
             name: name.clone(),
             schema,
             heap: HeapFile::new(Arc::clone(&self.pool)),
             indexed: Vec::new(),
         });
-        self.table_names.insert(name, idx);
+        catalog.names.insert(name, idx);
         Ok(())
     }
 
-    /// Looks up a table.
-    pub fn table(&self, name: &str) -> EngineResult<&Table> {
-        self.table_names
-            .get(name)
-            .map(|&i| &self.tables[i])
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
-    }
-
-    fn table_index(&self, name: &str) -> EngineResult<usize> {
-        self.table_names
-            .get(name)
-            .copied()
-            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
-    }
-
-    fn column_index(&self, table: usize, column: &str) -> EngineResult<usize> {
-        self.tables[table]
-            .schema
-            .column_index(column)
-            .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))
+    /// Looks up a table, returning a read guard that dereferences to it.
+    pub fn table(&self, name: &str) -> EngineResult<TableRef<'_>> {
+        let guard = self.catalog.read();
+        let index = guard.table_index(name)?;
+        Ok(TableRef { guard, index })
     }
 
     // ------------------------------------------------------------------ DML
 
     /// Inserts a tuple, maintaining all partial indexes and Index Buffers
     /// (Table I, insert column).
-    pub fn insert(&mut self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
-        let ti = self.table_index(table)?;
-        let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
-        let rid = self.tables[ti].heap.insert(&bytes)?;
-        let page = self.tables[ti].ordinal(rid)?;
-        let t = &mut self.tables[ti];
+    pub fn insert(&self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
+        let rid = catalog.tables[ti].heap.insert(&bytes)?;
+        let page = catalog.tables[ti].ordinal(rid)?;
+        let t = &mut catalog.tables[ti];
         for ic in &mut t.indexed {
             let value = column_value(tuple, ic.column)?;
-            apply_maintenance(
-                &mut self.space,
-                ic,
-                None,
-                Some(TupleRef::new(value, rid, page)),
-            )?;
+            apply_maintenance(&mut space, ic, None, Some(TupleRef::new(value, rid, page)))?;
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok(rid)
     }
 
     /// Deletes the tuple at `rid` (Table I, delete row).
-    pub fn delete(&mut self, table: &str, rid: Rid) -> EngineResult<()> {
-        let ti = self.table_index(table)?;
-        let bytes = self.tables[ti].heap.get(rid)?;
+    pub fn delete(&self, table: &str, rid: Rid) -> EngineResult<()> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let bytes = catalog.tables[ti].heap.get(rid)?;
         let old = Tuple::from_bytes(&bytes)?;
-        self.tables[ti].heap.delete(rid)?;
-        let page = self.tables[ti].ordinal(rid)?;
-        let t = &mut self.tables[ti];
+        catalog.tables[ti].heap.delete(rid)?;
+        let page = catalog.tables[ti].ordinal(rid)?;
+        let t = &mut catalog.tables[ti];
         for ic in &mut t.indexed {
             let value = column_value(&old, ic.column)?;
-            apply_maintenance(
-                &mut self.space,
-                ic,
-                Some(TupleRef::new(value, rid, page)),
-                None,
-            )?;
+            apply_maintenance(&mut space, ic, Some(TupleRef::new(value, rid, page)), None)?;
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok(())
     }
 
     /// Updates the tuple at `rid`, returning its possibly new record id
     /// (Table I, full matrix — the tuple may change pages).
-    pub fn update(&mut self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
-        let ti = self.table_index(table)?;
-        let bytes = tuple.to_bytes_checked(&self.tables[ti].schema)?;
-        let old_bytes = self.tables[ti].heap.get(rid)?;
+    pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
+        let old_bytes = catalog.tables[ti].heap.get(rid)?;
         let old = Tuple::from_bytes(&old_bytes)?;
-        let old_page = self.tables[ti].ordinal(rid)?;
-        let new_rid = self.tables[ti].heap.update(rid, &bytes)?;
-        let new_page = self.tables[ti].ordinal(new_rid)?;
-        let t = &mut self.tables[ti];
+        let old_page = catalog.tables[ti].ordinal(rid)?;
+        let new_rid = catalog.tables[ti].heap.update(rid, &bytes)?;
+        let new_page = catalog.tables[ti].ordinal(new_rid)?;
+        let t = &mut catalog.tables[ti];
         for ic in &mut t.indexed {
             let old_value = column_value(&old, ic.column)?;
             let new_value = column_value(tuple, ic.column)?;
             apply_maintenance(
-                &mut self.space,
+                &mut space,
                 ic,
                 Some(TupleRef::new(old_value, rid, old_page)),
                 Some(TupleRef::new(new_value, new_rid, new_page)),
             )?;
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok(new_rid)
     }
 
     /// Fetches the tuple at `rid`.
     pub fn fetch(&self, table: &str, rid: Rid) -> EngineResult<Tuple> {
-        let ti = self.table_index(table)?;
-        Ok(Tuple::from_bytes(&self.tables[ti].heap.get(rid)?)?)
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(table)?;
+        Ok(Tuple::from_bytes(&catalog.tables[ti].heap.get(rid)?)?)
     }
 
     // ---------------------------------------------------------------- DDL
@@ -417,7 +544,7 @@ impl Database {
     /// ("the array of all counters is initialized during the creation of
     /// the partial index", paper §III).
     pub fn create_partial_index(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         coverage: Coverage,
@@ -440,7 +567,7 @@ impl Database {
     /// is real page traffic rather than a synthetic charge. Integer columns
     /// only.
     pub fn create_paged_partial_index(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         coverage: Coverage,
@@ -453,19 +580,21 @@ impl Database {
     }
 
     fn install_partial_index(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         mut partial: PartialIndex,
         buffer: Option<BufferConfig>,
         paged: bool,
     ) -> EngineResult<()> {
-        let ti = self.table_index(table)?;
-        let ci = self.column_index(ti, column)?;
-        if self.tables[ti].indexed_column(ci).is_some() {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let ci = catalog.column_index(ti, column)?;
+        if catalog.tables[ti].indexed_column(ci).is_some() {
             return Err(EngineError::IndexExists(format!("{table}.{column}")));
         }
-        let heap = &self.tables[ti].heap;
+        let heap = &catalog.tables[ti].heap;
         let mut counts: Vec<u32> = vec![0; heap.num_pages() as usize];
         let mut scan_err: Option<EngineError> = None;
         heap.scan_pages(
@@ -488,19 +617,16 @@ impl Database {
         if let Some(e) = scan_err {
             return Err(e);
         }
-        let buffer_id = buffer.map(|cfg| {
-            self.space
-                .register(format!("{table}.{column}"), cfg, counts)
-        });
-        self.tables[ti].indexed.push(IndexedColumn {
+        let buffer_id = buffer.map(|cfg| space.register(format!("{table}.{column}"), cfg, counts));
+        catalog.tables[ti].indexed.push(IndexedColumn {
             column: ci,
             partial,
             buffer: buffer_id,
             tuner: None,
             paged,
         });
-        self.space.sync_budget();
-        self.checkpoint()?;
+        space.sync_budget();
+        self.checkpoint(&catalog, &space)?;
         Ok(())
     }
 
@@ -510,35 +636,33 @@ impl Database {
     /// The buffer's slot in the Index Buffer Space stays registered but
     /// empty — buffer ids are stable handles and an empty buffer costs
     /// nothing (its history only ticks).
-    pub fn drop_partial_index(&mut self, table: &str, column: &str) -> EngineResult<()> {
-        let ti = self.table_index(table)?;
-        let ci = self.column_index(ti, column)?;
-        let slot = self.tables[ti]
+    pub fn drop_partial_index(&self, table: &str, column: &str) -> EngineResult<()> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let ci = catalog.column_index(ti, column)?;
+        let slot = catalog.tables[ti]
             .indexed_column(ci)
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
-        let ic = self.tables[ti].indexed.remove(slot);
+        let ic = catalog.tables[ti].indexed.remove(slot);
         if let Some(bid) = ic.buffer {
-            self.space.clear_buffer(bid);
+            space.clear_buffer(bid);
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok(())
     }
 
     /// Attaches an online tuner to an indexed column. The column's coverage
     /// must be a [`Coverage::Set`] (the tuner adapts value by value);
     /// anything else is [`EngineError::Unsupported`].
-    pub fn attach_tuner(
-        &mut self,
-        table: &str,
-        column: &str,
-        config: TunerConfig,
-    ) -> EngineResult<()> {
-        let ti = self.table_index(table)?;
-        let ci = self.column_index(ti, column)?;
-        let slot = self.tables[ti]
+    pub fn attach_tuner(&self, table: &str, column: &str, config: TunerConfig) -> EngineResult<()> {
+        let mut catalog = self.catalog.write();
+        let ti = catalog.table_index(table)?;
+        let ci = catalog.column_index(ti, column)?;
+        let slot = catalog.tables[ti]
             .indexed_column(ci)
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
-        let ic = &mut self.tables[ti].indexed[slot];
+        let ic = &mut catalog.tables[ti].indexed[slot];
         if !matches!(ic.partial.coverage(), Coverage::Set(_)) {
             return Err(EngineError::Unsupported(format!(
                 "tuned columns need Coverage::Set, {table}.{column} has {:?}",
@@ -553,23 +677,25 @@ impl Database {
     /// partial-index redefinition), rebuilding entries and counters with a
     /// full scan.
     pub fn redefine_coverage(
-        &mut self,
+        &self,
         table: &str,
         column: &str,
         coverage: Coverage,
     ) -> EngineResult<()> {
-        let ti = self.table_index(table)?;
-        let ci = self.column_index(ti, column)?;
-        let slot = self.tables[ti]
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let ci = catalog.column_index(ti, column)?;
+        let slot = catalog.tables[ti]
             .indexed_column(ci)
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
-        let t = &mut self.tables[ti];
+        let t = &mut catalog.tables[ti];
         let ic = &mut t.indexed[slot];
         ic.partial.redefine_coverage(coverage);
         // Rebuild entries and counters from the heap; any buffered pages are
         // invalidated (their composition changed under the buffer).
         if let Some(bid) = ic.buffer {
-            self.space.clear_buffer(bid);
+            space.clear_buffer(bid);
         }
         let mut counts: Vec<u32> = vec![0; t.heap.num_pages() as usize];
         let heap = &t.heap;
@@ -598,9 +724,9 @@ impl Database {
             return Err(e);
         }
         if let Some(bid) = ic.buffer {
-            self.space.reset_counters(bid, counts);
+            space.reset_counters(bid, counts);
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok(())
     }
 
@@ -614,32 +740,33 @@ impl Database {
     /// Vacuuming improves the physical/logical correlation story of paper
     /// Fig. 3 in reverse: it *concentrates* tuples, raising page occupancy
     /// so page-skipping decisions are about full pages.
-    pub fn vacuum(&mut self, table: &str, min_occupancy: f64) -> EngineResult<(u32, u64)> {
-        let ti = self.table_index(table)?;
-        let pages = self.tables[ti].heap.num_pages();
+    pub fn vacuum(&self, table: &str, min_occupancy: f64) -> EngineResult<(u32, u64)> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let ti = catalog.table_index(table)?;
+        let pages = catalog.tables[ti].heap.num_pages();
         if pages == 0 {
             return Ok((0, 0));
         }
-        let avg = self.tables[ti].heap.live_tuples() as f64 / pages as f64;
+        let avg = catalog.tables[ti].heap.live_tuples() as f64 / pages as f64;
         let threshold = (avg * min_occupancy).floor() as usize;
         let mut drained = 0;
         let mut moved = 0;
         for ord in 0..pages {
-            let tuples = self.tables[ti].heap.read_page(ord)?;
+            let tuples = catalog.tables[ti].page_tuples(ord)?;
             if tuples.is_empty() || tuples.len() >= threshold {
                 continue;
             }
             drained += 1;
-            for (rid, bytes) in tuples {
-                let new_rid = self.tables[ti].heap.relocate(rid)?;
-                let new_ord = self.tables[ti].ordinal(new_rid)?;
-                let tuple = Tuple::from_bytes(&bytes)?;
+            for (rid, tuple) in tuples {
+                let new_rid = catalog.tables[ti].heap.relocate(rid)?;
+                let new_ord = catalog.tables[ti].ordinal(new_rid)?;
                 moved += 1;
-                let t = &mut self.tables[ti];
+                let t = &mut catalog.tables[ti];
                 for ic in &mut t.indexed {
                     let value = column_value(&tuple, ic.column)?;
                     apply_maintenance(
-                        &mut self.space,
+                        &mut space,
                         ic,
                         Some(TupleRef::new(value.clone(), rid, ord)),
                         Some(TupleRef::new(value, new_rid, new_ord)),
@@ -647,7 +774,7 @@ impl Database {
                 }
             }
         }
-        self.checkpoint()?;
+        self.checkpoint(&catalog, &space)?;
         Ok((drained, moved))
     }
 
@@ -655,77 +782,182 @@ impl Database {
 
     /// Executes a query, returning the result set together with its full
     /// metrics as one [`ExecOutcome`].
-    pub fn execute(&mut self, query: &Query) -> EngineResult<ExecOutcome> {
-        let seq = self.queries_executed;
-        self.queries_executed += 1;
+    ///
+    /// Safe to call from many client threads at once: read queries hold the
+    /// catalog read lock end to end and serialize only on the Index Buffer
+    /// Space's short write sections (Table II history + Algorithm 2
+    /// selection before the sweep, staged apply after it). Tuned point
+    /// queries adapt the partial index and therefore take the exclusive
+    /// (write-locked) path.
+    pub fn execute(&self, query: &Query) -> EngineResult<ExecOutcome> {
+        // Relaxed: the sequence number only needs uniqueness, not ordering
+        // against other memory operations.
+        let seq = self.queries_executed.fetch_add(1, Ordering::Relaxed);
         let before = self.stats.snapshot();
         let start = Instant::now();
 
-        let ti = self.table_index(&query.table)?;
-        let ci = self.column_index(ti, &query.column)?;
-        let slot = self.tables[ti].indexed_column(ci);
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(&query.table)?;
+        let ci = catalog.column_index(ti, &query.column)?;
+        let slot = catalog.tables[ti].indexed_column(ci);
 
+        // Tuner adaptation rewrites the partial index — a catalog write.
+        let tuned_point = matches!(&query.predicate, Predicate::Equals(_))
+            && slot.is_some_and(|s| catalog.tables[ti].indexed[s].tuner.is_some());
+        if tuned_point {
+            drop(catalog);
+            return self.execute_exclusive(query, seq, before, start);
+        }
+
+        let t = &catalog.tables[ti];
         let (result, scan_stats, scan_threads) = match slot {
-            None => (self.plain_scan(ti, ci, &query.predicate)?, None, 1),
+            None => (self.plain_scan(t, ci, &query.predicate)?, None, 1),
             Some(slot) => {
-                let hit = {
-                    let ic = &self.tables[ti].indexed[slot];
-                    match &query.predicate {
-                        Predicate::Equals(v) => ic.partial.covers(v),
-                        // A range is a hit only if coverage is complete AND
-                        // the backend can range-scan (hash indexes cannot).
-                        Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
-                    }
+                let ic = &t.indexed[slot];
+                let hit = match &query.predicate {
+                    Predicate::Equals(v) => ic.partial.covers(v),
+                    // A range is a hit only if coverage is complete AND
+                    // the backend can range-scan (hash indexes cannot).
+                    Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
                 };
-                let buffer = self.tables[ti].indexed[slot].buffer;
-                // Table II: every query adjusts every buffer's history.
-                self.space.on_query(buffer, hit);
-                if hit {
-                    (self.index_hit(ti, slot, &query.predicate)?, None, 1)
-                } else if buffer.is_some() {
-                    let (r, s, threads) = self.buffered_scan(ti, slot, ci, &query.predicate)?;
+                let buffer = ic.buffer;
+                if !hit && buffer.is_some() {
+                    // Table II runs inside the scan's prepare write section.
+                    let (r, s, threads) =
+                        self.buffered_scan_shared(t, slot, ci, &query.predicate)?;
                     (r, Some(s), threads)
                 } else {
-                    (self.plain_scan(ti, ci, &query.predicate)?, None, 1)
+                    // Table II: every query adjusts every buffer's history.
+                    self.space.write().on_query(buffer, hit);
+                    if hit {
+                        (self.index_hit(t, slot, &query.predicate)?, None, 1)
+                    } else {
+                        (self.plain_scan(t, ci, &query.predicate)?, None, 1)
+                    }
+                }
+            }
+        };
+
+        let space = self.space.read();
+        let metrics = self.finish_metrics(
+            seq,
+            &result,
+            scan_stats,
+            scan_threads,
+            &before,
+            start,
+            &space,
+        );
+        self.checkpoint(&catalog, &space)?;
+        Ok(ExecOutcome { result, metrics })
+    }
+
+    /// The write-locked execution path: tuned point queries (the tuner
+    /// mutates the partial index), run with both locks held — equivalent to
+    /// the single-threaded executor.
+    fn execute_exclusive(
+        &self,
+        query: &Query,
+        seq: usize,
+        before: IoSnapshot,
+        start: Instant,
+    ) -> EngineResult<ExecOutcome> {
+        let mut catalog = self.catalog.write();
+        let mut space = self.space.write();
+        let catalog = &mut *catalog;
+        // Re-resolve under the write lock (the catalog may have changed
+        // between the read and write acquisitions).
+        let ti = catalog.table_index(&query.table)?;
+        let ci = catalog.column_index(ti, &query.column)?;
+        let slot = catalog.tables[ti].indexed_column(ci);
+
+        let (result, scan_stats, scan_threads) = match slot {
+            None => (
+                self.plain_scan(&catalog.tables[ti], ci, &query.predicate)?,
+                None,
+                1,
+            ),
+            Some(slot) => {
+                let t = &catalog.tables[ti];
+                let ic = &t.indexed[slot];
+                let hit = match &query.predicate {
+                    Predicate::Equals(v) => ic.partial.covers(v),
+                    Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
+                };
+                let buffer = ic.buffer;
+                // Table II: every query adjusts every buffer's history.
+                space.on_query(buffer, hit);
+                if hit {
+                    (self.index_hit(t, slot, &query.predicate)?, None, 1)
+                } else if buffer.is_some() {
+                    let (r, s, threads) =
+                        self.buffered_scan_exclusive(&mut space, t, slot, ci, &query.predicate)?;
+                    (r, Some(s), threads)
+                } else {
+                    (self.plain_scan(t, ci, &query.predicate)?, None, 1)
                 }
             }
         };
 
         // Online tuning: observe the queried value, adapt the partial index.
         if let (Some(slot), Predicate::Equals(v)) = (slot, &query.predicate) {
-            if self.tables[ti].indexed[slot].tuner.is_some() {
-                self.apply_tuning(ti, slot, v, &result.rids)?;
+            if catalog.tables[ti].indexed[slot].tuner.is_some() {
+                apply_tuning(&mut catalog.tables[ti], &mut space, slot, v, &result.rids)?;
             }
         }
 
+        let metrics = self.finish_metrics(
+            seq,
+            &result,
+            scan_stats,
+            scan_threads,
+            &before,
+            start,
+            &space,
+        );
+        self.checkpoint(catalog, &space)?;
+        Ok(ExecOutcome { result, metrics })
+    }
+
+    /// Assembles a query's [`QueryMetrics`] from the held space lock.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_metrics(
+        &self,
+        seq: usize,
+        result: &QueryResult,
+        scan: Option<ScanStats>,
+        scan_threads: usize,
+        before: &IoSnapshot,
+        start: Instant,
+        space: &IndexBufferSpace,
+    ) -> QueryMetrics {
         let wall = start.elapsed();
-        let io = self.stats.snapshot().since(&before);
-        let buffer_entries = (0..self.space.num_buffers())
-            .map(|b| self.space.buffer(b).num_entries())
+        let io = self.stats.snapshot().since(before);
+        let buffer_entries = (0..space.num_buffers())
+            .map(|b| space.buffer(b).num_entries())
             .collect();
-        let metrics = QueryMetrics {
+        space.sync_budget();
+        QueryMetrics {
             seq,
             path: result.path,
             result_count: result.count(),
             io,
             wall,
-            scan: scan_stats,
+            scan,
             scan_threads,
             buffer_entries,
-            memory: self.memory(),
-        };
-        self.checkpoint()?;
-        Ok(ExecOutcome { result, metrics })
+            memory: self.budget.snapshot(),
+        }
     }
 
     /// Index-hit path: probe the partial index, fetch matching tuples.
     fn index_hit(
-        &mut self,
-        ti: usize,
+        &self,
+        t: &Table,
         slot: usize,
         predicate: &Predicate,
     ) -> EngineResult<QueryResult> {
-        let ic = &self.tables[ti].indexed[slot];
+        let ic = &t.indexed[slot];
         if !ic.paged {
             // Charge the simulated tree descent (in-memory partial indexes
             // stand in for disk-resident ones; see DESIGN.md §4). Paged
@@ -744,7 +976,7 @@ impl Database {
         // Materialise results: the paper's "index scan" baseline includes
         // fetching the qualifying tuples from their pages.
         for &rid in &rids {
-            self.tables[ti].heap.get(rid)?;
+            t.heap.get(rid)?;
         }
         Ok(QueryResult {
             rids,
@@ -752,17 +984,31 @@ impl Database {
         })
     }
 
-    /// Miss path with an Index Buffer: paper Algorithm 1, executed with the
-    /// configured scan parallelism. Returns the result, the scan stats and
-    /// the worker count actually used.
-    fn buffered_scan(
-        &mut self,
-        ti: usize,
+    /// Miss path with an Index Buffer, multi-client flavour: paper
+    /// Algorithm 1 split at the staged-apply boundary so the sweep runs with
+    /// **no engine lock held**.
+    ///
+    /// 1. *Prepare* (space write lock): Table II history, Algorithm 2
+    ///    selection — the scan's single RNG draw — the buffer scan, and the
+    ///    counter/selection snapshots.
+    /// 2. *Sweep* (no lock): [`sweep_plan`] reads table pages through the
+    ///    concurrent pool, staging would-be buffer insertions.
+    /// 3. *Apply* (space write lock): [`apply_staged_checked`] inserts
+    ///    staged pages whose `C[p]` is still non-zero — a page already
+    ///    indexed by an overlapping scan is skipped, not double-inserted —
+    ///    then reconciles the governor.
+    ///
+    /// The caller holds the catalog read lock throughout, so the heap and
+    /// the coverage predicate cannot change mid-query; uncontended, the
+    /// counters, partitions and [`ScanStats`] are bit-for-bit what the
+    /// sequential executor produces.
+    fn buffered_scan_shared(
+        &self,
+        t: &Table,
         slot: usize,
         ci: usize,
         predicate: &Predicate,
-    ) -> EngineResult<(QueryResult, aib_core::ScanStats, usize)> {
-        let t = &self.tables[ti];
+    ) -> EngineResult<(QueryResult, ScanStats, usize)> {
         let ic = &t.indexed[slot];
         let bid = ic.buffer.ok_or_else(|| {
             EngineError::Internal("buffered_scan dispatched without a buffer".into())
@@ -774,33 +1020,90 @@ impl Database {
         let covered = |v: &Value| coverage.covers(v);
         let threads = planned_scan_threads(t.heap.num_pages(), self.config.scan_threads);
         let mut rids = Vec::new();
-        let stats = if threads > 1 {
-            indexing_scan_parallel(
-                &t.heap,
-                &mut self.space,
-                bid,
-                ci,
-                &covered,
-                predicate,
-                &mut rids,
-                threads,
-            )?
-        } else {
-            indexing_scan(
-                &t.heap,
-                &mut self.space,
-                bid,
-                ci,
-                &covered,
-                predicate,
-                &mut rids,
-            )?
+
+        let (prep, partition_pages) = {
+            let mut space = self.space.write();
+            space.on_query(Some(bid), false);
+            let prep = prepare_scan(&t.heap, &mut space, bid, predicate, &mut rids);
+            let partition_pages = space.buffer(bid).config().partition_pages;
+            (prep, partition_pages)
         };
+        let ScanPrep { mut stats, plan } = prep;
+
+        let chunk = sweep_plan(
+            &t.heap,
+            &plan,
+            partition_pages,
+            ci,
+            &covered,
+            predicate,
+            threads,
+        )?;
+        stats.pages_read = chunk.pages_read;
+        stats.pages_skipped = chunk.pages_skipped;
+        rids.extend(chunk.matches);
+
+        {
+            let mut space = self.space.write();
+            let (buffer, counters) = space.buffer_and_counters_mut(bid);
+            apply_staged_checked(buffer, counters, chunk.staged, &mut stats);
+            space.sync_budget();
+        }
+        stats.matches = rids.len();
+
         if let Predicate::Between(lo, hi) = predicate {
             // A straddling range also matches *covered* tuples, which live
             // in pages the scan may have skipped — answer that fraction from
             // the partial index and deduplicate against scanned pages.
-            if !self.tables[ti].indexed[slot].paged {
+            if !ic.paged {
+                self.stats.record_reads(
+                    self.config.index_probe_pages,
+                    self.config.cost_model.read_us,
+                );
+            }
+            rids.extend(partial.entries_in(lo, hi));
+            rids.sort_unstable();
+            rids.dedup();
+        }
+        Ok((
+            QueryResult {
+                rids,
+                path: AccessPath::BufferedScan,
+            },
+            stats,
+            threads,
+        ))
+    }
+
+    /// Miss path with an Index Buffer, write-locked flavour (tuned queries):
+    /// the classic interleaved Algorithm 1 against the exclusively held
+    /// space.
+    fn buffered_scan_exclusive(
+        &self,
+        space: &mut IndexBufferSpace,
+        t: &Table,
+        slot: usize,
+        ci: usize,
+        predicate: &Predicate,
+    ) -> EngineResult<(QueryResult, ScanStats, usize)> {
+        let ic = &t.indexed[slot];
+        let bid = ic.buffer.ok_or_else(|| {
+            EngineError::Internal("buffered_scan dispatched without a buffer".into())
+        })?;
+        let partial = &ic.partial;
+        let coverage = partial.coverage();
+        let covered = |v: &Value| coverage.covers(v);
+        let threads = planned_scan_threads(t.heap.num_pages(), self.config.scan_threads);
+        let mut rids = Vec::new();
+        let stats = if threads > 1 {
+            indexing_scan_parallel(
+                &t.heap, space, bid, ci, &covered, predicate, &mut rids, threads,
+            )?
+        } else {
+            indexing_scan(&t.heap, space, bid, ci, &covered, predicate, &mut rids)?
+        };
+        if let Predicate::Between(lo, hi) = predicate {
+            if !ic.paged {
                 self.stats.record_reads(
                     self.config.index_probe_pages,
                     self.config.cost_model.read_us,
@@ -823,13 +1126,13 @@ impl Database {
     /// Baseline: full table scan, no skipping.
     fn plain_scan(
         &self,
-        ti: usize,
+        t: &Table,
         ci: usize,
         predicate: &Predicate,
     ) -> Result<QueryResult, StorageError> {
         let mut rids = Vec::new();
         let mut decode_err = None;
-        self.tables[ti].heap.scan_pages(
+        t.heap.scan_pages(
             |_| false,
             |rid, bytes| match Tuple::read_column(bytes, ci) {
                 Ok(v) => {
@@ -849,68 +1152,17 @@ impl Database {
         })
     }
 
-    /// Applies the online tuner's decision for an observed point query.
-    fn apply_tuning(
-        &mut self,
-        ti: usize,
-        slot: usize,
-        value: &Value,
-        matched: &[Rid],
-    ) -> EngineResult<()> {
-        let Some(tuner) = self.tables[ti].indexed[slot].tuner.as_mut() else {
-            return Ok(());
-        };
-        let decision = tuner.observe(value);
-        if decision.is_noop() {
-            return Ok(());
-        }
-        if let Some(v) = decision.add {
-            // Newly covered tuples leave the "uncovered" bookkeeping: pages
-            // buffered for this column drop the entries, unbuffered pages
-            // decrement their counters (Table I's covering transition, via
-            // the maintenance module — the only code allowed to mutate C).
-            let pages: Vec<(Rid, u32)> = matched
-                .iter()
-                .map(|&rid| Ok((rid, self.tables[ti].ordinal(rid)?)))
-                .collect::<Result<_, StorageError>>()?;
-            let ic = &mut self.tables[ti].indexed[slot];
-            if let Some(bid) = ic.buffer {
-                let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
-                for &(rid, page) in &pages {
-                    cover_tuple(buffer, counters, &v, rid, page)
-                        .map_err(|e| EngineError::Invariant(e.to_string()))?;
-                }
-            }
-            ic.partial.adapt_add_value(v, matched);
-        }
-        for v in decision.evict {
-            let ic = &mut self.tables[ti].indexed[slot];
-            let rids = ic.partial.lookup(&v);
-            ic.partial.adapt_remove_value(&v);
-            // The evicted value's tuples become uncovered again.
-            let buffer = ic.buffer;
-            for rid in rids {
-                let page = self.tables[ti].ordinal(rid)?;
-                if let Some(bid) = buffer {
-                    let (buffer, counters) = self.space.buffer_and_counters_mut(bid);
-                    uncover_tuple(buffer, counters, v.clone(), rid, page);
-                }
-            }
-        }
-        self.space.sync_budget();
-        Ok(())
-    }
-
     /// Explains how a query would execute, without executing it: the access
     /// path, how many pages a scan would read vs. skip, and the exact
     /// cardinality when the partial index can answer it (§VI contrast: the
     /// Index Buffer's own bookkeeping makes this free, unlike what-if
     /// optimizer calls).
     pub fn explain(&self, query: &Query) -> EngineResult<crate::explain::Explanation> {
-        let ti = self.table_index(&query.table)?;
-        let ci = self.column_index(ti, &query.column)?;
-        let table_pages = self.tables[ti].heap.num_pages();
-        let Some(slot) = self.tables[ti].indexed_column(ci) else {
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(&query.table)?;
+        let ci = catalog.column_index(ti, &query.column)?;
+        let table_pages = catalog.tables[ti].heap.num_pages();
+        let Some(slot) = catalog.tables[ti].indexed_column(ci) else {
             return Ok(crate::explain::explanation(
                 AccessPath::PlainScan,
                 false,
@@ -924,11 +1176,12 @@ impl Database {
                 1,
             ));
         };
-        let ic = &self.tables[ti].indexed[slot];
+        let ic = &catalog.tables[ti].indexed[slot];
         let hit = match &query.predicate {
             Predicate::Equals(v) => ic.partial.covers(v),
             Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
         };
+        let space = self.space.read();
         if hit {
             let cardinality = match (
                 &query.predicate,
@@ -945,14 +1198,14 @@ impl Database {
                 0,
                 0,
                 cardinality,
-                ic.buffer.map_or(0, |b| self.space.buffer(b).num_entries()),
-                ic.buffer.map_or(0, |b| self.space.buffer(b).footprint()),
+                ic.buffer.map_or(0, |b| space.buffer(b).num_entries()),
+                ic.buffer.map_or(0, |b| space.buffer(b).footprint()),
                 1,
             ));
         }
         match ic.buffer {
             Some(bid) => {
-                let counters = self.space.counters(bid);
+                let counters = space.counters(bid);
                 // Pages with C[p] > 0; pages beyond the tracked range are
                 // fully covered and skippable. The maintained skip bitset
                 // answers both counts without walking C[p].
@@ -966,8 +1219,8 @@ impl Database {
                     to_read,
                     skip_runs,
                     None,
-                    self.space.buffer(bid).num_entries(),
-                    self.space.buffer(bid).footprint(),
+                    space.buffer(bid).num_entries(),
+                    space.buffer(bid).footprint(),
                     planned_scan_threads(table_pages, self.config.scan_threads),
                 ))
             }
@@ -987,27 +1240,30 @@ impl Database {
     }
 
     /// Coverage of an indexed column (inspection).
-    pub fn coverage(&self, table: &str, column: &str) -> Option<&Coverage> {
-        let ti = self.table_index(table).ok()?;
-        let ci = self.column_index(ti, column).ok()?;
-        let slot = self.tables[ti].indexed_column(ci)?;
-        Some(self.tables[ti].indexed[slot].partial.coverage())
+    pub fn coverage(&self, table: &str, column: &str) -> Option<Coverage> {
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(table).ok()?;
+        let ci = catalog.column_index(ti, column).ok()?;
+        let slot = catalog.tables[ti].indexed_column(ci)?;
+        Some(catalog.tables[ti].indexed[slot].partial.coverage().clone())
     }
 
     /// Entries in the partial index of a column (inspection).
     pub fn partial_index_len(&self, table: &str, column: &str) -> Option<usize> {
-        let ti = self.table_index(table).ok()?;
-        let ci = self.column_index(ti, column).ok()?;
-        let slot = self.tables[ti].indexed_column(ci)?;
-        Some(self.tables[ti].indexed[slot].partial.len())
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(table).ok()?;
+        let ci = catalog.column_index(ti, column).ok()?;
+        let slot = catalog.tables[ti].indexed_column(ci)?;
+        Some(catalog.tables[ti].indexed[slot].partial.len())
     }
 
     /// The buffer id serving a column, if any (inspection).
     pub fn buffer_id(&self, table: &str, column: &str) -> Option<BufferId> {
-        let ti = self.table_index(table).ok()?;
-        let ci = self.column_index(ti, column).ok()?;
-        let slot = self.tables[ti].indexed_column(ci)?;
-        self.tables[ti].indexed[slot].buffer
+        let catalog = self.catalog.read();
+        let ti = catalog.table_index(table).ok()?;
+        let ci = catalog.column_index(ti, column).ok()?;
+        let slot = catalog.tables[ti].indexed_column(ci)?;
+        catalog.tables[ti].indexed[slot].buffer
     }
 
     // ------------------------------------------- invariant shadow model
@@ -1023,18 +1279,26 @@ impl Database {
     /// checkpoints. Costs a full scan of every buffered table.
     #[cfg(feature = "invariant-checks")]
     pub fn verify_invariants(&self) -> EngineResult<()> {
+        let catalog = self.catalog.read();
+        let space = self.space.read();
+        self.verify_with(&catalog, &space)
+    }
+
+    /// The shadow model against already-held locks (so mutation paths can
+    /// verify without re-acquiring).
+    #[cfg(feature = "invariant-checks")]
+    fn verify_with(&self, catalog: &Catalog, space: &IndexBufferSpace) -> EngineResult<()> {
         use aib_core::{verify_buffer, verify_space, GroundTruth};
-        let mut report = verify_space(&self.space);
-        for t in &self.tables {
+        let mut report = verify_space(space);
+        for t in &catalog.tables {
             for ic in &t.indexed {
                 let Some(bid) = ic.buffer else { continue };
                 let coverage = ic.partial.coverage();
                 let covered = |v: &Value| coverage.covers(v);
-                let truth =
-                    GroundTruth::compute(&t.heap, ic.column, &covered, self.space.buffer(bid))?;
+                let truth = GroundTruth::compute(&t.heap, ic.column, &covered, space.buffer(bid))?;
                 report.merge(verify_buffer(
-                    self.space.buffer(bid),
-                    self.space.counters(bid),
+                    space.buffer(bid),
+                    space.counters(bid),
                     &truth,
                 ));
             }
@@ -1045,16 +1309,17 @@ impl Database {
 
     /// Shadow-model checkpoint: diffs bookkeeping against ground truth
     /// after every mutation when `invariant-checks` is on; free otherwise.
+    /// Takes the caller's held locks — never acquires.
     #[cfg(feature = "invariant-checks")]
     #[inline]
-    fn checkpoint(&self) -> EngineResult<()> {
-        self.verify_invariants()
+    fn checkpoint(&self, catalog: &Catalog, space: &IndexBufferSpace) -> EngineResult<()> {
+        self.verify_with(catalog, space)
     }
 
     /// Shadow-model checkpoint (disabled build): compiles to nothing.
     #[cfg(not(feature = "invariant-checks"))]
     #[inline]
-    fn checkpoint(&self) -> EngineResult<()> {
+    fn checkpoint(&self, _catalog: &Catalog, _space: &IndexBufferSpace) -> EngineResult<()> {
         Ok(())
     }
 }
@@ -1062,11 +1327,66 @@ impl Database {
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
-            .field("tables", &self.tables.len())
-            .field("buffers", &self.space.num_buffers())
-            .field("queries_executed", &self.queries_executed)
-            .finish()
+            .field(
+                "queries_executed",
+                &self.queries_executed.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
     }
+}
+
+/// Applies the online tuner's decision for an observed point query. Runs
+/// with the catalog and space write locks held (only the exclusive
+/// execution path tunes).
+fn apply_tuning(
+    t: &mut Table,
+    space: &mut IndexBufferSpace,
+    slot: usize,
+    value: &Value,
+    matched: &[Rid],
+) -> EngineResult<()> {
+    let Some(tuner) = t.indexed[slot].tuner.as_mut() else {
+        return Ok(());
+    };
+    let decision = tuner.observe(value);
+    if decision.is_noop() {
+        return Ok(());
+    }
+    if let Some(v) = decision.add {
+        // Newly covered tuples leave the "uncovered" bookkeeping: pages
+        // buffered for this column drop the entries, unbuffered pages
+        // decrement their counters (Table I's covering transition, via
+        // the maintenance module — the only code allowed to mutate C).
+        let pages: Vec<(Rid, u32)> = matched
+            .iter()
+            .map(|&rid| Ok((rid, t.ordinal(rid)?)))
+            .collect::<Result<_, StorageError>>()?;
+        let ic = &mut t.indexed[slot];
+        if let Some(bid) = ic.buffer {
+            let (buffer, counters) = space.buffer_and_counters_mut(bid);
+            for &(rid, page) in &pages {
+                cover_tuple(buffer, counters, &v, rid, page)
+                    .map_err(|e| EngineError::Invariant(e.to_string()))?;
+            }
+        }
+        ic.partial.adapt_add_value(v, matched);
+    }
+    for v in decision.evict {
+        let ic = &mut t.indexed[slot];
+        let rids = ic.partial.lookup(&v);
+        ic.partial.adapt_remove_value(&v);
+        // The evicted value's tuples become uncovered again.
+        let buffer = ic.buffer;
+        for rid in rids {
+            let page = t.ordinal(rid)?;
+            if let Some(bid) = buffer {
+                let (buffer, counters) = space.buffer_and_counters_mut(bid);
+                uncover_tuple(buffer, counters, v.clone(), rid, page);
+            }
+        }
+    }
+    space.sync_budget();
+    Ok(())
 }
 
 /// Routes one column's maintenance through Table I (buffered columns) or the

@@ -13,6 +13,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod client;
 pub mod db;
 pub mod error;
 pub mod explain;
@@ -20,7 +21,8 @@ pub mod metrics;
 pub mod query;
 pub mod tuner;
 
-pub use db::{Database, EngineConfig, PoolPolicy, Table};
+pub use client::ClientHandle;
+pub use db::{Database, EngineConfig, PoolPolicy, SpaceRef, Table, TableRef};
 pub use error::{EngineError, EngineResult};
 pub use explain::Explanation;
 pub use metrics::{QueryMetrics, WorkloadRecorder};
@@ -51,7 +53,7 @@ mod tests {
     /// A small two-column table `t(k INTEGER, pad VARCHAR)` with keys
     /// `0..n`, partial index covering `k < covered_below`, with a buffer.
     fn setup(n: i64, covered_below: i64) -> Database {
-        let mut db = Database::new(config());
+        let db = Database::new(config());
         db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
             .unwrap();
         for i in 0..n {
@@ -74,7 +76,7 @@ mod tests {
 
     #[test]
     fn covered_query_hits_partial_index() {
-        let mut db = setup(500, 100);
+        let db = setup(500, 100);
         let (r, m) = db
             .execute(&Query::point("t", "k", 42i64))
             .unwrap()
@@ -87,7 +89,7 @@ mod tests {
 
     #[test]
     fn uncovered_query_takes_buffered_scan_then_buffer() {
-        let mut db = setup(500, 100);
+        let db = setup(500, 100);
         let (r1, m1) = db
             .execute(&Query::point("t", "k", 400i64))
             .unwrap()
@@ -114,7 +116,7 @@ mod tests {
 
     #[test]
     fn query_results_match_plain_scan_ground_truth() {
-        let mut db = setup(300, 50);
+        let db = setup(300, 50);
         // Insert duplicates so results have several rids.
         for _ in 0..5 {
             db.insert("t", &Tuple::new(vec![Value::Int(200), Value::from("dup")]))
@@ -133,7 +135,7 @@ mod tests {
 
     #[test]
     fn dml_keeps_buffer_consistent() {
-        let mut db = setup(200, 50);
+        let db = setup(200, 50);
         // Warm the buffer.
         db.execute(&Query::point("t", "k", 150i64)).unwrap();
         // Insert an uncovered tuple; it must be findable immediately.
@@ -176,7 +178,7 @@ mod tests {
 
     #[test]
     fn range_queries_work_on_both_paths() {
-        let mut db = setup(300, 100);
+        let db = setup(300, 100);
         // Fully covered range: index hit.
         let (r, _) = db
             .execute(&Query::range("t", "k", 10i64, 20i64))
@@ -202,7 +204,7 @@ mod tests {
 
     #[test]
     fn unindexed_column_plain_scans() {
-        let mut db = Database::new(config());
+        let db = Database::new(config());
         db.create_table("t", Schema::new(vec![Column::int("k")]))
             .unwrap();
         for i in 0..50 {
@@ -219,7 +221,7 @@ mod tests {
 
     #[test]
     fn tuner_adapts_partial_index_online() {
-        let mut db = Database::new(config());
+        let db = Database::new(config());
         db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
             .unwrap();
         for i in 0..200 {
@@ -274,7 +276,7 @@ mod tests {
 
     #[test]
     fn redefine_coverage_rebuilds_counters_and_entries() {
-        let mut db = setup(300, 100);
+        let db = setup(300, 100);
         // Warm the buffer fully.
         db.execute(&Query::point("t", "k", 250i64)).unwrap();
         assert!(db.space().buffer(0).num_entries() > 0);
@@ -300,7 +302,7 @@ mod tests {
 
     #[test]
     fn metrics_series_shrinks_io_as_buffer_warms() {
-        let mut db = setup(400, 100);
+        let db = setup(400, 100);
         let mut recorder = WorkloadRecorder::new();
         for i in 0..5 {
             recorder.record(&db.execute(&Query::point("t", "k", 300 + i)).unwrap());
@@ -323,7 +325,7 @@ mod tests {
 
     #[test]
     fn hash_backend_end_to_end() {
-        let mut db = Database::new(config());
+        let db = Database::new(config());
         db.create_table("t", Schema::new(vec![Column::int("k")]))
             .unwrap();
         for i in 0..100 {
@@ -361,7 +363,7 @@ mod tests {
 
     #[test]
     fn drop_partial_index_reverts_to_plain_scans() {
-        let mut db = setup(200, 50);
+        let db = setup(200, 50);
         db.execute(&Query::point("t", "k", 150i64)).unwrap(); // warm buffer
         assert!(db.space().buffer(0).num_entries() > 0);
         db.drop_partial_index("t", "k").unwrap();
@@ -396,7 +398,7 @@ mod tests {
     #[test]
     fn engine_works_with_all_pool_policies() {
         for policy in [PoolPolicy::Lru, PoolPolicy::Clock, PoolPolicy::LruK(2)] {
-            let mut db = Database::new(EngineConfig {
+            let db = Database::new(EngineConfig {
                 pool_frames: 8,
                 pool_policy: policy,
                 cost_model: CostModel::free(),
@@ -434,7 +436,7 @@ mod tests {
 
     #[test]
     fn explain_predicts_the_executor() {
-        let mut db = setup(400, 100);
+        let db = setup(400, 100);
         // Covered point: index hit with exact cardinality, no execution.
         let q = Query::point("t", "k", 42i64);
         let e = db.explain(&q).unwrap();
@@ -458,7 +460,7 @@ mod tests {
         assert!(e.buffer_entries > 0);
 
         // Unindexed column.
-        let mut db2 = Database::new(config());
+        let db2 = Database::new(config());
         db2.create_table("u", Schema::new(vec![Column::int("k")]))
             .unwrap();
         db2.insert("u", &Tuple::new(vec![Value::Int(1)])).unwrap();
@@ -469,7 +471,7 @@ mod tests {
 
     #[test]
     fn vacuum_preserves_correctness_and_invariants() {
-        let mut db = setup(600, 100);
+        let db = setup(600, 100);
         // Warm the buffer, then punch holes in the table.
         db.execute(&Query::point("t", "k", 400i64)).unwrap();
         let (all, _) = {
@@ -524,7 +526,7 @@ mod tests {
     #[test]
     fn paged_partial_index_end_to_end() {
         // A disk-resident partial index: same semantics, real probe I/O.
-        let mut db = Database::new(EngineConfig {
+        let db = Database::new(EngineConfig {
             pool_frames: 16,
             cost_model: CostModel::default(),
             space: SpaceConfig {
@@ -613,7 +615,7 @@ mod tests {
         let mut cfg = config();
         cfg.pool_frames = 4;
         cfg.total_memory_bytes = Some(TOTAL);
-        let mut db = Database::new(cfg);
+        let db = Database::new(cfg);
         db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
             .unwrap();
         let row = |k: i64| Tuple::new(vec![Value::Int(k), Value::from("p".repeat(200))]);
@@ -679,7 +681,7 @@ mod tests {
 
     #[test]
     fn predicate_on_unknown_table_or_column_errors() {
-        let mut db = Database::new(config());
+        let db = Database::new(config());
         db.create_table("t", Schema::new(vec![Column::int("k")]))
             .unwrap();
         assert!(db.execute(&Query::point("nope", "k", 1i64)).is_err());

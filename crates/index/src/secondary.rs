@@ -22,7 +22,10 @@ use std::collections::HashMap;
 /// disk-resident backends (the paged B+-tree) report zero here because
 /// their pages are already charged to the buffer-pool component while
 /// cached.
-pub trait SecondaryIndex: MemoryUsage + Send {
+/// Backends must be `Send + Sync`: the engine shares tables (and therefore
+/// their partial indexes) across client threads behind a catalog `RwLock`,
+/// and concurrent read queries probe indexes through `&self`.
+pub trait SecondaryIndex: MemoryUsage + Send + Sync {
     /// Adds an entry. Returns `false` if it was already present.
     fn add(&mut self, value: Value, rid: Rid) -> bool;
     /// Removes an entry. Returns `false` if it was not present.

@@ -11,7 +11,7 @@
 //! | `no-panic`           | library code returns errors instead of panicking                 |
 //! | `no-index`           | no panicking slice/array indexing in library code                |
 //! | `atomics-order`      | `Ordering::Relaxed` only on allowlisted telemetry counters       |
-//! | `lock-order`         | BufferPool locks acquire before IndexBufferSpace locks           |
+//! | `lock-order`         | Catalog locks are outermost (never after Space/Pool locks); BufferPool locks acquire before IndexBufferSpace locks |
 //! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
 //! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
 //!
@@ -80,6 +80,10 @@ const RELAXED_ALLOWLIST: &[(&str, &str)] = &[
     // claimed once; result visibility comes from the scope join, not the
     // counter.
     ("crates/core/src/scan.rs", "cursor.fetch_add"),
+    // Query sequence numbers: the counter only needs uniqueness across
+    // client threads; every read is for reporting, and nothing is published
+    // or consumed through it.
+    ("crates/engine/src/db.rs", "queries_executed"),
 ];
 
 /// Lints one stripped file. `rel` is the root-relative path.
@@ -318,6 +322,7 @@ fn atomics_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum LockKind {
+    Catalog,
     Pool,
     Space,
 }
@@ -325,12 +330,41 @@ enum LockKind {
 fn lock_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
     for body in function_bodies(&stripped.text) {
         let mut space_seen: Option<usize> = None;
+        let mut pool_seen: Option<usize> = None;
         for (line_idx, kind) in lock_acquisitions(&stripped.text, body.clone()) {
             match kind {
+                LockKind::Catalog => {
+                    // The catalog is the engine's outermost lock: a reader
+                    // or writer that already holds the space or a pool lock
+                    // must never wait on it, or a query holding the catalog
+                    // and wanting the space deadlocks against it.
+                    let inner = match (space_seen, pool_seen) {
+                        (Some(s), Some(p)) if p < s => Some((p, "BufferPool")),
+                        (Some(s), _) => Some((s, "IndexBufferSpace")),
+                        (None, Some(p)) => Some((p, "BufferPool")),
+                        (None, None) => None,
+                    };
+                    if let Some((inner_line, inner_name)) = inner {
+                        push(
+                            out,
+                            stripped,
+                            rel,
+                            line_idx,
+                            "lock-order",
+                            format!(
+                                "Catalog lock acquired after {inner_name} lock (at line \
+                                 {}); the catalog is the outermost lock and must come \
+                                 first",
+                                inner_line + 1
+                            ),
+                        );
+                    }
+                }
                 LockKind::Space => {
                     space_seen.get_or_insert(line_idx);
                 }
                 LockKind::Pool => {
+                    pool_seen.get_or_insert(line_idx);
                     if let Some(space_line) = space_seen {
                         push(
                             out,
@@ -436,7 +470,9 @@ fn lock_acquisitions(text: &str, range: std::ops::Range<usize>) -> Vec<(usize, L
                 .rev()
                 .collect();
             let recv = recv.to_lowercase();
-            let kind = if recv.contains("pool") || recv.contains("frame") {
+            let kind = if recv.contains("catalog") {
+                Some(LockKind::Catalog)
+            } else if recv.contains("pool") || recv.contains("frame") {
                 Some(LockKind::Pool)
             } else if recv.contains("space") {
                 Some(LockKind::Space)

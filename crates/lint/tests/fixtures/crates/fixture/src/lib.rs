@@ -11,6 +11,7 @@ use std::sync::Mutex;
 pub struct Database {
     pool: Mutex<u32>,
     space: Mutex<u32>,
+    catalog: Mutex<u32>,
     counter: AtomicUsize,
 }
 
@@ -30,6 +31,26 @@ impl Database {
         let a = *space.map_err(|_| EngineError)?;
         let b = *pool.map_err(|_| EngineError)?;
         Ok(a + b)
+    }
+
+    pub fn catalog_not_outermost(&mut self) -> EngineResult<u32> {
+        // lock-order: catalog lock taken after the space lock.
+        let space = self.space.lock();
+        let catalog = self.catalog.lock();
+        let a = *space.map_err(|_| EngineError)?;
+        let b = *catalog.map_err(|_| EngineError)?;
+        Ok(a + b)
+    }
+
+    pub fn right_lock_order(&mut self) -> EngineResult<u32> {
+        // Clean: catalog outermost, then pool before space.
+        let catalog = self.catalog.lock();
+        let pool = self.pool.lock();
+        let space = self.space.lock();
+        let a = *catalog.map_err(|_| EngineError)?;
+        let b = *pool.map_err(|_| EngineError)?;
+        let c = *space.map_err(|_| EngineError)?;
+        Ok(a + b + c)
     }
 }
 

@@ -98,6 +98,31 @@ fn lock_order_fires_on_space_before_pool() {
 }
 
 #[test]
+fn lock_order_fires_on_catalog_after_space_or_pool() {
+    // The catalog is the outermost lock of the engine hierarchy: acquiring
+    // it after the space or the pool in one body is a deadlock recipe.
+    for bad in [
+        "fn f(&self) { let s = self.space.write(); let c = self.catalog.read(); }\n",
+        "fn f(&self) { let p = self.pool.lock(); let c = self.catalog.write(); }\n",
+        "fn f(&self) { let s = self.space.read(); let p = self.pool.lock(); let c = self.catalog.read(); }\n",
+    ] {
+        let v = lint_lib(bad);
+        assert!(rules_of(&v).contains("lock-order"), "{bad}: {v:?}");
+    }
+    // Catalog-first (the engine's real shape) is clean, as is catalog-only.
+    for good in [
+        "fn f(&self) { let c = self.catalog.write(); let s = self.space.write(); }\n",
+        "fn f(&self) { let c = self.catalog.read(); let p = self.pool.lock(); }\n",
+        "fn f(&self) { let c = self.catalog.read(); }\n",
+        // Per-function scoping holds for the catalog arm too.
+        "fn a(&self) { let s = self.space.write(); }\nfn b(&self) { let c = self.catalog.read(); }\n",
+    ] {
+        let v = lint_lib(good);
+        assert!(!rules_of(&v).contains("lock-order"), "{good}: {v:?}");
+    }
+}
+
+#[test]
 fn crate_hygiene_fires_on_bare_crate_root() {
     let v = lint_source("crates/fixture/src/lib.rs", "pub fn f() {}\n");
     let hygiene = v.iter().filter(|v| v.rule == "crate-hygiene").count();

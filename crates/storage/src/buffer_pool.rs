@@ -12,6 +12,25 @@
 //! so index-buffer growth on the other side of the budget shrinks the
 //! pool's effective working set — the co-tenancy the paper assumes by
 //! placing the Index Buffer *inside* the database buffer.
+//!
+//! # Lock order
+//!
+//! The pool's three lock kinds are **leaves** of the engine-wide hierarchy
+//! (`catalog → space → pool`; see DESIGN.md "Concurrency model"): callers may
+//! hold the engine's catalog or space locks while pinning pages here, but no
+//! pool method ever calls back out into engine state, so no pool lock is ever
+//! held around a catalog or space acquisition. Internally the order is
+//!
+//! 1. `state` (page table, free list, policy) — never held across I/O;
+//! 2. per-frame `RwLock`s — acquired after `state` only for frames proven
+//!    unpinned (no holders, cannot block), otherwise after releasing `state`;
+//! 3. `disk` — taken last, for the duration of one read/write/batch, never
+//!    while `state` is held.
+//!
+//! Wall-clock I/O stalls ([`BufferPoolConfig::io_wait`]) honour the same
+//! rule: the thread sleeps holding only the frame lock of the page being
+//! filled, exactly the frames a concurrent fetcher of that page must wait on
+//! anyway.
 
 // aib-lint: allow-file(no-index) — `frames` and `pins` are fixed-size
 // arrays allocated at construction and only ever indexed by FrameIds the
@@ -39,6 +58,15 @@ pub struct BufferPoolConfig {
     pub policy: Box<dyn DisplacementPolicy>,
     /// Shared memory governor; defaults to an unlimited budget.
     pub budget: Arc<MemoryBudget>,
+    /// When `true`, a page-read miss *stalls the calling thread* for the cost
+    /// model's `read_us` per missed page, in wall time, instead of only
+    /// accruing simulated microseconds. The stall happens after the disk
+    /// mutex is released, so concurrent clients overlap their I/O waits the
+    /// way they would against a real disk with queue depth — this is what
+    /// makes multi-client read throughput measurable on the simulated disk.
+    /// Off by default: single-threaded experiments keep the pure
+    /// virtual-time accounting.
+    pub io_wait: bool,
 }
 
 impl BufferPoolConfig {
@@ -48,6 +76,7 @@ impl BufferPoolConfig {
             frames,
             policy: Box::new(LruPolicy::new()),
             budget: Arc::new(MemoryBudget::unlimited()),
+            io_wait: false,
         }
     }
 
@@ -57,12 +86,20 @@ impl BufferPoolConfig {
             frames,
             policy,
             budget: Arc::new(MemoryBudget::unlimited()),
+            io_wait: false,
         }
     }
 
     /// Attaches a shared memory governor (builder-style).
     pub fn with_budget(mut self, budget: Arc<MemoryBudget>) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enables wall-clock I/O stalls on read misses (builder-style); see
+    /// [`BufferPoolConfig::io_wait`].
+    pub fn with_io_wait(mut self, io_wait: bool) -> Self {
+        self.io_wait = io_wait;
         self
     }
 }
@@ -107,6 +144,9 @@ pub struct BufferPool {
     disk: Mutex<DiskManager>,
     stats: Arc<IoStats>,
     budget: Arc<MemoryBudget>,
+    /// Wall-clock microseconds a read miss stalls the calling thread
+    /// (0 = disabled); see [`BufferPoolConfig::io_wait`].
+    io_wait_us: u64,
 }
 
 impl BufferPool {
@@ -117,6 +157,11 @@ impl BufferPool {
     pub fn new(disk: DiskManager, config: BufferPoolConfig) -> Arc<Self> {
         assert!(config.frames > 0, "buffer pool needs at least one frame");
         let stats = disk.stats();
+        let io_wait_us = if config.io_wait {
+            disk.cost_model().read_us
+        } else {
+            0
+        };
         let frames = (0..config.frames)
             .map(|_| {
                 Arc::new(RwLock::new(FrameCell {
@@ -137,6 +182,7 @@ impl BufferPool {
             disk: Mutex::new(disk),
             stats,
             budget: config.budget,
+            io_wait_us,
         })
     }
 
@@ -300,6 +346,11 @@ impl BufferPool {
         })();
         match fill {
             Ok(()) => {
+                // Stall outside the disk mutex: concurrent misses on *other*
+                // pages overlap their waits; fetchers of this same page block
+                // on the frame lock, exactly as they would wait for the same
+                // physical read.
+                self.io_stall(1);
                 guard.page = Some(pid);
                 guard.dirty = false;
                 Ok((frame, guard))
@@ -494,6 +545,11 @@ impl BufferPool {
             })();
             match fill {
                 Ok(()) => {
+                    // One stall for the whole batched request, after the disk
+                    // mutex is released (see `load_into_frame`): the batch is
+                    // one disk operation, so it costs one sequential wait of
+                    // `read_us` per page, overlappable across client threads.
+                    self.io_stall(misses.len() as u64);
                     for m in &mut misses {
                         m.guard.page = Some(pids[m.at]);
                         m.guard.dirty = false;
@@ -532,6 +588,15 @@ impl BufferPool {
                 pid,
             })
             .collect())
+    }
+
+    /// Blocks the calling thread for the simulated latency of `pages` page
+    /// reads when [`BufferPoolConfig::io_wait`] is enabled; no-op otherwise.
+    /// Never called with the state or disk mutex held.
+    fn io_stall(&self, pages: u64) {
+        if self.io_wait_us > 0 && pages > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.io_wait_us * pages));
+        }
     }
 
     /// Picks a displacement victim, counting it against the governor.

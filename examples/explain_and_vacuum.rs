@@ -10,7 +10,7 @@ use aib_index::Coverage;
 use aib_storage::{Column, Schema, Tuple, Value};
 
 fn main() {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 96,
         ..Default::default()
     });

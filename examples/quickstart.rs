@@ -11,7 +11,7 @@ use aib_storage::{Column, Schema, Tuple, Value};
 fn main() {
     // A small buffer pool relative to the table, so table scans actually
     // pay simulated disk I/O (as a big table would).
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 64,
         ..Default::default()
     });

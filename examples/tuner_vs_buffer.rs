@@ -20,7 +20,7 @@ const QUERIES: usize = 360;
 const SHIFT_AT: usize = 180;
 
 fn build(with_buffer: bool) -> Database {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 96,
         cost_model: CostModel::default(),
         ..Default::default()

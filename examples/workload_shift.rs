@@ -12,7 +12,7 @@ use aib_workload::{experiment3_queries, TableSpec, SWITCH_AT};
 
 fn main() {
     let spec = TableSpec::scaled(60_000, 1);
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 128,
         cost_model: CostModel::default(),
         space: SpaceConfig {

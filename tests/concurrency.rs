@@ -1,11 +1,14 @@
-//! Concurrency tests: the storage substrate under multi-threaded access.
-//!
-//! The Index Buffer itself is driven by the (single-threaded) executor, but
-//! the buffer pool and heap files are shared infrastructure and must be
-//! sound under parallel readers and writers.
+//! Concurrency tests, bottom to top: the storage substrate under
+//! multi-threaded access, then the multi-client engine — concurrent read
+//! queries (whose indexing scans *mutate* the Index Buffer through the
+//! staged-apply write sections) racing each other and DML.
 
+use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
+use adaptive_index_buffer::engine::{ClientHandle, Database, EngineConfig, Query};
+use adaptive_index_buffer::index::{Coverage, IndexBackend};
 use adaptive_index_buffer::storage::{
-    BufferPool, BufferPoolConfig, CostModel, DiskManager, HeapFile, Rid, Tuple, Value,
+    BufferPool, BufferPoolConfig, Column, CostModel, DiskManager, HeapFile, Rid, Schema, Tuple,
+    Value,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -119,4 +122,176 @@ fn pool_eviction_pressure_is_linearizable_per_page() {
         let r = pool.fetch_read(pid).unwrap();
         assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 200);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: concurrent clients over one shared Database.
+// ---------------------------------------------------------------------------
+
+const ROWS: i64 = 4_000;
+const DOMAIN: i64 = 400;
+const COVERED_HI: i64 = 99;
+
+/// `t(k, pad)` with `k = i % DOMAIN` round-robin (every page mixes covered
+/// and uncovered keys), partial index covering `0..=COVERED_HI`, unlimited
+/// buffer so the final buffered state is order-independent.
+fn shared_db() -> Arc<Database> {
+    let db = Database::new(EngineConfig {
+        pool_frames: 2048,
+        cost_model: CostModel::free(),
+        space: SpaceConfig {
+            max_entries: None,
+            i_max: 1_000_000,
+            seed: 23,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
+    for i in 0..ROWS {
+        db.insert(
+            "t",
+            &Tuple::new(vec![
+                Value::Int(i % DOMAIN),
+                Value::from("x".repeat(80 + (i as usize * 11) % 40)),
+            ]),
+        )
+        .unwrap();
+    }
+    db.create_partial_index(
+        "t",
+        "k",
+        Coverage::IntRange {
+            lo: 0,
+            hi: COVERED_HI,
+        },
+        IndexBackend::BTree,
+        Some(BufferConfig::default()),
+    )
+    .unwrap();
+    db.into_shared()
+}
+
+/// Ground truth for a point query, decoded straight from the heap.
+fn truth(db: &Database, value: i64) -> Vec<Rid> {
+    let table = db.table("t").unwrap();
+    let mut rids: Vec<Rid> = table
+        .scan_all()
+        .unwrap()
+        .into_iter()
+        .filter(|(_, t)| t.get(0).unwrap().as_int() == Some(value))
+        .map(|(rid, _)| rid)
+        .collect();
+    rids.sort_unstable();
+    rids
+}
+
+/// Many clients fire overlapping covered/uncovered point and range queries
+/// at one database. Every single result must equal the heap ground truth
+/// (the heap is frozen — readers only), even though the uncovered queries'
+/// indexing scans concurrently build the Index Buffer through the shared
+/// staged-apply write sections, racing to index the same pages.
+#[test]
+fn concurrent_read_queries_match_ground_truth() {
+    let db = shared_db();
+    std::thread::scope(|s| {
+        for c in 0..4i64 {
+            let client = ClientHandle::new(Arc::clone(&db));
+            s.spawn(move || {
+                for i in 0..60i64 {
+                    // Overlapping streams: every client hits some common
+                    // values (the double-index races) and some of its own.
+                    let v = ((i * 13 + c * 7) % DOMAIN + DOMAIN) % DOMAIN;
+                    let out = client.execute(&Query::on("t", "k").eq(v)).unwrap();
+                    let mut got = out.result.rids.clone();
+                    got.sort_unstable();
+                    assert_eq!(got, truth(client.db(), v), "client {c} value {v}");
+                    if i % 9 == 0 {
+                        let lo = (i * 31 + c) % (DOMAIN - 50);
+                        let out = client
+                            .execute(&Query::on("t", "k").between(lo, lo + 40))
+                            .unwrap();
+                        let want: usize = (lo..=lo + 40).map(|v| truth(client.db(), v).len()).sum();
+                        assert_eq!(out.result.count(), want, "client {c} range [{lo}, +40]");
+                    }
+                }
+            });
+        }
+    });
+    // Unlimited buffer + frozen heap: whatever the interleaving, the final
+    // state is "every page indexed" — and a follow-up scan skips everything.
+    let out = db.execute(&Query::on("t", "k").eq(COVERED_HI + 1)).unwrap();
+    assert_eq!(out.metrics.scan.unwrap().pages_read, 0, "fully buffered");
+    db.space().check_invariants();
+    #[cfg(feature = "invariant-checks")]
+    db.verify_invariants().unwrap();
+}
+
+/// Linearizability under writes: one DML client mutates its own private key
+/// band while read clients hammer the stable band. Stable-band results must
+/// equal the pre-computed truth at every step; afterwards the shadow model
+/// re-derives every counter from the heap.
+#[test]
+fn concurrent_dml_and_reads_stay_linearizable() {
+    let db = shared_db();
+    // The writer works exclusively on keys >= WRITER_LO; readers only query
+    // below it, so their ground truth is immutable while the writer runs.
+    const WRITER_LO: i64 = 300;
+    let stable_truth: Vec<(i64, Vec<Rid>)> = (COVERED_HI - 20..WRITER_LO - 50)
+        .step_by(17)
+        .map(|v| (v, truth(&db, v)))
+        .collect();
+    std::thread::scope(|s| {
+        let writer = ClientHandle::new(Arc::clone(&db));
+        s.spawn(move || {
+            let mut mine: Vec<Rid> = Vec::new();
+            for i in 0..120i64 {
+                match i % 4 {
+                    0 | 1 => {
+                        let k = WRITER_LO + (i * 29) % (DOMAIN - WRITER_LO);
+                        mine.push(
+                            writer
+                                .insert("t", &Tuple::new(vec![Value::Int(k), Value::from("w")]))
+                                .unwrap(),
+                        );
+                    }
+                    2 if !mine.is_empty() => {
+                        let rid = mine.swap_remove((i as usize * 7) % mine.len());
+                        writer.delete("t", rid).unwrap();
+                    }
+                    _ if !mine.is_empty() => {
+                        let idx = (i as usize * 5) % mine.len();
+                        let k = WRITER_LO + (i * 41) % (DOMAIN - WRITER_LO);
+                        let moved = writer
+                            .update(
+                                "t",
+                                mine[idx],
+                                &Tuple::new(vec![Value::Int(k), Value::from("w2")]),
+                            )
+                            .unwrap();
+                        mine[idx] = moved;
+                    }
+                    _ => {}
+                }
+            }
+        });
+        for c in 0..3usize {
+            let client = ClientHandle::new(Arc::clone(&db));
+            let stable_truth = &stable_truth;
+            s.spawn(move || {
+                for round in 0..25 {
+                    for (v, want) in stable_truth.iter().skip((c + round) % 3).step_by(3) {
+                        let out = client.execute(&Query::on("t", "k").eq(*v)).unwrap();
+                        let mut got = out.result.rids.clone();
+                        got.sort_unstable();
+                        assert_eq!(&got, want, "client {c} stable value {v}");
+                    }
+                }
+            });
+        }
+    });
+    db.space().check_invariants();
+    #[cfg(feature = "invariant-checks")]
+    db.verify_invariants().unwrap();
 }

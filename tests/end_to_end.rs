@@ -10,7 +10,7 @@ use adaptive_index_buffer::workload::{experiment1_queries, experiment3_queries, 
 
 fn eval_db(rows: u64, space: SpaceConfig) -> (Database, TableSpec) {
     let spec = TableSpec::scaled(rows, 77);
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 64,
         cost_model: CostModel::default(),
         space,
@@ -57,7 +57,7 @@ fn experiment1_workload_is_correct_and_converges() {
         seed: 1,
         ..Default::default()
     };
-    let (mut db, spec) = eval_db(20_000, space);
+    let (db, spec) = eval_db(20_000, space);
     let queries = experiment1_queries(&spec, 60, 5);
     let mut last_skipped = 0;
     for q in &queries {
@@ -97,7 +97,7 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
         seed: 2,
         ..Default::default()
     };
-    let (mut db, spec) = eval_db(rows, space);
+    let (db, spec) = eval_db(rows, space);
     let queries = experiment3_queries(&spec, 200, 9);
     let mut entries_at_switch = Vec::new();
     for (i, q) in queries.iter().enumerate() {
@@ -133,7 +133,7 @@ fn dml_between_queries_never_breaks_results() {
         seed: 3,
         ..Default::default()
     };
-    let (mut db, spec) = eval_db(5_000, space);
+    let (db, spec) = eval_db(5_000, space);
     // Warm the buffer for column A.
     let probe = spec.domain; // uncovered value
     db.execute(&Query::point("eval", "A", probe)).unwrap();
@@ -196,7 +196,7 @@ fn counters_match_ground_truth_after_mixed_workload() {
         seed: 4,
         ..Default::default()
     };
-    let (mut db, spec) = eval_db(5_000, space);
+    let (db, spec) = eval_db(5_000, space);
     // Mixed queries warm up all three buffers against the bound.
     let queries = experiment3_queries(&spec, 80, 13);
     for q in &queries {
@@ -210,8 +210,9 @@ fn counters_match_ground_truth_after_mixed_workload() {
     let table = db.table("eval").unwrap();
     for (col_idx, col) in ["A", "B", "C"].iter().enumerate() {
         let bid = db.buffer_id("eval", col).unwrap();
-        let buffer = db.space().buffer(bid);
-        let counters = db.space().counters(bid);
+        let space = db.space();
+        let buffer = space.buffer(bid);
+        let counters = space.counters(bid);
         let ci = table.schema().column_index(col).unwrap();
         for ord in 0..table.num_pages() {
             let tuples = table.page_tuples(ord).unwrap();
@@ -250,7 +251,7 @@ fn range_queries_agree_with_ground_truth_across_coverage_boundary() {
         seed: 5,
         ..Default::default()
     };
-    let (mut db, spec) = eval_db(5_000, space);
+    let (db, spec) = eval_db(5_000, space);
     let (_, chi) = spec.covered_range();
     let table = db.table("eval").unwrap();
     let ci = table.schema().column_index("A").unwrap();

@@ -17,7 +17,7 @@ use std::collections::BTreeSet;
 
 /// The flight table of Figures 2 and 4, with enough rows to span pages.
 fn flights_db() -> Database {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 32,
         ..Default::default()
     });
@@ -57,7 +57,7 @@ fn flights_db() -> Database {
 
 #[test]
 fn fig2_partial_index_hit_and_miss() {
-    let mut db = flights_db();
+    let db = flights_db();
     // ORD is covered: the partial index answers it without a scan.
     let (r, m) = db
         .execute(&Query::point("flights", "airport", "ORD"))
@@ -84,13 +84,12 @@ fn fig2_partial_index_hit_and_miss() {
 
 #[test]
 fn fig4_buffer_completes_pages_and_serves_the_extra_tuple() {
-    let mut db = flights_db();
+    let db = flights_db();
     // First FRA query builds the buffer (HEL and FRA tuples enter it).
     db.execute(&Query::point("flights", "airport", "FRA"))
         .unwrap();
-    let buffer = db.space().buffer(0);
     assert_eq!(
-        buffer.num_entries(),
+        db.space().buffer(0).num_entries(),
         800,
         "the two uncovered airports' tuples are buffered"
     );

@@ -13,7 +13,7 @@ const DOMAIN: i64 = 600;
 const COVERED_HI: i64 = 150;
 
 fn build_db(scan_threads: usize) -> (Database, Vec<Rid>) {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 2048,
         cost_model: CostModel::free(),
         space: SpaceConfig {
@@ -69,14 +69,15 @@ fn workload() -> Vec<Query> {
 
 fn counter_vector(db: &Database) -> Vec<u32> {
     let bid = db.buffer_id("t", "k").unwrap();
-    let counters = db.space().counters(bid);
+    let space = db.space();
+    let counters = space.counters(bid);
     (0..counters.num_pages()).map(|p| counters.get(p)).collect()
 }
 
 #[test]
 fn four_threads_match_one_thread_exactly() {
-    let (mut seq, seq_rids) = build_db(1);
-    let (mut par, par_rids) = build_db(4);
+    let (seq, seq_rids) = build_db(1);
+    let (par, par_rids) = build_db(4);
     assert_eq!(
         seq_rids, par_rids,
         "identical builds place rows identically"
@@ -138,8 +139,10 @@ fn four_threads_match_one_thread_exactly() {
 
     // Final state: identical counter vectors and buffer contents.
     assert_eq!(counter_vector(&seq), counter_vector(&par), "page counters");
-    let sb = seq.space().buffer(seq.buffer_id("t", "k").unwrap());
-    let pb = par.space().buffer(par.buffer_id("t", "k").unwrap());
+    let seq_space = seq.space();
+    let par_space = par.space();
+    let sb = seq_space.buffer(seq.buffer_id("t", "k").unwrap());
+    let pb = par_space.buffer(par.buffer_id("t", "k").unwrap());
     assert_eq!(sb.num_entries(), pb.num_entries(), "buffer entry count");
     assert_eq!(sb.num_partitions(), pb.num_partitions(), "partition count");
     assert_eq!(
@@ -155,8 +158,8 @@ fn four_threads_match_one_thread_exactly() {
 fn thread_counts_beyond_the_table_still_agree() {
     // Requesting more threads than the chunk geometry supports must degrade
     // gracefully, never change results.
-    let (mut seq, _) = build_db(1);
-    let (mut par, _) = build_db(64);
+    let (seq, _) = build_db(1);
+    let (par, _) = build_db(64);
     for q in workload().iter().take(12) {
         let s = seq.execute(q).unwrap();
         let p = par.execute(q).unwrap();

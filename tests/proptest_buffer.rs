@@ -38,7 +38,7 @@ fn op() -> impl Strategy<Value = Op> {
 }
 
 fn build(seed_rows: usize, bound: Option<usize>) -> (Database, Vec<Rid>) {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 8,
         cost_model: CostModel::free(),
         space: SpaceConfig {
@@ -88,8 +88,9 @@ fn check_skippability(db: &Database) {
     for col in ["a", "b"] {
         let ci = table.schema().column_index(col).unwrap();
         let bid = db.buffer_id("t", col).unwrap();
-        let buffer = db.space().buffer(bid);
-        let counters = db.space().counters(bid);
+        let space = db.space();
+        let buffer = space.buffer(bid);
+        let counters = space.counters(bid);
         for ord in 0..table.num_pages() {
             let uncovered: Vec<(Rid, Value)> = table
                 .page_tuples(ord)
@@ -139,7 +140,7 @@ fn truth(db: &Database, col: &str, value: i64) -> Vec<Rid> {
     rids
 }
 
-fn run_case(mut db: Database, mut rids: Vec<Rid>, ops: Vec<Op>, bound: Option<usize>) {
+fn run_case(db: Database, mut rids: Vec<Rid>, ops: Vec<Op>, bound: Option<usize>) {
     // Paper §IV: the bound is enforced *before a table scan adds entries*;
     // DML maintenance (Table I B.Add) may transiently exceed it. Each
     // insert/update can add at most one entry per indexed column.

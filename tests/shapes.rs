@@ -29,7 +29,7 @@ fn build(
     buffer: Option<BufferConfig>,
     cols: &[&str],
 ) -> Database {
-    let mut db = Database::new(engine(space));
+    let db = Database::new(engine(space));
     db.create_table("eval", spec.schema()).unwrap();
     for t in spec.tuples() {
         db.insert("eval", &t).unwrap();

@@ -255,7 +255,7 @@ impl EngineFixture {
     /// Ten exactly-full pages of alternating covered/uncovered rows, a
     /// partial index on `k`, and one warm-up scan so every page is buffered.
     fn new() -> Self {
-        let mut db = Database::new(EngineConfig {
+        let db = Database::new(EngineConfig {
             pool_frames: 256,
             cost_model: CostModel::free(),
             space: SpaceConfig {
@@ -593,8 +593,9 @@ fn table1_through_the_engine_dml_api() {
     fx.db.space().check_invariants();
     let table = fx.db.table("t").unwrap();
     let bid = fx.db.buffer_id("t", "k").unwrap();
-    let buffer = fx.db.space().buffer(bid);
-    let counters = fx.db.space().counters(bid);
+    let space = fx.db.space();
+    let buffer = space.buffer(bid);
+    let counters = space.counters(bid);
     for ord in 0..table.num_pages() {
         let uncovered: Vec<(Rid, Value)> = table
             .page_tuples(ord)
@@ -622,6 +623,10 @@ fn table1_through_the_engine_dml_api() {
         .iter()
         .filter(|(_, t)| t.get(0).unwrap().as_int() == Some(covered_new))
         .count();
+    // Release the inspection guards before executing: the query's buffer
+    // insertions need the space write lock.
+    drop(space);
+    drop(table);
     let outcome = fx.db.execute(&Query::on("t", "k").eq(covered_new)).unwrap();
     assert_eq!(
         outcome.result.count(),
@@ -632,7 +637,7 @@ fn table1_through_the_engine_dml_api() {
 
 #[test]
 fn dml_entry_points_surface_catalog_errors() {
-    let mut db = Database::new(EngineConfig {
+    let db = Database::new(EngineConfig {
         pool_frames: 16,
         cost_model: CostModel::free(),
         ..Default::default()
