@@ -26,7 +26,7 @@ fn main() {
     let queries = experiment1_queries(&spec, PAPER_QUERIES, 61);
     let i_max = scale(&spec, 5_000) as u32;
     let space = SpaceConfig {
-        max_entries: None,
+        max_bytes: None,
         i_max,
         seed: 6,
         ..Default::default()

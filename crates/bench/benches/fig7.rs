@@ -14,6 +14,7 @@ use aib_bench::{
 };
 use aib_core::{BufferConfig, SpaceConfig};
 use aib_engine::WorkloadRecorder;
+use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 use aib_workload::{experiment1_queries, PAPER_QUERIES};
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
     let mut imax_runs: Vec<(u32, WorkloadRecorder)> = Vec::new();
     for &i_max in &imax_values {
         let space = SpaceConfig {
-            max_entries: None,
+            max_bytes: None,
             i_max,
             seed: 7,
             ..Default::default()
@@ -80,10 +81,10 @@ fn main() {
         None,
     ];
     let mut l_runs: Vec<(String, WorkloadRecorder)> = Vec::new();
-    for &max_entries in &l_values {
-        let label = max_entries.map_or("inf".to_owned(), |l| l.to_string());
+    for &l_entries in &l_values {
+        let label = l_entries.map_or("inf".to_owned(), |l| l.to_string());
         let space = SpaceConfig {
-            max_entries,
+            max_bytes: l_entries.map(|l| l * DEFAULT_ENTRY_FOOTPRINT),
             i_max,
             seed: 7,
             ..Default::default()

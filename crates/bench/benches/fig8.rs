@@ -11,6 +11,7 @@
 
 use aib_bench::{build_eval_db, engine_config_for, header, run_workload, scale, table_spec, timed};
 use aib_core::{BufferConfig, SpaceConfig};
+use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 use aib_workload::{experiment3_queries, PAPER_QUERIES, SWITCH_AT};
 
 fn main() {
@@ -35,7 +36,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let space = SpaceConfig {
-        max_entries: Some(l),
+        max_bytes: Some(l * DEFAULT_ENTRY_FOOTPRINT),
         i_max,
         seed: 8,
         ..Default::default()

@@ -15,6 +15,7 @@ use aib_bench::{build_eval_db, engine_config_for, header, scale, table_spec, tim
 use aib_core::{BufferConfig, SpaceConfig};
 use aib_engine::Query;
 use aib_index::Coverage;
+use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 use aib_workload::{exp4_ranges, experiment4_queries, PAPER_QUERIES, SWITCH_AT};
 
 fn main() {
@@ -34,7 +35,7 @@ fn main() {
     );
 
     let space = SpaceConfig {
-        max_entries: Some(l),
+        max_bytes: Some(l * DEFAULT_ENTRY_FOOTPRINT),
         i_max,
         seed: 9,
         ..Default::default()

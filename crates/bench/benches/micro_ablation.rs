@@ -9,11 +9,12 @@
 use aib_bench::{build_eval_db, engine_config_for, header, run_workload, timed};
 use aib_core::{BufferConfig, SpaceConfig};
 use aib_index::IndexBackend;
+use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 use aib_workload::{experiment3_queries, TableSpec, PAPER_QUERIES};
 
 fn run_config(spec: &TableSpec, buffer: BufferConfig, label: &str) {
     let space = SpaceConfig {
-        max_entries: Some((spec.rows as f64 * 1.6) as usize),
+        max_bytes: Some((spec.rows as f64 * 1.6) as usize * DEFAULT_ENTRY_FOOTPRINT),
         i_max: (spec.rows / 100).max(1) as u32,
         seed: 11,
         ..Default::default()

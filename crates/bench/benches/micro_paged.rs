@@ -21,7 +21,7 @@ fn build(paged: bool) -> (Database, TableSpec) {
         pool_frames: 200,
         cost_model: CostModel::default(),
         space: SpaceConfig {
-            max_entries: None,
+            max_bytes: None,
             i_max: 1_000,
             seed: 3,
             ..Default::default()

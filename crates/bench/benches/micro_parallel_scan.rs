@@ -3,7 +3,7 @@
 //! (0/50/90/100% of pages skippable) at 1 vs. 4 threads.
 //!
 //! In the thread sweep the Index Buffer Space is pinned to zero entries
-//! (`max_entries = 0`) so no page ever becomes skippable: every scan reads
+//! (`max_bytes = 0`) so no page ever becomes skippable: every scan reads
 //! all 10k pages, making iterations identical and the sweep a pure measure
 //! of the partition-chunked executor. The pool holds the whole table, so
 //! the sweep measures compute (page latching, zero-copy predicate
@@ -11,7 +11,7 @@
 //!
 //! The covered-fraction sweep loads sequential keys so covered pages are
 //! contiguous, then sizes the partial index's coverage to make the target
-//! share of pages skippable at registration time (`max_entries = 0` freezes
+//! share of pages skippable at registration time (`max_bytes = 0` freezes
 //! it there). It shows how run-skipping interacts with the chunked parallel
 //! sweep across the skippability spectrum.
 
@@ -36,7 +36,7 @@ fn build(scan_threads: usize) -> Database {
         pool_frames: TARGET_PAGES as usize + 64,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: Some(0), // nothing is ever buffered: scans stay full-size
+            max_bytes: Some(0), // nothing is ever buffered: scans stay full-size
             i_max: 1,
             seed: 3,
             ..Default::default()
@@ -97,14 +97,14 @@ fn measure(db: &mut Database) -> (f64, usize) {
 /// Build a table of `pages` pages loaded with *sequential* keys, then cover
 /// the first `frac`% of rows with the partial index. Sequential insertion
 /// keeps covered pages contiguous, so `frac`% of rows ≈ `frac`% of pages
-/// skippable — in one leading run. `max_entries = 0` freezes skippability
+/// skippable — in one leading run. `max_bytes = 0` freezes skippability
 /// at registration time.
 fn build_fraction(scan_threads: usize, pages: u32, frac: u32) -> (Database, i64) {
     let db = Database::new(EngineConfig {
         pool_frames: pages as usize + 64,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: Some(0),
+            max_bytes: Some(0),
             i_max: 1,
             seed: 3,
             ..Default::default()

@@ -19,7 +19,7 @@ fn build(buffered: bool) -> Database {
         pool_frames: 256,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: None,
+            max_bytes: None,
             i_max: 1_000_000,
             seed: 3,
             ..Default::default()
@@ -145,7 +145,7 @@ fn build_fraction(pct: u32) -> (Database, i64) {
         pool_frames: 1024, // whole table resident: measures scan CPU cost
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: Some(0), // buffer pinned empty: stable skip fraction
+            max_bytes: Some(0), // buffer pinned empty: stable skip fraction
             i_max: 1_000_000,
             seed: 3,
             ..Default::default()

@@ -2,7 +2,6 @@
 //! the paper's parameters.
 
 use aib_index::IndexBackend;
-use aib_storage::DEFAULT_ENTRY_FOOTPRINT;
 
 /// Per-Index-Buffer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -49,59 +48,52 @@ impl BufferConfig {
 /// Index Buffer Space configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SpaceConfig {
-    /// `L` — upper bound on total entries across all Index Buffers
-    /// (paper §IV / experiment 3: 800,000 entries). `None` = unlimited
-    /// (experiment 1).
-    ///
-    /// **Deprecated shim**: the space is governed in bytes now (see the
-    /// memory-governor section of DESIGN.md). This knob is kept so
-    /// paper-denominated experiments keep reading like the paper; it
-    /// compiles down to `L ×` [`DEFAULT_ENTRY_FOOTPRINT`] budget bytes via
-    /// [`SpaceConfig::budget_bytes`], which is exact for the INTEGER key
-    /// columns the paper evaluates. Prefer [`SpaceConfig::max_bytes`].
-    pub max_entries: Option<usize>,
     /// Byte cap for the Index Buffer Space component of the shared
-    /// [`aib_storage::MemoryBudget`]. Takes precedence over the
-    /// `max_entries` shim when both are set. `None` = unlimited (unless
-    /// `max_entries` provides the shim value).
+    /// [`aib_storage::MemoryBudget`]. `None` = unlimited (paper
+    /// experiment 1). The paper's entry bound `L` compiles down to bytes at
+    /// [`aib_storage::DEFAULT_ENTRY_FOOTPRINT`] per entry — exact for the
+    /// INTEGER key columns the paper evaluates — so experiment 3's
+    /// `L = 800,000` entries is `Some(800_000 * DEFAULT_ENTRY_FOOTPRINT)`.
     pub max_bytes: Option<usize>,
     /// `I^MAX` — maximum pages newly indexed during one table scan
     /// (paper Algorithm 2; the experiments use 5,000 / 10,000).
     pub i_max: u32,
     /// Seed for the probabilistic stage-1 victim selection, making
-    /// experiments reproducible.
+    /// experiments reproducible. Sharded spaces derive per-shard seeds as
+    /// `seed + shard_index`, so shard 0 of any sharding replays the
+    /// unsharded RNG stream.
     pub seed: u64,
+    /// Number of independently locked shards the space is split into.
+    /// Buffers map to shards by `id % shards`; `1` (the default) keeps the
+    /// single-lock layout whose results every sequential test pins down.
+    pub shards: usize,
 }
 
 impl Default for SpaceConfig {
     fn default() -> Self {
         SpaceConfig {
-            max_entries: None,
             max_bytes: None,
             i_max: 5_000,
             seed: 0x5EED_1DE4,
+            shards: 1,
         }
     }
 }
 
 impl SpaceConfig {
     /// The byte cap this configuration imposes on the Index Buffer Space:
-    /// `max_bytes` when set, otherwise the `max_entries` shim converted at
-    /// [`DEFAULT_ENTRY_FOOTPRINT`] bytes per entry, otherwise `None`
-    /// (unlimited).
+    /// `max_bytes`, or `None` (unlimited).
     pub fn budget_bytes(&self) -> Option<usize> {
-        self.max_bytes.or_else(|| {
-            self.max_entries
-                .map(|entries| entries.saturating_mul(DEFAULT_ENTRY_FOOTPRINT))
-        })
+        self.max_bytes
     }
 
     /// Validates the configuration.
     ///
     /// # Panics
-    /// If `i_max == 0`.
+    /// If `i_max == 0` or `shards == 0`.
     pub fn validate(&self) {
         assert!(self.i_max > 0, "I^MAX (i_max) must be positive");
+        assert!(self.shards > 0, "shards must be positive");
     }
 }
 
@@ -115,29 +107,21 @@ mod tests {
         assert_eq!(b.partition_pages, 10_000, "paper: P = 10,000");
         let s = SpaceConfig::default();
         assert_eq!(s.i_max, 5_000, "paper experiments 1-3: I^MAX = 5,000");
-        assert_eq!(s.max_entries, None, "experiment 1: unlimited space");
+        assert_eq!(s.max_bytes, None, "experiment 1: unlimited space");
         assert_eq!(s.budget_bytes(), None, "no cap -> no byte budget");
+        assert_eq!(s.shards, 1, "single-lock layout by default");
         b.validate();
         s.validate();
     }
 
     #[test]
-    fn entry_shim_converts_to_bytes_exactly() {
-        let entries = SpaceConfig {
-            max_entries: Some(800_000), // paper experiment 3
-            ..Default::default()
-        };
-        assert_eq!(
-            entries.budget_bytes(),
-            Some(800_000 * DEFAULT_ENTRY_FOOTPRINT)
-        );
-        // An explicit byte cap wins over the shim.
+    fn byte_cap_is_the_budget() {
         let bytes = SpaceConfig {
-            max_entries: Some(800_000),
             max_bytes: Some(1 << 20),
             ..Default::default()
         };
         assert_eq!(bytes.budget_bytes(), Some(1 << 20));
+        bytes.validate();
     }
 
     #[test]
@@ -165,6 +149,16 @@ mod tests {
     fn zero_imax_rejected() {
         SpaceConfig {
             i_max: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shards")]
+    fn zero_shards_rejected() {
+        SpaceConfig {
+            shards: 0,
             ..Default::default()
         }
         .validate();

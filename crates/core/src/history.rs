@@ -73,6 +73,23 @@ impl LruKHistory {
         self.history.record(self.clock);
     }
 
+    /// `n` consecutive [`tick`](Self::tick)s at once, in O(1). Used when
+    /// draining deferred fast-path query events.
+    pub fn tick_n(&mut self, n: u64) {
+        self.clock += n;
+    }
+
+    /// `n` consecutive [`record_use`](Self::record_use)s at once, in
+    /// O(min(n, K)). Used when draining deferred fast-path query events.
+    pub fn record_use_n(&mut self, n: u64) {
+        self.history.record_repeated(self.clock, n);
+    }
+
+    /// The buffer's logical query clock (diagnostics / drain bookkeeping).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
     /// Mean access interval `T_B`, or `None` if the buffer was never used
     /// (infinite interval — such a buffer has zero benefit).
     ///
@@ -190,6 +207,28 @@ mod tests {
         h.tick(); // [1]
         assert_eq!(h.intervals().collect::<Vec<_>>(), vec![1]);
         assert_eq!(h.mean_interval(), Some(1.0));
+    }
+
+    #[test]
+    fn batched_ops_match_looped_ops() {
+        let mut batched = LruKHistory::new(3);
+        batched.record_use();
+        batched.tick_n(4);
+        batched.record_use_n(2);
+        let mut looped = LruKHistory::new(3);
+        looped.record_use();
+        for _ in 0..4 {
+            looped.tick();
+        }
+        looped.record_use();
+        looped.record_use();
+        assert_eq!(batched.clock(), looped.clock());
+        assert_eq!(batched.uses(), looped.uses());
+        assert_eq!(
+            batched.intervals().collect::<Vec<_>>(),
+            looped.intervals().collect::<Vec<_>>()
+        );
+        assert_eq!(batched.mean_interval(), looped.mean_interval());
     }
 
     #[test]

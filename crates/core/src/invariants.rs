@@ -234,12 +234,26 @@ fn verify_structure(buffer: &IndexBuffer) -> InvariantReport {
 /// overwrite the very charge under test. A mismatch here means some
 /// mutation path forgot its reconciliation barrier.
 pub fn verify_space(space: &IndexBufferSpace) -> InvariantReport {
+    verify_shards(&[space])
+}
+
+/// [`verify_space`] across the shards of one sharded space, against the
+/// caller's already-held locks: per-buffer partition structure in every
+/// shard, plus agreement between the governor's single `IndexSpace` charge
+/// and the *fleet's* summed resident footprint (no per-shard charge exists
+/// — the shards share one budget component).
+pub fn verify_shards(shards: &[&IndexBufferSpace]) -> InvariantReport {
     let mut report = InvariantReport::default();
-    for id in 0..space.num_buffers() {
-        report.merge(verify_structure(space.buffer(id)));
+    let mut footprint = 0usize;
+    for space in shards {
+        for id in space.buffer_ids() {
+            report.merge(verify_structure(space.buffer(id)));
+        }
+        footprint += space.footprint();
     }
-    let charged = space.budget().used(BudgetComponent::IndexSpace);
-    let footprint = space.footprint();
+    let charged = shards
+        .first()
+        .map_or(0, |s| s.budget().used(BudgetComponent::IndexSpace));
     if charged != footprint {
         report.push(format!(
             "governor charges {charged} bytes to IndexSpace, resident \
@@ -300,9 +314,9 @@ mod tests {
     fn space_budget_drift_is_detected() {
         let mut space = IndexBufferSpace::new(SpaceConfig::default());
         let id = space.register("t.k", BufferConfig::default(), vec![1, 1]);
-        space
-            .buffer_mut(id)
-            .index_page(0, vec![(Value::Int(9), rid(0, 0))]);
+        space.with_buffer_mut(id, |buffer, _| {
+            buffer.index_page(0, vec![(Value::Int(9), rid(0, 0))]);
+        });
         // Mutated behind the governor's back: not yet reconciled.
         let report = verify_space(&space);
         assert!(!report.is_ok(), "{report}");

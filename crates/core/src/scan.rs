@@ -335,16 +335,17 @@ pub fn prepare_scan(
         to_index.insert(p);
     }
 
-    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
-
-    // Lines 8–10: Index Buffer scan.
-    let buffer_rids = buffer_scan_rids(buffer, predicate);
+    // Lines 8–10: Index Buffer scan. Read-only from here on: a prepare
+    // that selects nothing (and displaces nothing) leaves the space's
+    // mutation epoch untouched, so published snapshots stay valid across
+    // fully-skippable queries.
+    let buffer_rids = buffer_scan_rids(space.buffer(buffer_id), predicate);
     stats.buffer_matches = buffer_rids.len();
     out.extend_from_slice(&buffer_rids);
 
     // Snapshot of the skip bitset; the sweep (and every chunk worker) never
     // sees mid-scan zeroing.
-    let skip = counters.skip_snapshot(num_pages);
+    let skip = space.counters(buffer_id).skip_snapshot(num_pages);
 
     // Analytic sweep shape: how many fully-indexed runs a sequential sweep
     // jumps whole and how many batched reads it issues for the rest.
@@ -390,14 +391,13 @@ pub fn indexing_scan(
     out: &mut Vec<Rid>,
 ) -> Result<ScanStats, StorageError> {
     let ScanPrep { mut stats, plan } = prepare_scan(heap, space, buffer_id, predicate, out);
-    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
 
     // Lines 11–17: table sweep with run skipping and on-the-fly indexing.
     // Pages being indexed take the decoding path (the buffer insert needs
     // owned values anyway); every other page takes the zero-copy path.
     let mut pending: Vec<(Value, Rid)> = Vec::new();
     let mut decode_error: Option<StorageError> = None;
-    let (read, skipped) =
+    let (read, skipped) = space.with_buffer_mut(buffer_id, |buffer, counters| {
         heap.sweep_read_runs(plan.skip.runs(0..plan.num_pages), |ord, pid, view| {
             if decode_error.is_some() {
                 return;
@@ -426,7 +426,8 @@ pub fn indexing_scan(
             } else if let Err(e) = plan.compiled.matches_page(&view, pid, column, out) {
                 decode_error = Some(e);
             }
-        })?;
+        })
+    })?;
     if let Some(e) = decode_error {
         return Err(e);
     }
@@ -738,10 +739,15 @@ pub fn indexing_scan_parallel(
     stats.pages_skipped = chunk.pages_skipped;
     out.extend(chunk.matches);
 
-    // Phase 4 (sequential): apply in ascending page order.
-    let (buffer, counters) = space.buffer_and_counters_mut(buffer_id);
-    apply_staged(buffer, counters, chunk.staged, &mut stats);
-    space.sync_budget();
+    // Phase 4 (sequential): apply in ascending page order. Nothing staged
+    // means nothing to mutate — skip the epoch-stamping borrow entirely so
+    // fully-skippable scans leave published snapshots valid.
+    if !chunk.staged.is_empty() {
+        space.with_buffer_mut(buffer_id, |buffer, counters| {
+            apply_staged(buffer, counters, chunk.staged, &mut stats);
+        });
+        space.sync_budget();
+    }
     stats.matches = out.len();
     Ok(stats)
 }
@@ -780,7 +786,6 @@ mod tests {
             counts.push(uncovered);
         }
         let mut space = IndexBufferSpace::new(SpaceConfig {
-            max_entries: None,
             i_max: 1_000_000,
             seed: 1,
             ..Default::default()
@@ -906,7 +911,6 @@ mod tests {
             .map(|p| space0.counters(0).get(p))
             .collect();
         let mut space = IndexBufferSpace::new(SpaceConfig {
-            max_entries: None,
             i_max: 3,
             seed: 1,
             ..Default::default()

@@ -34,12 +34,13 @@
 //! grow the victim set one partition at a time, recompute the achievable
 //! page set, and commit while `b_I > Σ b_p` over the victims.
 
-// aib-lint: allow-file(no-index) — `slots` is only ever indexed by BufferIds
-// this module itself handed out from `register` (ids are dense, stable slot
-// positions); remaining brackets index vectors built a few lines above their
-// use. The runtime shadow model covers the semantic risk.
+// aib-lint: allow-file(no-index) — `slots` is only ever indexed by positions
+// this module itself resolved via `slot_pos` (which verifies registration);
+// remaining brackets index vectors built a few lines above their use. The
+// runtime shadow model covers the semantic risk.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -185,17 +186,77 @@ pub struct Selection {
     pub displaced: Vec<Displacement>,
 }
 
+/// Deferred Table II events for one buffer: the lock-free fast path
+/// accumulates its history operations here instead of taking the shard's
+/// write lock, and the next write-side entry drains them into the LRU-K
+/// history (in deferral order) before reading any benefit.
+///
+/// The three counters encode one batch: `ticks` queries that only
+/// lengthened the open interval, `uses` queries that closed it, and
+/// `uses_at` — how many of the ticks preceded the *first* use — which lets
+/// the drain replay `tick…use…tick` batches from a single client exactly.
+/// Interleaved `use, tick, use` batches from *concurrent* clients collapse
+/// to `tick…uses…tick`; the histories those produce differ only in how a
+/// racy interleaving was serialised, which no sequential run exhibits.
+#[derive(Debug, Default)]
+pub struct BufferPending {
+    ticks: AtomicU64,
+    uses: AtomicU64,
+    uses_at: AtomicU64,
+}
+
+impl BufferPending {
+    /// Defers a batch of `ticks` + `uses` events, `uses_at` ticks before the
+    /// first use. Safe to call from any thread, lock-free.
+    pub fn defer(&self, ticks: u64, uses: u64, uses_at: u64) {
+        let prev_ticks = self.ticks.fetch_add(ticks, Ordering::AcqRel);
+        if uses > 0 && self.uses.fetch_add(uses, Ordering::AcqRel) == 0 {
+            // First use of the shared batch: anchor it after the ticks
+            // already deferred plus our local lead-in.
+            self.uses_at
+                .store(prev_ticks.saturating_add(uses_at), Ordering::Release);
+        }
+    }
+
+    /// Takes the accumulated batch, leaving the counters empty.
+    fn drain(&self) -> (u64, u64, u64) {
+        let ticks = self.ticks.swap(0, Ordering::AcqRel);
+        let uses = self.uses.swap(0, Ordering::AcqRel);
+        let uses_at = self.uses_at.swap(0, Ordering::AcqRel);
+        (ticks, uses, uses_at)
+    }
+
+    /// True when no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.ticks.load(Ordering::Acquire) == 0 && self.uses.load(Ordering::Acquire) == 0
+    }
+}
+
 struct Slot {
     buffer: IndexBuffer,
     counters: PageCounters,
+    /// Shared with published snapshots so fast-path queries can defer their
+    /// Table II events without any shard lock.
+    pending: Arc<BufferPending>,
 }
 
-/// The Index Buffer Space manager.
+/// The Index Buffer Space manager — one shard of it, when
+/// [`SpaceConfig::shards`] `> 1` (the sharded wrapper lives in
+/// [`crate::sharded::ShardedSpace`]; a standalone space is simply shard 0
+/// of 1).
 pub struct IndexBufferSpace {
     slots: Vec<Slot>,
     config: SpaceConfig,
     budget: Arc<MemoryBudget>,
     victim_policy: BenefitPolicy,
+    /// Mutation stamp: bumped by every operation that changes buffer or
+    /// counter state (never by pure history traffic), so a published
+    /// snapshot can tell whether its bitsets are still current.
+    epoch: u64,
+    /// Per-shard resident footprints, shared across all shards of one
+    /// space: the governor's `IndexSpace` charge is their sum.
+    footprints: Arc<Vec<AtomicUsize>>,
+    shard_index: usize,
 }
 
 impl IndexBufferSpace {
@@ -217,12 +278,29 @@ impl IndexBufferSpace {
     /// growth shrinks the other's headroom. The caller is responsible for
     /// configuring the budget's limits (this constructor applies none).
     pub fn with_budget(config: SpaceConfig, budget: Arc<MemoryBudget>) -> Self {
+        Self::for_shard(config, budget, Arc::new(vec![AtomicUsize::new(0)]), 0)
+    }
+
+    /// Creates shard `shard_index` of a sharded space: the victim-selection
+    /// RNG is re-seeded per shard (`seed + shard_index`, so shard 0 of any
+    /// sharding replays the unsharded stream) and the resident footprint is
+    /// reported through the shared `footprints` slot for this shard.
+    pub(crate) fn for_shard(
+        config: SpaceConfig,
+        budget: Arc<MemoryBudget>,
+        footprints: Arc<Vec<AtomicUsize>>,
+        shard_index: usize,
+    ) -> Self {
         config.validate();
+        assert!(shard_index < footprints.len(), "shard index within fleet");
         IndexBufferSpace {
             slots: Vec::new(),
-            victim_policy: BenefitPolicy::new(config.seed),
+            victim_policy: BenefitPolicy::new(config.seed.wrapping_add(shard_index as u64)),
             config,
             budget,
+            epoch: 0,
+            footprints,
+            shard_index,
         }
     }
 
@@ -251,71 +329,139 @@ impl IndexBufferSpace {
         counts: Vec<u32>,
     ) -> BufferId {
         let id = self.slots.len();
-        self.slots.push(Slot {
-            buffer: IndexBuffer::new(id, name, config),
-            counters: PageCounters::from_counts(counts),
-        });
+        self.register_as(id, name, config, counts);
         id
     }
 
-    /// Number of registered buffers.
+    /// Registers a buffer under a caller-assigned (globally allocated) id —
+    /// the sharded wrapper hands out global ids and routes each to its
+    /// shard, so local slot positions and buffer ids decouple.
+    pub(crate) fn register_as(
+        &mut self,
+        id: BufferId,
+        name: impl Into<String>,
+        config: BufferConfig,
+        counts: Vec<u32>,
+    ) {
+        self.epoch += 1;
+        self.slots.push(Slot {
+            buffer: IndexBuffer::new(id, name, config),
+            counters: PageCounters::from_counts(counts),
+            pending: Arc::new(BufferPending::default()),
+        });
+    }
+
+    /// Number of buffers registered in this space (this shard).
     pub fn num_buffers(&self) -> usize {
         self.slots.len()
     }
 
-    /// Borrows a buffer.
-    pub fn buffer(&self, id: BufferId) -> &IndexBuffer {
-        &self.slots[id].buffer
+    /// Ids of the buffers registered here, in registration order.
+    pub fn buffer_ids(&self) -> impl Iterator<Item = BufferId> + '_ {
+        self.slots.iter().map(|s| s.buffer.id())
     }
 
-    /// Mutably borrows a buffer.
-    pub fn buffer_mut(&mut self, id: BufferId) -> &mut IndexBuffer {
-        &mut self.slots[id].buffer
+    /// Slot position of a registered buffer.
+    ///
+    /// # Panics
+    /// If `id` was never registered in this space — engine routing handed a
+    /// buffer to the wrong shard, which invariant checks must surface.
+    fn slot_pos(&self, id: BufferId) -> usize {
+        self.slots
+            .iter()
+            .position(|s| s.buffer.id() == id)
+            // aib-lint: allow(no-panic) — misrouted ids are engine bugs.
+            .expect("buffer id registered in this shard")
+    }
+
+    /// Borrows a buffer.
+    pub fn buffer(&self, id: BufferId) -> &IndexBuffer {
+        &self.slots[self.slot_pos(id)].buffer
     }
 
     /// Borrows a buffer's counters.
     pub fn counters(&self, id: BufferId) -> &PageCounters {
-        &self.slots[id].counters
+        &self.slots[self.slot_pos(id)].counters
     }
 
-    /// Mutably borrows a buffer's counters.
-    pub fn counters_mut(&mut self, id: BufferId) -> &mut PageCounters {
-        &mut self.slots[id].counters
+    /// The deferred-event cell shared with this buffer's snapshots.
+    pub fn pending(&self, id: BufferId) -> &Arc<BufferPending> {
+        &self.slots[self.slot_pos(id)].pending
     }
 
-    /// Mutably borrows a buffer together with its counters (the indexing
-    /// scan needs both at once). Callers that add or drop entries through
-    /// this seam should call [`sync_budget`](Self::sync_budget) when done.
-    pub fn buffer_and_counters_mut(
+    /// Mutably borrows a buffer together with its counters for the duration
+    /// of `f` — the only mutable seam the space exposes. Closure scoping
+    /// (rather than returned `&mut`s) keeps counter mutation confined to
+    /// space-mediated call sites and lets the space stamp every mutation:
+    /// the epoch is bumped so published snapshots of this shard invalidate.
+    /// Callers that add or drop entries should call
+    /// [`sync_budget`](Self::sync_budget) when done.
+    pub fn with_buffer_mut<R>(
         &mut self,
         id: BufferId,
-    ) -> (&mut IndexBuffer, &mut PageCounters) {
-        let slot = &mut self.slots[id];
-        (&mut slot.buffer, &mut slot.counters)
+        f: impl FnOnce(&mut IndexBuffer, &mut PageCounters) -> R,
+    ) -> R {
+        self.epoch += 1;
+        let pos = self.slot_pos(id);
+        let slot = &mut self.slots[pos];
+        f(&mut slot.buffer, &mut slot.counters)
     }
 
     /// Replaces a buffer's counters wholesale from freshly recomputed
     /// per-page uncovered counts. Partial-index *redefinition* rebuilds its
     /// bookkeeping with a full scan exactly like index creation does (§III),
     /// so the rebuild flows through the space rather than through a raw
-    /// `&mut PageCounters`.
+    /// `&mut PageCounters`. Bumps the epoch: the rebuilt skip bitset must
+    /// never be served from a previously published snapshot.
     pub fn reset_counters(&mut self, id: BufferId, counts: Vec<u32>) {
-        self.slots[id].counters = PageCounters::from_counts(counts);
+        self.epoch += 1;
+        let pos = self.slot_pos(id);
+        self.slots[pos].counters = PageCounters::from_counts(counts);
         self.sync_budget();
     }
 
     /// Drops every partition of a buffer and zeroes its counters — the
     /// "partial index dropped" transition. The slot stays registered (buffer
     /// ids are stable handles) and an empty buffer costs nothing; its
-    /// history only ticks.
+    /// history only ticks. Bumps the epoch: a snapshot published before the
+    /// clear would otherwise keep answering from the dropped bitset.
     pub fn clear_buffer(&mut self, id: BufferId) {
-        let slot = &mut self.slots[id];
+        self.epoch += 1;
+        let pos = self.slot_pos(id);
+        let slot = &mut self.slots[pos];
         let parts: Vec<_> = slot.buffer.partition_ids().collect();
         for p in parts {
             slot.buffer.drop_partition(p);
         }
         slot.counters = PageCounters::new();
         self.sync_budget();
+    }
+
+    /// The shard's mutation stamp (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drains every buffer's deferred fast-path events into its LRU-K
+    /// history, in deferral order. Write-side entries call this before
+    /// reading any benefit so deferred queries are never outrun by a later
+    /// query's Table II application.
+    pub fn drain_deferred(&mut self) {
+        for slot in &mut self.slots {
+            let (ticks, uses, uses_at) = slot.pending.drain();
+            if ticks == 0 && uses == 0 {
+                continue;
+            }
+            let history = slot.buffer.history_mut();
+            if uses > 0 {
+                let lead_in = uses_at.min(ticks);
+                history.tick_n(lead_in);
+                history.record_use_n(uses);
+                history.tick_n(ticks - lead_in);
+            } else {
+                history.tick_n(ticks);
+            }
+        }
     }
 
     /// Total entries across all buffers.
@@ -327,10 +473,18 @@ impl IndexBufferSpace {
     /// the true resident footprint. Mutations flow through `&mut IndexBuffer`
     /// borrows the space hands out, so it cannot intercept them one by one;
     /// instead the selection path and the scan/maintenance drivers reconcile
-    /// here at their natural barriers.
+    /// here at their natural barriers. Under sharding each shard publishes
+    /// its own footprint and charges the governor with the fleet's sum, so
+    /// every shard's displacement pressure sees every other shard's bytes.
     pub fn sync_budget(&self) {
+        self.footprints[self.shard_index].store(self.footprint(), Ordering::Release);
+        let total: usize = self
+            .footprints
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .sum();
         self.budget
-            .set_component_usage(BudgetComponent::IndexSpace, self.footprint());
+            .set_component_usage(BudgetComponent::IndexSpace, total);
     }
 
     /// Byte headroom the governor grants this space right now (reconciles
@@ -359,8 +513,8 @@ impl IndexBufferSpace {
     /// models queries on columns without an Index Buffer (all histories just
     /// tick).
     pub fn on_query(&mut self, queried: Option<BufferId>, partial_hit: bool) {
-        for (id, slot) in self.slots.iter_mut().enumerate() {
-            if Some(id) == queried && !partial_hit {
+        for slot in self.slots.iter_mut() {
+            if Some(slot.buffer.id()) == queried && !partial_hit {
                 slot.buffer.history_mut().record_use();
             } else {
                 slot.buffer.history_mut().tick();
@@ -375,13 +529,14 @@ impl IndexBufferSpace {
     /// applied.
     pub fn select_pages_for_buffer(&mut self, target: BufferId) -> Selection {
         let i_max = self.config.i_max as usize;
+        let tpos = self.slot_pos(target);
         // Candidate pages in ascending counter order (cheapest completions
         // first, §IV).
-        let candidates = self.slots[target].counters.pages_by_ascending_counter();
+        let candidates = self.slots[tpos].counters.pages_by_ascending_counter();
         if candidates.is_empty() {
             return Selection::default();
         }
-        let target_freq = self.slots[target].buffer.use_frequency();
+        let target_freq = self.slots[tpos].buffer.use_frequency();
 
         // Grow the page set within `available` budget bytes, up to I^MAX
         // pages. Expected entries are costed at DEFAULT_ENTRY_FOOTPRINT —
@@ -415,11 +570,12 @@ impl IndexBufferSpace {
                 let Some((buf, part)) = self.pick_victim(target, &victims) else {
                     break;
                 };
-                let benefit = self.slots[buf].buffer.partition_benefit(part);
+                let bpos = self.slot_pos(buf);
+                let benefit = self.slots[bpos].buffer.partition_benefit(part);
                 victim_benefit += benefit;
                 // A just-picked victim is always present; degrade to zero
                 // freed bytes (a conservative non-selection) if it is not.
-                victim_bytes += self.slots[buf]
+                victim_bytes += self.slots[bpos]
                     .buffer
                     .partition(part)
                     .map_or(0, MemoryUsage::footprint);
@@ -440,13 +596,14 @@ impl IndexBufferSpace {
         // Perform the committed displacements, restoring counters.
         let mut displaced = Vec::with_capacity(committed_victims.len());
         for (buf, part, benefit) in committed_victims {
+            let bpos = self.slot_pos(buf);
             // A committed victim was present when committed; skipping a
             // vanished one under-reports the displacement, never corrupts.
-            let Some(dropped) = self.slots[buf].buffer.drop_partition(part) else {
+            let Some(dropped) = self.slots[bpos].buffer.drop_partition(part) else {
                 continue;
             };
             for &(page, restore) in &dropped.pages {
-                self.slots[buf].counters.restore(page, restore);
+                self.slots[bpos].counters.restore(page, restore);
             }
             displaced.push(Displacement {
                 buffer: buf,
@@ -458,6 +615,9 @@ impl IndexBufferSpace {
             });
         }
         if !displaced.is_empty() {
+            // Counters were restored: published snapshots of the displaced
+            // bitsets are stale now.
+            self.epoch += 1;
             self.budget.record_displacements(displaced.len() as u64);
         }
         self.sync_budget();
@@ -493,8 +653,9 @@ impl IndexBufferSpace {
         excluded: &[(BufferId, PartitionId, f64)],
     ) -> Option<(BufferId, PartitionId)> {
         // Stage 2 helper: first non-excluded partition in victim order.
-        let next_of = |slots: &[Slot], id: BufferId| -> Option<PartitionId> {
-            slots[id]
+        let next_of = |slots: &[Slot], pos: usize| -> Option<PartitionId> {
+            let id = slots[pos].buffer.id();
+            slots[pos]
                 .buffer
                 .partitions_in_victim_order()
                 .into_iter()
@@ -502,18 +663,20 @@ impl IndexBufferSpace {
         };
 
         // Feed the policy fresh weights for every buffer with at least one
-        // selectable partition (ascending id keeps the RNG deterministic).
+        // selectable partition (slots are in registration order, so ids
+        // ascend and the RNG consumption stays deterministic).
         self.victim_policy.clear_weights();
-        for (id, slot) in self.slots.iter().enumerate() {
-            if id != target && next_of(&self.slots, id).is_some() {
-                self.victim_policy.record_weight(id, slot.buffer.benefit());
+        for (pos, slot) in self.slots.iter().enumerate() {
+            if slot.buffer.id() != target && next_of(&self.slots, pos).is_some() {
+                self.victim_policy
+                    .record_weight(slot.buffer.id(), slot.buffer.benefit());
             }
         }
         let chosen = self.victim_policy.displace(&|_| false)?;
         // Keep the borrow checker happy: recompute stage 2 on the chosen id.
         // Weights were only recorded for buffers with a selectable partition,
         // so stage 2 finding none means "no victim" rather than a panic.
-        let part = next_of(&self.slots, chosen)?;
+        let part = next_of(&self.slots, self.slot_pos(chosen))?;
         Some((chosen, part))
     }
 
@@ -531,10 +694,15 @@ impl IndexBufferSpace {
             );
         }
         self.sync_budget();
+        let fleet: usize = self
+            .footprints
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .sum();
         assert_eq!(
             self.budget.used(BudgetComponent::IndexSpace),
-            self.footprint(),
-            "governor charge reconciles with resident footprint"
+            fleet,
+            "governor charge reconciles with the fleet's resident footprint"
         );
     }
 }
@@ -562,12 +730,13 @@ mod tests {
     use super::*;
     use aib_storage::{Rid, Value};
 
+    /// Paper-denominated helper: `max` entries of budget, in bytes.
     fn cfg(max: Option<usize>, i_max: u32) -> SpaceConfig {
         SpaceConfig {
-            max_entries: max,
-            max_bytes: None,
+            max_bytes: max.map(|entries| entries * DEFAULT_ENTRY_FOOTPRINT),
             i_max,
             seed: 42,
+            shards: 1,
         }
     }
 
@@ -582,9 +751,10 @@ mod tests {
     /// would (completing each page).
     fn fill_pages(space: &mut IndexBufferSpace, id: BufferId, pages: std::ops::Range<u32>) {
         for p in pages {
-            let (buffer, counters) = space.buffer_and_counters_mut(id);
-            buffer.index_page(p, vec![(Value::Int(p as i64), Rid::new(p, 0))]);
-            counters.set_zero(p);
+            space.with_buffer_mut(id, |buffer, counters| {
+                buffer.index_page(p, vec![(Value::Int(p as i64), Rid::new(p, 0))]);
+                counters.set_zero(p);
+            });
         }
         space.sync_budget();
     }
@@ -661,14 +831,12 @@ mod tests {
     }
 
     #[test]
-    fn explicit_byte_budget_gates_selection_like_the_entry_shim() {
-        // The same bound expressed directly in bytes must behave
-        // identically to the max_entries shim.
+    fn explicit_byte_budget_gates_selection() {
         let bytes = SpaceConfig {
-            max_entries: None,
             max_bytes: Some(5 * DEFAULT_ENTRY_FOOTPRINT),
             i_max: 100,
             seed: 42,
+            shards: 1,
         };
         let mut s = IndexBufferSpace::new(bytes);
         let a = s.register("A", bcfg(10), vec![2; 10]);
@@ -676,6 +844,58 @@ mod tests {
         let sel = s.select_pages_for_buffer(a);
         assert_eq!(sel.pages.len(), 2);
         assert_eq!(sel.expected_bytes, 4 * DEFAULT_ENTRY_FOOTPRINT);
+    }
+
+    #[test]
+    fn epoch_stamps_every_counter_mutation() {
+        let mut s = IndexBufferSpace::new(cfg(None, 10));
+        let e0 = s.epoch();
+        let a = s.register("A", bcfg(10), vec![1; 4]);
+        assert!(s.epoch() > e0, "registration changes the buffer set");
+        let e1 = s.epoch();
+        s.with_buffer_mut(a, |_, _| {});
+        assert!(s.epoch() > e1, "closure-scoped mutation is stamped");
+        let e2 = s.epoch();
+        // Satellite regression: bulk counter resets must invalidate
+        // previously published skip bitsets.
+        s.reset_counters(a, vec![0; 4]);
+        assert!(s.epoch() > e2, "reset_counters bumps the epoch");
+        let e3 = s.epoch();
+        s.clear_buffer(a);
+        assert!(s.epoch() > e3, "clear_buffer bumps the epoch");
+        let e4 = s.epoch();
+        // Pure history traffic is not a mutation.
+        s.on_query(Some(a), false);
+        assert_eq!(s.epoch(), e4, "Table II traffic leaves the epoch alone");
+    }
+
+    #[test]
+    fn deferred_events_drain_in_order() {
+        let mut deferred = IndexBufferSpace::new(cfg(None, 10));
+        let a = deferred.register("A", bcfg(10), Vec::new());
+        // tick, tick, use, tick deferred lock-free...
+        deferred.pending(a).defer(2, 0, 0);
+        deferred.pending(a).defer(0, 1, 0);
+        deferred.pending(a).defer(1, 0, 0);
+        assert!(!deferred.pending(a).is_empty());
+        deferred.drain_deferred();
+        assert!(deferred.pending(a).is_empty());
+        // ...must equal the same sequence applied eagerly.
+        let mut eager = IndexBufferSpace::new(cfg(None, 10));
+        let b = eager.register("A", bcfg(10), Vec::new());
+        eager.on_query(None, false);
+        eager.on_query(None, false);
+        eager.on_query(Some(b), false);
+        eager.on_query(None, false);
+        assert_eq!(deferred.buffer(a).history().uses(), 1);
+        assert_eq!(
+            deferred.buffer(a).history().intervals().collect::<Vec<_>>(),
+            eager.buffer(b).history().intervals().collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            deferred.buffer(a).use_frequency(),
+            eager.buffer(b).use_frequency()
+        );
     }
 
     #[test]

@@ -56,10 +56,10 @@ fn setup_strategy() -> impl Strategy<Value = SpaceSetup> {
 
 fn build(setup: &SpaceSetup) -> IndexBufferSpace {
     let mut space = IndexBufferSpace::new(SpaceConfig {
-        max_entries: Some(setup.max_entries),
-        max_bytes: None,
+        max_bytes: Some(setup.max_entries * DEFAULT_ENTRY_FOOTPRINT),
         i_max: setup.i_max,
         seed: 7,
+        shards: 1,
     });
     for (i, (counts, pre_index, uses)) in setup.buffers.iter().enumerate() {
         let cfg = BufferConfig {
@@ -73,21 +73,22 @@ fn build(setup: &SpaceSetup) -> IndexBufferSpace {
         for &raw in pre_index {
             let page = u32::from(raw) % counts.len() as u32;
             let headroom = setup.max_entries.saturating_sub(space.total_entries());
-            let (buffer, counters) = space.buffer_and_counters_mut(id);
-            let n = counters.get(page);
-            if buffer.is_buffered(page) || n == 0 || n as usize > headroom {
-                continue;
-            }
-            counters.set_zero(page);
-            buffer.index_page(
-                page,
-                (0..n).map(|s| {
-                    (
-                        Value::Int(i64::from(page) * 100 + i64::from(s)),
-                        Rid::new(page, s as u16),
-                    )
-                }),
-            );
+            space.with_buffer_mut(id, |buffer, counters| {
+                let n = counters.get(page);
+                if buffer.is_buffered(page) || n == 0 || n as usize > headroom {
+                    return;
+                }
+                counters.set_zero(page);
+                buffer.index_page(
+                    page,
+                    (0..n).map(|s| {
+                        (
+                            Value::Int(i64::from(page) * 100 + i64::from(s)),
+                            Rid::new(page, s as u16),
+                        )
+                    }),
+                );
+            });
         }
         for _ in 0..*uses {
             space.on_query(Some(id), false);
@@ -176,14 +177,15 @@ proptest! {
         // Simulate the scan actually indexing the selection; the bound must
         // then hold exactly.
         let pages = selection.pages.clone();
-        let (buffer, counters) = space.buffer_and_counters_mut(target);
-        for &p in &pages {
-            let n = counters.set_zero(p);
-            buffer.index_page(
-                p,
-                (0..n).map(|s| (Value::Int(i64::from(p) * 1000 + i64::from(s)), Rid::new(p, s as u16))),
-            );
-        }
+        space.with_buffer_mut(target, |buffer, counters| {
+            for &p in &pages {
+                let n = counters.set_zero(p);
+                buffer.index_page(
+                    p,
+                    (0..n).map(|s| (Value::Int(i64::from(p) * 1000 + i64::from(s)), Rid::new(p, s as u16))),
+                );
+            }
+        });
         prop_assert!(space.total_entries() <= setup.max_entries,
             "bound holds after indexing: {} > {}", space.total_entries(), setup.max_entries);
         // (11) The governor never exceeds its byte budget: after indexing

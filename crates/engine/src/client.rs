@@ -2,9 +2,8 @@
 //!
 //! The engine is multi-client: [`Database`] takes `&self` everywhere, so
 //! any number of threads can execute queries and DML against one instance
-//! behind an [`Arc`]. [`ClientHandle`] is the ergonomic wrapper for that
-//! pattern — one cheap clone per client thread, each forwarding to the
-//! shared engine:
+//! behind an [`Arc`]. [`ClientHandle`] is the wrapper for that pattern —
+//! one clone per client thread, each forwarding to the shared engine:
 //!
 //! ```
 //! use aib_engine::{ClientHandle, Database, Query};
@@ -29,27 +28,53 @@
 
 use std::sync::Arc;
 
+use aib_core::SnapshotCache;
 use aib_storage::{Rid, Tuple};
+use parking_lot::Mutex;
 
 use crate::db::Database;
 use crate::error::EngineResult;
 use crate::explain::Explanation;
 use crate::query::{ExecOutcome, Query};
 
-/// A cheaply clonable client connection to a shared [`Database`].
+/// A clonable client connection to a shared [`Database`].
 ///
-/// Purely a convenience: it adds no state and no locking of its own (all
-/// synchronization lives in the engine's catalog/space locks), so a
-/// `ClientHandle` and a bare `Arc<Database>` are interchangeable.
-#[derive(Clone, Debug)]
+/// Beyond forwarding, each handle owns a private [`SnapshotCache`]: the
+/// validated space snapshot plus locally deferred Table II events that make
+/// runs of fully-skippable queries lock-free (see
+/// [`Database::execute_with_cache`]). The cache is client-private state —
+/// cloning a handle gives the new client a fresh, empty cache — and it
+/// flushes its deferred events into the shared space when the handle drops.
+#[derive(Debug)]
 pub struct ClientHandle {
     db: Arc<Database>,
+    cache: Mutex<SnapshotCache>,
+}
+
+impl Clone for ClientHandle {
+    fn clone(&self) -> Self {
+        ClientHandle {
+            db: Arc::clone(&self.db),
+            cache: Mutex::new(SnapshotCache::new()),
+        }
+    }
+}
+
+impl Drop for ClientHandle {
+    fn drop(&mut self) {
+        // Publish any still-deferred Table II events; the next write-side
+        // entry into each shard drains them.
+        self.cache.get_mut().flush();
+    }
 }
 
 impl ClientHandle {
     /// A new client over the shared database.
     pub fn new(db: Arc<Database>) -> Self {
-        ClientHandle { db }
+        ClientHandle {
+            db,
+            cache: Mutex::new(SnapshotCache::new()),
+        }
     }
 
     /// The underlying database, for calls this wrapper does not forward
@@ -58,9 +83,10 @@ impl ClientHandle {
         &self.db
     }
 
-    /// Executes a query. See [`Database::execute`].
+    /// Executes a query through this client's snapshot cache. See
+    /// [`Database::execute_with_cache`].
     pub fn execute(&self, query: &Query) -> EngineResult<ExecOutcome> {
-        self.db.execute(query)
+        self.db.execute_with_cache(query, &mut self.cache.lock())
     }
 
     /// Explains a query without executing it. See [`Database::explain`].
@@ -70,16 +96,19 @@ impl ClientHandle {
 
     /// Inserts a tuple. See [`Database::insert`].
     pub fn insert(&self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
+        self.cache.lock().flush();
         self.db.insert(table, tuple)
     }
 
     /// Deletes a tuple. See [`Database::delete`].
     pub fn delete(&self, table: &str, rid: Rid) -> EngineResult<()> {
+        self.cache.lock().flush();
         self.db.delete(table, rid)
     }
 
     /// Updates a tuple. See [`Database::update`].
     pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
+        self.cache.lock().flush();
         self.db.update(table, rid, tuple)
     }
 

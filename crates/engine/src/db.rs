@@ -18,24 +18,40 @@
 //!
 //! [`Database`] is shareable across client threads (`Arc<Database>`, or the
 //! [`crate::ClientHandle`] wrapper): every entry point takes `&self`. Engine
-//! state is split into two locks plus the already-concurrent storage layer:
+//! state is split across the catalog lock, the sharded Index Buffer Space,
+//! and the already-concurrent storage layer:
 //!
 //! * the **catalog** (tables, heaps, partial indexes, tuners) behind one
 //!   `RwLock` — read queries hold its read lock end to end, so DML/DDL
 //!   (write lock) never interleaves with an in-flight query and each query
 //!   sees a frozen heap and coverage;
-//! * the **Index Buffer Space** (buffers + `C[p]` counters) behind a second
-//!   `RwLock` — written only in short sections: the Table II history tick +
+//! * the **Index Buffer Space** (buffers + `C[p]` counters) as a
+//!   [`ShardedSpace`]: buffer `id` lives in shard `id % shards`, each shard
+//!   behind its own `RwLock`, all drawing Algorithm 2 headroom from the one
+//!   shared [`MemoryBudget`]. Shard write sections stay short: the
 //!   Algorithm 2 selection before a sweep, the staged apply after it, and
-//!   DML maintenance.
+//!   DML maintenance — and a query only locks the shard of the buffer it
+//!   scans, so clients on disjoint buffers never contend.
 //!
-//! Lock order is **catalog → space → pool** (pool locks are
-//! storage-internal leaves; see `aib-storage::buffer_pool`). The indexing
-//! scan's three-phase shape (prepare under the space write lock, sweep with
-//! no engine lock, validated apply under the write lock) is what lets
-//! concurrent read queries overlap their page I/O: the paper's Algorithm 1
-//! mutates index structure as a side effect of reads, and the staged-apply
-//! split confines that mutation to the short write sections.
+//! Queries whose every page is skippable take a **lock-free fast path**:
+//! they validate an epoch-stamped [`SpaceSnapshot`] (plain atomic loads),
+//! answer from its skip bitsets, and defer their Table II history events
+//! into per-buffer atomic cells ([`aib_core::BufferPending`], batched
+//! client-side by [`SnapshotCache`]) that the next shard-write entry drains
+//! in deferral order — no shared write at all on the hot path.
+//!
+//! Lock order is **catalog → shard(0) → shard(1) → … → pool**: shard locks
+//! nest inside the catalog lock, multi-shard acquisitions proceed in
+//! ascending shard index (DML and the exclusive tuned path take
+//! `write_all`), and pool locks are storage-internal leaves (see
+//! `aib-storage::buffer_pool`). The indexing scan's three-phase shape
+//! (prepare under the shard write lock, sweep with no engine lock,
+//! validated apply under the shard write lock) is what lets concurrent read
+//! queries overlap their page I/O: the paper's Algorithm 1 mutates index
+//! structure as a side effect of reads, and the staged-apply split confines
+//! that mutation to the short write sections. With `shards = 1` the whole
+//! arrangement degenerates to the previous single-lock executor bit for
+//! bit.
 
 // aib-lint: allow-file(no-index) — `tables` and `indexed` are only ever
 // indexed by positions this module itself computed (`table_index`,
@@ -52,15 +68,15 @@ use parking_lot::{RwLock, RwLockReadGuard};
 use aib_core::{
     apply_staged_checked, cover_tuple, indexing_scan, indexing_scan_parallel, maintain,
     planned_scan_threads, prepare_scan, sweep_plan, uncover_tuple, BufferConfig, BufferId,
-    IndexBufferSpace, Predicate, ScanPrep, ScanStats, SpaceConfig, TupleRef,
+    IndexBufferSpace, Predicate, ScanPrep, ScanStats, ShardWriteGuard, ShardedSpace, SnapshotCache,
+    SpaceConfig, SpaceSnapshot, TupleRef,
 };
 use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex};
 use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy};
 use aib_storage::stats::IoSnapshot;
 use aib_storage::{
     BudgetComponent, BudgetSnapshot, BufferPool, BufferPoolConfig, CostModel, DiskManager,
-    DisplacementPolicy, HeapFile, IoStats, MemoryBudget, MemoryUsage, Rid, Schema, StorageError,
-    Tuple, Value,
+    DisplacementPolicy, HeapFile, IoStats, MemoryBudget, Rid, Schema, StorageError, Tuple, Value,
 };
 
 use crate::error::{EngineError, EngineResult};
@@ -294,14 +310,17 @@ impl std::ops::Deref for TableRef<'_> {
     }
 }
 
-/// Read access to the Index Buffer Space: an RAII guard over the space read
-/// lock. Holding it blocks buffer insertions (scans' staged apply) and DML
-/// maintenance; keep it scoped.
-pub struct SpaceRef<'a> {
+/// Read access to one shard of the Index Buffer Space: an RAII guard over
+/// that shard's read lock, dereferencing to the shard's
+/// [`IndexBufferSpace`]. Obtain it from [`Database::space_shard`] with the
+/// buffer you want to inspect; holding it blocks that shard's writers
+/// (scans' staged apply, DML maintenance) — other shards stay free. Keep it
+/// scoped.
+pub struct ShardRef<'a> {
     guard: RwLockReadGuard<'a, IndexBufferSpace>,
 }
 
-impl std::ops::Deref for SpaceRef<'_> {
+impl std::ops::Deref for ShardRef<'_> {
     type Target = IndexBufferSpace;
     fn deref(&self) -> &IndexBufferSpace {
         &self.guard
@@ -341,7 +360,7 @@ pub struct Database {
     stats: Arc<IoStats>,
     budget: Arc<MemoryBudget>,
     catalog: RwLock<Catalog>,
-    space: RwLock<IndexBufferSpace>,
+    space: ShardedSpace,
     config: EngineConfig,
     queries_executed: AtomicUsize,
 }
@@ -380,10 +399,7 @@ impl Database {
         Database {
             pool,
             stats,
-            space: RwLock::new(IndexBufferSpace::with_budget(
-                config.space,
-                Arc::clone(&budget),
-            )),
+            space: ShardedSpace::with_budget(config.space, Arc::clone(&budget)),
             budget,
             catalog: RwLock::new(Catalog {
                 tables: Vec::new(),
@@ -410,12 +426,30 @@ impl Database {
         Arc::clone(&self.stats)
     }
 
-    /// The Index Buffer Space (inspection). Returns a read guard; holding
-    /// it blocks scans' buffer insertions and DML, so keep it scoped.
-    pub fn space(&self) -> SpaceRef<'_> {
-        SpaceRef {
-            guard: self.space.read(),
+    /// Read-locks the shard of the Index Buffer Space that holds `buffer`
+    /// (inspection). The guard dereferences to the shard's
+    /// [`IndexBufferSpace`]; holding it blocks that shard's scans and DML
+    /// maintenance, so keep it scoped.
+    pub fn space_shard(&self, buffer: BufferId) -> ShardRef<'_> {
+        ShardRef {
+            guard: self.space.shard_read(self.space.shard_of(buffer)),
         }
+    }
+
+    /// An epoch-validated, read-only snapshot of the whole Index Buffer
+    /// Space: per-buffer entry counts, footprints and skip bitsets, with no
+    /// lock held by the caller afterwards. Cheap while nothing mutates
+    /// (returns the published snapshot after plain atomic validation);
+    /// rebuilds under short shard read locks otherwise.
+    pub fn space_snapshot(&self) -> Arc<SpaceSnapshot> {
+        self.space.space_snapshot()
+    }
+
+    /// Checks the Index Buffer Space's structural invariants across every
+    /// shard, including the cross-shard budget reconciliation (tests;
+    /// panics on violation).
+    pub fn check_space_invariants(&self) {
+        self.space.check_invariants();
     }
 
     /// The shared memory governor (inspection).
@@ -424,10 +458,9 @@ impl Database {
     }
 
     /// A point-in-time copy of the governor's byte counters, after
-    /// reconciling the Index Buffer Space's resident footprint.
+    /// reconciling every shard's resident footprint.
     pub fn memory(&self) -> BudgetSnapshot {
-        let space = self.space.read();
-        space.sync_budget();
+        self.space.sync_all();
         self.budget.snapshot()
     }
 
@@ -470,7 +503,7 @@ impl Database {
     /// (Table I, insert column).
     pub fn insert(&self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
+        let mut shards = self.space.write_all();
         let ti = catalog.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
         let rid = catalog.tables[ti].heap.insert(&bytes)?;
@@ -478,16 +511,22 @@ impl Database {
         let t = &mut catalog.tables[ti];
         for ic in &mut t.indexed {
             let value = column_value(tuple, ic.column)?;
-            apply_maintenance(&mut space, ic, None, Some(TupleRef::new(value, rid, page)))?;
+            apply_maintenance(
+                &self.space,
+                &mut shards,
+                ic,
+                None,
+                Some(TupleRef::new(value, rid, page)),
+            )?;
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint(&catalog, &shards)?;
         Ok(rid)
     }
 
     /// Deletes the tuple at `rid` (Table I, delete row).
     pub fn delete(&self, table: &str, rid: Rid) -> EngineResult<()> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
+        let mut shards = self.space.write_all();
         let ti = catalog.table_index(table)?;
         let bytes = catalog.tables[ti].heap.get(rid)?;
         let old = Tuple::from_bytes(&bytes)?;
@@ -496,9 +535,15 @@ impl Database {
         let t = &mut catalog.tables[ti];
         for ic in &mut t.indexed {
             let value = column_value(&old, ic.column)?;
-            apply_maintenance(&mut space, ic, Some(TupleRef::new(value, rid, page)), None)?;
+            apply_maintenance(
+                &self.space,
+                &mut shards,
+                ic,
+                Some(TupleRef::new(value, rid, page)),
+                None,
+            )?;
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint(&catalog, &shards)?;
         Ok(())
     }
 
@@ -506,7 +551,7 @@ impl Database {
     /// (Table I, full matrix — the tuple may change pages).
     pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
+        let mut shards = self.space.write_all();
         let ti = catalog.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
         let old_bytes = catalog.tables[ti].heap.get(rid)?;
@@ -519,13 +564,14 @@ impl Database {
             let old_value = column_value(&old, ic.column)?;
             let new_value = column_value(tuple, ic.column)?;
             apply_maintenance(
-                &mut space,
+                &self.space,
+                &mut shards,
                 ic,
                 Some(TupleRef::new(old_value, rid, old_page)),
                 Some(TupleRef::new(new_value, new_rid, new_page)),
             )?;
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint(&catalog, &shards)?;
         Ok(new_rid)
     }
 
@@ -588,7 +634,6 @@ impl Database {
         paged: bool,
     ) -> EngineResult<()> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
         let ti = catalog.table_index(table)?;
         let ci = catalog.column_index(ti, column)?;
         if catalog.tables[ti].indexed_column(ci).is_some() {
@@ -617,7 +662,10 @@ impl Database {
         if let Some(e) = scan_err {
             return Err(e);
         }
-        let buffer_id = buffer.map(|cfg| space.register(format!("{table}.{column}"), cfg, counts));
+        let buffer_id = buffer.map(|cfg| {
+            self.space
+                .register(format!("{table}.{column}"), cfg, counts)
+        });
         catalog.tables[ti].indexed.push(IndexedColumn {
             column: ci,
             partial,
@@ -625,8 +673,8 @@ impl Database {
             tuner: None,
             paged,
         });
-        space.sync_budget();
-        self.checkpoint(&catalog, &space)?;
+        self.space.sync_all();
+        self.checkpoint_now(&catalog)?;
         Ok(())
     }
 
@@ -638,7 +686,6 @@ impl Database {
     /// nothing (its history only ticks).
     pub fn drop_partial_index(&self, table: &str, column: &str) -> EngineResult<()> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
         let ti = catalog.table_index(table)?;
         let ci = catalog.column_index(ti, column)?;
         let slot = catalog.tables[ti]
@@ -646,9 +693,11 @@ impl Database {
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let ic = catalog.tables[ti].indexed.remove(slot);
         if let Some(bid) = ic.buffer {
-            space.clear_buffer(bid);
+            self.space
+                .shard_write(self.space.shard_of(bid))
+                .clear_buffer(bid);
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint_now(&catalog)?;
         Ok(())
     }
 
@@ -683,7 +732,6 @@ impl Database {
         coverage: Coverage,
     ) -> EngineResult<()> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
         let ti = catalog.table_index(table)?;
         let ci = catalog.column_index(ti, column)?;
         let slot = catalog.tables[ti]
@@ -693,9 +741,13 @@ impl Database {
         let ic = &mut t.indexed[slot];
         ic.partial.redefine_coverage(coverage);
         // Rebuild entries and counters from the heap; any buffered pages are
-        // invalidated (their composition changed under the buffer).
+        // invalidated (their composition changed under the buffer). Both the
+        // clear and the counter reset bump the shard epoch, so snapshots
+        // published before the redefinition stop validating.
         if let Some(bid) = ic.buffer {
-            space.clear_buffer(bid);
+            self.space
+                .shard_write(self.space.shard_of(bid))
+                .clear_buffer(bid);
         }
         let mut counts: Vec<u32> = vec![0; t.heap.num_pages() as usize];
         let heap = &t.heap;
@@ -724,9 +776,11 @@ impl Database {
             return Err(e);
         }
         if let Some(bid) = ic.buffer {
-            space.reset_counters(bid, counts);
+            self.space
+                .shard_write(self.space.shard_of(bid))
+                .reset_counters(bid, counts);
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint_now(&catalog)?;
         Ok(())
     }
 
@@ -742,7 +796,7 @@ impl Database {
     /// so page-skipping decisions are about full pages.
     pub fn vacuum(&self, table: &str, min_occupancy: f64) -> EngineResult<(u32, u64)> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
+        let mut shards = self.space.write_all();
         let ti = catalog.table_index(table)?;
         let pages = catalog.tables[ti].heap.num_pages();
         if pages == 0 {
@@ -766,7 +820,8 @@ impl Database {
                 for ic in &mut t.indexed {
                     let value = column_value(&tuple, ic.column)?;
                     apply_maintenance(
-                        &mut space,
+                        &self.space,
+                        &mut shards,
                         ic,
                         Some(TupleRef::new(value.clone(), rid, ord)),
                         Some(TupleRef::new(value, new_rid, new_ord)),
@@ -774,7 +829,7 @@ impl Database {
                 }
             }
         }
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint(&catalog, &shards)?;
         Ok((drained, moved))
     }
 
@@ -784,12 +839,36 @@ impl Database {
     /// metrics as one [`ExecOutcome`].
     ///
     /// Safe to call from many client threads at once: read queries hold the
-    /// catalog read lock end to end and serialize only on the Index Buffer
-    /// Space's short write sections (Table II history + Algorithm 2
-    /// selection before the sweep, staged apply after it). Tuned point
+    /// catalog read lock end to end and serialize only on the queried
+    /// buffer's shard for the short write sections (Algorithm 2 selection
+    /// before the sweep, staged apply after it). Fully-skippable queries
+    /// answer lock-free from the published [`SpaceSnapshot`]. Tuned point
     /// queries adapt the partial index and therefore take the exclusive
     /// (write-locked) path.
+    ///
+    /// This entry point keeps a query-local [`SnapshotCache`]; clients
+    /// issuing many queries should go through [`crate::ClientHandle`],
+    /// which reuses one cache across calls via
+    /// [`Database::execute_with_cache`].
     pub fn execute(&self, query: &Query) -> EngineResult<ExecOutcome> {
+        let mut cache = SnapshotCache::new();
+        let outcome = self.execute_with_cache(query, &mut cache);
+        // Deferred Table II events outlive the cache only in the shared
+        // pending cells; publish them before the cache drops.
+        cache.flush();
+        outcome
+    }
+
+    /// [`Database::execute`] with a caller-owned [`SnapshotCache`]: the
+    /// cache carries the validated space snapshot and locally deferred
+    /// Table II events across queries, so a run of fully-skippable queries
+    /// performs no shared write at all until the next slow-path boundary
+    /// (any lock acquisition) flushes and drains them in deferral order.
+    pub fn execute_with_cache(
+        &self,
+        query: &Query,
+        cache: &mut SnapshotCache,
+    ) -> EngineResult<ExecOutcome> {
         // Relaxed: the sequence number only needs uniqueness, not ordering
         // against other memory operations.
         let seq = self.queries_executed.fetch_add(1, Ordering::Relaxed);
@@ -806,6 +885,9 @@ impl Database {
             && slot.is_some_and(|s| catalog.tables[ti].indexed[s].tuner.is_some());
         if tuned_point {
             drop(catalog);
+            // The exclusive path drains pending events on shard entry; the
+            // cache's deferrals must be published first to stay in order.
+            cache.flush();
             return self.execute_exclusive(query, seq, before, start);
         }
 
@@ -820,25 +902,46 @@ impl Database {
                     // the backend can range-scan (hash indexes cannot).
                     Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
                 };
-                let buffer = ic.buffer;
-                if !hit && buffer.is_some() {
-                    // Table II runs inside the scan's prepare write section.
-                    let (r, s, threads) =
-                        self.buffered_scan_shared(t, slot, ci, &query.predicate)?;
-                    (r, Some(s), threads)
-                } else {
-                    // Table II: every query adjusts every buffer's history.
-                    self.space.write().on_query(buffer, hit);
-                    if hit {
-                        (self.index_hit(t, slot, &query.predicate)?, None, 1)
-                    } else {
-                        (self.plain_scan(t, ci, &query.predicate)?, None, 1)
+                match ic.buffer {
+                    Some(bid) if !hit => {
+                        let heap_pages = t.heap.num_pages();
+                        let fast = cache
+                            .ensure(&self.space)
+                            .buffer(bid)
+                            .is_some_and(|b| b.fully_skippable(heap_pages));
+                        if fast {
+                            // Lock-free fast path: the validated snapshot
+                            // proves every page is skippable and the buffer
+                            // is empty; Table II is deferred locally.
+                            cache.record(Some(bid), false);
+                            let (r, s, threads) =
+                                self.fast_path_scan(t, slot, &query.predicate, heap_pages)?;
+                            (r, Some(s), threads)
+                        } else {
+                            // Table II flushes into the scan's prepare
+                            // write section, which drains it in order.
+                            let (r, s, threads) =
+                                self.buffered_scan_shared(t, slot, ci, &query.predicate, cache)?;
+                            (r, Some(s), threads)
+                        }
+                    }
+                    buffer => {
+                        // Table II: every query adjusts every buffer's
+                        // history — deferred locally, drained by the next
+                        // write-side entry into each shard.
+                        cache.ensure(&self.space);
+                        cache.record(buffer, hit);
+                        if hit {
+                            (self.index_hit(t, slot, &query.predicate)?, None, 1)
+                        } else {
+                            (self.plain_scan(t, ci, &query.predicate)?, None, 1)
+                        }
                     }
                 }
             }
         };
 
-        let space = self.space.read();
+        let buffer_entries = cache.ensure(&self.space).buffer_entries();
         let metrics = self.finish_metrics(
             seq,
             &result,
@@ -846,15 +949,59 @@ impl Database {
             scan_threads,
             &before,
             start,
-            &space,
+            buffer_entries,
         );
-        self.checkpoint(&catalog, &space)?;
+        self.checkpoint_now(&catalog)?;
         Ok(ExecOutcome { result, metrics })
     }
 
+    /// The lock-free answer to a fully-skippable buffered miss: no page is
+    /// read, no buffer entry can match (the snapshot proved the buffer
+    /// empty), and the only result rows a straddling range can have live in
+    /// the partial index. Produces the same [`ScanStats`] the staged scan
+    /// reports for this state — zero reads, one skip run covering the whole
+    /// heap — so metrics cannot tell the paths apart.
+    fn fast_path_scan(
+        &self,
+        t: &Table,
+        slot: usize,
+        predicate: &Predicate,
+        heap_pages: u32,
+    ) -> EngineResult<(QueryResult, ScanStats, usize)> {
+        let ic = &t.indexed[slot];
+        let threads = planned_scan_threads(heap_pages, self.config.scan_threads);
+        let stats = ScanStats {
+            pages_skipped: heap_pages,
+            skip_runs: u32::from(heap_pages > 0),
+            ..ScanStats::default()
+        };
+        let mut rids = Vec::new();
+        if let Predicate::Between(lo, hi) = predicate {
+            // The covered fraction of a straddling range, exactly as the
+            // staged scan charges and answers it.
+            if !ic.paged {
+                self.stats.record_reads(
+                    self.config.index_probe_pages,
+                    self.config.cost_model.read_us,
+                );
+            }
+            rids.extend(ic.partial.entries_in(lo, hi));
+            rids.sort_unstable();
+            rids.dedup();
+        }
+        Ok((
+            QueryResult {
+                rids,
+                path: AccessPath::BufferedScan,
+            },
+            stats,
+            threads,
+        ))
+    }
+
     /// The write-locked execution path: tuned point queries (the tuner
-    /// mutates the partial index), run with both locks held — equivalent to
-    /// the single-threaded executor.
+    /// mutates the partial index), run with the catalog and every shard
+    /// held — equivalent to the single-threaded executor.
     fn execute_exclusive(
         &self,
         query: &Query,
@@ -863,7 +1010,7 @@ impl Database {
         start: Instant,
     ) -> EngineResult<ExecOutcome> {
         let mut catalog = self.catalog.write();
-        let mut space = self.space.write();
+        let mut shards = self.space.write_all();
         let catalog = &mut *catalog;
         // Re-resolve under the write lock (the catalog may have changed
         // between the read and write acquisitions).
@@ -885,13 +1032,24 @@ impl Database {
                     Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
                 };
                 let buffer = ic.buffer;
-                // Table II: every query adjusts every buffer's history.
-                space.on_query(buffer, hit);
+                // Table II: every query adjusts every buffer's history; the
+                // queried buffer lives in exactly one shard, every other
+                // shard only ticks.
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    let queried = buffer.filter(|&b| self.space.shard_of(b) == i);
+                    shard.on_query(queried, hit);
+                }
                 if hit {
                     (self.index_hit(t, slot, &query.predicate)?, None, 1)
-                } else if buffer.is_some() {
-                    let (r, s, threads) =
-                        self.buffered_scan_exclusive(&mut space, t, slot, ci, &query.predicate)?;
+                } else if let Some(bid) = buffer {
+                    let shard = self.space.shard_of(bid);
+                    let (r, s, threads) = self.buffered_scan_exclusive(
+                        &mut shards[shard],
+                        t,
+                        slot,
+                        ci,
+                        &query.predicate,
+                    )?;
                     (r, Some(s), threads)
                 } else {
                     (self.plain_scan(t, ci, &query.predicate)?, None, 1)
@@ -902,10 +1060,23 @@ impl Database {
         // Online tuning: observe the queried value, adapt the partial index.
         if let (Some(slot), Predicate::Equals(v)) = (slot, &query.predicate) {
             if catalog.tables[ti].indexed[slot].tuner.is_some() {
-                apply_tuning(&mut catalog.tables[ti], &mut space, slot, v, &result.rids)?;
+                apply_tuning(
+                    &mut catalog.tables[ti],
+                    &self.space,
+                    &mut shards,
+                    slot,
+                    v,
+                    &result.rids,
+                )?;
             }
         }
 
+        for shard in &shards {
+            shard.sync_budget();
+        }
+        let buffer_entries = (0..self.space.num_buffers())
+            .map(|b| shards[self.space.shard_of(b)].buffer(b).num_entries())
+            .collect();
         let metrics = self.finish_metrics(
             seq,
             &result,
@@ -913,13 +1084,15 @@ impl Database {
             scan_threads,
             &before,
             start,
-            &space,
+            buffer_entries,
         );
-        self.checkpoint(catalog, &space)?;
+        self.checkpoint(catalog, &shards)?;
         Ok(ExecOutcome { result, metrics })
     }
 
-    /// Assembles a query's [`QueryMetrics`] from the held space lock.
+    /// Assembles a query's [`QueryMetrics`]; `buffer_entries` comes from
+    /// either the validated snapshot (shared path) or the held shard guards
+    /// (exclusive path), so no lock is taken here.
     #[allow(clippy::too_many_arguments)]
     fn finish_metrics(
         &self,
@@ -929,14 +1102,10 @@ impl Database {
         scan_threads: usize,
         before: &IoSnapshot,
         start: Instant,
-        space: &IndexBufferSpace,
+        buffer_entries: Vec<usize>,
     ) -> QueryMetrics {
         let wall = start.elapsed();
         let io = self.stats.snapshot().since(before);
-        let buffer_entries = (0..space.num_buffers())
-            .map(|b| space.buffer(b).num_entries())
-            .collect();
-        space.sync_budget();
         QueryMetrics {
             seq,
             path: result.path,
@@ -988,12 +1157,13 @@ impl Database {
     /// Algorithm 1 split at the staged-apply boundary so the sweep runs with
     /// **no engine lock held**.
     ///
-    /// 1. *Prepare* (space write lock): Table II history, Algorithm 2
-    ///    selection — the scan's single RNG draw — the buffer scan, and the
-    ///    counter/selection snapshots.
+    /// 1. *Prepare* (shard write lock): the cache's deferred Table II
+    ///    events — including this query's — flush and drain in order on
+    ///    entry, then Algorithm 2 selection — the scan's single RNG draw —
+    ///    the buffer scan, and the counter/selection snapshots.
     /// 2. *Sweep* (no lock): [`sweep_plan`] reads table pages through the
     ///    concurrent pool, staging would-be buffer insertions.
-    /// 3. *Apply* (space write lock): [`apply_staged_checked`] inserts
+    /// 3. *Apply* (shard write lock): [`apply_staged_checked`] inserts
     ///    staged pages whose `C[p]` is still non-zero — a page already
     ///    indexed by an overlapping scan is skipped, not double-inserted —
     ///    then reconciles the governor.
@@ -1008,6 +1178,7 @@ impl Database {
         slot: usize,
         ci: usize,
         predicate: &Predicate,
+        cache: &mut SnapshotCache,
     ) -> EngineResult<(QueryResult, ScanStats, usize)> {
         let ic = &t.indexed[slot];
         let bid = ic.buffer.ok_or_else(|| {
@@ -1021,9 +1192,17 @@ impl Database {
         let threads = planned_scan_threads(t.heap.num_pages(), self.config.scan_threads);
         let mut rids = Vec::new();
 
+        // Table II first (deferred then flushed): the shard-write entry
+        // below drains the pending cells in deferral order, so the history
+        // Algorithm 2 reads already includes this query's events — the
+        // order the sequential executor produces.
+        cache.ensure(&self.space);
+        cache.record(Some(bid), false);
+        cache.flush();
+
+        let shard = self.space.shard_of(bid);
         let (prep, partition_pages) = {
-            let mut space = self.space.write();
-            space.on_query(Some(bid), false);
+            let mut space = self.space.shard_write(shard);
             let prep = prepare_scan(&t.heap, &mut space, bid, predicate, &mut rids);
             let partition_pages = space.buffer(bid).config().partition_pages;
             (prep, partition_pages)
@@ -1044,9 +1223,10 @@ impl Database {
         rids.extend(chunk.matches);
 
         {
-            let mut space = self.space.write();
-            let (buffer, counters) = space.buffer_and_counters_mut(bid);
-            apply_staged_checked(buffer, counters, chunk.staged, &mut stats);
+            let mut space = self.space.shard_write(shard);
+            space.with_buffer_mut(bid, |buffer, counters| {
+                apply_staged_checked(buffer, counters, chunk.staged, &mut stats);
+            });
             space.sync_budget();
         }
         stats.matches = rids.len();
@@ -1181,7 +1361,9 @@ impl Database {
             Predicate::Equals(v) => ic.partial.covers(v),
             Predicate::Between(lo, hi) => ic.partial.lookup_range(lo, hi).is_some(),
         };
-        let space = self.space.read();
+        // The snapshot answers everything explain needs — entry counts,
+        // footprints, skip bitsets — without locking any shard.
+        let snapshot = self.space.space_snapshot();
         if hit {
             let cardinality = match (
                 &query.predicate,
@@ -1190,6 +1372,7 @@ impl Database {
                 (Predicate::Equals(v), true) => Some(ic.partial.lookup(v).len()),
                 _ => None,
             };
+            let summary = ic.buffer.and_then(|b| snapshot.buffer(b));
             return Ok(crate::explain::explanation(
                 AccessPath::PartialIndex,
                 true,
@@ -1198,19 +1381,22 @@ impl Database {
                 0,
                 0,
                 cardinality,
-                ic.buffer.map_or(0, |b| space.buffer(b).num_entries()),
-                ic.buffer.map_or(0, |b| space.buffer(b).footprint()),
+                summary.map_or(0, |s| s.entries()),
+                summary.map_or(0, |s| s.footprint()),
                 1,
             ));
         }
         match ic.buffer {
             Some(bid) => {
-                let counters = space.counters(bid);
+                let summary = snapshot.buffer(bid).ok_or_else(|| {
+                    EngineError::Internal(format!("buffer {bid} missing from space snapshot"))
+                })?;
                 // Pages with C[p] > 0; pages beyond the tracked range are
-                // fully covered and skippable. The maintained skip bitset
+                // fully covered and skippable. The snapshot's skip bitset
                 // answers both counts without walking C[p].
-                let to_read = counters.num_pages() - counters.fully_indexed_pages();
-                let skip_runs = counters.skippable_runs().count() as u32;
+                let skip = summary.skip();
+                let to_read = skip.len() - skip.count();
+                let skip_runs = skip.skippable_runs().count() as u32;
                 Ok(crate::explain::explanation(
                     AccessPath::BufferedScan,
                     true,
@@ -1219,8 +1405,8 @@ impl Database {
                     to_read,
                     skip_runs,
                     None,
-                    space.buffer(bid).num_entries(),
-                    space.buffer(bid).footprint(),
+                    summary.entries(),
+                    summary.footprint(),
                     planned_scan_threads(table_pages, self.config.scan_threads),
                 ))
             }
@@ -1280,25 +1466,31 @@ impl Database {
     #[cfg(feature = "invariant-checks")]
     pub fn verify_invariants(&self) -> EngineResult<()> {
         let catalog = self.catalog.read();
-        let space = self.space.read();
-        self.verify_with(&catalog, &space)
+        let shards = self.space.read_all();
+        self.verify_with(&catalog, &shards)
     }
 
-    /// The shadow model against already-held locks (so mutation paths can
-    /// verify without re-acquiring).
+    /// The shadow model against already-held shard locks (so mutation paths
+    /// can verify without re-acquiring). `shards` must hold every shard in
+    /// ascending index order — exactly what `read_all`/`write_all` return.
     #[cfg(feature = "invariant-checks")]
-    fn verify_with(&self, catalog: &Catalog, space: &IndexBufferSpace) -> EngineResult<()> {
-        use aib_core::{verify_buffer, verify_space, GroundTruth};
-        let mut report = verify_space(space);
+    fn verify_with<S>(&self, catalog: &Catalog, shards: &[S]) -> EngineResult<()>
+    where
+        S: std::ops::Deref<Target = IndexBufferSpace>,
+    {
+        use aib_core::{verify_buffer, verify_shards, GroundTruth};
+        let refs: Vec<&IndexBufferSpace> = shards.iter().map(|s| &**s).collect();
+        let mut report = verify_shards(&refs);
         for t in &catalog.tables {
             for ic in &t.indexed {
                 let Some(bid) = ic.buffer else { continue };
+                let shard = refs[self.space.shard_of(bid)];
                 let coverage = ic.partial.coverage();
                 let covered = |v: &Value| coverage.covers(v);
-                let truth = GroundTruth::compute(&t.heap, ic.column, &covered, space.buffer(bid))?;
+                let truth = GroundTruth::compute(&t.heap, ic.column, &covered, shard.buffer(bid))?;
                 report.merge(verify_buffer(
-                    space.buffer(bid),
-                    space.counters(bid),
+                    shard.buffer(bid),
+                    shard.counters(bid),
                     &truth,
                 ));
             }
@@ -1309,17 +1501,39 @@ impl Database {
 
     /// Shadow-model checkpoint: diffs bookkeeping against ground truth
     /// after every mutation when `invariant-checks` is on; free otherwise.
-    /// Takes the caller's held locks — never acquires.
+    /// Takes the caller's held shard guards — never acquires.
     #[cfg(feature = "invariant-checks")]
     #[inline]
-    fn checkpoint(&self, catalog: &Catalog, space: &IndexBufferSpace) -> EngineResult<()> {
-        self.verify_with(catalog, space)
+    fn checkpoint<S>(&self, catalog: &Catalog, shards: &[S]) -> EngineResult<()>
+    where
+        S: std::ops::Deref<Target = IndexBufferSpace>,
+    {
+        self.verify_with(catalog, shards)
     }
 
     /// Shadow-model checkpoint (disabled build): compiles to nothing.
     #[cfg(not(feature = "invariant-checks"))]
     #[inline]
-    fn checkpoint(&self, _catalog: &Catalog, _space: &IndexBufferSpace) -> EngineResult<()> {
+    fn checkpoint<S>(&self, _catalog: &Catalog, _shards: &[S]) -> EngineResult<()>
+    where
+        S: std::ops::Deref<Target = IndexBufferSpace>,
+    {
+        Ok(())
+    }
+
+    /// Shadow-model checkpoint for paths that hold no shard lock: acquires
+    /// every shard (read) only when `invariant-checks` is on — the fast
+    /// path stays lock-free in normal builds.
+    #[cfg(feature = "invariant-checks")]
+    #[inline]
+    fn checkpoint_now(&self, catalog: &Catalog) -> EngineResult<()> {
+        self.verify_with(catalog, &self.space.read_all())
+    }
+
+    /// Shadow-model checkpoint (disabled build): compiles to nothing.
+    #[cfg(not(feature = "invariant-checks"))]
+    #[inline]
+    fn checkpoint_now(&self, _catalog: &Catalog) -> EngineResult<()> {
         Ok(())
     }
 }
@@ -1336,11 +1550,12 @@ impl std::fmt::Debug for Database {
 }
 
 /// Applies the online tuner's decision for an observed point query. Runs
-/// with the catalog and space write locks held (only the exclusive
-/// execution path tunes).
+/// with the catalog and every shard write guard held (only the exclusive
+/// execution path tunes); mutates only the tuned buffer's shard.
 fn apply_tuning(
     t: &mut Table,
-    space: &mut IndexBufferSpace,
+    space: &ShardedSpace,
+    shards: &mut [ShardWriteGuard<'_>],
     slot: usize,
     value: &Value,
     matched: &[Rid],
@@ -1363,11 +1578,13 @@ fn apply_tuning(
             .collect::<Result<_, StorageError>>()?;
         let ic = &mut t.indexed[slot];
         if let Some(bid) = ic.buffer {
-            let (buffer, counters) = space.buffer_and_counters_mut(bid);
-            for &(rid, page) in &pages {
-                cover_tuple(buffer, counters, &v, rid, page)
-                    .map_err(|e| EngineError::Invariant(e.to_string()))?;
-            }
+            shards[space.shard_of(bid)].with_buffer_mut(bid, |buffer, counters| {
+                for &(rid, page) in &pages {
+                    cover_tuple(buffer, counters, &v, rid, page)
+                        .map_err(|e| EngineError::Invariant(e.to_string()))?;
+                }
+                Ok::<(), EngineError>(())
+            })?;
         }
         ic.partial.adapt_add_value(v, matched);
     }
@@ -1380,12 +1597,15 @@ fn apply_tuning(
         for rid in rids {
             let page = t.ordinal(rid)?;
             if let Some(bid) = buffer {
-                let (buffer, counters) = space.buffer_and_counters_mut(bid);
-                uncover_tuple(buffer, counters, v.clone(), rid, page);
+                shards[space.shard_of(bid)].with_buffer_mut(bid, |b, c| {
+                    uncover_tuple(b, c, v.clone(), rid, page);
+                });
             }
         }
     }
-    space.sync_budget();
+    if let Some(bid) = t.indexed[slot].buffer {
+        shards[space.shard_of(bid)].sync_budget();
+    }
     Ok(())
 }
 
@@ -1394,19 +1614,24 @@ fn apply_tuning(
 /// `maintain` means engine bookkeeping diverged from the heap; it surfaces as
 /// [`EngineError::Invariant`].
 fn apply_maintenance(
-    space: &mut IndexBufferSpace,
+    space: &ShardedSpace,
+    shards: &mut [ShardWriteGuard<'_>],
     ic: &mut IndexedColumn,
     old: Option<TupleRef>,
     new: Option<TupleRef>,
 ) -> EngineResult<()> {
     match ic.buffer {
         Some(bid) => {
-            let (buffer, counters) = space.buffer_and_counters_mut(bid);
-            maintain(&mut ic.partial, buffer, counters, old, new)
+            let shard = &mut shards[space.shard_of(bid)];
+            let partial = &mut ic.partial;
+            shard
+                .with_buffer_mut(bid, |buffer, counters| {
+                    maintain(partial, buffer, counters, old, new)
+                })
                 .map_err(|e| EngineError::Invariant(e.to_string()))?;
             // Maintenance mutates partitions behind the governor's back;
             // reconcile the byte charge at this barrier.
-            space.sync_budget();
+            shard.sync_budget();
         }
         None => {
             // Only the partial-index row of Table I applies.

@@ -22,7 +22,7 @@ pub mod query;
 pub mod tuner;
 
 pub use client::ClientHandle;
-pub use db::{Database, EngineConfig, PoolPolicy, SpaceRef, Table, TableRef};
+pub use db::{Database, EngineConfig, PoolPolicy, ShardRef, Table, TableRef};
 pub use error::{EngineError, EngineResult};
 pub use explain::Explanation;
 pub use metrics::{QueryMetrics, WorkloadRecorder};
@@ -41,7 +41,7 @@ mod tests {
             pool_frames: 64,
             cost_model: CostModel::default(),
             space: SpaceConfig {
-                max_entries: None,
+                max_bytes: None,
                 i_max: 10_000,
                 seed: 7,
                 ..Default::default()
@@ -271,7 +271,7 @@ mod tests {
             .unwrap()
             .into_parts();
         assert_eq!(r.count(), 10);
-        db.space().check_invariants();
+        db.check_space_invariants();
     }
 
     #[test]
@@ -279,11 +279,15 @@ mod tests {
         let db = setup(300, 100);
         // Warm the buffer fully.
         db.execute(&Query::point("t", "k", 250i64)).unwrap();
-        assert!(db.space().buffer(0).num_entries() > 0);
+        assert!(db.space_shard(0).buffer(0).num_entries() > 0);
         // Flip coverage to the top of the domain (experiment 4's switch).
         db.redefine_coverage("t", "k", Coverage::IntRange { lo: 200, hi: 299 })
             .unwrap();
-        assert_eq!(db.space().buffer(0).num_entries(), 0, "buffer invalidated");
+        assert_eq!(
+            db.space_shard(0).buffer(0).num_entries(),
+            0,
+            "buffer invalidated"
+        );
         let (r, m) = db
             .execute(&Query::point("t", "k", 250i64))
             .unwrap()
@@ -297,7 +301,7 @@ mod tests {
         assert_eq!(m.path, AccessPath::BufferedScan);
         assert_eq!(r.count(), 1);
         let _ = m;
-        db.space().check_invariants();
+        db.check_space_invariants();
     }
 
     #[test]
@@ -365,9 +369,13 @@ mod tests {
     fn drop_partial_index_reverts_to_plain_scans() {
         let db = setup(200, 50);
         db.execute(&Query::point("t", "k", 150i64)).unwrap(); // warm buffer
-        assert!(db.space().buffer(0).num_entries() > 0);
+        assert!(db.space_shard(0).buffer(0).num_entries() > 0);
         db.drop_partial_index("t", "k").unwrap();
-        assert_eq!(db.space().buffer(0).num_entries(), 0, "buffer emptied");
+        assert_eq!(
+            db.space_shard(0).buffer(0).num_entries(),
+            0,
+            "buffer emptied"
+        );
         let (r, m) = db
             .execute(&Query::point("t", "k", 10i64))
             .unwrap()
@@ -520,7 +528,7 @@ mod tests {
             .filter(|(_, t)| t.get(0).unwrap().as_int() == Some(50))
             .count();
         assert_eq!(r.count(), expected);
-        db.space().check_invariants();
+        db.check_space_invariants();
     }
 
     #[test]
@@ -530,7 +538,7 @@ mod tests {
             pool_frames: 16,
             cost_model: CostModel::default(),
             space: SpaceConfig {
-                max_entries: None,
+                max_bytes: None,
                 i_max: 10_000,
                 seed: 7,
                 ..Default::default()
@@ -601,7 +609,7 @@ mod tests {
             .unwrap()
             .into_parts();
         assert_eq!(r.count(), 10);
-        db.space().check_invariants();
+        db.check_space_invariants();
     }
 
     #[test]
@@ -662,7 +670,7 @@ mod tests {
         // sees exactly the total minus both components' residency, not the
         // paper's standalone entry bound.
         assert_eq!(
-            db.space().free_bytes(),
+            db.space_shard(0).free_bytes(),
             TOTAL - after.buffer_pool_bytes - after.index_bytes,
             "pool bytes shrink what Algorithm 2 may claim"
         );
@@ -676,7 +684,7 @@ mod tests {
         // A scan batch may pin the whole resident set, forcing at most one
         // page of charged overshoot; the bound is otherwise intact.
         assert!(m.memory.total_bytes() <= TOTAL + PAGE_SIZE);
-        db.space().check_invariants();
+        db.check_space_invariants();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! | `no-panic`           | library code returns errors instead of panicking                 |
 //! | `no-index`           | no panicking slice/array indexing in library code                |
 //! | `atomics-order`      | `Ordering::Relaxed` only on allowlisted telemetry counters       |
-//! | `lock-order`         | Catalog locks are outermost (never after Space/Pool locks); BufferPool locks acquire before IndexBufferSpace locks |
+//! | `lock-order`         | hierarchy `catalog → shard(0) → … → shard(n-1) → pool`: catalog outermost, shard locks in ascending index order, BufferPool innermost |
 //! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
 //! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
 //!
@@ -323,24 +323,31 @@ fn atomics_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum LockKind {
     Catalog,
+    /// A shard of the `ShardedSpace`; the index is `Some` only when it is a
+    /// statically-known literal (a `shards[2]` receiver or a
+    /// `shard_write(2)` argument). `write_all`/`read_all` and dynamically
+    /// computed indices are `None` — they still anchor the shard tier in the
+    /// catalog/pool checks, but cannot participate in the ascending test.
+    Shard(Option<u64>),
     Pool,
-    Space,
 }
 
 fn lock_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
     for body in function_bodies(&stripped.text) {
-        let mut space_seen: Option<usize> = None;
+        let mut shard_seen: Option<usize> = None;
         let mut pool_seen: Option<usize> = None;
+        // Highest statically-known shard index locked so far, with its line.
+        let mut max_shard: Option<(u64, usize)> = None;
         for (line_idx, kind) in lock_acquisitions(&stripped.text, body.clone()) {
             match kind {
                 LockKind::Catalog => {
                     // The catalog is the engine's outermost lock: a reader
-                    // or writer that already holds the space or a pool lock
+                    // or writer that already holds a shard or a pool lock
                     // must never wait on it, or a query holding the catalog
                     // and wanting the space deadlocks against it.
-                    let inner = match (space_seen, pool_seen) {
+                    let inner = match (shard_seen, pool_seen) {
                         (Some(s), Some(p)) if p < s => Some((p, "BufferPool")),
-                        (Some(s), _) => Some((s, "IndexBufferSpace")),
+                        (Some(s), _) => Some((s, "space shard")),
                         (None, Some(p)) => Some((p, "BufferPool")),
                         (None, None) => None,
                     };
@@ -360,12 +367,12 @@ fn lock_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
                         );
                     }
                 }
-                LockKind::Space => {
-                    space_seen.get_or_insert(line_idx);
-                }
-                LockKind::Pool => {
-                    pool_seen.get_or_insert(line_idx);
-                    if let Some(space_line) = space_seen {
+                LockKind::Shard(index) => {
+                    shard_seen.get_or_insert(line_idx);
+                    // The pool is the innermost tier: a thread holding a
+                    // frame latch must never wait on a shard, or a scan
+                    // holding a shard and pinning pages deadlocks against it.
+                    if let Some(pool_line) = pool_seen {
                         push(
                             out,
                             stripped,
@@ -373,12 +380,42 @@ fn lock_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
                             line_idx,
                             "lock-order",
                             format!(
-                                "BufferPool lock acquired after IndexBufferSpace lock \
-                                 (space lock at line {}); pool locks must come first",
-                                space_line + 1
+                                "space shard lock acquired after BufferPool lock (pool \
+                                 lock at line {}); the pool is the innermost lock in \
+                                 catalog → shard(i) → pool",
+                                pool_line + 1
                             ),
                         );
                     }
+                    // Ascending-shard-index rule: two shards may only be held
+                    // together when taken in ascending order (the order
+                    // `write_all`/`read_all` use), or two multi-shard callers
+                    // deadlock against each other.
+                    if let Some(i) = index {
+                        if let Some((max_i, max_line)) = max_shard {
+                            if i < max_i {
+                                push(
+                                    out,
+                                    stripped,
+                                    rel,
+                                    line_idx,
+                                    "lock-order",
+                                    format!(
+                                        "shard {i} lock acquired after shard {max_i} \
+                                         (at line {}); shard locks must be taken in \
+                                         ascending index order",
+                                        max_line + 1
+                                    ),
+                                );
+                            }
+                        }
+                        if max_shard.is_none_or(|(m, _)| i > m) {
+                            max_shard = Some((i, line_idx));
+                        }
+                    }
+                }
+                LockKind::Pool => {
+                    pool_seen.get_or_insert(line_idx);
                 }
             }
         }
@@ -448,8 +485,15 @@ fn function_bodies(text: &str) -> Vec<std::ops::Range<usize>> {
     bodies
 }
 
-/// Lock acquisitions (`.lock()` / `.read()` / `.write()` with no arguments)
-/// inside `range`, classified by receiver name, in source order.
+/// Lock acquisitions inside `range`, classified by receiver name or method,
+/// in source order. Three families:
+/// - guard methods (`.lock()` / `.read()` / `.write()` with no arguments),
+///   classified by walking back over the receiver chain — including `[i]`
+///   subscripts, so `shards[2].write()` is shard 2;
+/// - shard-scoped accessors (`.shard_write(i)` / `.shard_read(i)`), with the
+///   index recovered when the argument is an integer literal;
+/// - whole-space sweeps (`.write_all()` / `.read_all()`), which acquire every
+///   shard ascending and count as an index-unknown shard acquisition.
 fn lock_acquisitions(text: &str, range: std::ops::Range<usize>) -> Vec<(usize, LockKind)> {
     let body = text.get(range.clone()).unwrap_or("");
     let base_line = text.get(..range.start).unwrap_or("").matches('\n').count();
@@ -458,24 +502,29 @@ fn lock_acquisitions(text: &str, range: std::ops::Range<usize>) -> Vec<(usize, L
         let mut from = 0usize;
         while let Some(rel_pos) = body.get(from..).and_then(|s| s.find(method)) {
             let pos = from + rel_pos;
-            // Receiver chain: walk back over identifier chars and dots.
+            // Receiver chain: walk back over identifier chars, dots, and
+            // subscript brackets (`self.shards[2]`).
             let recv: String = body
                 .get(..pos)
                 .unwrap_or("")
                 .chars()
                 .rev()
-                .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.')
+                .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | '[' | ']'))
                 .collect::<String>()
                 .chars()
                 .rev()
                 .collect();
-            let recv = recv.to_lowercase();
-            let kind = if recv.contains("catalog") {
+            let lower = recv.to_lowercase();
+            let kind = if lower.contains("catalog") {
                 Some(LockKind::Catalog)
-            } else if recv.contains("pool") || recv.contains("frame") {
+            } else if lower.contains("pool") || lower.contains("frame") {
                 Some(LockKind::Pool)
-            } else if recv.contains("space") {
-                Some(LockKind::Space)
+            } else if lower.contains("shard") {
+                Some(LockKind::Shard(subscript_index(&recv)))
+            } else if lower.contains("space") {
+                // A bare guard on a space receiver is one shard of the
+                // (possibly single-shard) space.
+                Some(LockKind::Shard(None))
             } else {
                 None
             };
@@ -486,11 +535,47 @@ fn lock_acquisitions(text: &str, range: std::ops::Range<usize>) -> Vec<(usize, L
             from = pos + method.len();
         }
     }
+    for method in [".shard_write(", ".shard_read("] {
+        let mut from = 0usize;
+        while let Some(rel_pos) = body.get(from..).and_then(|s| s.find(method)) {
+            let pos = from + rel_pos;
+            let arg_start = pos + method.len();
+            let index = argument_index(body, arg_start);
+            let line = base_line + body.get(..pos).unwrap_or("").matches('\n').count();
+            found.push((pos, line, LockKind::Shard(index)));
+            from = arg_start;
+        }
+    }
+    for method in [".write_all()", ".read_all()"] {
+        let mut from = 0usize;
+        while let Some(rel_pos) = body.get(from..).and_then(|s| s.find(method)) {
+            let pos = from + rel_pos;
+            let line = base_line + body.get(..pos).unwrap_or("").matches('\n').count();
+            found.push((pos, line, LockKind::Shard(None)));
+            from = pos + method.len();
+        }
+    }
     found.sort_by_key(|&(pos, _, _)| pos);
     found
         .into_iter()
         .map(|(_, line, kind)| (line, kind))
         .collect()
+}
+
+/// The literal index of a trailing `[N]` subscript in a receiver chain, if
+/// any (`self.shards[2]` → `Some(2)`, `self.shards[i]` → `None`).
+fn subscript_index(recv: &str) -> Option<u64> {
+    let inner = recv.strip_suffix(']')?;
+    let open = inner.rfind('[')?;
+    inner.get(open + 1..)?.trim().replace('_', "").parse().ok()
+}
+
+/// The literal value of a call argument starting at `from` (just past the
+/// opening paren), if the whole argument is one integer literal.
+fn argument_index(body: &str, from: usize) -> Option<u64> {
+    let rest = body.get(from..)?;
+    let close = rest.find(')')?;
+    rest.get(..close)?.trim().replace('_', "").parse().ok()
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ use std::sync::Mutex;
 
 pub struct Database {
     pool: Mutex<u32>,
+    shards: [Mutex<u32>; 2],
     space: Mutex<u32>,
     catalog: Mutex<u32>,
     counter: AtomicUsize,
@@ -25,11 +26,22 @@ impl Database {
     }
 
     pub fn wrong_lock_order(&mut self) -> EngineResult<u32> {
-        // lock-order: space lock taken before the pool lock.
-        let space = self.space.lock();
+        // lock-order: pool lock taken before the shard lock (the pool is the
+        // innermost tier of catalog → shard(i) → pool).
         let pool = self.pool.lock();
+        let space = self.space.lock();
         let a = *space.map_err(|_| EngineError)?;
         let b = *pool.map_err(|_| EngineError)?;
+        Ok(a + b)
+    }
+
+    pub fn descending_shard_order(&mut self) -> EngineResult<u32> {
+        // lock-order: shard 0 taken while shard 1 is held — shard locks must
+        // be acquired in ascending index order.
+        let hi = self.shards[1].lock();
+        let lo = self.shards[0].lock();
+        let a = *hi.map_err(|_| EngineError)?;
+        let b = *lo.map_err(|_| EngineError)?;
         Ok(a + b)
     }
 
@@ -43,14 +55,16 @@ impl Database {
     }
 
     pub fn right_lock_order(&mut self) -> EngineResult<u32> {
-        // Clean: catalog outermost, then pool before space.
+        // Clean: catalog outermost, shards ascending, pool innermost.
         let catalog = self.catalog.lock();
+        let lo = self.shards[0].lock();
+        let hi = self.shards[1].lock();
         let pool = self.pool.lock();
-        let space = self.space.lock();
         let a = *catalog.map_err(|_| EngineError)?;
-        let b = *pool.map_err(|_| EngineError)?;
-        let c = *space.map_err(|_| EngineError)?;
-        Ok(a + b + c)
+        let b = *lo.map_err(|_| EngineError)?;
+        let c = *hi.map_err(|_| EngineError)?;
+        let d = *pool.map_err(|_| EngineError)?;
+        Ok(a + b + c + d)
     }
 }
 

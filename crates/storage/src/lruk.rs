@@ -55,6 +55,20 @@ impl AccessHistory {
         self.stamps.truncate(self.k);
     }
 
+    /// Records `n` accesses, all at logical time `now`, in O(min(n, K)) —
+    /// equivalent to calling [`record`](Self::record) `n` times. Batch
+    /// drains of deferred access events use this instead of looping.
+    pub fn record_repeated(&mut self, now: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.uses += n;
+        for _ in 0..n.min(self.k as u64) {
+            self.stamps.push_front(now);
+        }
+        self.stamps.truncate(self.k);
+    }
+
     /// Number of retained timestamps (at most K).
     pub fn len(&self) -> usize {
         self.stamps.len()
@@ -171,6 +185,26 @@ mod tests {
         h.record(4);
         h.record(6);
         assert_eq!(h.intervals(9).collect::<Vec<_>>(), vec![3, 2, 3]);
+    }
+
+    #[test]
+    fn record_repeated_matches_looped_record() {
+        for n in [0u64, 1, 2, 3, 10] {
+            let mut batched = AccessHistory::new(3);
+            batched.record(1);
+            batched.record_repeated(5, n);
+            let mut looped = AccessHistory::new(3);
+            looped.record(1);
+            for _ in 0..n {
+                looped.record(5);
+            }
+            assert_eq!(batched.uses(), looped.uses(), "n = {n}");
+            assert_eq!(
+                batched.intervals(9).collect::<Vec<_>>(),
+                looped.intervals(9).collect::<Vec<_>>(),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

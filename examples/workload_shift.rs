@@ -7,7 +7,7 @@
 use aib_core::{BufferConfig, SpaceConfig};
 use aib_engine::{Database, EngineConfig, Query};
 use aib_index::{Coverage, IndexBackend};
-use aib_storage::CostModel;
+use aib_storage::{CostModel, DEFAULT_ENTRY_FOOTPRINT};
 use aib_workload::{experiment3_queries, TableSpec, SWITCH_AT};
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
         space: SpaceConfig {
             // Bounded space: enough for ~1.7 of the 3 columns' uncovered
             // tuples, so the buffers must compete.
-            max_entries: Some((spec.rows as f64 * 1.6) as usize),
+            max_bytes: Some((spec.rows as f64 * 1.6) as usize * DEFAULT_ENTRY_FOOTPRINT),
             i_max: (spec.rows / 100) as u32,
             seed: 5,
             ..Default::default()
@@ -61,7 +61,9 @@ fn main() {
         }
     }
 
-    let final_entries: Vec<usize> = (0..3).map(|b| db.space().buffer(b).num_entries()).collect();
+    let final_entries: Vec<usize> = (0..3)
+        .map(|b| db.space_shard(b).buffer(b).num_entries())
+        .collect();
     println!(
         "\nAfter the flip, the space manager displaced A's partitions in favour of C: {final_entries:?}"
     );

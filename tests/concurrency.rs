@@ -140,7 +140,7 @@ fn shared_db() -> Arc<Database> {
         pool_frames: 2048,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: None,
+            max_bytes: None,
             i_max: 1_000_000,
             seed: 23,
             ..Default::default()
@@ -223,7 +223,7 @@ fn concurrent_read_queries_match_ground_truth() {
     // state is "every page indexed" — and a follow-up scan skips everything.
     let out = db.execute(&Query::on("t", "k").eq(COVERED_HI + 1)).unwrap();
     assert_eq!(out.metrics.scan.unwrap().pages_read, 0, "fully buffered");
-    db.space().check_invariants();
+    db.check_space_invariants();
     #[cfg(feature = "invariant-checks")]
     db.verify_invariants().unwrap();
 }
@@ -291,7 +291,7 @@ fn concurrent_dml_and_reads_stay_linearizable() {
             });
         }
     });
-    db.space().check_invariants();
+    db.check_space_invariants();
     #[cfg(feature = "invariant-checks")]
     db.verify_invariants().unwrap();
 }

@@ -5,7 +5,7 @@
 use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
 use adaptive_index_buffer::engine::{AccessPath, Database, EngineConfig, Query};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
-use adaptive_index_buffer::storage::{CostModel, Tuple, Value};
+use adaptive_index_buffer::storage::{CostModel, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT};
 use adaptive_index_buffer::workload::{experiment1_queries, experiment3_queries, TableSpec};
 
 fn eval_db(rows: u64, space: SpaceConfig) -> (Database, TableSpec) {
@@ -52,7 +52,7 @@ fn truth(db: &Database, column: &str, value: i64) -> usize {
 #[test]
 fn experiment1_workload_is_correct_and_converges() {
     let space = SpaceConfig {
-        max_entries: None,
+        max_bytes: None,
         i_max: 100,
         seed: 1,
         ..Default::default()
@@ -84,7 +84,7 @@ fn experiment1_workload_is_correct_and_converges() {
         0,
         "table fully buffered for column A"
     );
-    db.space().check_invariants();
+    db.check_space_invariants();
 }
 
 #[test]
@@ -92,7 +92,7 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
     let rows = 20_000u64;
     let bound = (rows as f64 * 1.6) as usize;
     let space = SpaceConfig {
-        max_entries: Some(bound),
+        max_bytes: Some(bound * DEFAULT_ENTRY_FOOTPRINT),
         i_max: 200,
         seed: 2,
         ..Default::default()
@@ -113,7 +113,9 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
             entries_at_switch = m.buffer_entries.clone();
         }
     }
-    let final_entries: Vec<usize> = (0..3).map(|b| db.space().buffer(b).num_entries()).collect();
+    let final_entries: Vec<usize> = (0..3)
+        .map(|b| db.space_shard(b).buffer(b).num_entries())
+        .collect();
     assert!(
         entries_at_switch[0] > entries_at_switch[2],
         "A dominates C before the switch: {entries_at_switch:?}"
@@ -122,13 +124,13 @@ fn experiment3_respects_space_bound_and_flips_allocation() {
         final_entries[2] > final_entries[0],
         "C dominates A after the switch: {final_entries:?}"
     );
-    db.space().check_invariants();
+    db.check_space_invariants();
 }
 
 #[test]
 fn dml_between_queries_never_breaks_results() {
     let space = SpaceConfig {
-        max_entries: None,
+        max_bytes: None,
         i_max: 1_000_000,
         seed: 3,
         ..Default::default()
@@ -185,13 +187,13 @@ fn dml_between_queries_never_breaks_results() {
         .into_parts();
     assert_eq!(m.path, AccessPath::PartialIndex);
     assert_eq!(r.count(), truth(&db, "A", 1));
-    db.space().check_invariants();
+    db.check_space_invariants();
 }
 
 #[test]
 fn counters_match_ground_truth_after_mixed_workload() {
     let space = SpaceConfig {
-        max_entries: Some(4_000),
+        max_bytes: Some(4_000 * DEFAULT_ENTRY_FOOTPRINT),
         i_max: 50,
         seed: 4,
         ..Default::default()
@@ -210,7 +212,7 @@ fn counters_match_ground_truth_after_mixed_workload() {
     let table = db.table("eval").unwrap();
     for (col_idx, col) in ["A", "B", "C"].iter().enumerate() {
         let bid = db.buffer_id("eval", col).unwrap();
-        let space = db.space();
+        let space = db.space_shard(bid);
         let buffer = space.buffer(bid);
         let counters = space.counters(bid);
         let ci = table.schema().column_index(col).unwrap();
@@ -240,13 +242,13 @@ fn counters_match_ground_truth_after_mixed_workload() {
             }
         }
     }
-    db.space().check_invariants();
+    db.check_space_invariants();
 }
 
 #[test]
 fn range_queries_agree_with_ground_truth_across_coverage_boundary() {
     let space = SpaceConfig {
-        max_entries: None,
+        max_bytes: None,
         i_max: 1_000_000,
         seed: 5,
         ..Default::default()

@@ -89,7 +89,7 @@ fn fig4_buffer_completes_pages_and_serves_the_extra_tuple() {
     db.execute(&Query::point("flights", "airport", "FRA"))
         .unwrap();
     assert_eq!(
-        db.space().buffer(0).num_entries(),
+        db.space_shard(0).buffer(0).num_entries(),
         800,
         "the two uncovered airports' tuples are buffered"
     );
@@ -135,14 +135,16 @@ fn fig5_partitions_group_p_pages_disjointly() {
         buffer.index_page(page, tuples);
     };
     for page in [1u32, 7, 2, 4, 6] {
-        let (buffer, counters) = space.buffer_and_counters_mut(x);
-        feed(buffer, page);
-        counters.set_zero(page);
+        space.with_buffer_mut(x, |buffer, counters| {
+            feed(buffer, page);
+            counters.set_zero(page);
+        });
     }
     for page in [0u32, 3] {
-        let (buffer, counters) = space.buffer_and_counters_mut(a);
-        feed(buffer, page);
-        counters.set_zero(page);
+        space.with_buffer_mut(a, |buffer, counters| {
+            feed(buffer, page);
+            counters.set_zero(page);
+        });
     }
 
     let bx = space.buffer(x);
@@ -166,14 +168,15 @@ fn fig5_partitions_group_p_pages_disjointly() {
         .partition_ids()
         .find(|&p| bx.partition(p).unwrap().covers(1))
         .unwrap();
-    let (buffer, counters) = space.buffer_and_counters_mut(x);
-    let dropped = buffer.drop_partition(pid).unwrap();
-    let mut pages: Vec<u32> = dropped.pages.iter().map(|&(p, _)| p).collect();
-    pages.sort_unstable();
-    assert_eq!(pages, vec![1, 7]);
-    for &(page, restore) in &dropped.pages {
-        counters.restore(page, restore);
-        assert_eq!(counters.get(page), 2);
-    }
+    space.with_buffer_mut(x, |buffer, counters| {
+        let dropped = buffer.drop_partition(pid).unwrap();
+        let mut pages: Vec<u32> = dropped.pages.iter().map(|&(p, _)| p).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![1, 7]);
+        for &(page, restore) in &dropped.pages {
+            counters.restore(page, restore);
+            assert_eq!(counters.get(page), 2);
+        }
+    });
     space.check_invariants();
 }

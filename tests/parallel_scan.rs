@@ -6,7 +6,9 @@
 use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
 use adaptive_index_buffer::engine::{AccessPath, Database, EngineConfig, Query};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
-use adaptive_index_buffer::storage::{Column, CostModel, Rid, Schema, Tuple, Value};
+use adaptive_index_buffer::storage::{
+    Column, CostModel, Rid, Schema, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT,
+};
 
 const ROWS: i64 = 6_000;
 const DOMAIN: i64 = 600;
@@ -17,7 +19,7 @@ fn build_db(scan_threads: usize) -> (Database, Vec<Rid>) {
         pool_frames: 2048,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: Some(2_500),
+            max_bytes: Some(2_500 * DEFAULT_ENTRY_FOOTPRINT),
             i_max: 60,
             seed: 11,
             ..Default::default()
@@ -69,7 +71,7 @@ fn workload() -> Vec<Query> {
 
 fn counter_vector(db: &Database) -> Vec<u32> {
     let bid = db.buffer_id("t", "k").unwrap();
-    let space = db.space();
+    let space = db.space_shard(bid);
     let counters = space.counters(bid);
     (0..counters.num_pages()).map(|p| counters.get(p)).collect()
 }
@@ -139,10 +141,12 @@ fn four_threads_match_one_thread_exactly() {
 
     // Final state: identical counter vectors and buffer contents.
     assert_eq!(counter_vector(&seq), counter_vector(&par), "page counters");
-    let seq_space = seq.space();
-    let par_space = par.space();
-    let sb = seq_space.buffer(seq.buffer_id("t", "k").unwrap());
-    let pb = par_space.buffer(par.buffer_id("t", "k").unwrap());
+    let sbid = seq.buffer_id("t", "k").unwrap();
+    let pbid = par.buffer_id("t", "k").unwrap();
+    let seq_space = seq.space_shard(sbid);
+    let par_space = par.space_shard(pbid);
+    let sb = seq_space.buffer(sbid);
+    let pb = par_space.buffer(pbid);
     assert_eq!(sb.num_entries(), pb.num_entries(), "buffer entry count");
     assert_eq!(sb.num_partitions(), pb.num_partitions(), "partition count");
     assert_eq!(
@@ -150,8 +154,8 @@ fn four_threads_match_one_thread_exactly() {
         pb.num_buffered_pages(),
         "buffered page count"
     );
-    seq.space().check_invariants();
-    par.space().check_invariants();
+    seq.check_space_invariants();
+    par.check_space_invariants();
 }
 
 #[test]

@@ -13,7 +13,9 @@
 use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
 use adaptive_index_buffer::engine::{Database, EngineConfig, Query};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
-use adaptive_index_buffer::storage::{Column, CostModel, Rid, Schema, Tuple, Value};
+use adaptive_index_buffer::storage::{
+    Column, CostModel, Rid, Schema, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT,
+};
 use proptest::prelude::*;
 
 const DOMAIN: i64 = 60;
@@ -42,7 +44,7 @@ fn build(seed_rows: usize, bound: Option<usize>) -> (Database, Vec<Rid>) {
         pool_frames: 8,
         cost_model: CostModel::free(),
         space: SpaceConfig {
-            max_entries: bound,
+            max_bytes: bound.map(|b| b * DEFAULT_ENTRY_FOOTPRINT),
             i_max: 4,
             seed: 99,
             ..Default::default()
@@ -88,7 +90,7 @@ fn check_skippability(db: &Database) {
     for col in ["a", "b"] {
         let ci = table.schema().column_index(col).unwrap();
         let bid = db.buffer_id("t", col).unwrap();
-        let space = db.space();
+        let space = db.space_shard(bid);
         let buffer = space.buffer(bid);
         let counters = space.counters(bid);
         for ord in 0..table.num_pages() {
@@ -191,7 +193,7 @@ fn run_case(db: Database, mut rids: Vec<Rid>, ops: Vec<Op>, bound: Option<usize>
         }
         check_skippability(&db);
     }
-    db.space().check_invariants();
+    db.check_space_invariants();
 }
 
 proptest! {

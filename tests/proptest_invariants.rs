@@ -15,7 +15,9 @@ use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
 use adaptive_index_buffer::engine::tuner::TunerConfig;
 use adaptive_index_buffer::engine::{Database, EngineConfig, Query};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
-use adaptive_index_buffer::storage::{Column, CostModel, Rid, Schema, Tuple, Value};
+use adaptive_index_buffer::storage::{
+    Column, CostModel, Rid, Schema, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT,
+};
 use proptest::prelude::*;
 
 const DOMAIN: i64 = 40;
@@ -53,7 +55,7 @@ fn build(seed_rows: usize) -> (Database, Vec<Rid>) {
         space: SpaceConfig {
             // Tight bound: indexing scans constantly displace partitions,
             // exercising the restore path against the shadow model.
-            max_entries: Some(50),
+            max_bytes: Some(50 * DEFAULT_ENTRY_FOOTPRINT),
             i_max: 4,
             seed: 7,
             ..Default::default()

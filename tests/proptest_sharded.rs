@@ -1,0 +1,270 @@
+//! Sharded-equivalence property test (`invariant-checks` feature only):
+//! the same random workload of DML, point/range queries (driving indexing
+//! scans, Algorithm 2 displacement, and the online tuner) replayed against
+//! spaces with `shards ∈ {2, 4, 8}` must agree with the `shards = 1` run —
+//! identical tuple placement, identical query answers — and every run must
+//! satisfy the ground-truth shadow model after every mutation.
+//!
+//! What is and is not preserved across shard counts: the Index Buffer is a
+//! transparent cache, so *answers* are invariant, but *buffer state* need
+//! not be — each shard draws displacement victims from its own seeded
+//! policy (`seed + shard_index`) and can only displace same-shard
+//! partitions, so a buffer that shares a shard with its pressure source in
+//! one configuration may keep different pages in another. The shared
+//! [`MemoryBudget`] cap is the cross-shard coupling: all shards charge one
+//! governor, and the byte bound must hold for every shard count.
+//!
+//! Run with `cargo test --features invariant-checks --test proptest_sharded`.
+#![cfg(feature = "invariant-checks")]
+
+use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
+use adaptive_index_buffer::engine::tuner::TunerConfig;
+use adaptive_index_buffer::engine::{Database, EngineConfig, Query};
+use adaptive_index_buffer::index::{Coverage, IndexBackend};
+use adaptive_index_buffer::storage::{
+    Column, CostModel, Rid, Schema, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT,
+};
+use proptest::prelude::*;
+
+const DOMAIN: i64 = 40;
+/// Byte cap shared by every buffer in every shard — tight enough that
+/// indexing scans constantly displace partitions, so shard counts where the
+/// victims live elsewhere feel the pressure purely through the governor.
+const CAP_ENTRIES: usize = 60;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64, i64, u16),
+    Delete(usize),
+    Update(usize, i64, i64, i64),
+    /// Point query on column "a" (range-covered), "b" (tuned set coverage),
+    /// or "c" (range-covered, third shard when sharded).
+    Point(u8, i64),
+    /// Range query on "a" or "c": sweeps many pages, maximizing Algorithm 2
+    /// selections and displacement churn.
+    Range(u8, i64, i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let val = 1..=DOMAIN;
+    prop_oneof![
+        3 => (val.clone(), val.clone(), val.clone(), 1u16..300)
+            .prop_map(|(a, b, c, n)| Op::Insert(a, b, c, n)),
+        2 => (0usize..1000).prop_map(Op::Delete),
+        2 => ((0usize..1000), val.clone(), val.clone(), val.clone())
+            .prop_map(|(i, a, b, c)| Op::Update(i, a, b, c)),
+        5 => ((0u8..3), val.clone()).prop_map(|(col, v)| Op::Point(col, v)),
+        2 => ((0u8..2), val.clone(), val.clone())
+            .prop_map(|(col, lo, hi)| Op::Range(col, lo.min(hi), lo.max(hi))),
+    ]
+}
+
+fn col_name(col: u8) -> &'static str {
+    match col {
+        0 => "a",
+        1 => "b",
+        _ => "c",
+    }
+}
+
+/// Three buffers so `shards = 2` splits them 2/1 and `shards = 4`/`8` give
+/// every buffer a private shard; one tight shared budget underneath.
+fn build(shards: usize, seed_rows: usize) -> (Database, Vec<Rid>) {
+    let mut db = Database::new(EngineConfig {
+        pool_frames: 8,
+        cost_model: CostModel::free(),
+        space: SpaceConfig {
+            max_bytes: Some(CAP_ENTRIES * DEFAULT_ENTRY_FOOTPRINT),
+            i_max: 4,
+            seed: 7,
+            shards,
+        },
+        ..Default::default()
+    });
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Column::int("a"),
+            Column::int("b"),
+            Column::int("c"),
+            Column::str("pad"),
+        ]),
+    )
+    .unwrap();
+    let mut rids = Vec::new();
+    for i in 0..seed_rows {
+        let t = Tuple::new(vec![
+            Value::Int((i as i64 * 13) % DOMAIN + 1),
+            Value::Int((i as i64 * 29) % DOMAIN + 1),
+            Value::Int((i as i64 * 17) % DOMAIN + 1),
+            Value::from("x".repeat(1 + (i * 37) % 200)),
+        ]);
+        rids.push(db.insert("t", &t).unwrap());
+    }
+    let small = BufferConfig {
+        partition_pages: 2,
+        ..Default::default()
+    };
+    db.create_partial_index(
+        "t",
+        "a",
+        Coverage::IntRange { lo: 1, hi: 12 },
+        IndexBackend::BTree,
+        Some(small),
+    )
+    .unwrap();
+    db.create_partial_index(
+        "t",
+        "b",
+        Coverage::empty_set(),
+        IndexBackend::BTree,
+        Some(small),
+    )
+    .unwrap();
+    db.create_partial_index(
+        "t",
+        "c",
+        Coverage::IntRange { lo: 20, hi: 32 },
+        IndexBackend::BTree,
+        Some(small),
+    )
+    .unwrap();
+    db.attach_tuner(
+        "t",
+        "b",
+        TunerConfig {
+            window: 8,
+            threshold: 2,
+            capacity: 3,
+        },
+    )
+    .unwrap();
+    (db, rids)
+}
+
+/// Ground truth recomputed from the heap, independent of any buffer state.
+fn truth_point(db: &Database, col: &str, value: i64) -> Vec<Rid> {
+    truth_range(db, col, value, value)
+}
+
+fn truth_range(db: &Database, col: &str, lo: i64, hi: i64) -> Vec<Rid> {
+    let table = db.table("t").unwrap();
+    let ci = table.schema().column_index(col).unwrap();
+    let mut rids: Vec<Rid> = table
+        .scan_all()
+        .unwrap()
+        .into_iter()
+        .filter(|(_, t)| {
+            t.get(ci)
+                .unwrap()
+                .as_int()
+                .is_some_and(|v| lo <= v && v <= hi)
+        })
+        .map(|(rid, _)| rid)
+        .collect();
+    rids.sort_unstable();
+    rids
+}
+
+/// Replays `ops` against a fresh `shards`-way database. Returns the sorted
+/// answer of every query and the rid returned by every placement-observable
+/// DML op, plus runs the full shadow model and the shared-budget bound.
+fn run(shards: usize, ops: &[Op]) -> (Vec<Vec<Rid>>, Vec<Rid>) {
+    let (mut db, mut rids) = build(shards, 120);
+    let mut answers = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(a, b, c, n) => {
+                let t = Tuple::new(vec![
+                    Value::Int(a),
+                    Value::Int(b),
+                    Value::Int(c),
+                    Value::from("y".repeat(n as usize)),
+                ]);
+                rids.push(db.insert("t", &t).unwrap());
+            }
+            Op::Delete(i) => {
+                if rids.is_empty() {
+                    continue;
+                }
+                let rid = rids.remove(i % rids.len());
+                db.delete("t", rid).unwrap();
+            }
+            Op::Update(i, a, b, c) => {
+                if rids.is_empty() {
+                    continue;
+                }
+                let idx = i % rids.len();
+                let old = db.fetch("t", rids[idx]).unwrap();
+                let pad = old.get(3).unwrap().clone();
+                let t = Tuple::new(vec![Value::Int(a), Value::Int(b), Value::Int(c), pad]);
+                rids[idx] = db.update("t", rids[idx], &t).unwrap();
+            }
+            Op::Point(col, v) => {
+                let col = col_name(col);
+                let r = db.execute(&Query::point("t", col, v)).unwrap().result;
+                let mut got = r.rids.clone();
+                got.sort_unstable();
+                assert_eq!(got, truth_point(&db, col, v), "shards={shards} {col}={v}");
+                answers.push(got);
+            }
+            Op::Range(col, lo, hi) => {
+                let col = col_name(col);
+                let r = db
+                    .execute(&Query::on("t", col).between(lo, hi))
+                    .unwrap()
+                    .result;
+                let mut got = r.rids.clone();
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    truth_range(&db, col, lo, hi),
+                    "shards={shards} {col} in {lo}..={hi}"
+                );
+                answers.push(got);
+            }
+        }
+    }
+    // Full shadow-model pass (also re-run inside the engine after every
+    // mutation under this feature), then the shared-governor coupling:
+    // however the buffers landed across shards, the one budget they all
+    // charge must equal the sum of their resident footprints. (A hard
+    // `<= cap` bound would be wrong even unsharded: Table I DML may append
+    // to a buffered page outside Algorithm 2's admission gate, because a
+    // buffered page must stay complete; only *selections* are cap-gated.)
+    db.verify_invariants().unwrap();
+    db.check_space_invariants();
+    let mem = db.memory();
+    let snapshot = db.space_snapshot();
+    let resident: usize = snapshot.buffers().map(|b| b.footprint()).sum();
+    assert_eq!(
+        mem.index_bytes, resident,
+        "shards={shards}: governor charge must equal the summed shard footprints"
+    );
+    (answers, rids)
+}
+
+proptest! {
+    // Each case runs the workload four times (shards = 1, 2, 4, 8) with the
+    // shadow model re-verified after every mutation, so keep cases modest —
+    // interleaving depth matters more than breadth.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_runs_agree_with_single_shard(
+        ops in prop::collection::vec(op(), 1..36),
+    ) {
+        let (reference, reference_rids) = run(1, &ops);
+        for shards in [2usize, 4, 8] {
+            let (answers, rids) = run(shards, &ops);
+            prop_assert_eq!(
+                &answers, &reference,
+                "query answers diverged between shards=1 and shards={}", shards
+            );
+            prop_assert_eq!(
+                &rids, &reference_rids,
+                "tuple placement diverged between shards=1 and shards={}", shards
+            );
+        }
+    }
+}

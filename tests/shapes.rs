@@ -7,7 +7,7 @@ use adaptive_index_buffer::core::{BufferConfig, SpaceConfig};
 use adaptive_index_buffer::engine::{Database, EngineConfig, Query, WorkloadRecorder};
 use adaptive_index_buffer::index::{Coverage, IndexBackend};
 use adaptive_index_buffer::sim;
-use adaptive_index_buffer::storage::CostModel;
+use adaptive_index_buffer::storage::{CostModel, DEFAULT_ENTRY_FOOTPRINT};
 use adaptive_index_buffer::workload::{
     experiment1_queries, experiment3_queries, TableSpec, SWITCH_AT,
 };
@@ -75,7 +75,7 @@ fn fig6_shape_buffer_beats_scan_and_reaches_index_level() {
     let queries = experiment1_queries(&spec, 40, 61);
     let i_max = (5_000 * ROWS / 500_000) as u32;
     let space = SpaceConfig {
-        max_entries: None,
+        max_bytes: None,
         i_max,
         seed: 6,
         ..Default::default()
@@ -115,7 +115,7 @@ fn fig7_shape_imax_and_space_bound() {
     let early_cost = |i_max_paper: u64| {
         let i_max = (i_max_paper * ROWS / 500_000).max(1) as u32;
         let space = SpaceConfig {
-            max_entries: None,
+            max_bytes: None,
             i_max,
             seed: 7,
             ..Default::default()
@@ -133,10 +133,10 @@ fn fig7_shape_imax_and_space_bound() {
     );
 
     let floor = |l_paper: Option<u64>| {
-        let max_entries = l_paper.map(|l| (l * ROWS / 500_000) as usize);
+        let max_bytes = l_paper.map(|l| (l * ROWS / 500_000) as usize * DEFAULT_ENTRY_FOOTPRINT);
         let i_max = (5_000 * ROWS / 500_000) as u32;
         let space = SpaceConfig {
-            max_entries,
+            max_bytes,
             i_max,
             seed: 7,
             ..Default::default()
@@ -168,7 +168,7 @@ fn fig8_shape_allocation_flips_with_the_mix() {
     let i_max = (5_000 * rows / 500_000) as u32;
     let p = (10_000 * rows / 500_000) as u32;
     let space = SpaceConfig {
-        max_entries: Some(l),
+        max_bytes: Some(l * DEFAULT_ENTRY_FOOTPRINT),
         i_max,
         seed: 8,
         ..Default::default()

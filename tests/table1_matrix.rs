@@ -259,7 +259,7 @@ impl EngineFixture {
             pool_frames: 256,
             cost_model: CostModel::free(),
             space: SpaceConfig {
-                max_entries: None,
+                max_bytes: None,
                 i_max: 100_000,
                 seed: 5,
                 ..Default::default()
@@ -331,17 +331,17 @@ impl EngineFixture {
 
     fn buffered(&self, ord: u32) -> bool {
         let bid = self.db.buffer_id("t", "k").unwrap();
-        self.db.space().buffer(bid).is_buffered(ord)
+        self.db.space_shard(bid).buffer(bid).is_buffered(ord)
     }
 
     fn entries(&self) -> i64 {
         let bid = self.db.buffer_id("t", "k").unwrap();
-        self.db.space().buffer(bid).num_entries() as i64
+        self.db.space_shard(bid).buffer(bid).num_entries() as i64
     }
 
     fn counter(&self, ord: u32) -> u32 {
         let bid = self.db.buffer_id("t", "k").unwrap();
-        self.db.space().counters(bid).get(ord)
+        self.db.space_shard(bid).counters(bid).get(ord)
     }
 
     fn ix_len(&self) -> i64 {
@@ -590,10 +590,10 @@ fn table1_through_the_engine_dml_api() {
 
     // ---- Closing invariants: skippability holds on every page, and the
     // executor still answers from this state correctly. ----
-    fx.db.space().check_invariants();
+    fx.db.check_space_invariants();
     let table = fx.db.table("t").unwrap();
     let bid = fx.db.buffer_id("t", "k").unwrap();
-    let space = fx.db.space();
+    let space = fx.db.space_shard(bid);
     let buffer = space.buffer(bid);
     let counters = space.counters(bid);
     for ord in 0..table.num_pages() {
