@@ -4,7 +4,7 @@
 use aib_index::IndexBackend;
 
 /// Per-Index-Buffer configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferConfig {
     /// `P` — maximum number of table pages one partition covers (paper §IV;
     /// the experiments use `P = 10,000`).

@@ -58,12 +58,13 @@
 // `indexed_column`) and tables/columns are never removed, so the positions
 // cannot dangle; a miss would be an engine bug, not a caller mistake.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use aib_core::{
     apply_staged_checked, cover_tuple, indexing_scan, indexing_scan_parallel, maintain,
@@ -75,14 +76,20 @@ use aib_index::{AdaptationCost, Coverage, IndexBackend, PagedIndex, PartialIndex
 use aib_storage::replacement::{ClockPolicy, LruKPolicy, LruPolicy};
 use aib_storage::stats::IoSnapshot;
 use aib_storage::{
-    BudgetComponent, BudgetSnapshot, BufferPool, BufferPoolConfig, CostModel, DiskManager,
-    DisplacementPolicy, HeapFile, IoStats, MemoryBudget, Rid, Schema, StorageError, Tuple, Value,
+    BudgetComponent, BudgetSnapshot, BufferPool, BufferPoolConfig, CostModel, DiskBackend,
+    DiskManager, DisplacementPolicy, FileBackend, HeapFile, IoStats, MemoryBudget, PageId, Rid,
+    Schema, SlotId, StorageError, Tuple, Value, Wal, WalRecord,
 };
 
+use crate::durability::{DdlOp, Durability, IndexDef, SnapshotImage, TableImage};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::QueryMetrics;
 use crate::query::{AccessPath, ExecOutcome, Query, QueryResult};
 use crate::tuner::{OnlineTuner, TunerConfig};
+
+/// Folded WAL replay work for one page: final slot states in slot order
+/// (`None` = ends empty, `Some` = ends holding these bytes).
+type PageOps = Vec<(SlotId, Option<Vec<u8>>)>;
 
 /// Buffer-pool page-replacement policy selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +146,11 @@ pub struct EngineConfig {
     /// throughput experiments turn it on so concurrent queries overlap
     /// their I/O waits the way they would against a real disk.
     pub io_wait: bool,
+    /// Durable databases ([`Database::open`]) checkpoint automatically
+    /// after this many WAL records: dirty pages are flushed and fsynced,
+    /// then the log rotates to a fresh snapshot. Irrelevant for in-memory
+    /// databases ([`Database::new`]), which have no WAL.
+    pub wal_checkpoint_interval: u64,
 }
 
 impl Default for EngineConfig {
@@ -153,6 +165,7 @@ impl Default for EngineConfig {
             index_entries_per_page: 400,
             scan_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             io_wait: false,
+            wal_checkpoint_interval: 4096,
         }
     }
 }
@@ -166,6 +179,10 @@ struct IndexedColumn {
     /// Disk-resident backend: probe/maintenance I/O is real page traffic,
     /// so no synthetic probe cost is charged.
     paged: bool,
+    /// The DDL-time definition as the WAL sees it: coverage set by
+    /// create/redefine (never by tuner adaptation), backend, buffer config.
+    /// Checkpoints snapshot this, so recovery reverts adaptation.
+    logged: IndexDef,
 }
 
 /// A table: schema, heap storage, and its indexed columns.
@@ -363,6 +380,10 @@ pub struct Database {
     space: ShardedSpace,
     config: EngineConfig,
     queries_executed: AtomicUsize,
+    /// `Some` for file-backed databases ([`Database::open`]): the WAL and
+    /// its checkpoint counter. A leaf lock — taken last, never held across
+    /// catalog/shard/pool acquisitions.
+    durability: Option<Mutex<Durability>>,
 }
 
 /// `Database` must stay shareable across client threads.
@@ -372,10 +393,53 @@ const _: () = {
 };
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty **in-memory** database: pages live in the
+    /// simulated [`DiskManager`], nothing survives the process, and no WAL
+    /// is written. This is the benchmark default — deterministic and
+    /// bit-for-bit identical to the pre-durability engine.
     pub fn new(config: EngineConfig) -> Self {
         let disk = DiskManager::new(config.cost_model);
         let stats = disk.stats();
+        Self::assemble(Box::new(disk), stats, config)
+    }
+
+    /// Opens (or creates) a **durable** database in directory `dir`:
+    /// a single heap file (`heap.db`, one versioned header page plus 8 KiB
+    /// data pages) and a write-ahead log (`wal.log`).
+    ///
+    /// Recovery is the paper's §V contract made concrete. The WAL is
+    /// replayed to rebuild the catalog and the logical heap (last-write-wins
+    /// slot states over whatever the last checkpoint flushed), and then each
+    /// partial index is rebuilt by **one heap rescan** that simultaneously
+    /// re-derives its `C[p]` counters — the same scan that
+    /// [`Database::create_partial_index`] runs. The Index Buffer Space
+    /// starts *empty* with fresh epochs: buffer contents, counter deltas and
+    /// partial-index adaptation are never logged, so a crash simply reverts
+    /// every index to its DDL-time coverage. Tuners are runtime-only and do
+    /// not survive reopening.
+    ///
+    /// On success the database has already checkpointed once, compacting
+    /// the log to a single snapshot record.
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> EngineResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::io("create database directory", e))?;
+        let backend = FileBackend::open(&dir.join("heap.db"), config.cost_model)?;
+        let stats = DiskBackend::stats(&backend);
+        let mut db = Self::assemble(Box::new(backend), stats, config);
+        let wal_path = dir.join("wal.log");
+        let records = Wal::replay(&wal_path)?;
+        db.recover(&records)?;
+        db.durability = Some(Mutex::new(Durability {
+            wal: Wal::open(&wal_path)?,
+            since_checkpoint: records.len() as u64,
+        }));
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Shared constructor over any [`DiskBackend`].
+    fn assemble(disk: Box<dyn DiskBackend>, stats: Arc<IoStats>, config: EngineConfig) -> Self {
         // One governor for the whole engine: the pool reserves frame bytes
         // against it and the space draws Algorithm 2's headroom from it, so
         // either side's growth is the other side's denial.
@@ -387,7 +451,7 @@ impl Database {
             budget = budget.with_component_limit(BudgetComponent::IndexSpace, bytes);
         }
         let budget = Arc::new(budget);
-        let pool = BufferPool::new(
+        let pool = BufferPool::with_backend(
             disk,
             BufferPoolConfig::with_policy(
                 config.pool_frames,
@@ -407,6 +471,7 @@ impl Database {
             }),
             config,
             queries_executed: AtomicUsize::new(0),
+            durability: None,
         }
     }
 
@@ -469,6 +534,278 @@ impl Database {
         &self.config
     }
 
+    // ------------------------------------------------------- durability
+
+    /// Whether this database is file-backed (opened with
+    /// [`Database::open`]) rather than in-memory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Forces a checkpoint: flushes every dirty page to the heap file
+    /// (fsync), then rotates the WAL to a fresh log holding only a catalog
+    /// snapshot. After a clean checkpoint, reopening replays nothing.
+    /// A no-op for in-memory databases.
+    pub fn checkpoint(&self) -> EngineResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        // The write lock quiesces DML and queries, so the flushed pages and
+        // the encoded catalog are one consistent cut.
+        let catalog = self.catalog.write();
+        self.checkpoint_with(&catalog)
+    }
+
+    /// Checkpoints and releases the database. Durable state needs nothing
+    /// beyond [`Database::checkpoint`] — every DML record was fsynced when
+    /// it was logged, so even skipping `close` loses nothing; closing just
+    /// compacts the log so the next open replays nothing.
+    pub fn close(self) -> EngineResult<()> {
+        self.checkpoint()
+    }
+
+    /// Checkpoint body, under the caller's catalog write guard. Flush
+    /// order is what makes crashes safe: data pages reach the heap file
+    /// and fsync *first*, the log rotates *second* — a crash between the
+    /// two leaves the old log, whose replay converges over the
+    /// partially-flushed heap (see `aib-storage::wal` "Replay
+    /// convergence").
+    fn checkpoint_with(&self, catalog: &Catalog) -> EngineResult<()> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        self.pool.sync()?;
+        let image = snapshot_image(catalog);
+        let mut d = durability.lock();
+        d.wal.rotate(&WalRecord::Snapshot(image.encode()))?;
+        d.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Appends one record to the WAL (write + fsync, so the record is
+    /// durable when this returns) and reports whether the periodic
+    /// checkpoint is due. In-memory databases log nothing.
+    fn log(&self, record: &WalRecord) -> EngineResult<bool> {
+        let Some(durability) = &self.durability else {
+            return Ok(false);
+        };
+        let mut d = durability.lock();
+        d.wal.append(record)?;
+        d.since_checkpoint += 1;
+        Ok(d.since_checkpoint >= self.config.wal_checkpoint_interval)
+    }
+
+    /// Records appended to the WAL through this handle (0 for in-memory
+    /// databases). Crash tests assert this stays **flat** across buffer
+    /// growth and tuner adaptation — the paper's "no recovery cost"
+    /// property is precisely that those mutations produce no log traffic.
+    pub fn wal_records_written(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.lock().wal.records_written())
+    }
+
+    /// Crash-injection hook (tests): the WAL append `n` appends from now
+    /// (0 = the very next one) writes a torn frame prefix and fails with
+    /// an I/O error, emulating a crash mid-DML. No-op when in-memory.
+    pub fn wal_fail_after(&self, n: u64) {
+        if let Some(durability) = &self.durability {
+            let mut d = durability.lock();
+            let at = d.wal.records_written() + n;
+            d.wal.set_fail_at(at);
+        }
+    }
+
+    /// Crash-injection hook (tests): the next checkpoint's heap-file sync
+    /// flushes only half its dirty pages and fails without updating the
+    /// durable header, emulating a crash mid-checkpoint. No-op when
+    /// in-memory.
+    pub fn fail_next_heap_sync(&self) {
+        self.pool.fail_next_sync();
+    }
+
+    /// Rebuilds the whole engine state from replayed WAL `records` into
+    /// this freshly assembled (empty) database. Three phases:
+    ///
+    /// 1. **Metadata** — the leading snapshot (if any) plus DDL records in
+    ///    log order yield the final catalog image; DML records fold into a
+    ///    last-write-wins slot image per table.
+    /// 2. **Heap** — each table adopts its snapshot page list, then forces
+    ///    the folded slot states via [`HeapFile::replay_page`].
+    /// 3. **Indexes** — one rescan per index definition rebuilds the
+    ///    partial index *and* its `C[p]` counters, registering an empty
+    ///    Index Buffer; nothing index- or buffer-shaped is read from disk.
+    fn recover(&self, records: &[WalRecord]) -> EngineResult<()> {
+        let mut images: Vec<TableImage> = Vec::new();
+        let mut rest = records;
+        if let Some(WalRecord::Snapshot(bytes)) = records.first() {
+            images = SnapshotImage::decode(bytes)?.tables;
+            rest = records.get(1..).unwrap_or(&[]);
+        }
+        let mut final_ops: HashMap<u32, BTreeMap<Rid, Option<Vec<u8>>>> = HashMap::new();
+        for record in rest {
+            match record {
+                WalRecord::Insert { table, rid, bytes } => {
+                    final_ops
+                        .entry(*table)
+                        .or_default()
+                        .insert(*rid, Some(bytes.clone()));
+                }
+                WalRecord::Delete { table, rid } => {
+                    final_ops.entry(*table).or_default().insert(*rid, None);
+                }
+                WalRecord::Update {
+                    table,
+                    old,
+                    new,
+                    bytes,
+                } => {
+                    let ops = final_ops.entry(*table).or_default();
+                    ops.insert(*old, None);
+                    ops.insert(*new, Some(bytes.clone()));
+                }
+                WalRecord::Ddl(payload) => match DdlOp::decode(payload)? {
+                    DdlOp::CreateTable { name, schema } => images.push(TableImage {
+                        name,
+                        schema,
+                        pages: Vec::new(),
+                        indexes: Vec::new(),
+                    }),
+                    DdlOp::CreateIndex { table, def } => {
+                        table_image_mut(&mut images, table)?.indexes.push(def);
+                    }
+                    DdlOp::DropIndex { table, column } => {
+                        table_image_mut(&mut images, table)?
+                            .indexes
+                            .retain(|d| d.column != column);
+                    }
+                    DdlOp::RedefineCoverage {
+                        table,
+                        column,
+                        coverage,
+                    } => {
+                        let image = table_image_mut(&mut images, table)?;
+                        let def = image
+                            .indexes
+                            .iter_mut()
+                            .find(|d| d.column == column)
+                            .ok_or_else(|| {
+                                EngineError::Internal(format!(
+                                    "wal redefines unknown index on column {column}"
+                                ))
+                            })?;
+                        def.coverage = coverage;
+                    }
+                },
+                WalRecord::Snapshot(_) => {
+                    return Err(EngineError::Internal(
+                        "snapshot record in the middle of the wal".into(),
+                    ));
+                }
+            }
+        }
+
+        let mut catalog = self.catalog.write();
+        for (ti, image) in images.into_iter().enumerate() {
+            let heap = HeapFile::new(Arc::clone(&self.pool));
+            heap.adopt_pages(&image.pages)?;
+            if let Some(ops) = final_ops.remove(&(ti as u32)) {
+                // Group folded slot ops by page. BTreeMap iteration is
+                // rid-ascending, so pages first seen here adopt in
+                // ascending page-id order — each table's original
+                // creation order.
+                let mut by_page: Vec<(PageId, PageOps)> = Vec::new();
+                for (rid, bytes) in ops {
+                    match by_page.last_mut() {
+                        Some((pid, slots)) if *pid == rid.page => slots.push((rid.slot, bytes)),
+                        _ => by_page.push((rid.page, vec![(rid.slot, bytes)])),
+                    }
+                }
+                for (pid, slots) in by_page {
+                    let refs: Vec<(SlotId, Option<&[u8]>)> =
+                        slots.iter().map(|(s, b)| (*s, b.as_deref())).collect();
+                    heap.replay_page(pid, &refs)?;
+                }
+            }
+            let name = image.name.clone();
+            let mut table = Table {
+                name: image.name,
+                schema: image.schema,
+                heap,
+                indexed: Vec::new(),
+            };
+            for def in image.indexes {
+                let ic = self.build_index_from_heap(&table, def)?;
+                table.indexed.push(ic);
+            }
+            catalog.names.insert(name, ti);
+            catalog.tables.push(table);
+        }
+        Ok(())
+    }
+
+    /// Recovery phase 3 for one index definition: the same
+    /// populate-and-count scan [`Database::create_partial_index`] runs,
+    /// against the recovered heap and the *logged* (DDL-time) coverage.
+    /// The returned column registers an **empty** buffer whose `C[p]`
+    /// counters come from this scan — the "for free" rebuild.
+    fn build_index_from_heap(&self, t: &Table, def: IndexDef) -> EngineResult<IndexedColumn> {
+        let ci = def.column as usize;
+        let column_name = t
+            .schema
+            .columns()
+            .get(ci)
+            .map(|c| c.name.clone())
+            .ok_or_else(|| {
+                EngineError::Internal(format!("logged index column {ci} out of schema range"))
+            })?;
+        let name = format!("{}.{}", t.name, column_name);
+        let mut partial = if def.paged {
+            let index = PagedIndex::create(Arc::clone(&self.pool))?;
+            PartialIndex::with_index(name.clone(), def.coverage.clone(), Box::new(index))
+        } else {
+            PartialIndex::new(name.clone(), def.coverage.clone(), def.backend).with_cost(
+                AdaptationCost::charged(
+                    Arc::clone(&self.stats),
+                    self.config.cost_model,
+                    self.config.index_entries_per_page,
+                ),
+            )
+        };
+        let heap = &t.heap;
+        let mut counts: Vec<u32> = vec![0; heap.num_pages() as usize];
+        let mut scan_err: Option<EngineError> = None;
+        heap.scan_pages(
+            |_| false,
+            |rid, bytes| {
+                let (value, ord) = match decode_site(heap, rid, bytes, ci) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        scan_err.get_or_insert(e);
+                        return;
+                    }
+                };
+                if partial.covers(&value) {
+                    partial.add(value, rid);
+                } else if let Some(slot) = counts.get_mut(ord as usize) {
+                    *slot += 1;
+                }
+            },
+        )?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let buffer = def.buffer.map(|cfg| self.space.register(name, cfg, counts));
+        Ok(IndexedColumn {
+            column: ci,
+            partial,
+            buffer,
+            tuner: None,
+            paged: def.paged,
+            logged: def,
+        })
+    }
+
     /// Creates an empty table.
     ///
     /// Fails with [`EngineError::TableExists`] if a table of that name
@@ -480,6 +817,10 @@ impl Database {
             return Err(EngineError::TableExists(name));
         }
         let idx = catalog.tables.len();
+        let ddl = DdlOp::CreateTable {
+            name: name.clone(),
+            schema: schema.clone(),
+        };
         catalog.tables.push(Table {
             name: name.clone(),
             schema,
@@ -487,6 +828,9 @@ impl Database {
             indexed: Vec::new(),
         });
         catalog.names.insert(name, idx);
+        if self.log(&WalRecord::Ddl(ddl.encode()))? {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(())
     }
 
@@ -519,7 +863,15 @@ impl Database {
                 Some(TupleRef::new(value, rid, page)),
             )?;
         }
-        self.checkpoint(&catalog, &shards)?;
+        let due = self.log(&WalRecord::Insert {
+            table: ti as u32,
+            rid,
+            bytes,
+        })?;
+        self.verify_checkpoint(&catalog, &shards)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(rid)
     }
 
@@ -543,7 +895,14 @@ impl Database {
                 None,
             )?;
         }
-        self.checkpoint(&catalog, &shards)?;
+        let due = self.log(&WalRecord::Delete {
+            table: ti as u32,
+            rid,
+        })?;
+        self.verify_checkpoint(&catalog, &shards)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(())
     }
 
@@ -571,7 +930,16 @@ impl Database {
                 Some(TupleRef::new(new_value, new_rid, new_page)),
             )?;
         }
-        self.checkpoint(&catalog, &shards)?;
+        let due = self.log(&WalRecord::Update {
+            table: ti as u32,
+            old: rid,
+            new: new_rid,
+            bytes,
+        })?;
+        self.verify_checkpoint(&catalog, &shards)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(new_rid)
     }
 
@@ -604,7 +972,7 @@ impl Database {
                 self.config.index_entries_per_page,
             ),
         );
-        self.install_partial_index(table, column, partial, buffer, false)
+        self.install_partial_index(table, column, partial, backend, buffer, false)
     }
 
     /// Like [`Database::create_partial_index`], but the index is
@@ -622,7 +990,16 @@ impl Database {
         let index = PagedIndex::create(Arc::clone(&self.pool))?;
         let partial =
             PartialIndex::with_index(format!("{table}.{column}"), coverage, Box::new(index));
-        self.install_partial_index(table, column, partial, buffer, true)
+        // The backend tag is meaningless for paged indexes (recovery
+        // recreates a PagedIndex); log the default.
+        self.install_partial_index(
+            table,
+            column,
+            partial,
+            IndexBackend::default(),
+            buffer,
+            true,
+        )
     }
 
     fn install_partial_index(
@@ -630,6 +1007,7 @@ impl Database {
         table: &str,
         column: &str,
         mut partial: PartialIndex,
+        backend: IndexBackend,
         buffer: Option<BufferConfig>,
         paged: bool,
     ) -> EngineResult<()> {
@@ -662,6 +1040,13 @@ impl Database {
         if let Some(e) = scan_err {
             return Err(e);
         }
+        let def = IndexDef {
+            column: ci as u32,
+            coverage: partial.coverage().clone(),
+            backend,
+            buffer,
+            paged,
+        };
         let buffer_id = buffer.map(|cfg| {
             self.space
                 .register(format!("{table}.{column}"), cfg, counts)
@@ -672,9 +1057,20 @@ impl Database {
             buffer: buffer_id,
             tuner: None,
             paged,
+            logged: def.clone(),
         });
         self.space.sync_all();
-        self.checkpoint_now(&catalog)?;
+        let due = self.log(&WalRecord::Ddl(
+            DdlOp::CreateIndex {
+                table: ti as u32,
+                def,
+            }
+            .encode(),
+        ))?;
+        self.verify_checkpoint_now(&catalog)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(())
     }
 
@@ -697,7 +1093,17 @@ impl Database {
                 .shard_write(self.space.shard_of(bid))
                 .clear_buffer(bid);
         }
-        self.checkpoint_now(&catalog)?;
+        let due = self.log(&WalRecord::Ddl(
+            DdlOp::DropIndex {
+                table: ti as u32,
+                column: ci as u32,
+            }
+            .encode(),
+        ))?;
+        self.verify_checkpoint_now(&catalog)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(())
     }
 
@@ -739,6 +1145,14 @@ impl Database {
             .ok_or_else(|| EngineError::NoSuchIndex(format!("{table}.{column}")))?;
         let t = &mut catalog.tables[ti];
         let ic = &mut t.indexed[slot];
+        // Redefinition *is* DDL: the logged coverage moves with it (unlike
+        // tuner adaptation, which recovery deliberately reverts).
+        ic.logged.coverage = coverage.clone();
+        let ddl = DdlOp::RedefineCoverage {
+            table: ti as u32,
+            column: ci as u32,
+            coverage: coverage.clone(),
+        };
         ic.partial.redefine_coverage(coverage);
         // Rebuild entries and counters from the heap; any buffered pages are
         // invalidated (their composition changed under the buffer). Both the
@@ -780,7 +1194,11 @@ impl Database {
                 .shard_write(self.space.shard_of(bid))
                 .reset_counters(bid, counts);
         }
-        self.checkpoint_now(&catalog)?;
+        let due = self.log(&WalRecord::Ddl(ddl.encode()))?;
+        self.verify_checkpoint_now(&catalog)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok(())
     }
 
@@ -806,6 +1224,7 @@ impl Database {
         let threshold = (avg * min_occupancy).floor() as usize;
         let mut drained = 0;
         let mut moved = 0;
+        let mut due = false;
         for ord in 0..pages {
             let tuples = catalog.tables[ti].page_tuples(ord)?;
             if tuples.is_empty() || tuples.len() >= threshold {
@@ -827,9 +1246,19 @@ impl Database {
                         Some(TupleRef::new(value, new_rid, new_ord)),
                     )?;
                 }
+                // A relocation is an update whose value didn't change.
+                due |= self.log(&WalRecord::Update {
+                    table: ti as u32,
+                    old: rid,
+                    new: new_rid,
+                    bytes: tuple.to_bytes(),
+                })?;
             }
         }
-        self.checkpoint(&catalog, &shards)?;
+        self.verify_checkpoint(&catalog, &shards)?;
+        if due {
+            self.checkpoint_with(&catalog)?;
+        }
         Ok((drained, moved))
     }
 
@@ -951,7 +1380,7 @@ impl Database {
             start,
             buffer_entries,
         );
-        self.checkpoint_now(&catalog)?;
+        self.verify_checkpoint_now(&catalog)?;
         Ok(ExecOutcome { result, metrics })
     }
 
@@ -1086,7 +1515,7 @@ impl Database {
             start,
             buffer_entries,
         );
-        self.checkpoint(catalog, &shards)?;
+        self.verify_checkpoint(catalog, &shards)?;
         Ok(ExecOutcome { result, metrics })
     }
 
@@ -1504,7 +1933,7 @@ impl Database {
     /// Takes the caller's held shard guards — never acquires.
     #[cfg(feature = "invariant-checks")]
     #[inline]
-    fn checkpoint<S>(&self, catalog: &Catalog, shards: &[S]) -> EngineResult<()>
+    fn verify_checkpoint<S>(&self, catalog: &Catalog, shards: &[S]) -> EngineResult<()>
     where
         S: std::ops::Deref<Target = IndexBufferSpace>,
     {
@@ -1514,7 +1943,7 @@ impl Database {
     /// Shadow-model checkpoint (disabled build): compiles to nothing.
     #[cfg(not(feature = "invariant-checks"))]
     #[inline]
-    fn checkpoint<S>(&self, _catalog: &Catalog, _shards: &[S]) -> EngineResult<()>
+    fn verify_checkpoint<S>(&self, _catalog: &Catalog, _shards: &[S]) -> EngineResult<()>
     where
         S: std::ops::Deref<Target = IndexBufferSpace>,
     {
@@ -1526,14 +1955,14 @@ impl Database {
     /// path stays lock-free in normal builds.
     #[cfg(feature = "invariant-checks")]
     #[inline]
-    fn checkpoint_now(&self, catalog: &Catalog) -> EngineResult<()> {
+    fn verify_checkpoint_now(&self, catalog: &Catalog) -> EngineResult<()> {
         self.verify_with(catalog, &self.space.read_all())
     }
 
     /// Shadow-model checkpoint (disabled build): compiles to nothing.
     #[cfg(not(feature = "invariant-checks"))]
     #[inline]
-    fn checkpoint_now(&self, _catalog: &Catalog) -> EngineResult<()> {
+    fn verify_checkpoint_now(&self, _catalog: &Catalog) -> EngineResult<()> {
         Ok(())
     }
 }
@@ -1650,6 +2079,36 @@ fn apply_maintenance(
         }
     }
     Ok(())
+}
+
+/// Encodes the catalog as a checkpoint snapshot image: names, schemas,
+/// heap page lists (ordinal order), and the DDL-time index definitions.
+/// Deliberately **not** included: tuples (the heap file has them), partial
+/// index entries, tuner state, buffer contents, `C[p]` counters.
+fn snapshot_image(catalog: &Catalog) -> SnapshotImage {
+    SnapshotImage {
+        tables: catalog
+            .tables
+            .iter()
+            .map(|t| TableImage {
+                name: t.name.clone(),
+                schema: t.schema.clone(),
+                pages: (0..t.heap.num_pages())
+                    .filter_map(|o| t.heap.page_id_of(o))
+                    .collect(),
+                indexes: t.indexed.iter().map(|ic| ic.logged.clone()).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// The replayed-metadata image of table ordinal `table`, or a corruption
+/// error — a DDL record naming a table the log never created means the log
+/// and snapshot disagree.
+fn table_image_mut(images: &mut [TableImage], table: u32) -> EngineResult<&mut TableImage> {
+    images
+        .get_mut(table as usize)
+        .ok_or_else(|| EngineError::Internal(format!("wal ddl names unknown table {table}")))
 }
 
 /// Clones one column out of a tuple the engine already validated; arity

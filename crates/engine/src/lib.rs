@@ -15,6 +15,7 @@
 
 pub mod client;
 pub mod db;
+mod durability;
 pub mod error;
 pub mod explain;
 pub mod metrics;

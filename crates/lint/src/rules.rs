@@ -14,10 +14,11 @@
 //! | `lock-order`         | hierarchy `catalog → shard(0) → … → shard(n-1) → pool`: catalog outermost, shard locks in ascending index order, BufferPool innermost |
 //! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
 //! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
+//! | `durable-io`         | in `wal.rs` / `file_backend.rs`, every raw file-I/O result is converted to `StorageError` in the same statement — never unwrapped, never discarded |
 //!
-//! (`no-index` and `database-result` are sub-rules of the panic-freedom and
-//! hygiene families, split out so the `allow(...)` escape hatch can target
-//! them individually.)
+//! (`no-index`, `database-result`, and `durable-io` are sub-rules of the
+//! panic-freedom and hygiene families, split out so the `allow(...)` escape
+//! hatch can target them individually.)
 
 use crate::lexer::Stripped;
 use crate::walk::{is_crate_root, is_test_code};
@@ -101,6 +102,7 @@ pub fn lint_file(rel: &str, stripped: &Stripped) -> Vec<Violation> {
     atomics_order(rel, stripped, &mut out);
     lock_order(rel, stripped, &mut out);
     database_result(rel, stripped, &mut out);
+    durable_io(rel, stripped, &mut out);
     out
 }
 
@@ -284,6 +286,79 @@ fn no_index(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
                 ),
             );
             reported = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2c: durable-storage modules convert raw I/O errors to StorageError
+// ---------------------------------------------------------------------------
+
+/// Modules on the durability path: the write-ahead log and the file backend.
+/// Matched by suffix so the fixture workspace can seed violations under its
+/// own crate layout.
+const DURABLE_IO_MODULES: &[&str] = &["wal.rs", "file_backend.rs"];
+
+/// Raw file-I/O calls whose `io::Result` must be mapped to [`StorageError`]
+/// before it leaves the statement.
+const DURABLE_IO_CALLS: &[&str] = &[
+    ".write_all(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".sync_data()",
+    ".sync_all()",
+    ".set_len(",
+    ".seek(",
+    ".metadata()",
+    "std::fs::read(",
+    "std::fs::rename(",
+    "std::fs::remove_file(",
+    "File::open(",
+    "File::create(",
+    "OpenOptions::new()",
+];
+
+/// The no-panic family already bans `.unwrap()` everywhere; this sub-rule adds
+/// the durable-storage-specific half of the invariant: a raw `io::Result` in
+/// `wal.rs` or `file_backend.rs` must be *converted* to `StorageError` in the
+/// same statement (`.map_err(|e| StorageError::io(..))` or a `match` whose
+/// error arms produce one) — never silently discarded with `let _ =` or
+/// `.ok()`, because a swallowed fsync error breaks the WAL-before-data
+/// contract without any test noticing.
+fn durable_io(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    if !DURABLE_IO_MODULES.iter().any(|m| rel.ends_with(m)) {
+        return;
+    }
+    let text = &stripped.text;
+    for token in DURABLE_IO_CALLS {
+        let mut from = 0usize;
+        while let Some(rel_pos) = text.get(from..).and_then(|s| s.find(token)) {
+            let pos = from + rel_pos;
+            from = pos + token.len();
+            // The statement: from the call to its terminating `;` (bounded,
+            // so a missing semicolon cannot borrow a later statement's
+            // conversion). Multi-line builder chains stay in one statement,
+            // which is exactly where the idiom puts the `map_err`.
+            let window = text.get(pos..).unwrap_or("");
+            let end = window.find(';').map_or(window.len().min(400), |s| s + 1);
+            let stmt = window.get(..end).unwrap_or("");
+            if stmt.contains("StorageError") || stmt.contains("map_err") {
+                continue;
+            }
+            let line_idx = text.get(..pos).unwrap_or("").matches('\n').count();
+            push(
+                out,
+                stripped,
+                rel,
+                line_idx,
+                "durable-io",
+                format!(
+                    "`{}` result not converted to StorageError in this statement; \
+                     durable-storage modules must map every I/O error (never \
+                     discard it)",
+                    token.trim_matches(|c: char| c == '.' || c == '(' || c == ')')
+                ),
+            );
         }
     }
 }

@@ -1,0 +1,14 @@
+//! Self-test fixture for the `durable-io` family: the file name ends in
+//! `wal.rs`, so every raw I/O result here must be mapped to `StorageError`
+//! in its own statement. Both functions below violate that.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn append_without_mapping(file: &mut File, frame: &[u8]) -> std::io::Result<()> {
+    // durable-io: raw io::Error propagated instead of StorageError.
+    file.write_all(frame)?;
+    // durable-io: fsync result silently discarded.
+    let _ = file.sync_data();
+    Ok(())
+}

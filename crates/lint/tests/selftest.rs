@@ -196,6 +196,33 @@ fn database_result_fires_on_mut_self_without_engine_result() {
 }
 
 #[test]
+fn durable_io_fires_only_in_durable_modules() {
+    let bad = "fn f(file: &mut File) { let _ = file.sync_data(); }\n";
+    for module in [
+        "crates/storage/src/wal.rs",
+        "crates/storage/src/file_backend.rs",
+    ] {
+        let v = lint_source(module, bad);
+        assert!(rules_of(&v).contains("durable-io"), "{module}: {v:?}");
+    }
+    // The same discard outside the durability path is not this family's
+    // business (no-panic/no-index still apply there as usual).
+    let v = lint_lib(bad);
+    assert!(!rules_of(&v).contains("durable-io"), "{v:?}");
+    // The idiom — mapping to StorageError in the same (multi-line)
+    // statement — is clean, as is a match whose error arm converts.
+    for good in [
+        "fn f(file: &mut File) -> Result<(), StorageError> {\n    file\n        \
+         .sync_data()\n        .map_err(|e| StorageError::io(\"fsync\", e))\n}\n",
+        "fn f(p: &Path) -> Result<Vec<u8>, StorageError> {\n    match std::fs::read(p) {\n        \
+         Ok(raw) => Ok(raw),\n        Err(e) => Err(StorageError::io(\"read\", e)),\n    }\n}\n",
+    ] {
+        let v = lint_source("crates/storage/src/wal.rs", good);
+        assert!(!rules_of(&v).contains("durable-io"), "{good}: {v:?}");
+    }
+}
+
+#[test]
 fn allow_covers_own_and_next_line_only() {
     let v = lint_lib(
         "// aib-lint: allow(no-panic) — justified\nfn f(x: Option<u32>) { x.unwrap(); }\n",
@@ -266,6 +293,7 @@ fn fixture_workspace_trips_every_rule_family() {
         "lock-order",
         "crate-hygiene",
         "database-result",
+        "durable-io",
     ] {
         assert!(
             rules.contains(family),
@@ -306,6 +334,7 @@ fn binary_flags_fixtures_and_passes_workspace() {
         "lock-order",
         "crate-hygiene",
         "database-result",
+        "durable-io",
     ] {
         assert!(
             stdout.contains(family),

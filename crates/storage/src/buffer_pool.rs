@@ -44,7 +44,7 @@ use std::sync::Arc;
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Mutex, RawRwLock, RwLock};
 
 use crate::budget::{BudgetComponent, MemoryBudget, MemoryUsage};
-use crate::disk::{DiskManager, PAGE_SIZE};
+use crate::disk::{DiskBackend, DiskManager, PAGE_SIZE};
 use crate::error::StorageError;
 use crate::replacement::{DisplacementPolicy, FrameId, LruPolicy};
 use crate::rid::PageId;
@@ -141,7 +141,7 @@ pub struct BufferPool {
     /// keeps guard drops off the state mutex entirely.
     pins: Vec<AtomicU32>,
     state: Mutex<PoolState>,
-    disk: Mutex<DiskManager>,
+    disk: Mutex<Box<dyn DiskBackend>>,
     stats: Arc<IoStats>,
     budget: Arc<MemoryBudget>,
     /// Wall-clock microseconds a read miss stalls the calling thread
@@ -150,11 +150,23 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// Builds a pool over `disk`.
+    /// Builds a pool over the simulated `disk` — the historical constructor
+    /// every bench and test uses; equivalent to
+    /// [`BufferPool::with_backend`] with a boxed [`DiskManager`].
     ///
     /// # Panics
     /// If `config.frames == 0`.
     pub fn new(disk: DiskManager, config: BufferPoolConfig) -> Arc<Self> {
+        Self::with_backend(Box::new(disk), config)
+    }
+
+    /// Builds a pool over any [`DiskBackend`] — the seam through which the
+    /// engine picks between the in-memory simulation and the file-backed
+    /// durable store.
+    ///
+    /// # Panics
+    /// If `config.frames == 0`.
+    pub fn with_backend(disk: Box<dyn DiskBackend>, config: BufferPoolConfig) -> Arc<Self> {
         assert!(config.frames > 0, "buffer pool needs at least one frame");
         let stats = disk.stats();
         let io_wait_us = if config.io_wait {
@@ -204,7 +216,7 @@ impl BufferPool {
     /// Allocates a brand-new zeroed page and returns it pinned for writing.
     /// No disk read is charged; the page reaches disk on eviction or flush.
     pub fn new_page(self: &Arc<Self>) -> Result<(PageId, PageWriteGuard), StorageError> {
-        let pid = self.disk.lock().allocate();
+        let pid = self.disk.lock().allocate()?;
         let (frame, mut guard) = self.prepare_frame(pid)?;
         // The claimed frame may hold an evicted dirty page; persist it first.
         if let (Some(old), true) = (guard.page, guard.dirty) {
@@ -645,6 +657,34 @@ impl BufferPool {
             }
         }
         Ok(())
+    }
+
+    /// Checkpoint hook: flushes every dirty page to the backend, then asks
+    /// the backend to make them durable ([`DiskBackend::sync`] — fsync for
+    /// the file backend, a no-op for the simulation).
+    pub fn sync(&self) -> Result<(), StorageError> {
+        self.flush_all()?;
+        self.disk.lock().sync()
+    }
+
+    /// Recovery hook: allocates backend pages until `pid` exists, so WAL
+    /// replay can address the exact page ids the pre-crash execution used
+    /// even when intervening ids belonged to non-heap (e.g. paged-index)
+    /// pages that recovery does not rebuild. Skipped ids stay zeroed — a
+    /// valid empty slotted page — and simply leak; the recovery-free
+    /// contract trades that slack for not logging adaptation state.
+    pub fn ensure_page(&self, pid: PageId) -> Result<(), StorageError> {
+        let mut disk = self.disk.lock();
+        while disk.num_pages() <= pid.index() {
+            disk.allocate()?;
+        }
+        Ok(())
+    }
+
+    /// Crash-injection passthrough to [`DiskBackend::fail_next_sync`]:
+    /// the next [`BufferPool::sync`] fails after a partial flush. Test hook.
+    pub fn fail_next_sync(&self) {
+        self.disk.lock().fail_next_sync();
     }
 }
 

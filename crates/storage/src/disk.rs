@@ -1,12 +1,16 @@
-//! The simulated disk: an in-memory page store with deterministic I/O cost
-//! accounting.
+//! The disk seam: the [`DiskBackend`] trait plus the default simulated
+//! in-memory backend with deterministic I/O cost accounting.
 //!
 //! **Substitution note (see DESIGN.md §4).** The paper ran on a physical SSD;
-//! we replace it with this simulation so that (a) experiments are
-//! reproducible bit-for-bit and (b) page-level I/O — the quantity the Index
-//! Buffer actually optimises — is observable directly rather than inferred
-//! from wall time.
+//! the *default* backend replaces it with an in-memory simulation so that
+//! (a) experiments are reproducible bit-for-bit and (b) page-level I/O — the
+//! quantity the Index Buffer actually optimises — is observable directly
+//! rather than inferred from wall time. Since PR 7 the simulation is one of
+//! two [`DiskBackend`] implementations: [`crate::FileBackend`] persists the
+//! same page space to a real heap file (see `file_backend.rs`) for the
+//! durability/recovery path, while [`DiskManager`] remains the bench default.
 
+use std::fmt;
 use std::sync::Arc;
 
 use crate::error::StorageError;
@@ -15,6 +19,65 @@ use crate::stats::IoStats;
 
 /// Size of every disk page in bytes.
 pub const PAGE_SIZE: usize = 8192;
+
+/// The storage layer's disk seam: a page store addressed by dense
+/// [`PageId`]s with batched reads, plus cost/statistics accounting.
+///
+/// Two implementations exist:
+///
+/// * [`DiskManager`] — the in-memory simulation (bench default, bit-for-bit
+///   deterministic, no durability).
+/// * [`crate::FileBackend`] — one heap file with a versioned header page and
+///   page-aligned I/O; [`DiskBackend::sync`] makes writes durable (no-steal:
+///   until `sync`, writes live in an in-memory overlay and the file stays
+///   checkpoint-consistent).
+///
+/// Both charge *identical* [`IoStats`] counts and simulated-time costs for
+/// the same operation sequence (enforced by
+/// `crates/storage/tests/backend_parity.rs`), so the paper's page-I/O
+/// economics are backend-independent.
+pub trait DiskBackend: Send {
+    /// Allocates a fresh zeroed page and returns its id. Allocation itself
+    /// is not charged; the first write is.
+    fn allocate(&mut self) -> Result<PageId, StorageError>;
+
+    /// Reads page `id` into `buf`, charging one page read.
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError>;
+
+    /// Fills every `(id, buf)` request in one disk operation — the sweep
+    /// read's "one request per run" path. Each page is charged the same
+    /// per-page cost as [`DiskBackend::read`], but the statistics sink is
+    /// touched once for the whole batch. Pages copied before a failure are
+    /// still charged.
+    fn read_batch(
+        &mut self,
+        reqs: &mut [(PageId, &mut [u8; PAGE_SIZE])],
+    ) -> Result<(), StorageError>;
+
+    /// Writes `buf` to page `id`, charging one page write.
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), StorageError>;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> usize;
+
+    /// Makes all writes since the previous `sync` durable (fsync for
+    /// file-backed implementations; a no-op for the simulation). Flush I/O
+    /// performed here is *not* charged to [`IoStats`] in either backend —
+    /// the simulated-time axis tracks the paper's read/write economics, not
+    /// checkpoint background I/O.
+    fn sync(&mut self) -> Result<(), StorageError>;
+
+    /// The shared statistics sink; clones of this `Arc` observe all I/O.
+    fn stats(&self) -> Arc<IoStats>;
+
+    /// The active cost model.
+    fn cost_model(&self) -> CostModel;
+
+    /// Test hook: makes the next `sync` fail *after* data has partially
+    /// reached the medium, emulating a crash mid-checkpoint. The default
+    /// (and the simulation's) implementation ignores it.
+    fn fail_next_sync(&mut self) {}
+}
 
 /// Simulated cost of physical page accesses, in microseconds.
 ///
@@ -49,11 +112,21 @@ impl CostModel {
 }
 
 /// In-memory page store standing in for a disk.
-#[derive(Debug)]
 pub struct DiskManager {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
     cost: CostModel,
     stats: Arc<IoStats>,
+}
+
+impl fmt::Debug for DiskManager {
+    /// Compact summary — a derived impl would dump every 8 KiB page buffer.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiskManager")
+            .field("num_pages", &self.pages.len())
+            .field("cost", &self.cost)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
 }
 
 impl DiskManager {
@@ -145,6 +218,44 @@ impl DiskManager {
     }
 }
 
+impl DiskBackend for DiskManager {
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        Ok(DiskManager::allocate(self))
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        DiskManager::read(self, id, buf)
+    }
+
+    fn read_batch(
+        &mut self,
+        reqs: &mut [(PageId, &mut [u8; PAGE_SIZE])],
+    ) -> Result<(), StorageError> {
+        DiskManager::read_batch(self, reqs)
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        DiskManager::write(self, id, buf)
+    }
+
+    fn num_pages(&self) -> usize {
+        DiskManager::num_pages(self)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        // Nothing to persist: the simulation *is* its own medium.
+        Ok(())
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        DiskManager::stats(self)
+    }
+
+    fn cost_model(&self) -> CostModel {
+        DiskManager::cost_model(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +323,36 @@ mod tests {
             disk.read_batch(&mut [(p0, &mut a), (PageId(9), &mut c)]),
             Err(StorageError::UnknownPage(PageId(9)))
         );
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let mut disk = DiskManager::new(CostModel::default());
+        for _ in 0..64 {
+            disk.allocate();
+        }
+        let dbg = format!("{disk:?}");
+        assert!(dbg.contains("num_pages: 64"), "{dbg}");
+        assert!(
+            dbg.len() < 512,
+            "manual Debug must not dump page buffers: {} chars",
+            dbg.len()
+        );
+    }
+
+    #[test]
+    fn trait_object_roundtrip() {
+        let mut disk: Box<dyn DiskBackend> = Box::new(DiskManager::new(CostModel::free()));
+        let p = disk.allocate().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[7] = 77;
+        disk.write(p, &buf).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read(p, &mut out).unwrap();
+        assert_eq!(out[7], 77);
+        assert_eq!(disk.num_pages(), 1);
+        disk.fail_next_sync(); // no-op for the simulation
+        disk.sync().unwrap();
     }
 
     #[test]

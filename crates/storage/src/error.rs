@@ -24,6 +24,18 @@ pub enum StorageError {
     Corrupt(String),
     /// A tuple does not conform to the schema it is being stored under.
     SchemaMismatch(String),
+    /// An operating-system I/O failure from a file-backed component (heap
+    /// file, WAL). Carries the formatted `std::io::Error` message, because
+    /// `io::Error` itself is neither `Clone` nor `Eq`.
+    Io(String),
+}
+
+impl StorageError {
+    /// Wraps a `std::io::Error` with a short context label, e.g.
+    /// `StorageError::io("wal append", e)`.
+    pub fn io(context: &str, err: std::io::Error) -> Self {
+        StorageError::Io(format!("{context}: {err}"))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -40,6 +52,7 @@ impl fmt::Display for StorageError {
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::Corrupt(msg) => write!(f, "corrupt page data: {msg}"),
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o failure: {msg}"),
         }
     }
 }

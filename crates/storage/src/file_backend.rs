@@ -1,0 +1,467 @@
+//! File-backed [`DiskBackend`]: one heap file with a versioned header page,
+//! page-aligned reads/writes, and a no-steal write overlay flushed on
+//! [`DiskBackend::sync`].
+//!
+//! ### On-disk layout
+//!
+//! ```text
+//! offset 0                      : header page (PAGE_SIZE bytes)
+//!   [0..8)   magic  b"AIBHEAP1"
+//!   [8..12)  format version, u32 LE (currently 1)
+//!   [12..16) durable page count, u32 LE
+//! offset PAGE_SIZE * (1 + pid)  : data page `pid`
+//! ```
+//!
+//! ### No-steal overlay
+//!
+//! [`FileBackend::write`] never touches the file directly: dirty pages land
+//! in an in-memory overlay, and only [`FileBackend::sync`] (called by the
+//! engine's checkpoint) writes them out, updates the header's durable page
+//! count, and fsyncs. Between checkpoints the file therefore always holds
+//! exactly the previous checkpoint's state — crash recovery replays the WAL
+//! *on top of whatever prefix of the overlay reached the file*, and because
+//! WAL replay is last-write-wins at slot granularity, any partially flushed
+//! state converges to the same final heap (see `wal.rs`).
+//!
+//! ### Accounting parity
+//!
+//! Reads and writes charge [`IoStats`] identically to the simulated
+//! [`crate::DiskManager`] (same counts, same [`CostModel`] microseconds), so
+//! experiments report the same simulated-time axis regardless of backend;
+//! `crates/storage/tests/backend_parity.rs` pins this down. `sync`'s flush
+//! I/O is charged in neither backend.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::disk::{CostModel, DiskBackend, PAGE_SIZE};
+use crate::error::StorageError;
+use crate::rid::PageId;
+use crate::stats::IoStats;
+
+/// Magic bytes opening every heap file.
+const MAGIC: &[u8; 8] = b"AIBHEAP1";
+/// Current header format version.
+const FORMAT_VERSION: u32 = 1;
+
+/// File-backed page store. See the module docs for layout and semantics.
+pub struct FileBackend {
+    file: File,
+    /// Total allocated pages, including not-yet-flushed ones.
+    num_pages: u32,
+    /// Pages the file itself holds (header's count as of the last sync).
+    durable_pages: u32,
+    /// No-steal write overlay: page id → latest contents.
+    overlay: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    cost: CostModel,
+    stats: Arc<IoStats>,
+    /// Crash-injection hook: fail the next sync after a partial flush.
+    fail_next_sync: bool,
+}
+
+impl std::fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("num_pages", &self.num_pages)
+            .field("durable_pages", &self.durable_pages)
+            .field("overlay_pages", &self.overlay.len())
+            .field("cost", &self.cost)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+impl FileBackend {
+    /// Opens (or creates) the heap file at `path`, validating the header.
+    pub fn open(path: &Path, cost: CostModel) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::io("open heap file", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io("stat heap file", e))?
+            .len();
+        let durable_pages = if len == 0 {
+            // Fresh file: write an empty header so a crash before the first
+            // checkpoint still leaves a well-formed (zero-page) heap.
+            let header = encode_header(0);
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| StorageError::io("seek header", e))?;
+            file.write_all(&header)
+                .map_err(|e| StorageError::io("write header", e))?;
+            file.sync_all()
+                .map_err(|e| StorageError::io("fsync header", e))?;
+            0
+        } else {
+            let mut header = [0u8; PAGE_SIZE];
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| StorageError::io("seek header", e))?;
+            file.read_exact(&mut header)
+                .map_err(|e| StorageError::io("read header", e))?;
+            decode_header(&header)?
+        };
+        Ok(FileBackend {
+            file,
+            num_pages: durable_pages,
+            durable_pages,
+            overlay: HashMap::new(),
+            cost,
+            stats: Arc::new(IoStats::new()),
+            fail_next_sync: false,
+        })
+    }
+
+    /// Reads the raw bytes of page `id` without charging stats — the
+    /// uncharged counterpart of [`DiskBackend::read`] used internally.
+    fn fetch(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        if id.0 >= self.num_pages {
+            return Err(StorageError::UnknownPage(id));
+        }
+        if let Some(page) = self.overlay.get(&id.0) {
+            buf.copy_from_slice(&page[..]);
+            return Ok(());
+        }
+        if id.0 >= self.durable_pages {
+            // Allocated since the last sync but never written: still zeroed.
+            buf.fill(0);
+            return Ok(());
+        }
+        self.file
+            .seek(SeekFrom::Start(page_offset(id.0)))
+            .map_err(|e| StorageError::io("seek page", e))?;
+        self.file
+            .read_exact(buf)
+            .map_err(|e| StorageError::io("read page", e))?;
+        Ok(())
+    }
+
+    /// Flushes the overlay and header to the file and fsyncs. Factored out of
+    /// the trait method so the crash-injection hook can abort halfway.
+    fn flush_overlay(&mut self) -> Result<(), StorageError> {
+        let mut dirty: Vec<u32> = self.overlay.keys().copied().collect();
+        dirty.sort_unstable();
+        let fail_halfway = self.fail_next_sync;
+        self.fail_next_sync = false;
+        let stop_after = if fail_halfway {
+            dirty.len() / 2
+        } else {
+            dirty.len()
+        };
+        for (i, pid) in dirty.iter().enumerate() {
+            if i >= stop_after {
+                // Emulated crash: some pages reached the medium, the header
+                // still names the old durable count, the rest of the overlay
+                // is lost with the process (which a real crash would kill).
+                self.overlay.clear();
+                return Err(StorageError::Io(
+                    "injected sync failure (crash mid-checkpoint)".into(),
+                ));
+            }
+            let page = self
+                .overlay
+                .get(pid)
+                .ok_or_else(|| StorageError::Corrupt("overlay page vanished".into()))?;
+            self.file
+                .seek(SeekFrom::Start(page_offset(*pid)))
+                .map_err(|e| StorageError::io("seek page for flush", e))?;
+            self.file
+                .write_all(&page[..])
+                .map_err(|e| StorageError::io("flush page", e))?;
+        }
+        // Pages between durable_pages and num_pages that were never written
+        // stay implicitly zeroed: extend the file so reads succeed.
+        let needed_len = page_offset(self.num_pages);
+        let cur_len = self
+            .file
+            .metadata()
+            .map_err(|e| StorageError::io("stat heap file", e))?
+            .len();
+        if cur_len < needed_len {
+            self.file
+                .set_len(needed_len)
+                .map_err(|e| StorageError::io("extend heap file", e))?;
+        }
+        let header = encode_header(self.num_pages);
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| StorageError::io("seek header", e))?;
+        self.file
+            .write_all(&header)
+            .map_err(|e| StorageError::io("write header", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| StorageError::io("fsync heap file", e))?;
+        self.durable_pages = self.num_pages;
+        self.overlay.clear();
+        Ok(())
+    }
+}
+
+impl DiskBackend for FileBackend {
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
+        let id = PageId(self.num_pages);
+        self.num_pages = self
+            .num_pages
+            .checked_add(1)
+            .ok_or_else(|| StorageError::Corrupt("page id space exhausted".into()))?;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        self.fetch(id, buf)?;
+        self.stats.record_reads(1, self.cost.read_us);
+        Ok(())
+    }
+
+    fn read_batch(
+        &mut self,
+        reqs: &mut [(PageId, &mut [u8; PAGE_SIZE])],
+    ) -> Result<(), StorageError> {
+        // Same charging discipline as the simulation: pages copied before a
+        // failure are still charged, the stats sink is touched once.
+        let mut copied = 0u64;
+        let mut failure = None;
+        for (id, buf) in reqs.iter_mut() {
+            match self.fetch(*id, buf) {
+                Ok(()) => copied += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        if copied > 0 {
+            self.stats.record_reads(copied, self.cost.read_us);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<(), StorageError> {
+        if id.0 >= self.num_pages {
+            return Err(StorageError::UnknownPage(id));
+        }
+        self.overlay.insert(id.0, Box::new(*buf));
+        self.stats.record_writes(1, self.cost.write_us);
+        Ok(())
+    }
+
+    fn num_pages(&self) -> usize {
+        self.num_pages as usize
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.flush_overlay()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn fail_next_sync(&mut self) {
+        self.fail_next_sync = true;
+    }
+}
+
+/// Byte offset of data page `pid` (the header occupies page slot 0).
+fn page_offset(pid: u32) -> u64 {
+    (PAGE_SIZE as u64) * (1 + pid as u64)
+}
+
+/// Builds a header page naming `pages` durable data pages.
+fn encode_header(pages: u32) -> [u8; PAGE_SIZE] {
+    let mut header = [0u8; PAGE_SIZE];
+    let version = FORMAT_VERSION.to_le_bytes();
+    let count = pages.to_le_bytes();
+    let fields = MAGIC.iter().chain(version.iter()).chain(count.iter());
+    for (dst, src) in header.iter_mut().zip(fields) {
+        *dst = *src;
+    }
+    header
+}
+
+/// Validates a header page, returning its durable page count.
+fn decode_header(header: &[u8; PAGE_SIZE]) -> Result<u32, StorageError> {
+    if header.get(..8) != Some(MAGIC.as_slice()) {
+        return Err(StorageError::Corrupt("heap file magic mismatch".into()));
+    }
+    let version_bytes: [u8; 4] = header
+        .get(8..12)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::Corrupt("header version width".into()))?;
+    let version = u32::from_le_bytes(version_bytes);
+    if version != FORMAT_VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported heap file version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let count_bytes: [u8; 4] = header
+        .get(12..16)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| StorageError::Corrupt("header page count width".into()))?;
+    Ok(u32::from_le_bytes(count_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("aib-filebackend-{}-{tag}.heap", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn write_survives_sync_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+            let p0 = disk.allocate().unwrap();
+            let p1 = disk.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 0xAB;
+            disk.write(p1, &buf).unwrap();
+            // Unsynced writes are readable through the overlay.
+            let mut out = [0u8; PAGE_SIZE];
+            disk.read(p1, &mut out).unwrap();
+            assert_eq!(out[0], 0xAB);
+            disk.read(p0, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0));
+            disk.sync().unwrap();
+        }
+        let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+        assert_eq!(disk.num_pages(), 2);
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read(PageId(1), &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsynced_writes_do_not_reach_the_file() {
+        let path = temp_path("nosteal");
+        {
+            let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+            let p = disk.allocate().unwrap();
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = 1;
+            disk.write(p, &buf).unwrap();
+            disk.sync().unwrap();
+            buf[0] = 2;
+            disk.write(p, &buf).unwrap();
+            // Dropped without sync: overlay contents are lost.
+        }
+        let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read(PageId(0), &mut out).unwrap();
+        assert_eq!(out[0], 1, "file still holds the checkpointed state");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_page_rejected() {
+        let path = temp_path("unknown");
+        let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert_eq!(
+            disk.read(PageId(0), &mut buf),
+            Err(StorageError::UnknownPage(PageId(0)))
+        );
+        assert_eq!(
+            disk.write(PageId(3), &buf),
+            Err(StorageError::UnknownPage(PageId(3)))
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_corruption_detected() {
+        let path = temp_path("corrupt");
+        {
+            let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+            disk.allocate().unwrap();
+            disk.sync().unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[0] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            FileBackend::open(&path, CostModel::free()),
+            Err(StorageError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_sync_failure_keeps_old_header() {
+        let path = temp_path("failsync");
+        {
+            let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+            for i in 0..4u8 {
+                let p = disk.allocate().unwrap();
+                let mut buf = [0u8; PAGE_SIZE];
+                buf[0] = i + 1;
+                disk.write(p, &buf).unwrap();
+            }
+            disk.sync().unwrap();
+            // Second round of writes, then a failed sync.
+            for i in 0..4u32 {
+                let mut buf = [0u8; PAGE_SIZE];
+                buf[0] = 10 + i as u8;
+                disk.write(PageId(i), &buf).unwrap();
+            }
+            disk.fail_next_sync();
+            assert!(matches!(disk.sync(), Err(StorageError::Io(_))));
+        }
+        // Reopen: header still names 4 pages; some pages may hold new data
+        // (partial flush), which is exactly the state WAL replay converges.
+        let mut disk = FileBackend::open(&path, CostModel::free()).unwrap();
+        assert_eq!(disk.num_pages(), 4);
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read(PageId(3), &mut out).unwrap();
+        assert_eq!(out[0], 4, "unflushed page keeps checkpointed contents");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn charges_match_simulation() {
+        let cost = CostModel {
+            read_us: 5,
+            write_us: 7,
+        };
+        let path = temp_path("parity");
+        let mut disk = FileBackend::open(&path, cost).unwrap();
+        let p0 = disk.allocate().unwrap();
+        let p1 = disk.allocate().unwrap();
+        let buf = [0u8; PAGE_SIZE];
+        disk.write(p0, &buf).unwrap();
+        disk.write(p1, &buf).unwrap();
+        let mut a = [0u8; PAGE_SIZE];
+        let mut b = [0u8; PAGE_SIZE];
+        disk.read_batch(&mut [(p0, &mut a), (p1, &mut b)]).unwrap();
+        disk.read(p0, &mut a).unwrap();
+        let before_sync = disk.stats().snapshot();
+        disk.sync().unwrap();
+        let s = disk.stats().snapshot();
+        assert_eq!(s, before_sync, "sync flush I/O is never charged");
+        assert_eq!(s.page_reads, 3);
+        assert_eq!(s.page_writes, 2);
+        assert_eq!(s.simulated_us, 3 * 5 + 2 * 7);
+        let _ = std::fs::remove_file(&path);
+    }
+}

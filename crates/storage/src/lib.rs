@@ -7,10 +7,15 @@
 //! page-granular scans — the substrate on which the Index Buffer's
 //! page-skipping logic operates.
 //!
-//! The disk is simulated in memory. All page reads and writes are counted in
-//! [`stats::IoStats`] and charged to a configurable [`disk::CostModel`], so
-//! experiments can report deterministic simulated I/O cost alongside wall
-//! time.
+//! The disk sits behind the [`disk::DiskBackend`] trait with two
+//! implementations: the in-memory simulation ([`disk::DiskManager`], the
+//! bench default — deterministic, no durability) and a file-backed store
+//! ([`file_backend::FileBackend`]) paired with a write-ahead log
+//! ([`wal::Wal`]) for the durability/recovery path. All page reads and
+//! writes are counted in [`stats::IoStats`] and charged to a configurable
+//! [`disk::CostModel`] identically on both backends, so experiments report
+//! deterministic simulated I/O cost alongside wall time regardless of
+//! backend.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,6 +24,7 @@ pub mod budget;
 pub mod buffer_pool;
 pub mod disk;
 pub mod error;
+pub mod file_backend;
 pub mod freespace;
 pub mod heap;
 pub mod lruk;
@@ -29,23 +35,26 @@ pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod value;
+pub mod wal;
 
 pub use budget::{
     entry_footprint, BudgetComponent, BudgetSnapshot, MemoryBudget, MemoryUsage,
     DEFAULT_ENTRY_FOOTPRINT, ENTRY_BASE_BYTES,
 };
 pub use buffer_pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard, PinnedPage};
-pub use disk::{CostModel, DiskManager, PAGE_SIZE};
+pub use disk::{CostModel, DiskBackend, DiskManager, PAGE_SIZE};
 pub use error::StorageError;
+pub use file_backend::FileBackend;
 pub use heap::HeapFile;
 pub use lruk::AccessHistory;
 pub use page::{PageView, SlottedPage};
 pub use replacement::{DisplacementPolicy, FrameId};
 pub use rid::{PageId, Rid, SlotId};
 pub use schema::{Column, ColumnType, Schema};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats};
 pub use tuple::Tuple;
 pub use value::{ColumnRef, ColumnView, Value};
+pub use wal::{Wal, WalRecord};
 
 /// Convenient result alias used across the storage crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

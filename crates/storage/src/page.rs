@@ -368,6 +368,58 @@ impl<'a> SlottedPage<'a> {
         self.set_header(n, data_start, frag, live_before);
         true
     }
+
+    /// WAL-replay primitive: places `bytes` at exactly slot `slot`, growing
+    /// the slot directory with dead slots as needed and overwriting any
+    /// previous occupant (replay is last-write-wins). Returns `false` when
+    /// the bytes cannot fit even after compaction — which recovery treats as
+    /// corruption, since every logged state fit when it was first written.
+    ///
+    /// Sound because slot ids are stable across compaction:
+    /// replaying a log prefix always reproduces the slot assignments the
+    /// original execution made.
+    pub fn replay_insert(&mut self, slot: SlotId, bytes: &[u8]) -> bool {
+        let idx = slot.0 as usize;
+        if bytes.is_empty() || bytes.len() > MAX_TUPLE_BYTES {
+            return false;
+        }
+        // Grow the directory through `idx`, initialising new slots dead.
+        let n = raw::nslots(self.buf);
+        if idx >= n {
+            let grow = (idx + 1 - n) * SLOT_BYTES;
+            if raw::contiguous_free(self.buf) < grow {
+                self.compact();
+            }
+            if raw::contiguous_free(self.buf) < grow {
+                return false;
+            }
+            let ds = raw::data_start(self.buf);
+            let frag = raw::frag_bytes(self.buf);
+            let live = raw::live_count(self.buf);
+            self.set_header(idx + 1, ds, frag, live);
+            for i in n..=idx {
+                self.set_slot(i, 0, 0);
+            }
+        }
+        // An occupied slot is an overwrite; update() keeps the slot id.
+        if raw::slot(self.buf, idx).1 != 0 {
+            return self.update(slot, bytes);
+        }
+        if self.free_bytes() < bytes.len() {
+            return false;
+        }
+        if raw::contiguous_free(self.buf) < bytes.len() {
+            self.compact();
+        }
+        let data_start = raw::data_start(self.buf) - bytes.len();
+        self.buf[data_start..data_start + bytes.len()].copy_from_slice(bytes);
+        let n = raw::nslots(self.buf);
+        let frag = raw::frag_bytes(self.buf);
+        let live = raw::live_count(self.buf) + 1;
+        self.set_header(n, data_start, frag, live);
+        self.set_slot(idx, data_start, bytes.len());
+        true
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +479,67 @@ mod tests {
         assert_eq!(n, (PAGE_SIZE - HEADER) / (100 + SLOT_BYTES));
         assert!(!page.fits(100));
         assert!(page.fits(page.free_bytes().saturating_sub(SLOT_BYTES)));
+    }
+
+    #[test]
+    fn replay_insert_targets_exact_slot() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf[..]);
+        assert!(page.replay_insert(SlotId(5), b"hello"));
+        assert_eq!(page.slot_count(), 6);
+        assert_eq!(page.live_count(), 1);
+        assert_eq!(page.get(SlotId(5)), Some(&b"hello"[..]));
+        for i in 0..5 {
+            assert_eq!(page.get(SlotId(i)), None, "slots below stay dead");
+        }
+        // A normal insert reuses the dead slots replay left behind.
+        assert_eq!(page.insert(b"x"), Some(SlotId(0)));
+    }
+
+    #[test]
+    fn replay_insert_overwrites_occupied_slot() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf[..]);
+        let s = page.insert(b"old contents").unwrap();
+        assert!(page.replay_insert(s, b"new and much longer contents"));
+        assert_eq!(page.get(s), Some(&b"new and much longer contents"[..]));
+        assert_eq!(page.live_count(), 1);
+        // Shrinking overwrite too.
+        assert!(page.replay_insert(s, b"n"));
+        assert_eq!(page.get(s), Some(&b"n"[..]));
+    }
+
+    #[test]
+    fn replay_insert_compacts_when_fragmented() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf[..]);
+        let tuple = [1u8; 512];
+        let mut slots = Vec::new();
+        while let Some(s) = page.insert(&tuple) {
+            slots.push(s);
+        }
+        for s in slots.iter().step_by(2) {
+            assert!(page.delete(*s));
+        }
+        let big = [2u8; 1000];
+        assert!(page.replay_insert(slots[0], &big));
+        assert_eq!(page.get(slots[0]), Some(&big[..]));
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(page.get(*s), Some(&tuple[..]), "survivors intact");
+        }
+    }
+
+    #[test]
+    fn replay_insert_rejects_impossible() {
+        let mut buf = fresh();
+        let mut page = SlottedPage::new(&mut buf[..]);
+        assert!(!page.replay_insert(SlotId(0), b""));
+        assert!(!page.replay_insert(SlotId(0), &vec![0u8; MAX_TUPLE_BYTES + 1]));
+        // Fill the page, then ask for a slot beyond the directory.
+        let tuple = [7u8; 100];
+        while page.insert(&tuple).is_some() {}
+        let n = page.slot_count() as u16;
+        assert!(!page.replay_insert(SlotId(n), &tuple), "page is full");
     }
 
     #[test]
