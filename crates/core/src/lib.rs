@@ -76,6 +76,7 @@ pub mod partition;
 pub mod scan;
 pub mod sharded;
 pub mod space;
+pub mod sync;
 
 pub use config::{BufferConfig, SpaceConfig};
 pub use counters::{CounterError, PageCounters, SkipBitset, SkipRuns};

@@ -62,7 +62,6 @@
 
 use std::cmp::Ordering as CmpOrdering;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
 
@@ -72,6 +71,7 @@ use crate::counters::{PageCounters, SkipBitset};
 use crate::index_buffer::{BufferId, IndexBuffer};
 use crate::partition::page_range_chunks;
 use crate::space::IndexBufferSpace;
+use crate::sync::{AtomicUsize, Ordering};
 
 /// Query predicate over a single column — the paper's `q`.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -45,10 +45,9 @@
 // enumerate() positions; the cache's local cells are resized ahead of every
 // indexed access.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use aib_storage::{BudgetComponent, MemoryBudget, MemoryUsage};
 
@@ -168,7 +167,12 @@ impl ShardedSpace {
     /// histories with nothing outstanding.
     pub fn shard_write(&self, shard: usize) -> ShardWriteGuard<'_> {
         let mut inner = self.shards[shard].write();
+        // Park the sentinel: `epoch + 1` can never equal an epoch a section
+        // was built at, so every validation fails until the guard's drop
+        // republishes the truth. Model test: `snapshot_validation_vs_writer`.
+        #[cfg(not(model_seeded_bug = "missing_sentinel"))]
         self.published[shard].store(inner.epoch().wrapping_add(1), Ordering::Release);
+        #[cfg(not(model_seeded_bug = "missing_drain"))]
         inner.drain_deferred();
         ShardWriteGuard {
             inner,
@@ -222,6 +226,13 @@ impl ShardedSpace {
     /// lock.
     pub fn space_snapshot(&self) -> Arc<SpaceSnapshot> {
         let current = Arc::clone(&self.snapshot.read());
+        // Seeded bug: serve any non-empty cached snapshot without
+        // validating — a DDL (`register`) that staled the roster goes
+        // unnoticed. Model test: `generation_vs_add_buffer`.
+        #[cfg(model_seeded_bug = "stale_snapshot_cache")]
+        if !current.sections.is_empty() {
+            return current;
+        }
         if self.validate(&current) {
             return current;
         }

@@ -40,8 +40,9 @@
 // runtime shadow model covers the semantic risk.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -218,11 +219,29 @@ impl BufferPending {
         }
     }
 
-    /// Takes the accumulated batch, leaving the counters empty.
+    /// Takes the accumulated batch, leaving the counters empty. The
+    /// `swap`s are what make concurrent [`defer`](Self::defer)s safe: an
+    /// increment lands either in the batch this drain takes or in the
+    /// empty cell for the next one, never in between. Model test:
+    /// `deferred_drain_vs_concurrent_defer`.
+    #[cfg(not(model_seeded_bug = "drain_load_store"))]
     fn drain(&self) -> (u64, u64, u64) {
         let ticks = self.ticks.swap(0, Ordering::AcqRel);
         let uses = self.uses.swap(0, Ordering::AcqRel);
         let uses_at = self.uses_at.swap(0, Ordering::AcqRel);
+        (ticks, uses, uses_at)
+    }
+
+    /// Seeded bug: a load-then-store "drain" loses any defer that lands
+    /// between the two — the lost-update race the atomic swap prevents.
+    #[cfg(model_seeded_bug = "drain_load_store")]
+    fn drain(&self) -> (u64, u64, u64) {
+        let ticks = self.ticks.load(Ordering::Acquire);
+        self.ticks.store(0, Ordering::Release);
+        let uses = self.uses.load(Ordering::Acquire);
+        self.uses.store(0, Ordering::Release);
+        let uses_at = self.uses_at.load(Ordering::Acquire);
+        self.uses_at.store(0, Ordering::Release);
         (ticks, uses, uses_at)
     }
 

@@ -1,0 +1,8 @@
+//! Re-export of the workspace sync shim (see `aib_storage::sync`).
+//!
+//! Core-layer code imports its atomics and locks from here; in production
+//! these are `std::sync::atomic` / `parking_lot`, under `cfg(aib_model)`
+//! they are the instrumented model-checker runtime. One import path,
+//! model-checkable by construction.
+
+pub use aib_storage::sync::*;

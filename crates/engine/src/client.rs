@@ -28,9 +28,9 @@
 
 use std::sync::Arc;
 
+use aib_core::sync::Mutex;
 use aib_core::SnapshotCache;
 use aib_storage::{Rid, Tuple};
-use parking_lot::Mutex;
 
 use crate::db::Database;
 use crate::error::EngineResult;

@@ -60,11 +60,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use aib_core::sync::{AtomicUsize, Mutex, Ordering, RwLock, RwLockReadGuard};
 
 use aib_core::{
     apply_staged_checked, cover_tuple, indexing_scan, indexing_scan_parallel, maintain,

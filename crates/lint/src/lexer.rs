@@ -19,6 +19,19 @@
 
 use std::collections::BTreeSet;
 
+/// One harvested `aib-lint: allow(...)` / `allow-file(...)` directive, kept
+/// with its source position so `--stale-allows` can report directives that
+/// no longer suppress anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 0-based line the directive appears on.
+    pub line: usize,
+    /// The rule it names.
+    pub rule: String,
+    /// `allow-file(...)` (whole file) vs `allow(...)` (own + next line).
+    pub file_scope: bool,
+}
+
 /// A source file after comment/string stripping, plus the allow directives
 /// harvested from its comments.
 pub struct Stripped {
@@ -28,6 +41,9 @@ pub struct Stripped {
     pub line_allows: Vec<BTreeSet<String>>,
     /// Rules allowed for the entire file via `allow-file(...)`.
     pub file_allows: BTreeSet<String>,
+    /// Every directive in source order, one entry per rule named (a
+    /// two-rule `allow(a, b)` yields two entries, audited independently).
+    pub directives: Vec<AllowDirective>,
 }
 
 impl Stripped {
@@ -51,6 +67,7 @@ pub fn strip(source: &str) -> Stripped {
     let mut out: Vec<char> = Vec::with_capacity(chars.len());
     let mut line_allows: Vec<BTreeSet<String>> = vec![BTreeSet::new(); total_lines];
     let mut file_allows: BTreeSet<String> = BTreeSet::new();
+    let mut directives: Vec<AllowDirective> = Vec::new();
 
     let at = |i: usize| chars.get(i).copied().unwrap_or('\0');
     let mut i = 0usize;
@@ -61,19 +78,34 @@ pub fn strip(source: &str) -> Stripped {
         match c {
             '/' if at(i + 1) == '/' => {
                 // Line comment: harvest directives, blank to end of line.
+                // Doc comments (`///`, `//!`) are documentation — prose
+                // that merely quotes the directive syntax must not act as
+                // a directive — so only plain comments carry directives.
+                let doc = at(i + 2) == '/' || at(i + 2) == '!';
                 let start = i;
                 while i < chars.len() && at(i) != '\n' {
                     i += 1;
                 }
-                let comment: String = chars
-                    .get(start..i)
-                    .map(|s| s.iter().collect())
-                    .unwrap_or_default();
-                harvest_directives(&comment, line, &mut line_allows, &mut file_allows);
+                if !doc {
+                    let comment: String = chars
+                        .get(start..i)
+                        .map(|s| s.iter().collect())
+                        .unwrap_or_default();
+                    harvest_directives(
+                        &comment,
+                        line,
+                        &mut line_allows,
+                        &mut file_allows,
+                        &mut directives,
+                    );
+                }
                 out.extend(std::iter::repeat_n(' ', i - start));
             }
             '/' if at(i + 1) == '*' => {
-                // Block comment with nesting; newlines preserved.
+                // Block comment with nesting; newlines preserved. Doc block
+                // comments (`/**`, `/*!`) are prose, like their line
+                // counterparts.
+                let doc = at(i + 2) == '*' || at(i + 2) == '!';
                 let start = i;
                 let mut depth = 1usize;
                 i += 2;
@@ -88,11 +120,19 @@ pub fn strip(source: &str) -> Stripped {
                         i += 1;
                     }
                 }
-                let comment: String = chars
-                    .get(start..i)
-                    .map(|s| s.iter().collect())
-                    .unwrap_or_default();
-                harvest_directives(&comment, line, &mut line_allows, &mut file_allows);
+                if !doc {
+                    let comment: String = chars
+                        .get(start..i)
+                        .map(|s| s.iter().collect())
+                        .unwrap_or_default();
+                    harvest_directives(
+                        &comment,
+                        line,
+                        &mut line_allows,
+                        &mut file_allows,
+                        &mut directives,
+                    );
+                }
                 for j in start..i {
                     if at(j) == '\n' {
                         out.push('\n');
@@ -162,6 +202,7 @@ pub fn strip(source: &str) -> Stripped {
         text,
         line_allows,
         file_allows,
+        directives,
     }
 }
 
@@ -268,6 +309,7 @@ fn harvest_directives(
     line: usize,
     line_allows: &mut [BTreeSet<String>],
     file_allows: &mut BTreeSet<String>,
+    directives: &mut Vec<AllowDirective>,
 ) {
     let Some(pos) = comment.find("aib-lint:") else {
         return;
@@ -288,6 +330,11 @@ fn harvest_directives(
         if rule.is_empty() {
             continue;
         }
+        directives.push(AllowDirective {
+            line,
+            rule: rule.clone(),
+            file_scope,
+        });
         if file_scope {
             file_allows.insert(rule);
         } else {

@@ -30,29 +30,108 @@ pub mod lexer;
 pub mod rules;
 pub mod walk;
 
-pub use lexer::{strip, Stripped};
+pub use lexer::{strip, AllowDirective, Stripped};
 pub use rules::{lint_file, Violation};
 pub use walk::{collect_rust_files, is_crate_root, is_test_code, SourceFile};
 
 use std::path::Path;
 
+/// An `aib-lint: allow(...)` / `allow-file(...)` directive that suppresses
+/// no finding — dead weight that silently licenses a future regression at
+/// its location. `--stale-allows` reports these so they get pruned when the
+/// code they excused is fixed or removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// Root-relative path of the file carrying the directive.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// The rule the directive names.
+    pub rule: String,
+    /// Whether it was an `allow-file(...)` (whole file) directive.
+    pub file_scope: bool,
+}
+
+/// Lints `source` as if it lived at root-relative path `rel`, returning the
+/// surviving violations *and* the allow directives that suppressed nothing.
+///
+/// Findings are produced against a directive-free view of the file, then
+/// suppression is replayed with the same semantics as [`Stripped::is_allowed`]
+/// (file scope, or the directive's own and next line) while recording which
+/// directives actually matched a finding.
+pub fn audit_source(rel: &str, source: &str) -> (Vec<Violation>, Vec<StaleAllow>) {
+    let stripped = lexer::strip(source);
+    let bare = Stripped {
+        text: stripped.text.clone(),
+        line_allows: Vec::new(),
+        file_allows: Default::default(),
+        directives: Vec::new(),
+    };
+    let raw = rules::lint_file(rel, &bare);
+    let mut used = vec![false; stripped.directives.len()];
+    let mut kept = Vec::new();
+    for v in raw {
+        let line_idx = v.line - 1;
+        let mut suppressed = false;
+        for (d, u) in stripped.directives.iter().zip(used.iter_mut()) {
+            if d.rule == v.rule && (d.file_scope || d.line == line_idx || d.line + 1 == line_idx) {
+                *u = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(v);
+        }
+    }
+    // Test-adjacent code (including the lint's own fixture workspace) is
+    // exempt from the library rules, so its directives can never suppress
+    // anything here — auditing them would only flag fixtures that are
+    // exercised when linted as their own root.
+    let stale = if walk::is_test_code(rel) {
+        Vec::new()
+    } else {
+        stripped
+            .directives
+            .iter()
+            .zip(&used)
+            .filter(|&(_, &u)| !u)
+            .map(|(d, _)| StaleAllow {
+                file: rel.to_string(),
+                line: d.line + 1,
+                rule: d.rule.clone(),
+                file_scope: d.file_scope,
+            })
+            .collect()
+    };
+    (kept, stale)
+}
+
 /// Lints a single source string as if it lived at root-relative path `rel`.
 /// This is the entry point the self-tests use to seed violations.
 pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
-    let stripped = lexer::strip(source);
-    rules::lint_file(rel, &stripped)
+    audit_source(rel, source).0
 }
 
 /// Lints every `.rs` file under `root`. Returns all violations, sorted by
 /// file and line, or an I/O-ish error message.
 pub fn lint_root(root: &Path) -> Result<Vec<Violation>, String> {
+    audit_root(root).map(|(violations, _)| violations)
+}
+
+/// Lints every `.rs` file under `root` and audits its allow directives.
+/// Returns `(violations, stale allows)`, each sorted by file and line.
+pub fn audit_root(root: &Path) -> Result<(Vec<Violation>, Vec<StaleAllow>), String> {
     let files = walk::collect_rust_files(root)?;
     let mut all = Vec::new();
+    let mut stale = Vec::new();
     for file in &files {
         let source = std::fs::read_to_string(&file.abs)
             .map_err(|e| format!("read {}: {e}", file.abs.display()))?;
-        all.extend(lint_source(&file.rel, &source));
+        let (violations, file_stale) = audit_source(&file.rel, &source);
+        all.extend(violations);
+        stale.extend(file_stale);
     }
     all.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(all)
+    stale.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((all, stale))
 }

@@ -1,5 +1,10 @@
-//! `aib-lint` binary: lint the workspace (or a directory given as the first
+//! `aib-lint` binary: lint the workspace (or a directory given as an
 //! argument) and exit non-zero if any rule fires.
+//!
+//! With `--stale-allows`, additionally audits every
+//! `aib-lint: allow(...)` / `allow-file(...)` directive and fails when one
+//! suppresses nothing — pruning dead escape hatches before they silently
+//! license a future regression.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -8,18 +13,39 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    match aib_lint::lint_root(Path::new(&root)) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("aib-lint: clean");
-            ExitCode::SUCCESS
+    let mut stale_mode = false;
+    let mut root = ".".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--stale-allows" {
+            stale_mode = true;
+        } else {
+            root = arg;
         }
-        Ok(violations) => {
+    }
+    match aib_lint::audit_root(Path::new(&root)) {
+        Ok((violations, stale)) => {
             for v in &violations {
                 println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
             }
-            eprintln!("aib-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            let mut failures = violations.len();
+            if stale_mode {
+                for s in &stale {
+                    let scope = if s.file_scope { "allow-file" } else { "allow" };
+                    println!(
+                        "{}:{}: [stale-allow] `aib-lint: {scope}({})` suppresses \
+                         nothing; remove the directive",
+                        s.file, s.line, s.rule
+                    );
+                }
+                failures += stale.len();
+            }
+            if failures == 0 {
+                eprintln!("aib-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("aib-lint: {failures} finding(s)");
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("aib-lint: error: {e}");

@@ -11,6 +11,7 @@
 //! | `no-panic`           | library code returns errors instead of panicking                 |
 //! | `no-index`           | no panicking slice/array indexing in library code                |
 //! | `atomics-order`      | `Ordering::Relaxed` only on allowlisted telemetry counters       |
+//! | `sync-shim`          | atomics and locks come from the `aib_core::sync` / `aib_storage::sync` shim (so `--cfg aib_model` builds can interpose the model runtime), never raw `std::sync::atomic` / `parking_lot` |
 //! | `lock-order`         | hierarchy `catalog → shard(0) → … → shard(n-1) → pool`: catalog outermost, shard locks in ascending index order, BufferPool innermost |
 //! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
 //! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
@@ -100,6 +101,7 @@ pub fn lint_file(rel: &str, stripped: &Stripped) -> Vec<Violation> {
     no_panic(rel, stripped, &mut out);
     no_index(rel, stripped, &mut out);
     atomics_order(rel, stripped, &mut out);
+    sync_shim(rel, stripped, &mut out);
     lock_order(rel, stripped, &mut out);
     database_result(rel, stripped, &mut out);
     durable_io(rel, stripped, &mut out);
@@ -388,6 +390,68 @@ fn atomics_order(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
              Acquire/Release/AcqRel or add the site to the audit"
                 .to_string(),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3b: synchronization primitives come from the sync shim
+// ---------------------------------------------------------------------------
+
+/// Files definitionally outside the shim discipline:
+/// - the shim modules themselves (any `src/sync.rs`), which hold the one
+///   cfg-switched raw import per workspace;
+/// - the `aib-model` crate, whose instrumented runtime is *implemented on*
+///   `std::sync` and must not route through itself.
+///
+/// `crates/storage/src/buffer_pool.rs` is deliberately **not** here: its
+/// `parking_lot` usage (Arc-based frame-latch guards the shim cannot
+/// express) is excused with an `allow-file(sync-shim)` directive carrying
+/// the justification, so `--stale-allows` keeps it honest.
+const SYNC_SHIM_EXEMPT_SUFFIXES: &[&str] = &["src/sync.rs"];
+const SYNC_SHIM_EXEMPT_PREFIXES: &[&str] = &["crates/model/"];
+
+/// Raw synchronization paths that bypass the shim. Matching the path (not
+/// just the type name) keeps shimmed code clean: `use crate::sync::AtomicU64`
+/// mentions none of these.
+const SYNC_RAW_PATHS: &[&str] = &[
+    "std::sync::atomic",
+    "parking_lot::",
+    "std::sync::Mutex",
+    "std::sync::RwLock",
+    "std::sync::Condvar",
+    "std::sync::Barrier",
+];
+
+/// Every atomic and lock in library code must come through the
+/// `aib_storage::sync` / `aib_core::sync` shim, so that `--cfg aib_model`
+/// builds transparently swap std + `parking_lot` for the `aib-model`
+/// runtime. A raw path is invisible to the model checker: its loads and
+/// stores happen outside the explored schedule, silently weakening every
+/// model test that touches the file.
+fn sync_shim(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    if SYNC_SHIM_EXEMPT_SUFFIXES.iter().any(|s| rel.ends_with(s))
+        || SYNC_SHIM_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p))
+    {
+        return;
+    }
+    for (idx, line) in stripped.text.lines().enumerate() {
+        for token in SYNC_RAW_PATHS {
+            if line.contains(token) {
+                push(
+                    out,
+                    stripped,
+                    rel,
+                    idx,
+                    "sync-shim",
+                    format!(
+                        "raw `{token}` bypasses the sync shim; import atomics and \
+                         locks from `crate::sync` (aib_core/aib_storage) so \
+                         `--cfg aib_model` builds can interpose the model runtime"
+                    ),
+                );
+                break;
+            }
+        }
     }
 }
 

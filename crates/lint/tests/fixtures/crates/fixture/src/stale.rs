@@ -1,0 +1,7 @@
+//! Self-test fixture: a directive that suppresses nothing. `--stale-allows`
+//! must report it; the plain lint must not.
+
+// aib-lint: allow(no-panic) — fixture: stale directive under test.
+pub fn perfectly_fine() -> u32 {
+    7
+}

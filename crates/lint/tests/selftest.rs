@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::Command;
 
-use aib_lint::{lint_root, lint_source, Violation};
+use aib_lint::{audit_root, audit_source, lint_root, lint_source, Violation};
 
 fn rules_of(violations: &[Violation]) -> BTreeSet<&'static str> {
     violations.iter().map(|v| v.rule).collect()
@@ -80,6 +80,78 @@ fn atomics_order_fires_off_allowlist() {
     // Allowlisted file + substring passes (I/O stats are whole-file).
     let v = lint_source("crates/storage/src/stats.rs", src);
     assert!(!rules_of(&v).contains("atomics-order"), "{v:?}");
+}
+
+#[test]
+fn sync_shim_fires_on_raw_paths_outside_shim() {
+    for bad in [
+        "use std::sync::atomic::{AtomicU64, Ordering};\n",
+        "use parking_lot::RwLock;\n",
+        "use std::sync::Mutex;\n",
+        "fn f() { std::sync::atomic::fence(Ordering::SeqCst); }\n",
+    ] {
+        let v = lint_lib(bad);
+        assert!(rules_of(&v).contains("sync-shim"), "{bad}: {v:?}");
+    }
+    // The shim modules themselves and the model runtime are exempt: they
+    // are the places the raw primitives are imported on purpose.
+    for rel in [
+        "crates/storage/src/sync.rs",
+        "crates/core/src/sync.rs",
+        "crates/model/src/runtime.rs",
+    ] {
+        let v = lint_source(rel, "use std::sync::atomic::AtomicU64;\n");
+        assert!(!rules_of(&v).contains("sync-shim"), "{rel}: {v:?}");
+    }
+    // Shimmed imports mention no raw path and stay clean.
+    let v = lint_lib("use crate::sync::{AtomicU64, Ordering, RwLock};\n");
+    assert!(!rules_of(&v).contains("sync-shim"), "{v:?}");
+}
+
+#[test]
+fn stale_allow_reported_only_when_directive_is_dead() {
+    // A directive that suppresses a finding is not stale.
+    let (v, stale) = audit_source(
+        "crates/fixture/src/other.rs",
+        "// aib-lint: allow(no-panic) — justified\nfn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(!rules_of(&v).contains("no-panic"), "{v:?}");
+    assert!(stale.is_empty(), "{stale:?}");
+    // The same directive above clean code is stale.
+    let (v, stale) = audit_source(
+        "crates/fixture/src/other.rs",
+        "// aib-lint: allow(no-panic) — nothing here\nfn f() -> u32 { 7 }\n",
+    );
+    assert!(v.is_empty(), "{v:?}");
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert_eq!(
+        stale.first().map(|s| (s.line, s.rule.as_str())),
+        Some((1, "no-panic"))
+    );
+    // An exercised allow-file is not stale; one for the wrong rule is.
+    let (_, stale) = audit_source(
+        "crates/fixture/src/other.rs",
+        "// aib-lint: allow-file(no-index) — justified\nfn f(x: &[u32]) -> u32 { x[0] }\n",
+    );
+    assert!(stale.is_empty(), "{stale:?}");
+    let (_, stale) = audit_source(
+        "crates/fixture/src/other.rs",
+        "// aib-lint: allow-file(no-panic) — wrong rule\nfn f(x: &[u32]) -> u32 { x[0] }\n",
+    );
+    assert_eq!(stale.len(), 1, "{stale:?}");
+}
+
+#[test]
+fn doc_comments_quoting_directive_syntax_are_not_directives() {
+    // Prose documentation of the escape hatch must neither suppress nor be
+    // audited as stale.
+    let (v, stale) = audit_source(
+        "crates/fixture/src/other.rs",
+        "//! Suppress with `// aib-lint: allow(no-panic)` on the line.\n\
+         fn f(x: Option<u32>) { x.unwrap(); }\n",
+    );
+    assert!(rules_of(&v).contains("no-panic"), "{v:?}");
+    assert!(stale.is_empty(), "{stale:?}");
 }
 
 #[test]
@@ -290,6 +362,7 @@ fn fixture_workspace_trips_every_rule_family() {
         "no-panic",
         "no-index",
         "atomics-order",
+        "sync-shim",
         "lock-order",
         "crate-hygiene",
         "database-result",
@@ -304,6 +377,23 @@ fn fixture_workspace_trips_every_rule_family() {
     assert!(
         violations.iter().all(|v| !v.file.ends_with("allowed.rs")),
         "allowed.rs must be fully suppressed: {violations:?}"
+    );
+}
+
+/// The stale-allow audit: the seeded dead directive in `stale.rs` is
+/// reported, while every directive in `allowed.rs` earns its keep.
+#[test]
+fn fixture_stale_allow_reported() {
+    let (_, stale) = audit_root(&fixtures_dir()).expect("fixtures audit cleanly");
+    assert!(
+        stale
+            .iter()
+            .any(|s| s.file.ends_with("stale.rs") && s.rule == "no-panic"),
+        "stale.rs directive must be reported: {stale:?}"
+    );
+    assert!(
+        stale.iter().all(|s| !s.file.ends_with("allowed.rs")),
+        "allowed.rs directives are all exercised: {stale:?}"
     );
 }
 
@@ -331,6 +421,7 @@ fn binary_flags_fixtures_and_passes_workspace() {
         "no-panic",
         "no-index",
         "atomics-order",
+        "sync-shim",
         "lock-order",
         "crate-hygiene",
         "database-result",
@@ -350,5 +441,33 @@ fn binary_flags_fixtures_and_passes_workspace() {
     assert!(
         out.status.success(),
         "workspace must pass the lint:\n{stdout}"
+    );
+}
+
+/// `--stale-allows` mode: flags the dead fixture directive, passes the
+/// repaired workspace (whose every directive suppresses something).
+#[test]
+fn binary_stale_allows_mode() {
+    let out = Command::new(env!("CARGO_BIN_EXE_aib-lint"))
+        .arg("--stale-allows")
+        .arg(fixtures_dir())
+        .output()
+        .expect("run aib-lint --stale-allows on fixtures");
+    assert!(!out.status.success(), "fixtures carry a stale allow");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("[stale-allow]") && stdout.contains("stale.rs"),
+        "stale directive must be reported:\n{stdout}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_aib-lint"))
+        .arg("--stale-allows")
+        .arg(workspace_root())
+        .output()
+        .expect("run aib-lint --stale-allows on workspace");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace must pass --stale-allows:\n{stdout}"
     );
 }

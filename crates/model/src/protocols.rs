@@ -1,0 +1,128 @@
+//! Distilled models of engine protocols that live above the `aib_core`
+//! layer (WAL commit ordering, engine lock ordering).
+//!
+//! The snapshot, deferred-drain, and budget protocols are model-checked
+//! directly against the production code in `aib-core`/`aib-storage`
+//! (compiled onto the instrumented shim under `cfg(aib_model)`). The WAL
+//! and lock-order protocols involve disk I/O and the whole engine stack,
+//! so the model checks these distilled skeletons instead: each mirrors the
+//! exact lock/atomic structure of `crates/engine/src/db.rs` with the I/O
+//! replaced by counters, and DESIGN §7 cross-links each skeleton to the
+//! production code lines it stands in for.
+//!
+//! Each skeleton carries a seeded-bug arm under `cfg(model_seeded_bug =
+//! "...")` — a deliberately wrong variant the checker must catch, proving
+//! the model is not vacuous.
+
+use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
+
+/// Skeleton of the WAL commit protocol: `Database` applies a mutation in
+/// memory and appends the corresponding WAL record under one durability
+/// critical section, so any observer holding the durability lock (the
+/// checkpointer, recovery) sees `logged >= applied` — write-ahead in the
+/// literal sense: no applied mutation can be missing from the log.
+///
+/// Seeded bug `wal_unlocked_log` moves the append outside the critical
+/// section (apply publishes, log lags), which lets a checkpoint observe an
+/// applied-but-unlogged mutation — exactly the crash-window bug a WAL
+/// exists to prevent.
+#[derive(Debug, Default)]
+pub struct WalModel {
+    /// Records appended to the log.
+    logged: AtomicU64,
+    /// Mutations applied to the in-memory space.
+    applied: AtomicU64,
+    /// The durability lock (`Database::durability` in the engine).
+    durability: Mutex<()>,
+}
+
+impl WalModel {
+    /// An empty WAL model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One committed mutation: append the WAL record, then apply, both
+    /// under the durability lock.
+    pub fn commit(&self) {
+        #[cfg(not(model_seeded_bug = "wal_unlocked_log"))]
+        {
+            let _durability = self.durability.lock();
+            self.logged.fetch_add(1, Ordering::AcqRel);
+            self.applied.fetch_add(1, Ordering::AcqRel);
+        }
+        #[cfg(model_seeded_bug = "wal_unlocked_log")]
+        {
+            // WRONG: the apply is published inside the critical section but
+            // the log append happens after it is released, so a checkpoint
+            // can run in between and see applied > logged.
+            {
+                let _durability = self.durability.lock();
+                self.applied.fetch_add(1, Ordering::AcqRel);
+            }
+            self.logged.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// A checkpoint-style observation under the durability lock; returns
+    /// `(logged, applied)`.
+    #[must_use]
+    pub fn checkpoint(&self) -> (u64, u64) {
+        let _durability = self.durability.lock();
+        let logged = self.logged.load(Ordering::Acquire);
+        let applied = self.applied.load(Ordering::Acquire);
+        (logged, applied)
+    }
+}
+
+/// Skeleton of the multi-shard lock-ordering discipline: `write_all` /
+/// `sync_all` in `ShardedSpace` take shard locks in **ascending index
+/// order**, which is what makes concurrent whole-space operations
+/// deadlock-free.
+///
+/// Seeded bug `abba_shard_locks` reverses the order in `sync_all`,
+/// producing the classic ABBA deadlock the runtime's wait-for analysis
+/// must report.
+#[derive(Debug, Default)]
+pub struct ShardPair {
+    shard0: RwLock<u64>,
+    shard1: RwLock<u64>,
+}
+
+impl ShardPair {
+    /// A two-shard skeleton with zeroed contents.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whole-space write: ascending lock order, bump both shards.
+    pub fn write_all(&self) {
+        let mut s0 = self.shard0.write();
+        let mut s1 = self.shard1.write();
+        *s0 += 1;
+        *s1 += 1;
+    }
+
+    /// Whole-space sync: must use the same ascending order as
+    /// [`write_all`](Self::write_all); returns the shard totals.
+    #[must_use]
+    pub fn sync_all(&self) -> (u64, u64) {
+        #[cfg(not(model_seeded_bug = "abba_shard_locks"))]
+        {
+            let s0 = self.shard0.write();
+            let s1 = self.shard1.write();
+            (*s0, *s1)
+        }
+        #[cfg(model_seeded_bug = "abba_shard_locks")]
+        {
+            // WRONG: descending order — concurrent write_all (holding
+            // shard0, wanting shard1) and sync_all (holding shard1,
+            // wanting shard0) deadlock.
+            let s1 = self.shard1.write();
+            let s0 = self.shard0.write();
+            (*s0, *s1)
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Instrumented drop-in replacements for the sync primitives the engine
+//! uses (`AtomicU64`, `AtomicUsize`, `Mutex`, `RwLock`, fences).
+//!
+//! Under an active [`Model::check`](crate::Model::check) session, every
+//! operation is a schedule point routed through the runtime: the scheduler
+//! decides who performs it, atomic histories feed the memory model, and
+//! lock waits become blocking edges the deadlock detector sees. Outside a
+//! session the wrappers degrade to plain `std` primitives, so the same
+//! types work in ordinary unit tests.
+//!
+//! Every method carries `#[track_caller]`, so schedule traces point at the
+//! production source line that performed the operation, not at this shim.
+//!
+//! Known limitation: `get_mut`/`into_inner` touch the backing cell without
+//! a schedule point (they require `&mut`/ownership, so no model thread can
+//! race them, but a mutation made through them is invisible to the model's
+//! store history). Model tests must drive state through shared references.
+
+// aib-lint: allow-file(atomics-order) — the Relaxed operations here are
+// mirror writes into the backing cell, which the model's own store history
+// (not the hardware) orders; the audit discipline applies to the production
+// code *using* the shim, not to the runtime implementing it.
+// aib-lint: allow-file(no-panic) — a model runtime surfaces violations by
+// panicking (that is its reporting channel), and `expect` on session state
+// encodes scheduler invariants that hold by construction.
+
+use std::panic::Location;
+use std::sync::Arc;
+
+use crate::runtime::{self, LockKindPub, Session};
+
+pub use std::sync::atomic::Ordering;
+
+fn session() -> Option<(Arc<Session>, usize)> {
+    runtime::current()
+}
+
+/// An instrumented 64-bit atomic integer.
+#[derive(Debug, Default)]
+pub struct AtomicU64 {
+    cell: std::sync::atomic::AtomicU64,
+}
+
+/// An instrumented pointer-sized atomic integer (modelled in 64 bits).
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    cell: std::sync::atomic::AtomicUsize,
+}
+
+macro_rules! atomic_impl {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// A new atomic holding `value`.
+            #[must_use]
+            pub const fn new(value: $prim) -> Self {
+                Self {
+                    cell: <std::sync::atomic::$name>::new(value),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                std::ptr::from_ref(&self.cell) as usize
+            }
+
+            /// The value the newest store left behind (mirror of the model
+            /// history); requires exclusive access, so never a race.
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.cell.get_mut()
+            }
+
+            /// Loads the value; under a model session the memory model
+            /// picks which store is observed (see the `runtime` module).
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $prim {
+                let caller = Location::caller();
+                if let Some((s, tid)) = session() {
+                    let init = self.cell.load(Ordering::Relaxed) as u64;
+                    if let Some(v) = s.atomic_load(tid, self.addr(), init, ord, caller) {
+                        return v as $prim;
+                    }
+                }
+                self.cell.load(ord)
+            }
+
+            /// Stores `value`.
+            #[track_caller]
+            pub fn store(&self, value: $prim, ord: Ordering) {
+                let caller = Location::caller();
+                if let Some((s, tid)) = session() {
+                    let init = self.cell.load(Ordering::Relaxed) as u64;
+                    if s.atomic_store(tid, self.addr(), init, value as u64, ord, caller)
+                        .is_some()
+                    {
+                        // Mirror into the backing cell so teardown-bypass
+                        // reads observe the newest modification-order value.
+                        self.cell.store(value, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                self.cell.store(value, ord);
+            }
+
+            /// Swaps in `value`, returning the previous value.
+            #[track_caller]
+            pub fn swap(&self, value: $prim, ord: Ordering) -> $prim {
+                self.rmw("swap", move |_| value as u64, ord)
+            }
+
+            /// Adds `delta`, returning the previous value.
+            #[track_caller]
+            pub fn fetch_add(&self, delta: $prim, ord: Ordering) -> $prim {
+                self.rmw("fetch_add", move |v| v.wrapping_add(delta as u64), ord)
+            }
+
+            /// Subtracts `delta`, returning the previous value.
+            #[track_caller]
+            pub fn fetch_sub(&self, delta: $prim, ord: Ordering) -> $prim {
+                self.rmw("fetch_sub", move |v| v.wrapping_sub(delta as u64), ord)
+            }
+
+            /// Stores the maximum of the current value and `value`,
+            /// returning the previous value.
+            #[track_caller]
+            pub fn fetch_max(&self, value: $prim, ord: Ordering) -> $prim {
+                self.rmw("fetch_max", move |v| v.max(value as u64), ord)
+            }
+
+            #[track_caller]
+            fn rmw(&self, what: &str, f: impl Fn(u64) -> u64, ord: Ordering) -> $prim {
+                let caller = Location::caller();
+                if let Some((s, tid)) = session() {
+                    let init = self.cell.load(Ordering::Relaxed) as u64;
+                    let mut new = 0u64;
+                    let g = |v: u64| {
+                        new = f(v);
+                        new
+                    };
+                    if let Some(old) = s.atomic_rmw(tid, self.addr(), init, what, g, ord, caller) {
+                        self.cell.store(new as $prim, Ordering::Relaxed);
+                        return old as $prim;
+                    }
+                    // Teardown bypass: apply directly to the backing cell.
+                    let old = self.cell.load(Ordering::Relaxed);
+                    self.cell.store(f(old as u64) as $prim, Ordering::Relaxed);
+                    return old;
+                }
+                // No session: a CAS loop on the backing cell serves every
+                // operator (swap included: its closure ignores the input).
+                let mut cur = self.cell.load(Ordering::Relaxed);
+                loop {
+                    let next = f(cur as u64) as $prim;
+                    match self
+                        .cell
+                        .compare_exchange_weak(cur, next, ord, Ordering::Relaxed)
+                    {
+                        Ok(prev) => return prev,
+                        Err(actual) => cur = actual,
+                    }
+                }
+            }
+
+            /// Compare-and-exchange; the model always operates on the
+            /// newest store (C11 modification order).
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                expect: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let caller = Location::caller();
+                if let Some((s, tid)) = session() {
+                    let init = self.cell.load(Ordering::Relaxed) as u64;
+                    if let Some(r) = s.atomic_cas(
+                        tid,
+                        self.addr(),
+                        init,
+                        expect as u64,
+                        new as u64,
+                        success,
+                        failure,
+                        caller,
+                    ) {
+                        if r.is_ok() {
+                            self.cell.store(new, Ordering::Relaxed);
+                        }
+                        return r.map(|v| v as $prim).map_err(|v| v as $prim);
+                    }
+                }
+                self.cell.compare_exchange(expect, new, success, failure)
+            }
+
+            /// Like [`compare_exchange`](Self::compare_exchange); the model
+            /// does not inject spurious failures (callers loop anyway, so
+            /// spurious failure adds schedules, not behaviours).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                expect: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(expect, new, success, failure)
+            }
+        }
+    };
+}
+
+atomic_impl!(AtomicU64, u64);
+atomic_impl!(AtomicUsize, usize);
+
+/// An atomic fence. Under the model this is a schedule point that carries
+/// **no ordering** (nothing in the checked protocols uses fences; a
+/// protocol that needs them must extend the runtime first — the trace
+/// says so out loud).
+#[track_caller]
+pub fn fence(ord: Ordering) {
+    let caller = Location::caller();
+    if let Some((s, tid)) = session() {
+        s.fence(tid, ord, caller);
+        return;
+    }
+    std::sync::atomic::fence(ord);
+}
+
+fn unpoison_lock<'a, T>(
+    r: Result<std::sync::MutexGuard<'a, T>, std::sync::PoisonError<std::sync::MutexGuard<'a, T>>>,
+) -> std::sync::MutexGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An instrumented mutex with the `parking_lot` calling convention
+/// (`lock()` returns the guard directly; poisoning is swallowed).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; release is a schedule point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    // Option so Drop can release the real lock *after* the model release.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    scheduled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquires the mutex, blocking (in model time) until available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let caller = Location::caller();
+        let scheduled = match session() {
+            Some((s, tid)) => s.lock_acquire(tid, self.addr(), LockKindPub::Mutex, true, caller),
+            None => false,
+        };
+        // The model grants the lock exclusively before we touch the real
+        // mutex, so this cannot block except momentarily during teardown.
+        let guard = unpoison_lock(self.inner.lock());
+        MutexGuard {
+            lock: self,
+            guard: Some(guard),
+            scheduled,
+        }
+    }
+
+    /// Mutable access without locking; requires `&mut`, so no model thread
+    /// can race it.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if self.scheduled {
+            if let Some((s, tid)) = session() {
+                s.lock_release(tid, self.lock.addr(), true, Location::caller());
+            }
+        }
+        self.guard = None;
+    }
+}
+
+fn unpoison_read<'a, T>(
+    r: Result<
+        std::sync::RwLockReadGuard<'a, T>,
+        std::sync::PoisonError<std::sync::RwLockReadGuard<'a, T>>,
+    >,
+) -> std::sync::RwLockReadGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn unpoison_write<'a, T>(
+    r: Result<
+        std::sync::RwLockWriteGuard<'a, T>,
+        std::sync::PoisonError<std::sync::RwLockWriteGuard<'a, T>>,
+    >,
+) -> std::sync::RwLockWriteGuard<'a, T> {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An instrumented reader-writer lock with the `parking_lot` calling
+/// convention.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+    scheduled: bool,
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    scheduled: bool,
+}
+
+impl<T> RwLock<T> {
+    /// A new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquires a shared (read) guard.
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let caller = Location::caller();
+        let scheduled = match session() {
+            Some((s, tid)) => s.lock_acquire(tid, self.addr(), LockKindPub::RwLock, false, caller),
+            None => false,
+        };
+        let guard = unpoison_read(self.inner.read());
+        RwLockReadGuard {
+            lock: self,
+            guard: Some(guard),
+            scheduled,
+        }
+    }
+
+    /// Acquires an exclusive (write) guard.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let caller = Location::caller();
+        let scheduled = match session() {
+            Some((s, tid)) => s.lock_acquire(tid, self.addr(), LockKindPub::RwLock, true, caller),
+            None => false,
+        };
+        let guard = unpoison_write(self.inner.write());
+        RwLockWriteGuard {
+            lock: self,
+            guard: Some(guard),
+            scheduled,
+        }
+    }
+
+    /// Mutable access without locking; requires `&mut`, so no model thread
+    /// can race it.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if self.scheduled {
+            if let Some((s, tid)) = session() {
+                s.lock_release(tid, self.lock.addr(), false, Location::caller());
+            }
+        }
+        self.guard = None;
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    #[track_caller]
+    fn drop(&mut self) {
+        if self.scheduled {
+            if let Some((s, tid)) = session() {
+                s.lock_release(tid, self.lock.addr(), true, Location::caller());
+            }
+        }
+        self.guard = None;
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-aware thread spawn/join.
+//!
+//! Inside a [`Model::check`](crate::Model::check) session, [`spawn`]
+//! registers the child with the scheduler: `spawn` is a schedule point
+//! carrying a happens-before edge into the child, the child's sync
+//! operations are interleaved under scheduler control, and
+//! [`JoinHandle::join`] blocks (in model time) until the child finishes,
+//! joining its clock. Outside a session both degrade to `std::thread`.
+
+// aib-lint: allow-file(no-panic) — spawn/join failures inside the model
+// runtime are scheduler invariant breaches; panicking is the runtime's
+// reporting channel.
+
+use std::panic::{catch_unwind, AssertUnwindSafe, Location};
+use std::sync::Arc;
+
+use crate::runtime;
+
+/// Handle returned by [`spawn`].
+pub struct JoinHandle {
+    /// Model thread id when spawned under a session.
+    model_tid: Option<usize>,
+    /// Real handle when spawned outside a session (under a session the
+    /// real handle is owned by the session and joined at execution end).
+    real: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawns a model thread running `f`.
+///
+/// # Panics
+/// When the per-execution thread cap ([`crate::runtime::MAX_THREADS`]) is
+/// exceeded, or (outside a session) when the OS refuses the thread.
+#[track_caller]
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let caller = Location::caller();
+    if let Some((session, tid)) = runtime::current() {
+        let child = session.register_child(tid, caller);
+        let sess = Arc::clone(&session);
+        let real = std::thread::Builder::new()
+            .name(format!("aib-model-t{child}"))
+            .spawn(move || {
+                runtime::install_current(Arc::clone(&sess), child);
+                let outcome = catch_unwind(AssertUnwindSafe(f));
+                if let Err(payload) = outcome {
+                    sess.record_thread_panic(child, payload);
+                }
+                sess.finish_thread(child);
+            })
+            .expect("failed to spawn model thread");
+        session.adopt_handle(real);
+        return JoinHandle {
+            model_tid: Some(child),
+            real: None,
+        };
+    }
+    let real = std::thread::spawn(f);
+    JoinHandle {
+        model_tid: None,
+        real: Some(real),
+    }
+}
+
+impl JoinHandle {
+    /// Waits for the thread to finish.
+    ///
+    /// # Panics
+    /// Outside a session, propagates the child's panic (like
+    /// `std::thread::JoinHandle::join().unwrap()`).
+    #[track_caller]
+    pub fn join(mut self) {
+        let caller = Location::caller();
+        if let Some(target) = self.model_tid {
+            if let Some((session, tid)) = runtime::current() {
+                session.join_thread(tid, target, caller);
+                return;
+            }
+            return;
+        }
+        if let Some(real) = self.real.take() {
+            if let Err(payload) = real.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Model checks for the five load-bearing concurrency protocols of the
+//! Adaptive Index Buffer (ISSUE PR 8, tentpole item 3).
+//!
+//! This file only compiles under `--cfg aib_model`, where `aib-storage` and
+//! `aib-core` route every atomic and lock through the instrumented
+//! `aib_model` runtime. The companion `tests/harness.rs` (compiled *without*
+//! the cfg) re-invokes cargo with the cfg set — once clean, expecting every
+//! test here to pass under exhaustive bounded exploration, and once per
+//! seeded bug (`--cfg model_seeded_bug="..."`), expecting at least one test
+//! here to report a violation with a replayable schedule.
+//!
+//! Each test is one closed concurrent program small enough to explore
+//! exhaustively yet faithful to the real call graph: the threads call the
+//! *production* entry points (`shard_write`, `space_snapshot`, `defer`,
+//! `try_reserve`, ...), not re-implementations.
+#![cfg(aib_model)]
+
+use std::sync::Arc;
+
+use aib_core::{BufferConfig, ShardedSpace, SpaceConfig};
+use aib_model::protocols::{ShardPair, WalModel};
+use aib_model::sync::{AtomicU64, Ordering};
+use aib_model::{thread, Model};
+use aib_storage::{BudgetComponent, MemoryBudget};
+
+fn one_shard() -> SpaceConfig {
+    SpaceConfig {
+        shards: 1,
+        ..SpaceConfig::default()
+    }
+}
+
+/// Protocol 1 — snapshot validation vs a concurrent `with_buffer_mut`-class
+/// writer. The epoch sentinel parked by `shard_write` must fail validation
+/// *closed*: once the writer's mutation is observable anywhere (here via a
+/// `Release`-published mirror flag), no reader may still be served the
+/// pre-write snapshot.
+///
+/// Catches: `missing_sentinel` (reader validates the stale cached snapshot
+/// while the writer is mid-critical-section).
+#[test]
+fn snapshot_validation_vs_writer() {
+    Model::new("snapshot_validation_vs_writer").check(|| {
+        let space = Arc::new(ShardedSpace::new(one_shard()));
+        let b0 = space.register("b", BufferConfig::default(), vec![1; 2]);
+        // Publish a valid pre-write snapshot for the writer to stale.
+        let _ = space.space_snapshot();
+        let mirror = Arc::new(AtomicU64::new(0));
+
+        let writer = {
+            let space = Arc::clone(&space);
+            let mirror = Arc::clone(&mirror);
+            thread::spawn(move || {
+                let mut guard = space.shard_write(0);
+                guard.reset_counters(b0, vec![0; 2]);
+                // Evidence the mutation happened, published from inside the
+                // critical section: any reader that observes it must also
+                // observe the parked sentinel (program-order-first in the
+                // write window).
+                mirror.store(1, Ordering::Release);
+                drop(guard);
+            })
+        };
+
+        let m = mirror.load(Ordering::Acquire);
+        let snap = space.space_snapshot();
+        if m == 1 {
+            let buf = snap.buffer(b0).expect("buffer survives the write");
+            assert!(
+                buf.fully_skippable(2),
+                "reader observed the write's mirror but was served a stale \
+                 snapshot (validation did not fail closed)"
+            );
+        }
+        writer.join();
+    });
+}
+
+/// Protocol 2 — `generation` bump vs `add_buffer` (DDL). A reader that has
+/// evidence the DDL completed must see the new buffer in its snapshot: the
+/// roster generation is the cross-shard invalidation edge.
+///
+/// Catches: `stale_snapshot_cache` (any non-empty cached snapshot is served
+/// without validation, hiding the registered buffer).
+#[test]
+fn generation_vs_add_buffer() {
+    Model::new("generation_vs_add_buffer").check(|| {
+        let space = Arc::new(ShardedSpace::new(one_shard()));
+        let _b0 = space.register("b0", BufferConfig::default(), vec![1; 1]);
+        let _ = space.space_snapshot();
+        let added = Arc::new(AtomicU64::new(0));
+
+        let ddl = {
+            let space = Arc::clone(&space);
+            let added = Arc::clone(&added);
+            thread::spawn(move || {
+                let _b1 = space.register("b1", BufferConfig::default(), vec![1; 1]);
+                added.store(1, Ordering::Release);
+            })
+        };
+
+        let a = added.load(Ordering::Acquire);
+        let snap = space.space_snapshot();
+        if a == 1 {
+            assert_eq!(
+                snap.buffers().count(),
+                2,
+                "DDL completed (mirror observed) but the snapshot still \
+                 shows the pre-DDL roster"
+            );
+        }
+        ddl.join();
+    });
+}
+
+/// Protocol 3 — deferred-tick drain vs concurrent lock-free `defer`. Every
+/// Table II event deferred from the fast path must be applied to the
+/// history exactly once, however drains (shard write windows) interleave
+/// with defers.
+///
+/// Catches: `missing_drain` (events never applied) and `drain_load_store`
+/// (a defer landing between the drain's load and store is lost).
+#[test]
+fn deferred_drain_vs_displacement() {
+    Model::new("deferred_drain_vs_displacement").check(|| {
+        let space = Arc::new(ShardedSpace::new(one_shard()));
+        let b0 = space.register("b", BufferConfig::default(), vec![1; 1]);
+        let c0 = space.shard_read(0).buffer(b0).history().clock();
+        let pend = Arc::clone(space.shard_read(0).pending(b0));
+
+        let fast_path = thread::spawn(move || {
+            pend.defer(1, 0, 0);
+            pend.defer(1, 0, 0);
+        });
+        let drainer = {
+            let space = Arc::clone(&space);
+            // A displacement-class write window: acquiring the shard write
+            // lock drains the pending cells into the history.
+            thread::spawn(move || drop(space.shard_write(0)))
+        };
+
+        fast_path.join();
+        drainer.join();
+        // Final drain picks up whatever the concurrent window left behind.
+        drop(space.shard_write(0));
+        let clock = space.shard_read(0).buffer(b0).history().clock();
+        assert_eq!(
+            clock,
+            c0 + 2,
+            "deferred ticks were lost or duplicated across a concurrent drain"
+        );
+    });
+}
+
+/// Protocol 4 — cross-component admission under the shared total. Two
+/// components race 60-byte reservations against a 100-byte shared cap:
+/// exactly one may win, and the loser must be counted and rolled back.
+///
+/// Catches: `budget_check_then_act` (both components read the pre-claim
+/// total and both admit, jointly overshooting the cap).
+#[test]
+fn budget_cross_pressure() {
+    Model::new("budget_cross_pressure").check(|| {
+        let budget = Arc::new(MemoryBudget::with_total(100));
+        let ra = Arc::new(AtomicU64::new(0));
+        let rb = Arc::new(AtomicU64::new(0));
+
+        let pool = {
+            let budget = Arc::clone(&budget);
+            let ra = Arc::clone(&ra);
+            thread::spawn(move || {
+                if budget.try_reserve(BudgetComponent::BufferPool, 60) {
+                    ra.store(1, Ordering::Release);
+                }
+            })
+        };
+        let index = {
+            let budget = Arc::clone(&budget);
+            let rb = Arc::clone(&rb);
+            thread::spawn(move || {
+                if budget.try_reserve(BudgetComponent::IndexSpace, 60) {
+                    rb.store(1, Ordering::Release);
+                }
+            })
+        };
+        pool.join();
+        index.join();
+
+        let admitted = ra.load(Ordering::Acquire) + rb.load(Ordering::Acquire);
+        assert_eq!(admitted, 1, "exactly one 60B claim fits a 100B total");
+        assert_eq!(budget.total_used(), 60);
+        assert_eq!(budget.denials(), 1);
+        assert!(
+            budget.high_water() <= 100,
+            "admitted usage overshot the cap"
+        );
+    });
+}
+
+/// Protocol 4b — charge/release accounting under concurrency. Two threads
+/// each charge and release the same component; all accounting must return
+/// to zero.
+///
+/// Catches: `budget_release_lost` (a load-then-store release overwrites a
+/// concurrent charge or release, leaving the slot permanently skewed).
+#[test]
+fn budget_release_reconciles() {
+    Model::new("budget_release_reconciles").check(|| {
+        let budget = Arc::new(MemoryBudget::unlimited());
+        let spawn_churn = |budget: &Arc<MemoryBudget>| {
+            let budget = Arc::clone(budget);
+            thread::spawn(move || {
+                budget.charge(BudgetComponent::IndexSpace, 60);
+                budget.release(BudgetComponent::IndexSpace, 60);
+            })
+        };
+        let a = spawn_churn(&budget);
+        let b = spawn_churn(&budget);
+        a.join();
+        b.join();
+        assert_eq!(budget.used(BudgetComponent::IndexSpace), 0);
+        assert_eq!(budget.total_used(), 0);
+    });
+}
+
+/// Protocol 5 — WAL append happens-before apply. A checkpoint may never
+/// observe more applied than logged commits; the durability lock is the
+/// edge that orders `logged += 1` before `applied += 1` for each commit.
+///
+/// Catches: `wal_unlocked_log` (the log append escapes the lock, so a
+/// checkpoint between a commit's apply and its log sees applied > logged).
+#[test]
+fn wal_append_happens_before_apply() {
+    Model::new("wal_append_happens_before_apply").check(|| {
+        let wal = Arc::new(WalModel::new());
+        let committer = |wal: &Arc<WalModel>| {
+            let wal = Arc::clone(wal);
+            thread::spawn(move || wal.commit())
+        };
+        let a = committer(&wal);
+        let b = committer(&wal);
+        let (logged, applied) = wal.checkpoint();
+        assert!(
+            applied <= logged,
+            "checkpoint observed applied={applied} > logged={logged}"
+        );
+        a.join();
+        b.join();
+        let (logged, applied) = wal.checkpoint();
+        assert_eq!((logged, applied), (2, 2));
+    });
+}
+
+/// Protocol 6 — shard lock ordering. `write_all`-class multi-shard sweeps
+/// must take shard locks in ascending index; the model's lock-order
+/// tracking reports the ABBA deadlock as a violation rather than hanging.
+///
+/// Catches: `abba_shard_locks` (`sync_all` descends while `write_all`
+/// ascends).
+#[test]
+fn shard_lock_ordering() {
+    Model::new("shard_lock_ordering").check(|| {
+        let pair = Arc::new(ShardPair::new());
+        let writer = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || pair.write_all())
+        };
+        let syncer = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let _ = pair.sync_all();
+            })
+        };
+        writer.join();
+        syncer.join();
+    });
+}

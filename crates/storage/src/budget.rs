@@ -27,8 +27,7 @@
 // arrays indexed by `BudgetComponent as usize`, a closed enum whose
 // discriminants are the array's definition.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use crate::value::Value;
 
 /// Types that can report their resident memory footprint in bytes.
@@ -77,10 +76,6 @@ impl BudgetComponent {
             BudgetComponent::IndexSpace => 1,
         }
     }
-
-    fn other(self) -> usize {
-        1 - self.idx()
-    }
 }
 
 /// Sentinel for "no limit" (a limit of `usize::MAX` bytes is unreachable).
@@ -97,17 +92,22 @@ const UNLIMITED: usize = usize::MAX;
 /// # Atomics ordering audit
 ///
 /// This is the written audit `aib-lint`'s `atomics-order` allowlist points
-/// at. Two classes of atomics live here, with different ordering needs:
+/// at (the Acquire/Release edges are also tabulated in DESIGN §7 and
+/// model-checked by `aib-model`'s `budget_cross_pressure` protocol). Two
+/// classes of atomics live here, with different ordering needs:
 ///
-/// * **Admission state** (`used`, `high_water`): every load that feeds a
-///   reserve/charge decision is `Acquire` and every successful
+/// * **Admission state** (`used`, `total`, `high_water`): every load that
+///   feeds a reserve/charge decision is `Acquire` and every successful
 ///   `compare_exchange_weak`/`fetch_add`/`store` that publishes a new
-///   charge is `AcqRel`/`Release`. The CAS loop in
-///   [`try_reserve`](MemoryBudget::try_reserve) is the correctness-critical
-///   pair: the `Acquire` re-load on failure observes the competing charge
-///   that invalidated the check, so two racing reservations can never both
-///   fit a cap only one of them respects. These sites must **never** be
-///   relaxed; they are deliberately absent from the lint allowlist.
+///   charge is `AcqRel`/`Release`. Same-component racing reservations
+///   serialise on the per-component CAS loop; **cross**-component racing
+///   reservations serialise on the `total` CAS in stage 2 of
+///   [`try_reserve`](MemoryBudget::try_reserve) — the single
+///   linearization point for the shared cap, which is what guarantees two
+///   components can never jointly overshoot `total_limit` (each admission
+///   atomically claims its bytes out of the remaining total or rolls its
+///   component claim back). These sites must **never** be relaxed; they
+///   are deliberately absent from the lint allowlist.
 /// * **Telemetry** (`denials`, `displacements`): monotonic event tallies
 ///   read only by [`snapshot`](MemoryBudget::snapshot) and the metrics
 ///   accessors, for reporting. They guard no decision and order no other
@@ -121,6 +121,9 @@ pub struct MemoryBudget {
     total_limit: usize,
     component_limits: [usize; COMPONENTS],
     used: [AtomicUsize; COMPONENTS],
+    /// Combined admitted bytes — kept as its own atomic (not the sum of
+    /// `used`) so cross-component admission has one word to CAS.
+    total: AtomicUsize,
     high_water: AtomicUsize,
     denials: AtomicU64,
     displacements: AtomicU64,
@@ -141,6 +144,7 @@ impl MemoryBudget {
             total_limit: UNLIMITED,
             component_limits: [UNLIMITED; COMPONENTS],
             used: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            total: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
             denials: AtomicU64::new(0),
             displacements: AtomicU64::new(0),
@@ -183,7 +187,7 @@ impl MemoryBudget {
 
     /// Combined bytes charged to both components.
     pub fn total_used(&self) -> usize {
-        self.used.iter().map(|u| u.load(Ordering::Acquire)).sum()
+        self.total.load(Ordering::Acquire)
     }
 
     /// Bytes `component` may still reserve before a cap denies it
@@ -191,25 +195,30 @@ impl MemoryBudget {
     pub fn headroom(&self, component: BudgetComponent) -> usize {
         let mine = self.used(component);
         let component_room = self.component_limits[component.idx()].saturating_sub(mine);
-        let other = self.used[component.other()].load(Ordering::Acquire);
-        let total_room = self.total_limit.saturating_sub(other).saturating_sub(mine);
+        let total_room = self.total_limit.saturating_sub(self.total_used());
         component_room.min(total_room)
     }
 
     /// Atomically reserves `bytes` for `component`. Returns `false` (and
     /// counts a denial) when the reservation would exceed the component cap
     /// or the shared total.
+    ///
+    /// Admission is two CAS stages: claim under the component cap, then
+    /// claim under the shared total (rolling the component claim back on
+    /// denial). The `total` CAS is the cross-component linearization
+    /// point — without it, two components racing the shared cap could each
+    /// read the other's pre-claim usage and *both* admit (check-then-act),
+    /// jointly overshooting `total_limit`. A claim that loses stage 2 is
+    /// briefly visible in its component slot, so a concurrent
+    /// same-component reservation can be denied conservatively; it can
+    /// never cause an over-admission. Model test: `budget_cross_pressure`.
     pub fn try_reserve(&self, component: BudgetComponent, bytes: usize) -> bool {
         let slot = &self.used[component.idx()];
         let mut mine = slot.load(Ordering::Acquire);
         loop {
-            let other = self.used[component.other()].load(Ordering::Acquire);
-            let fits = mine.checked_add(bytes).is_some_and(|new| {
-                new <= self.component_limits[component.idx()]
-                    && other
-                        .checked_add(new)
-                        .is_some_and(|t| t <= self.total_limit)
-            });
+            let fits = mine
+                .checked_add(bytes)
+                .is_some_and(|new| new <= self.component_limits[component.idx()]);
             if !fits {
                 self.denials.fetch_add(1, Ordering::Relaxed);
                 return false;
@@ -220,12 +229,52 @@ impl MemoryBudget {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => {
-                    self.note_high_water();
-                    return true;
-                }
+                Ok(_) => break,
                 Err(actual) => mine = actual,
             }
+        }
+        #[cfg(not(model_seeded_bug = "budget_check_then_act"))]
+        {
+            let mut cur = self.total.load(Ordering::Acquire);
+            loop {
+                let fits = cur
+                    .checked_add(bytes)
+                    .is_some_and(|t| t <= self.total_limit);
+                if !fits {
+                    self.release_slot(component, bytes);
+                    self.denials.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                match self.total.compare_exchange_weak(
+                    cur,
+                    cur + bytes,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.note_high_water();
+                        return true;
+                    }
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        #[cfg(model_seeded_bug = "budget_check_then_act")]
+        {
+            // WRONG: check-then-act on the shared total — two components
+            // racing the cap both read the pre-claim total and both admit.
+            let cur = self.total.load(Ordering::Acquire);
+            let fits = cur
+                .checked_add(bytes)
+                .is_some_and(|t| t <= self.total_limit);
+            if !fits {
+                self.release_slot(component, bytes);
+                self.denials.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            self.total.store(cur + bytes, Ordering::Release);
+            self.note_high_water();
+            return true;
         }
     }
 
@@ -234,28 +283,69 @@ impl MemoryBudget {
     /// updates; the caller is expected to displace back under budget.
     pub fn charge(&self, component: BudgetComponent, bytes: usize) {
         self.used[component.idx()].fetch_add(bytes, Ordering::AcqRel);
+        self.total.fetch_add(bytes, Ordering::AcqRel);
         self.note_high_water();
     }
 
-    /// Releases `bytes` previously reserved or charged to `component`,
-    /// saturating at zero.
-    pub fn release(&self, component: BudgetComponent, bytes: usize) {
+    /// Decrements `component`'s slot by `bytes`, saturating at zero;
+    /// returns the bytes actually removed.
+    #[cfg(not(model_seeded_bug = "budget_release_lost"))]
+    fn release_slot(&self, component: BudgetComponent, bytes: usize) -> usize {
         let slot = &self.used[component.idx()];
         let mut cur = slot.load(Ordering::Acquire);
         loop {
             let new = cur.saturating_sub(bytes);
             match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return cur - new,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Seeded bug: load-then-store "release" — a charge or release landing
+    /// between the two is silently overwritten (lost update), leaving the
+    /// slot permanently inflated or deflated.
+    #[cfg(model_seeded_bug = "budget_release_lost")]
+    fn release_slot(&self, component: BudgetComponent, bytes: usize) -> usize {
+        let slot = &self.used[component.idx()];
+        let cur = slot.load(Ordering::Acquire);
+        let new = cur.saturating_sub(bytes);
+        slot.store(new, Ordering::Release);
+        cur - new
+    }
+
+    /// Decrements the shared total by `bytes`, saturating at zero.
+    fn release_total(&self, bytes: usize) {
+        let mut cur = self.total.load(Ordering::Acquire);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self
+                .total
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
         }
     }
 
+    /// Releases `bytes` previously reserved or charged to `component`,
+    /// saturating at zero.
+    pub fn release(&self, component: BudgetComponent, bytes: usize) {
+        let freed = self.release_slot(component, bytes);
+        self.release_total(freed);
+    }
+
     /// Reconciles `component`'s charge with an externally computed
     /// footprint (components that mutate structures in place report their
     /// true [`MemoryUsage::footprint`] here after the fact).
     pub fn set_component_usage(&self, component: BudgetComponent, bytes: usize) {
-        self.used[component.idx()].store(bytes, Ordering::Release);
+        let prev = self.used[component.idx()].swap(bytes, Ordering::AcqRel);
+        if bytes >= prev {
+            self.total.fetch_add(bytes - prev, Ordering::AcqRel);
+        } else {
+            self.release_total(prev - bytes);
+        }
         self.note_high_water();
     }
 

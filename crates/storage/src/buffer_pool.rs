@@ -36,6 +36,10 @@
 // arrays allocated at construction and only ever indexed by FrameIds the
 // pool itself handed out (from the page table or the policy), which are
 // `< frames.len()` by construction.
+// aib-lint: allow-file(sync-shim) — the pool's frame latches are
+// `Arc`-based `parking_lot` guards (`ArcRwLockReadGuard`/`Write`) that the
+// shim cannot express, and `AtomicU32` pin counts have no shim type; the
+// pool is driven by the model through the budget and heap layers instead.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};

@@ -33,6 +33,7 @@ pub mod replacement;
 pub mod rid;
 pub mod schema;
 pub mod stats;
+pub mod sync;
 pub mod tuple;
 pub mod value;
 pub mod wal;

@@ -6,7 +6,7 @@
 //! simulated elapsed time derived from a [`crate::disk::CostModel`], next to
 //! actual wall time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Monotonic counters describing I/O activity. Thread-safe; shared via `Arc`.
 #[derive(Debug, Default)]

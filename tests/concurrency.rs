@@ -295,3 +295,111 @@ fn concurrent_dml_and_reads_stay_linearizable() {
     #[cfg(feature = "invariant-checks")]
     db.verify_invariants().unwrap();
 }
+
+/// Snapshot-vs-DDL race (PR 8 satellite): lock-free fast-path readers keep
+/// taking space snapshots while one thread registers new Index Buffers
+/// (each `register` bumps the roster generation) and another churns a hot
+/// buffer's counters through full write sections. Fail-closed means a
+/// reader is never served a view the protocol cannot vouch for:
+///
+/// * the hot buffer — whose counters are never zero — must never appear
+///   fully skippable, no matter how the snapshot raced the writer;
+/// * DDL-born buffers are registered fully skippable and must appear so in
+///   every snapshot that contains them;
+/// * once a reader has observed the DDL thread's completion flag
+///   (`Release`/`Acquire`), `space_snapshot` may no longer validate any
+///   pre-DDL cached snapshot — the roster it returns must be complete.
+///
+/// The CI `invariants` job re-runs this under `--features invariant-checks`,
+/// which adds the cross-shard consistency sweep at every churn step.
+#[test]
+fn snapshot_fast_path_fails_closed_under_concurrent_ddl() {
+    use adaptive_index_buffer::core::ShardedSpace;
+
+    const HEAP_PAGES: u32 = 4;
+    const DDL_BUFFERS: usize = 48;
+
+    let space = Arc::new(ShardedSpace::new(SpaceConfig {
+        shards: 4,
+        ..SpaceConfig::default()
+    }));
+    let hot = space.register("hot", BufferConfig::default(), vec![3; HEAP_PAGES as usize]);
+    let ddl_done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        {
+            let space = Arc::clone(&space);
+            let ddl_done = Arc::clone(&ddl_done);
+            s.spawn(move || {
+                for i in 0..DDL_BUFFERS {
+                    space.register(
+                        format!("ddl-{i}"),
+                        BufferConfig::default(),
+                        vec![0; HEAP_PAGES as usize],
+                    );
+                }
+                ddl_done.store(true, Ordering::Release);
+            });
+        }
+        {
+            // Churn writer: full write sections on the hot buffer's shard.
+            // Each one parks the epoch sentinel, so snapshots racing it
+            // must rebuild rather than validate a mid-write view. Counters
+            // alternate but never reach zero.
+            let space = Arc::clone(&space);
+            let ddl_done = Arc::clone(&ddl_done);
+            s.spawn(move || {
+                let shard = space.shard_of(hot);
+                let mut flip = false;
+                while !ddl_done.load(Ordering::Acquire) {
+                    let fill = if flip { 5 } else { 3 };
+                    space
+                        .shard_write(shard)
+                        .reset_counters(hot, vec![fill; HEAP_PAGES as usize]);
+                    flip = !flip;
+                    #[cfg(feature = "invariant-checks")]
+                    space.check_invariants();
+                }
+            });
+        }
+        for r in 0..3usize {
+            let space = Arc::clone(&space);
+            let ddl_done = Arc::clone(&ddl_done);
+            s.spawn(move || loop {
+                let done = ddl_done.load(Ordering::Acquire);
+                let snap = space.space_snapshot();
+                let mut roster = 0usize;
+                for buf in snap.buffers() {
+                    roster += 1;
+                    if buf.id() == hot {
+                        assert!(
+                            !buf.fully_skippable(HEAP_PAGES),
+                            "reader {r}: hot buffer served as fast-path skippable"
+                        );
+                    } else {
+                        assert!(
+                            buf.fully_skippable(HEAP_PAGES),
+                            "reader {r}: DDL buffer {} visible but not skippable",
+                            buf.id()
+                        );
+                    }
+                }
+                if done {
+                    assert_eq!(
+                        roster,
+                        1 + DDL_BUFFERS,
+                        "reader {r}: snapshot taken after DDL completed is missing buffers"
+                    );
+                    break;
+                }
+            });
+        }
+    });
+
+    let snap = space.space_snapshot();
+    assert!(space.validate(&snap), "quiescent snapshot must validate");
+    assert_eq!(snap.buffers().count(), 1 + DDL_BUFFERS);
+    assert_eq!(space.num_buffers(), 1 + DDL_BUFFERS);
+    #[cfg(feature = "invariant-checks")]
+    space.check_invariants();
+}
