@@ -32,7 +32,7 @@ use aib_core::sync::Mutex;
 use aib_core::SnapshotCache;
 use aib_storage::{Rid, Tuple};
 
-use crate::db::Database;
+use crate::db::{BatchOp, Database};
 use crate::error::EngineResult;
 use crate::explain::Explanation;
 use crate::query::{ExecOutcome, Query};
@@ -110,6 +110,14 @@ impl ClientHandle {
     pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
         self.cache.lock().flush();
         self.db.update(table, rid, tuple)
+    }
+
+    /// Applies a batch of DML operations under one lock acquisition and
+    /// one commit-pipeline ticket — a single client's way to amortize the
+    /// covering fsync. See [`Database::execute_batch`].
+    pub fn execute_batch(&self, ops: &[BatchOp]) -> EngineResult<Vec<Option<Rid>>> {
+        self.cache.lock().flush();
+        self.db.execute_batch(ops)
     }
 
     /// Fetches a tuple by rid. See [`Database::fetch`].

@@ -63,7 +63,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aib_core::sync::{AtomicUsize, Mutex, Ordering, RwLock, RwLockReadGuard};
+use aib_core::sync::{AtomicUsize, Ordering, RwLock, RwLockReadGuard};
 
 use aib_core::{
     apply_staged_checked, cover_tuple, indexing_scan, indexing_scan_parallel, maintain,
@@ -80,7 +80,8 @@ use aib_storage::{
     Schema, SlotId, StorageError, Tuple, Value, Wal, WalRecord,
 };
 
-use crate::durability::{DdlOp, Durability, IndexDef, SnapshotImage, TableImage};
+use crate::commit::{checkpointer_loop, CommitPipeline, Ticket};
+use crate::durability::{DdlOp, IndexDef, SnapshotImage, TableImage};
 use crate::error::{EngineError, EngineResult};
 use crate::metrics::QueryMetrics;
 use crate::query::{AccessPath, ExecOutcome, Query, QueryResult};
@@ -147,9 +148,25 @@ pub struct EngineConfig {
     pub io_wait: bool,
     /// Durable databases ([`Database::open`]) checkpoint automatically
     /// after this many WAL records: dirty pages are flushed and fsynced,
-    /// then the log rotates to a fresh snapshot. Irrelevant for in-memory
-    /// databases ([`Database::new`]), which have no WAL.
+    /// then the log rotates to a fresh snapshot. The rotation runs on a
+    /// background thread — the commit that crosses the threshold only
+    /// flags it — so the interval no longer stalls in-flight commits.
+    /// Irrelevant for in-memory databases ([`Database::new`]), which have
+    /// no WAL.
     pub wal_checkpoint_interval: u64,
+    /// Group-commit window in microseconds: how long a commit leader
+    /// lingers before writing its batch, giving concurrent writers time to
+    /// stage into it. `0` (the default) never lingers, which reproduces
+    /// the fsync-per-record write path bit-for-bit for a single writer —
+    /// concurrent writers still batch naturally, because frames staged
+    /// while a leader is inside its fsync are drained together by the next
+    /// leader. See `crate::commit` for the pipeline.
+    pub group_commit_wait_us: u64,
+    /// Group-commit byte cap: once the staged payload bytes reach this,
+    /// the leader skips the window wait, and no single batch drains more
+    /// than this many bytes (plus one frame). Bounds both ack latency
+    /// under a nonzero window and batch memory.
+    pub group_commit_max_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -165,6 +182,8 @@ impl Default for EngineConfig {
             scan_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             io_wait: false,
             wal_checkpoint_interval: 4096,
+            group_commit_wait_us: 0,
+            group_commit_max_bytes: 1 << 20,
         }
     }
 }
@@ -375,14 +394,21 @@ pub struct Database {
     pool: Arc<BufferPool>,
     stats: Arc<IoStats>,
     budget: Arc<MemoryBudget>,
-    catalog: RwLock<Catalog>,
+    /// Shared with the background checkpointer thread, which takes the
+    /// write lock for the checkpoint cut exactly like a DML caller.
+    catalog: Arc<RwLock<Catalog>>,
     space: ShardedSpace,
     config: EngineConfig,
     queries_executed: AtomicUsize,
-    /// `Some` for file-backed databases ([`Database::open`]): the WAL and
-    /// its checkpoint counter. A leaf lock — taken last, never held across
-    /// catalog/shard/pool acquisitions.
-    durability: Option<Mutex<Durability>>,
+    /// `Some` for file-backed databases ([`Database::open`]): the
+    /// group-commit pipeline owning the WAL (see `crate::commit`). Its
+    /// locks are leaves — commits stage under the catalog write lock but
+    /// wait for their fsync only *after* releasing every engine lock.
+    durability: Option<Arc<CommitPipeline>>,
+    /// Background checkpoint thread ([`Database::open`] spawns it, drop
+    /// joins it); rotation runs here so the periodic checkpoint never
+    /// stalls the commit that crossed the interval.
+    checkpointer: Option<std::thread::JoinHandle<()>>,
 }
 
 /// `Database` must stay shareable across client threads.
@@ -390,6 +416,36 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Database>()
 };
+
+/// One operation of a [`Database::execute_batch`] call. Owned (rather than
+/// borrowed) fields keep batches buildable incrementally and sendable
+/// across client threads.
+#[derive(Debug, Clone)]
+pub enum BatchOp {
+    /// Insert `tuple` into `table` (see [`Database::insert`]).
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The tuple to insert.
+        tuple: Tuple,
+    },
+    /// Delete the tuple at `rid` (see [`Database::delete`]).
+    Delete {
+        /// Target table name.
+        table: String,
+        /// The tuple to delete.
+        rid: Rid,
+    },
+    /// Update the tuple at `rid` (see [`Database::update`]).
+    Update {
+        /// Target table name.
+        table: String,
+        /// The tuple to replace.
+        rid: Rid,
+        /// Its new contents.
+        tuple: Tuple,
+    },
+}
 
 impl Database {
     /// Creates an empty **in-memory** database: pages live in the
@@ -429,11 +485,33 @@ impl Database {
         let wal_path = dir.join("wal.log");
         let records = Wal::replay(&wal_path)?;
         db.recover(&records)?;
-        db.durability = Some(Mutex::new(Durability {
-            wal: Wal::open(&wal_path)?,
-            since_checkpoint: records.len() as u64,
-        }));
+        let pipeline = Arc::new(CommitPipeline::new(
+            Wal::open(&wal_path)?,
+            records.len() as u64,
+            db.config.group_commit_wait_us,
+            db.config.group_commit_max_bytes,
+            db.config.wal_checkpoint_interval,
+        ));
+        db.durability = Some(Arc::clone(&pipeline));
         db.checkpoint()?;
+        // The background checkpointer owns WAL rotation from here on: the
+        // commit that crosses `wal_checkpoint_interval` only flags the
+        // checkpoint as due and unparks this thread, so the rotation's
+        // pool flush never sits on any commit's latency path.
+        let thread_pool = Arc::clone(&db.pool);
+        let thread_catalog = Arc::clone(&db.catalog);
+        let thread_pipeline = Arc::clone(&pipeline);
+        let handle = std::thread::Builder::new()
+            .name("aib-checkpoint".into())
+            .spawn(move || {
+                checkpointer_loop(&thread_pipeline, || {
+                    checkpoint_core(&thread_pool, &thread_catalog, &thread_pipeline)
+                        .map_err(|e| e.to_string())
+                })
+            })
+            .map_err(|e| StorageError::io("spawn checkpoint thread", e))?;
+        pipeline.register_checkpointer(handle.thread().clone());
+        db.checkpointer = Some(handle);
         Ok(db)
     }
 
@@ -464,13 +542,14 @@ impl Database {
             stats,
             space: ShardedSpace::with_budget(config.space, Arc::clone(&budget)),
             budget,
-            catalog: RwLock::new(Catalog {
+            catalog: Arc::new(RwLock::new(Catalog {
                 tables: Vec::new(),
                 names: HashMap::new(),
-            }),
+            })),
             config,
             queries_executed: AtomicUsize::new(0),
             durability: None,
+            checkpointer: None,
         }
     }
 
@@ -545,53 +624,56 @@ impl Database {
     /// (fsync), then rotates the WAL to a fresh log holding only a catalog
     /// snapshot. After a clean checkpoint, reopening replays nothing.
     /// A no-op for in-memory databases.
+    ///
+    /// Explicit checkpoints stay synchronous; only the *periodic*
+    /// checkpoint (every [`EngineConfig::wal_checkpoint_interval`]
+    /// records) runs on the background thread, off the commit path.
     pub fn checkpoint(&self) -> EngineResult<()> {
-        if self.durability.is_none() {
+        let Some(pipeline) = &self.durability else {
             return Ok(());
-        }
-        // The write lock quiesces DML and queries, so the flushed pages and
-        // the encoded catalog are one consistent cut.
-        let catalog = self.catalog.write();
-        self.checkpoint_with(&catalog)
+        };
+        checkpoint_core(&self.pool, &self.catalog, pipeline)
     }
 
     /// Checkpoints and releases the database. Durable state needs nothing
-    /// beyond [`Database::checkpoint`] — every DML record was fsynced when
-    /// it was logged, so even skipping `close` loses nothing; closing just
-    /// compacts the log so the next open replays nothing.
-    pub fn close(self) -> EngineResult<()> {
-        self.checkpoint()
-    }
-
-    /// Checkpoint body, under the caller's catalog write guard. Flush
-    /// order is what makes crashes safe: data pages reach the heap file
-    /// and fsync *first*, the log rotates *second* — a crash between the
-    /// two leaves the old log, whose replay converges over the
-    /// partially-flushed heap (see `aib-storage::wal` "Replay
-    /// convergence").
-    fn checkpoint_with(&self, catalog: &Catalog) -> EngineResult<()> {
-        let Some(durability) = &self.durability else {
+    /// beyond [`Database::checkpoint`] — every DML record was fsynced
+    /// before its commit was acked, so even skipping `close` loses
+    /// nothing; closing just compacts the log so the next open replays
+    /// nothing. Also surfaces any failure the background checkpointer
+    /// recorded since the last `close`-or-open.
+    pub fn close(mut self) -> EngineResult<()> {
+        self.checkpoint()?;
+        let Some(pipeline) = self.durability.clone() else {
             return Ok(());
         };
-        self.pool.sync()?;
-        let image = snapshot_image(catalog);
-        let mut d = durability.lock();
-        d.wal.rotate(&WalRecord::Snapshot(image.encode()))?;
-        d.since_checkpoint = 0;
+        pipeline.shutdown();
+        if let Some(handle) = self.checkpointer.take() {
+            let _ = handle.join();
+        }
+        if let Some(message) = pipeline.take_background_error() {
+            return Err(EngineError::Internal(format!(
+                "background checkpoint failed: {message}"
+            )));
+        }
         Ok(())
     }
 
-    /// Appends one record to the WAL (write + fsync, so the record is
-    /// durable when this returns) and reports whether the periodic
-    /// checkpoint is due. In-memory databases log nothing.
-    fn log(&self, record: &WalRecord) -> EngineResult<bool> {
-        let Some(durability) = &self.durability else {
-            return Ok(false);
-        };
-        let mut d = durability.lock();
-        d.wal.append(record)?;
-        d.since_checkpoint += 1;
-        Ok(d.since_checkpoint >= self.config.wal_checkpoint_interval)
+    /// Stages `records` on the commit pipeline (in-memory databases log
+    /// nothing). Call under the catalog write lock, so log order is
+    /// mutation order; pass the ticket to [`Database::wait_durable`]
+    /// *after* releasing the lock.
+    fn stage(&self, records: &[WalRecord]) -> Option<Ticket> {
+        self.durability.as_ref().and_then(|p| p.stage(records))
+    }
+
+    /// Blocks until the staged records are covered by an fsync (leading
+    /// the batch if this thread gets there first). The commit is acked to
+    /// the caller only when this returns `Ok`.
+    fn wait_durable(&self, ticket: Option<Ticket>) -> EngineResult<()> {
+        match (&self.durability, ticket) {
+            (Some(pipeline), Some(ticket)) => Ok(pipeline.wait_durable(ticket)?),
+            _ => Ok(()),
+        }
     }
 
     /// Records appended to the WAL through this handle (0 for in-memory
@@ -599,19 +681,22 @@ impl Database {
     /// growth and tuner adaptation — the paper's "no recovery cost"
     /// property is precisely that those mutations produce no log traffic.
     pub fn wal_records_written(&self) -> u64 {
-        self.durability
-            .as_ref()
-            .map_or(0, |d| d.lock().wal.records_written())
+        self.durability.as_ref().map_or(0, |p| p.records_written())
+    }
+
+    /// Covering fsyncs the WAL has issued (0 for in-memory databases).
+    /// `wal_records_written() / wal_fsyncs()` is the group-commit
+    /// amortization factor the durability bench reports.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |p| p.wal_syncs())
     }
 
     /// Crash-injection hook (tests): the WAL append `n` appends from now
     /// (0 = the very next one) writes a torn frame prefix and fails with
     /// an I/O error, emulating a crash mid-DML. No-op when in-memory.
     pub fn wal_fail_after(&self, n: u64) {
-        if let Some(durability) = &self.durability {
-            let mut d = durability.lock();
-            let at = d.wal.records_written() + n;
-            d.wal.set_fail_at(at);
+        if let Some(pipeline) = &self.durability {
+            pipeline.fail_after(n);
         }
     }
 
@@ -811,26 +896,26 @@ impl Database {
     /// already exists.
     pub fn create_table(&self, name: impl Into<String>, schema: Schema) -> EngineResult<()> {
         let name = name.into();
-        let mut catalog = self.catalog.write();
-        if catalog.names.contains_key(&name) {
-            return Err(EngineError::TableExists(name));
-        }
-        let idx = catalog.tables.len();
-        let ddl = DdlOp::CreateTable {
-            name: name.clone(),
-            schema: schema.clone(),
+        let ticket = {
+            let mut catalog = self.catalog.write();
+            if catalog.names.contains_key(&name) {
+                return Err(EngineError::TableExists(name));
+            }
+            let idx = catalog.tables.len();
+            let ddl = DdlOp::CreateTable {
+                name: name.clone(),
+                schema: schema.clone(),
+            };
+            catalog.tables.push(Table {
+                name: name.clone(),
+                schema,
+                heap: HeapFile::new(Arc::clone(&self.pool)),
+                indexed: Vec::new(),
+            });
+            catalog.names.insert(name, idx);
+            self.stage(&[WalRecord::Ddl(ddl.encode())])
         };
-        catalog.tables.push(Table {
-            name: name.clone(),
-            schema,
-            heap: HeapFile::new(Arc::clone(&self.pool)),
-            indexed: Vec::new(),
-        });
-        catalog.names.insert(name, idx);
-        if self.log(&WalRecord::Ddl(ddl.encode()))? {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(())
+        self.wait_durable(ticket)
     }
 
     /// Looks up a table, returning a read guard that dereferences to it.
@@ -843,10 +928,32 @@ impl Database {
     // ------------------------------------------------------------------ DML
 
     /// Inserts a tuple, maintaining all partial indexes and Index Buffers
-    /// (Table I, insert column).
+    /// (Table I, insert column). For a durable database the insert is
+    /// staged on the group-commit pipeline and acked only after its
+    /// covering fsync; see `crate::commit`.
     pub fn insert(&self, table: &str, tuple: &Tuple) -> EngineResult<Rid> {
-        let mut catalog = self.catalog.write();
-        let mut shards = self.space.write_all();
+        let (rid, ticket) = {
+            let mut catalog = self.catalog.write();
+            let mut shards = self.space.write_all();
+            let (rid, record) = self.insert_locked(&mut catalog, &mut shards, table, tuple)?;
+            let ticket = self.stage(&[record]);
+            self.verify_checkpoint(&catalog, &shards)?;
+            (rid, ticket)
+        };
+        self.wait_durable(ticket)?;
+        Ok(rid)
+    }
+
+    /// Insert body under the caller's catalog + shard write locks,
+    /// returning the record to stage. Shared by [`Database::insert`] and
+    /// [`Database::execute_batch`].
+    fn insert_locked(
+        &self,
+        catalog: &mut Catalog,
+        shards: &mut [ShardWriteGuard<'_>],
+        table: &str,
+        tuple: &Tuple,
+    ) -> EngineResult<(Rid, WalRecord)> {
         let ti = catalog.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
         let rid = catalog.tables[ti].heap.insert(&bytes)?;
@@ -856,28 +963,43 @@ impl Database {
             let value = column_value(tuple, ic.column)?;
             apply_maintenance(
                 &self.space,
-                &mut shards,
+                shards,
                 ic,
                 None,
                 Some(TupleRef::new(value, rid, page)),
             )?;
         }
-        let due = self.log(&WalRecord::Insert {
-            table: ti as u32,
+        Ok((
             rid,
-            bytes,
-        })?;
-        self.verify_checkpoint(&catalog, &shards)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(rid)
+            WalRecord::Insert {
+                table: ti as u32,
+                rid,
+                bytes,
+            },
+        ))
     }
 
     /// Deletes the tuple at `rid` (Table I, delete row).
     pub fn delete(&self, table: &str, rid: Rid) -> EngineResult<()> {
-        let mut catalog = self.catalog.write();
-        let mut shards = self.space.write_all();
+        let ticket = {
+            let mut catalog = self.catalog.write();
+            let mut shards = self.space.write_all();
+            let record = self.delete_locked(&mut catalog, &mut shards, table, rid)?;
+            let ticket = self.stage(&[record]);
+            self.verify_checkpoint(&catalog, &shards)?;
+            ticket
+        };
+        self.wait_durable(ticket)
+    }
+
+    /// Delete body under the caller's catalog + shard write locks.
+    fn delete_locked(
+        &self,
+        catalog: &mut Catalog,
+        shards: &mut [ShardWriteGuard<'_>],
+        table: &str,
+        rid: Rid,
+    ) -> EngineResult<WalRecord> {
         let ti = catalog.table_index(table)?;
         let bytes = catalog.tables[ti].heap.get(rid)?;
         let old = Tuple::from_bytes(&bytes)?;
@@ -888,28 +1010,43 @@ impl Database {
             let value = column_value(&old, ic.column)?;
             apply_maintenance(
                 &self.space,
-                &mut shards,
+                shards,
                 ic,
                 Some(TupleRef::new(value, rid, page)),
                 None,
             )?;
         }
-        let due = self.log(&WalRecord::Delete {
+        Ok(WalRecord::Delete {
             table: ti as u32,
             rid,
-        })?;
-        self.verify_checkpoint(&catalog, &shards)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(())
+        })
     }
 
     /// Updates the tuple at `rid`, returning its possibly new record id
     /// (Table I, full matrix — the tuple may change pages).
     pub fn update(&self, table: &str, rid: Rid, tuple: &Tuple) -> EngineResult<Rid> {
-        let mut catalog = self.catalog.write();
-        let mut shards = self.space.write_all();
+        let (new_rid, ticket) = {
+            let mut catalog = self.catalog.write();
+            let mut shards = self.space.write_all();
+            let (new_rid, record) =
+                self.update_locked(&mut catalog, &mut shards, table, rid, tuple)?;
+            let ticket = self.stage(&[record]);
+            self.verify_checkpoint(&catalog, &shards)?;
+            (new_rid, ticket)
+        };
+        self.wait_durable(ticket)?;
+        Ok(new_rid)
+    }
+
+    /// Update body under the caller's catalog + shard write locks.
+    fn update_locked(
+        &self,
+        catalog: &mut Catalog,
+        shards: &mut [ShardWriteGuard<'_>],
+        table: &str,
+        rid: Rid,
+        tuple: &Tuple,
+    ) -> EngineResult<(Rid, WalRecord)> {
         let ti = catalog.table_index(table)?;
         let bytes = tuple.to_bytes_checked(&catalog.tables[ti].schema)?;
         let old_bytes = catalog.tables[ti].heap.get(rid)?;
@@ -923,23 +1060,74 @@ impl Database {
             let new_value = column_value(tuple, ic.column)?;
             apply_maintenance(
                 &self.space,
-                &mut shards,
+                shards,
                 ic,
                 Some(TupleRef::new(old_value, rid, old_page)),
                 Some(TupleRef::new(new_value, new_rid, new_page)),
             )?;
         }
-        let due = self.log(&WalRecord::Update {
-            table: ti as u32,
-            old: rid,
-            new: new_rid,
-            bytes,
-        })?;
-        self.verify_checkpoint(&catalog, &shards)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(new_rid)
+        Ok((
+            new_rid,
+            WalRecord::Update {
+                table: ti as u32,
+                old: rid,
+                new: new_rid,
+                bytes,
+            },
+        ))
+    }
+
+    /// Applies a batch of DML operations under **one** catalog/shard lock
+    /// acquisition and **one** commit-pipeline ticket, so a single client
+    /// amortizes the covering fsync across the whole batch exactly like
+    /// concurrent writers do (the group-commit window's single-threaded
+    /// twin). Returns one entry per op: the new [`Rid`] for inserts and
+    /// updates, `None` for deletes.
+    ///
+    /// The batch is **not atomic**: ops apply in order, and on the first
+    /// failing op the batch stops — the applied prefix is still staged and
+    /// made durable (its fsync is awaited) before the error is returned,
+    /// matching the "every acked mutation is durable" contract op by op.
+    pub fn execute_batch(&self, ops: &[BatchOp]) -> EngineResult<Vec<Option<Rid>>> {
+        let (result, ticket) = {
+            let mut catalog = self.catalog.write();
+            let mut shards = self.space.write_all();
+            let mut records = Vec::with_capacity(ops.len());
+            let mut rids = Vec::with_capacity(ops.len());
+            let mut failure = None;
+            for op in ops {
+                let applied = match op {
+                    BatchOp::Insert { table, tuple } => self
+                        .insert_locked(&mut catalog, &mut shards, table, tuple)
+                        .map(|(rid, record)| (Some(rid), record)),
+                    BatchOp::Delete { table, rid } => self
+                        .delete_locked(&mut catalog, &mut shards, table, *rid)
+                        .map(|record| (None, record)),
+                    BatchOp::Update { table, rid, tuple } => self
+                        .update_locked(&mut catalog, &mut shards, table, *rid, tuple)
+                        .map(|(rid, record)| (Some(rid), record)),
+                };
+                match applied {
+                    Ok((rid, record)) => {
+                        rids.push(rid);
+                        records.push(record);
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            let ticket = self.stage(&records);
+            self.verify_checkpoint(&catalog, &shards)?;
+            let result = match failure {
+                Some(e) => Err(e),
+                None => Ok(rids),
+            };
+            (result, ticket)
+        };
+        self.wait_durable(ticket)?;
+        result
     }
 
     /// Fetches the tuple at `rid`.
@@ -1059,18 +1247,16 @@ impl Database {
             logged: def.clone(),
         });
         self.space.sync_all();
-        let due = self.log(&WalRecord::Ddl(
+        let ticket = self.stage(&[WalRecord::Ddl(
             DdlOp::CreateIndex {
                 table: ti as u32,
                 def,
             }
             .encode(),
-        ))?;
+        )]);
         self.verify_checkpoint_now(&catalog)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(())
+        drop(catalog);
+        self.wait_durable(ticket)
     }
 
     /// Drops the partial index (and Index Buffer contents) of a column.
@@ -1092,18 +1278,16 @@ impl Database {
                 .shard_write(self.space.shard_of(bid))
                 .clear_buffer(bid);
         }
-        let due = self.log(&WalRecord::Ddl(
+        let ticket = self.stage(&[WalRecord::Ddl(
             DdlOp::DropIndex {
                 table: ti as u32,
                 column: ci as u32,
             }
             .encode(),
-        ))?;
+        )]);
         self.verify_checkpoint_now(&catalog)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(())
+        drop(catalog);
+        self.wait_durable(ticket)
     }
 
     /// Attaches an online tuner to an indexed column. The column's coverage
@@ -1193,12 +1377,10 @@ impl Database {
                 .shard_write(self.space.shard_of(bid))
                 .reset_counters(bid, counts);
         }
-        let due = self.log(&WalRecord::Ddl(ddl.encode()))?;
+        let ticket = self.stage(&[WalRecord::Ddl(ddl.encode())]);
         self.verify_checkpoint_now(&catalog)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
-        Ok(())
+        drop(catalog);
+        self.wait_durable(ticket)
     }
 
     /// Drains under-occupied pages by relocating their tuples into pages
@@ -1212,52 +1394,56 @@ impl Database {
     /// Fig. 3 in reverse: it *concentrates* tuples, raising page occupancy
     /// so page-skipping decisions are about full pages.
     pub fn vacuum(&self, table: &str, min_occupancy: f64) -> EngineResult<(u32, u64)> {
-        let mut catalog = self.catalog.write();
-        let mut shards = self.space.write_all();
-        let ti = catalog.table_index(table)?;
-        let pages = catalog.tables[ti].heap.num_pages();
-        if pages == 0 {
-            return Ok((0, 0));
-        }
-        let avg = catalog.tables[ti].heap.live_tuples() as f64 / pages as f64;
-        let threshold = (avg * min_occupancy).floor() as usize;
-        let mut drained = 0;
-        let mut moved = 0;
-        let mut due = false;
-        for ord in 0..pages {
-            let tuples = catalog.tables[ti].page_tuples(ord)?;
-            if tuples.is_empty() || tuples.len() >= threshold {
-                continue;
+        let (drained, moved, ticket) = {
+            let mut catalog = self.catalog.write();
+            let mut shards = self.space.write_all();
+            let ti = catalog.table_index(table)?;
+            let pages = catalog.tables[ti].heap.num_pages();
+            if pages == 0 {
+                return Ok((0, 0));
             }
-            drained += 1;
-            for (rid, tuple) in tuples {
-                let new_rid = catalog.tables[ti].heap.relocate(rid)?;
-                let new_ord = catalog.tables[ti].ordinal(new_rid)?;
-                moved += 1;
-                let t = &mut catalog.tables[ti];
-                for ic in &mut t.indexed {
-                    let value = column_value(&tuple, ic.column)?;
-                    apply_maintenance(
-                        &self.space,
-                        &mut shards,
-                        ic,
-                        Some(TupleRef::new(value.clone(), rid, ord)),
-                        Some(TupleRef::new(value, new_rid, new_ord)),
-                    )?;
+            let avg = catalog.tables[ti].heap.live_tuples() as f64 / pages as f64;
+            let threshold = (avg * min_occupancy).floor() as usize;
+            let mut drained = 0;
+            let mut moved = 0;
+            let mut records = Vec::new();
+            for ord in 0..pages {
+                let tuples = catalog.tables[ti].page_tuples(ord)?;
+                if tuples.is_empty() || tuples.len() >= threshold {
+                    continue;
                 }
-                // A relocation is an update whose value didn't change.
-                due |= self.log(&WalRecord::Update {
-                    table: ti as u32,
-                    old: rid,
-                    new: new_rid,
-                    bytes: tuple.to_bytes(),
-                })?;
+                drained += 1;
+                for (rid, tuple) in tuples {
+                    let new_rid = catalog.tables[ti].heap.relocate(rid)?;
+                    let new_ord = catalog.tables[ti].ordinal(new_rid)?;
+                    moved += 1;
+                    let t = &mut catalog.tables[ti];
+                    for ic in &mut t.indexed {
+                        let value = column_value(&tuple, ic.column)?;
+                        apply_maintenance(
+                            &self.space,
+                            &mut shards,
+                            ic,
+                            Some(TupleRef::new(value.clone(), rid, ord)),
+                            Some(TupleRef::new(value, new_rid, new_ord)),
+                        )?;
+                    }
+                    // A relocation is an update whose value didn't change.
+                    records.push(WalRecord::Update {
+                        table: ti as u32,
+                        old: rid,
+                        new: new_rid,
+                        bytes: tuple.to_bytes(),
+                    });
+                }
             }
-        }
-        self.verify_checkpoint(&catalog, &shards)?;
-        if due {
-            self.checkpoint_with(&catalog)?;
-        }
+            // The whole vacuum rides one ticket — one covering fsync no
+            // matter how many tuples moved.
+            let ticket = self.stage(&records);
+            self.verify_checkpoint(&catalog, &shards)?;
+            (drained, moved, ticket)
+        };
+        self.wait_durable(ticket)?;
         Ok((drained, moved))
     }
 
@@ -1975,6 +2161,43 @@ impl std::fmt::Debug for Database {
             )
             .finish_non_exhaustive()
     }
+}
+
+impl Drop for Database {
+    /// Stops the background checkpointer. Deliberately does **not**
+    /// checkpoint: dropping without [`Database::close`] must behave like a
+    /// crash for anything not yet durable (the `crash_mid_dml` tests
+    /// depend on drop not quietly persisting a failed mutation).
+    fn drop(&mut self) {
+        if let Some(pipeline) = &self.durability {
+            pipeline.shutdown();
+        }
+        if let Some(handle) = self.checkpointer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Checkpoint body, shared by [`Database::checkpoint`] and the background
+/// checkpointer thread. The catalog write lock quiesces DML and queries, so
+/// the flushed pages and the encoded catalog are one consistent cut; with
+/// it held, staged frames can't appear mid-checkpoint, so the
+/// [`CommitPipeline::flush`] drain is complete. Flush order is what makes
+/// crashes safe: staged WAL frames land *first* (WAL before data), data
+/// pages reach the heap file and fsync *second*, the log rotates *last* — a
+/// crash between the steps leaves the old log, whose replay converges over
+/// the partially-flushed heap (see `aib-storage::wal` "Replay
+/// convergence").
+fn checkpoint_core(
+    pool: &BufferPool,
+    catalog: &RwLock<Catalog>,
+    pipeline: &CommitPipeline,
+) -> EngineResult<()> {
+    let catalog = catalog.write();
+    pipeline.flush();
+    pool.sync()?;
+    let image = snapshot_image(&catalog);
+    Ok(pipeline.rotate(&WalRecord::Snapshot(image.encode()))?)
 }
 
 /// Applies the online tuner's decision for an observed point query. Runs

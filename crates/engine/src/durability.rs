@@ -23,21 +23,10 @@ use std::collections::BTreeSet;
 
 use aib_core::BufferConfig;
 use aib_index::{Coverage, IndexBackend};
-use aib_storage::{Column, ColumnType, PageId, Schema, StorageError, Value, Wal};
+use aib_storage::{Column, ColumnType, PageId, Schema, StorageError, Value};
 
 /// Snapshot payload format version.
 const SNAPSHOT_VERSION: u32 = 1;
-
-/// Durable-mode state of a [`crate::Database`]: the open WAL plus the
-/// append counter that drives periodic checkpointing. Lives behind its own
-/// mutex, acquired *last* (a leaf lock: never held while taking the
-/// catalog, a shard, or a pool lock).
-pub(crate) struct Durability {
-    /// The open write-ahead log.
-    pub wal: Wal,
-    /// Records appended since the last checkpoint rotation.
-    pub since_checkpoint: u64,
-}
 
 /// The DDL-time definition of one partial index, as logged. Recovery
 /// rebuilds the index from this and a heap rescan; runtime tuner

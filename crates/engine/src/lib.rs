@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+mod commit;
 pub mod db;
 mod durability;
 pub mod error;
@@ -23,7 +24,7 @@ pub mod query;
 pub mod tuner;
 
 pub use client::ClientHandle;
-pub use db::{Database, EngineConfig, PoolPolicy, ShardRef, Table, TableRef};
+pub use db::{BatchOp, Database, EngineConfig, PoolPolicy, ShardRef, Table, TableRef};
 pub use error::{EngineError, EngineResult};
 pub use explain::Explanation;
 pub use metrics::{QueryMetrics, WorkloadRecorder};

@@ -348,12 +348,333 @@ fn wal_records_auto_checkpoint_at_interval() {
     for i in 0..100 {
         db.insert("t", &tuple(i)).unwrap();
     }
+    // Periodic rotation now runs on the background checkpointer thread
+    // (only *flagged* on the commit path), so give it a moment to land.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while db.wal_records_written() > 17 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
     assert!(
         db.wal_records_written() <= 17,
         "periodic rotation must bound the log, saw {}",
         db.wal_records_written()
     );
     assert_eq!(db.table("t").unwrap().live_tuples(), 100);
+}
+
+// ------------------------------------------------------ group commit
+
+/// Group-commit window used by the suite: long enough that concurrent
+/// writers actually share fsyncs, short enough to keep the tests fast.
+fn grouped() -> EngineConfig {
+    EngineConfig {
+        group_commit_wait_us: 200,
+        ..config()
+    }
+}
+
+/// The core ack guarantee under concurrency: every DML call that
+/// *returned `Ok`* before the crash must survive it, no matter how the
+/// group-commit leader batched the frames. 8 writers race on disjoint key
+/// ranges, the "process" dies without closing, and recovery must hold
+/// every acked key.
+#[test]
+fn no_acked_commit_is_lost_across_a_crash() {
+    let dir = TempDir::new("acked");
+    let acked: Vec<i64> = {
+        let db = Database::open(dir.path(), grouped()).unwrap().into_shared();
+        db.create_table("t", schema()).unwrap();
+        let mut acked = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let db = db.clone();
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..25i64 {
+                            let k = w as i64 * 1000 + i;
+                            if db.insert("t", &tuple(k)).is_ok() {
+                                // Acked: the covering fsync landed.
+                                mine.push(k);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                acked.extend(h.join().unwrap());
+            }
+        });
+        assert!(
+            db.wal_fsyncs() < db.wal_records_written(),
+            "8 racing writers should share at least one covering fsync \
+             ({} records, {} fsyncs)",
+            db.wal_records_written(),
+            db.wal_fsyncs()
+        );
+        acked
+        // Crash: drop without close.
+    };
+
+    let db = Database::open(dir.path(), grouped()).unwrap();
+    let keys: std::collections::BTreeSet<i64> = image(&db, "t")
+        .into_iter()
+        .map(|(_, t)| match t.get(0) {
+            Some(Value::Int(k)) => *k,
+            other => panic!("unexpected key {other:?}"),
+        })
+        .collect();
+    for k in &acked {
+        assert!(keys.contains(k), "acked insert of key {k} lost by crash");
+    }
+    assert_eq!(keys.len(), acked.len(), "recovery invented rows");
+}
+
+/// A torn batch tail behaves like the old torn single frame: replay stops
+/// cleanly at the tear, the batch's durable prefix survives, and the ops
+/// behind the tear report failure (and are absent after recovery).
+#[test]
+fn torn_batch_tail_stops_replay_at_the_tear() {
+    let dir = TempDir::new("tornbatch");
+    {
+        let db = Database::open(dir.path(), config()).unwrap();
+        db.create_table("t", schema()).unwrap();
+        for i in 0..10 {
+            db.insert("t", &tuple(i)).unwrap();
+        }
+        // One batch of 6 inserts; the 4th frame tears mid-write.
+        db.wal_fail_after(3);
+        let ops: Vec<aib_engine::BatchOp> = (100..106i64)
+            .map(|k| aib_engine::BatchOp::Insert {
+                table: "t".into(),
+                tuple: tuple(k),
+            })
+            .collect();
+        assert!(db.execute_batch(&ops).is_err());
+        // The log is poisoned past the tear: further commits must refuse
+        // rather than land unreachable frames behind the torn one...
+        assert!(db.insert("t", &tuple(999)).is_err());
+        // ...until a checkpoint rotates in a fresh log.
+        db.checkpoint().unwrap();
+        db.insert("t", &tuple(500)).unwrap();
+        db.close().unwrap();
+    }
+
+    let db = Database::open(dir.path(), config()).unwrap();
+    let keys: std::collections::BTreeSet<i64> = image(&db, "t")
+        .into_iter()
+        .map(|(_, t)| match t.get(0) {
+            Some(Value::Int(k)) => *k,
+            other => panic!("unexpected key {other:?}"),
+        })
+        .collect();
+    for k in 0..10 {
+        assert!(keys.contains(&k), "pre-batch key {k} lost");
+    }
+    // The checkpoint that cleared the poison persisted every *applied*
+    // mutation via its snapshot — the six batch keys and even the
+    // poison-refused 999 — exactly as a checkpoint after a failed single
+    // append always has (the snapshot supersedes the torn log).
+    for k in 100..106 {
+        assert!(keys.contains(&k), "checkpointed batch key {k} lost");
+    }
+    assert!(keys.contains(&999), "checkpointed (applied) insert lost");
+    assert!(keys.contains(&500), "post-rotation insert lost");
+}
+
+/// The torn tail without the rescuing checkpoint: crash right after the
+/// failed batch. Replay stops at the tear, keeping exactly the batch's
+/// durable prefix.
+#[test]
+fn torn_batch_tail_without_checkpoint_keeps_durable_prefix() {
+    let dir = TempDir::new("tornprefix");
+    {
+        let db = Database::open(dir.path(), config()).unwrap();
+        db.create_table("t", schema()).unwrap();
+        for i in 0..10 {
+            db.insert("t", &tuple(i)).unwrap();
+        }
+        db.wal_fail_after(3);
+        let ops: Vec<aib_engine::BatchOp> = (100..106i64)
+            .map(|k| aib_engine::BatchOp::Insert {
+                table: "t".into(),
+                tuple: tuple(k),
+            })
+            .collect();
+        assert!(db.execute_batch(&ops).is_err());
+        // Crash: no checkpoint, no close.
+    }
+
+    let db = Database::open(dir.path(), config()).unwrap();
+    let keys: std::collections::BTreeSet<i64> = image(&db, "t")
+        .into_iter()
+        .map(|(_, t)| match t.get(0) {
+            Some(Value::Int(k)) => *k,
+            other => panic!("unexpected key {other:?}"),
+        })
+        .collect();
+    for k in 0..10 {
+        assert!(keys.contains(&k), "pre-batch key {k} lost");
+    }
+    for k in 100..103 {
+        assert!(keys.contains(&k), "durable batch prefix key {k} lost");
+    }
+    for k in 103..106 {
+        assert!(!keys.contains(&k), "key {k} behind the tear resurrected");
+    }
+}
+
+/// A group-committed log must replay to the same state as a per-record
+/// log: the batch framing is byte-identical, so the same op sequence
+/// yields the same WAL bytes and the same recovered image.
+#[test]
+fn group_committed_log_replays_identically_to_per_record_log() {
+    let per_record = TempDir::new("perrecord");
+    let batched = TempDir::new("batched");
+
+    let run = |dir: &TempDir, batch: bool| {
+        let cfg = if batch { grouped() } else { config() };
+        let db = Database::open(dir.path(), cfg).unwrap();
+        db.create_table("t", schema()).unwrap();
+        if batch {
+            let ops: Vec<aib_engine::BatchOp> = (0..40i64)
+                .map(|k| aib_engine::BatchOp::Insert {
+                    table: "t".into(),
+                    tuple: tuple(k),
+                })
+                .collect();
+            db.execute_batch(&ops).unwrap();
+        } else {
+            for k in 0..40i64 {
+                db.insert("t", &tuple(k)).unwrap();
+            }
+        }
+        let rows = image(&db, "t");
+        db.update("t", rows[3].0, &tuple(1003)).unwrap();
+        db.delete("t", rows[7].0).unwrap();
+        // Crash without checkpointing, so reopen replays the raw log.
+    };
+    run(&per_record, false);
+    run(&batched, true);
+
+    assert_eq!(
+        std::fs::read(per_record.path().join("wal.log")).unwrap(),
+        std::fs::read(batched.path().join("wal.log")).unwrap(),
+        "batch framing must be byte-identical to per-record framing"
+    );
+
+    let a = Database::open(per_record.path(), config()).unwrap();
+    let b = Database::open(batched.path(), config()).unwrap();
+    assert_eq!(image(&a, "t"), image(&b, "t"));
+}
+
+/// `execute_batch` costs one covering fsync for the whole batch, and its
+/// per-op results line up with the ops.
+#[test]
+fn execute_batch_amortizes_to_one_fsync() {
+    let dir = TempDir::new("batchfsync");
+    let db = Database::open(dir.path(), config()).unwrap();
+    db.create_table("t", schema()).unwrap();
+    let ops: Vec<aib_engine::BatchOp> = (0..32i64)
+        .map(|k| aib_engine::BatchOp::Insert {
+            table: "t".into(),
+            tuple: tuple(k),
+        })
+        .collect();
+    let before = db.wal_fsyncs();
+    let rids = db.execute_batch(&ops).unwrap();
+    assert_eq!(db.wal_fsyncs() - before, 1, "one covering fsync per batch");
+    assert_eq!(rids.len(), 32);
+    assert!(rids.iter().all(|r| r.is_some()));
+
+    // Mixed batch: update rows 0..4, delete rows 4..8 — deletes yield None.
+    let rows = image(&db, "t");
+    let mut ops: Vec<aib_engine::BatchOp> = rows[..4]
+        .iter()
+        .map(|(rid, _)| aib_engine::BatchOp::Update {
+            table: "t".into(),
+            rid: *rid,
+            tuple: tuple(9000),
+        })
+        .collect();
+    ops.extend(
+        rows[4..8]
+            .iter()
+            .map(|(rid, _)| aib_engine::BatchOp::Delete {
+                table: "t".into(),
+                rid: *rid,
+            }),
+    );
+    let results = db.execute_batch(&ops).unwrap();
+    assert!(results[..4].iter().all(|r| r.is_some()));
+    assert!(results[4..].iter().all(|r| r.is_none()));
+    assert_eq!(db.table("t").unwrap().live_tuples(), 28);
+    db.close().unwrap();
+}
+
+/// 8 racing writers under the shadow model: after a crash mid-race, the
+/// recovered bookkeeping must match a `GroundTruth` recomputation (heap
+/// rescan + coverage), and the heap holds exactly the acked rows.
+#[cfg(feature = "invariant-checks")]
+#[test]
+fn racing_writers_recover_to_ground_truth() {
+    let dir = TempDir::new("racetruth");
+    let acked: Vec<i64> = {
+        let db = Database::open(dir.path(), grouped()).unwrap().into_shared();
+        db.create_table("t", schema()).unwrap();
+        db.create_partial_index(
+            "t",
+            "k",
+            Coverage::IntRange { lo: 0, hi: 499 },
+            IndexBackend::BTree,
+            Some(BufferConfig::default()),
+        )
+        .unwrap();
+        let mut acked = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let db = db.clone();
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..20i64 {
+                            let k = w as i64 * 1000 + i;
+                            if db.insert("t", &tuple(k)).is_ok() {
+                                mine.push(k);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                acked.extend(h.join().unwrap());
+            }
+        });
+        acked
+        // Crash.
+    };
+
+    let db = Database::open(dir.path(), grouped()).unwrap();
+    db.verify_invariants().unwrap();
+    db.check_space_invariants();
+    let keys: std::collections::BTreeSet<i64> = image(&db, "t")
+        .into_iter()
+        .map(|(_, t)| match t.get(0) {
+            Some(Value::Int(k)) => *k,
+            other => panic!("unexpected key {other:?}"),
+        })
+        .collect();
+    assert_eq!(keys.len(), acked.len());
+    for k in &acked {
+        assert!(keys.contains(k), "acked key {k} lost");
+    }
+    // Post-recovery traffic keeps the model happy too.
+    for q in 0..10 {
+        db.execute(&Query::on("t", "k").eq(q as i64)).unwrap();
+    }
+    db.verify_invariants().unwrap();
 }
 
 /// The full shadow-model diff after recovery: `GroundTruth`-recomputed

@@ -15,7 +15,7 @@
 //! | `lock-order`         | hierarchy `catalog → shard(0) → … → shard(n-1) → pool`: catalog outermost, shard locks in ascending index order, BufferPool innermost |
 //! | `crate-hygiene`      | crate roots forbid unsafe code and deny missing docs             |
 //! | `database-result`    | every `&mut self` `pub fn` on `Database` returns `Result<_, EngineError>` |
-//! | `durable-io`         | in `wal.rs` / `file_backend.rs`, every raw file-I/O result is converted to `StorageError` in the same statement — never unwrapped, never discarded |
+//! | `durable-io`         | in `wal.rs` / `file_backend.rs` / `commit.rs`, every raw file-I/O result is converted to `StorageError` in the same statement — never unwrapped, never discarded; and `sync_data` is *called* only in `wal.rs` / `file_backend.rs` (the commit pipeline goes through the `Wal` batch API) |
 //!
 //! (`no-index`, `database-result`, and `durable-io` are sub-rules of the
 //! panic-freedom and hygiene families, split out so the `allow(...)` escape
@@ -296,10 +296,19 @@ fn no_index(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
 // Rule 2c: durable-storage modules convert raw I/O errors to StorageError
 // ---------------------------------------------------------------------------
 
-/// Modules on the durability path: the write-ahead log and the file backend.
-/// Matched by suffix so the fixture workspace can seed violations under its
-/// own crate layout.
-const DURABLE_IO_MODULES: &[&str] = &["wal.rs", "file_backend.rs"];
+/// Modules on the durability path: the write-ahead log, the file backend,
+/// and the group-commit pipeline. Matched by suffix so the fixture workspace
+/// can seed violations under its own crate layout.
+const DURABLE_IO_MODULES: &[&str] = &["wal.rs", "file_backend.rs", "commit.rs"];
+
+/// The only modules allowed to *issue* a file fsync (`sync_data`). The
+/// commit pipeline and engine stage through the `Wal` batch API instead, so
+/// every fsync on the durability path is counted (`Wal::syncs`) and ordered
+/// by the WAL's framing — an uncounted side-channel fsync would silently
+/// skew the group-commit amortization the bench reports and could reorder
+/// around the WAL-before-data contract. (`sync_all` is deliberately not
+/// matched: `ShardedSpace::sync_all` is budget reconciliation, not I/O.)
+const FSYNC_SITES: &[&str] = &["wal.rs", "file_backend.rs"];
 
 /// Raw file-I/O calls whose `io::Result` must be mapped to [`StorageError`]
 /// before it leaves the statement.
@@ -328,6 +337,7 @@ const DURABLE_IO_CALLS: &[&str] = &[
 /// `.ok()`, because a swallowed fsync error breaks the WAL-before-data
 /// contract without any test noticing.
 fn durable_io(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    fsync_confinement(rel, stripped, out);
     if !DURABLE_IO_MODULES.iter().any(|m| rel.ends_with(m)) {
         return;
     }
@@ -362,6 +372,33 @@ fn durable_io(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
                 ),
             );
         }
+    }
+}
+
+/// The fsync-confinement half of the `durable-io` family: a `sync_data`
+/// call anywhere outside [`FSYNC_SITES`] is a violation, whatever it does
+/// with the result.
+fn fsync_confinement(rel: &str, stripped: &Stripped, out: &mut Vec<Violation>) {
+    if FSYNC_SITES.iter().any(|m| rel.ends_with(m)) {
+        return;
+    }
+    let text = &stripped.text;
+    let mut from = 0usize;
+    while let Some(rel_pos) = text.get(from..).and_then(|s| s.find(".sync_data(")) {
+        let pos = from + rel_pos;
+        from = pos + ".sync_data(".len();
+        let line_idx = text.get(..pos).unwrap_or("").matches('\n').count();
+        push(
+            out,
+            stripped,
+            rel,
+            line_idx,
+            "durable-io",
+            "`sync_data` outside the WAL/file-backend modules; route durable \
+             writes through the `Wal` batch API so every fsync is counted \
+             and ordered by the commit pipeline"
+                .to_string(),
+        );
     }
 }
 

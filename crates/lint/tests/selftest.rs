@@ -277,9 +277,10 @@ fn durable_io_fires_only_in_durable_modules() {
         let v = lint_source(module, bad);
         assert!(rules_of(&v).contains("durable-io"), "{module}: {v:?}");
     }
-    // The same discard outside the durability path is not this family's
-    // business (no-panic/no-index still apply there as usual).
-    let v = lint_lib(bad);
+    // A discarded result that is not an fsync, outside the durability
+    // path, is not this family's business (no-panic/no-index still apply
+    // there as usual).
+    let v = lint_lib("fn f(file: &mut File) { let _ = file.set_len(0); }\n");
     assert!(!rules_of(&v).contains("durable-io"), "{v:?}");
     // The idiom — mapping to StorageError in the same (multi-line)
     // statement — is clean, as is a match whose error arm converts.
@@ -292,6 +293,42 @@ fn durable_io_fires_only_in_durable_modules() {
         let v = lint_source("crates/storage/src/wal.rs", good);
         assert!(!rules_of(&v).contains("durable-io"), "{good}: {v:?}");
     }
+}
+
+#[test]
+fn durable_io_confines_fsync_to_wal_and_backend() {
+    // A correctly mapped `sync_data` is still a violation anywhere outside
+    // wal.rs / file_backend.rs — the commit pipeline must go through the
+    // `Wal` batch API, never fsync on the side.
+    let mapped = "fn f(file: &File) -> Result<(), StorageError> {\n    file.sync_data()\n        \
+         .map_err(|e| StorageError::io(\"fsync\", e))\n}\n";
+    for module in [
+        "crates/engine/src/commit.rs",
+        "crates/fixture/src/lib.rs",
+        "crates/engine/src/db.rs",
+    ] {
+        let v = lint_source(module, mapped);
+        assert!(rules_of(&v).contains("durable-io"), "{module}: {v:?}");
+    }
+    // The fsync sites themselves are exempt from the confinement half.
+    for module in [
+        "crates/storage/src/wal.rs",
+        "crates/storage/src/file_backend.rs",
+    ] {
+        let v = lint_source(module, mapped);
+        assert!(!rules_of(&v).contains("durable-io"), "{module}: {v:?}");
+    }
+    // `sync_all` is deliberately out of scope: `ShardedSpace::sync_all` is
+    // budget reconciliation, not file I/O.
+    let v = lint_lib("fn f(&self) { self.space.sync_all(); }\n");
+    assert!(!rules_of(&v).contains("durable-io"), "{v:?}");
+    // The commit module is a durable module for the conversion half: a
+    // raw I/O result discarded there is flagged like in wal.rs.
+    let v = lint_source(
+        "crates/engine/src/commit.rs",
+        "fn f(file: &mut File, b: &[u8]) { let _ = file.write_all(b); }\n",
+    );
+    assert!(rules_of(&v).contains("durable-io"), "{v:?}");
 }
 
 #[test]

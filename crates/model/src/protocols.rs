@@ -126,3 +126,86 @@ impl ShardPair {
         }
     }
 }
+
+/// Skeleton of the group-commit leader/follower handoff
+/// (`crates/engine/src/commit.rs`): writers stage a frame (ticket) and then
+/// wait; a follower whose ticket is already covered acks off the published
+/// atomic watermark without touching the WAL mutex (the lock-free fast
+/// path that lets covered writers stage their next commit while a leader
+/// lingers), while the first waiter to find its ticket not yet durable
+/// takes the mutex and becomes the leader: it "fsyncs" the staged batch
+/// (modeled as an atomic the mutex does not guard — bytes on the platter)
+/// and only then publishes the durable watermark. The protocol's
+/// happens-before obligation: whichever path a follower acks on, the
+/// covering fsync must already have landed — `fsynced >= ticket`.
+///
+/// Seeded bug `commit_ack_before_fsync` publishes the watermark first and
+/// fsyncs after releasing the mutex, so a follower can ack a commit whose
+/// bytes are still in flight — the silent-data-loss bug group commit must
+/// never introduce.
+#[derive(Debug, Default)]
+pub struct CommitQueueModel {
+    /// Highest ticket staged on the commit queue.
+    staged: AtomicU64,
+    /// Highest ticket covered by a completed fsync. Deliberately *not*
+    /// guarded by the WAL mutex: it models the platter, which the OS
+    /// mutates during `sync_data`, not the leader's bookkeeping.
+    fsynced: AtomicU64,
+    /// The published durable watermark — the lock-free ack gate
+    /// (`CommitPipeline::clean_durable`).
+    durable: AtomicU64,
+    /// The WAL mutex guarding the leader's bookkeeping (`WalState`).
+    wal: Mutex<u64>,
+}
+
+impl CommitQueueModel {
+    /// An empty commit-queue model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages one frame, returning its ticket.
+    pub fn stage(&self) -> u64 {
+        self.staged.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Waits until `ticket` is durable, leading the batch if this thread
+    /// finds it undone. Returns the fsync watermark observed **at ack
+    /// time** — the checked invariant is `ack >= ticket`.
+    pub fn wait_durable(&self, ticket: u64) -> u64 {
+        loop {
+            // Lock-free ack fast path: a covered follower never takes the
+            // WAL mutex (mirrors `CommitPipeline::wait_durable`).
+            if self.durable.load(Ordering::Acquire) >= ticket {
+                return self.fsynced.load(Ordering::Acquire);
+            }
+            let mut durable_seq = self.wal.lock();
+            if *durable_seq >= ticket {
+                // Ack: the follower returns to its caller here.
+                return self.fsynced.load(Ordering::Acquire);
+            }
+            // Leader turn: drain everything staged, fsync it, publish.
+            let batch_end = self.staged.load(Ordering::Acquire);
+            #[cfg(not(model_seeded_bug = "commit_ack_before_fsync"))]
+            {
+                // The fsync completes before either watermark moves; the
+                // atomic store (and the mutex release) is the follower's
+                // wake-up.
+                self.fsynced.store(batch_end, Ordering::Release);
+                *durable_seq = batch_end;
+                self.durable.store(batch_end, Ordering::Release);
+            }
+            #[cfg(model_seeded_bug = "commit_ack_before_fsync")]
+            {
+                // WRONG: the watermarks move (and the mutex wakes
+                // followers) while the fsync is still in flight — a
+                // follower can ack with fsynced < ticket.
+                *durable_seq = batch_end;
+                self.durable.store(batch_end, Ordering::Release);
+                drop(durable_seq);
+                self.fsynced.store(batch_end, Ordering::Release);
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@ const SEEDED_BUGS: &[&str] = &[
     "budget_release_lost",
     "wal_unlocked_log",
     "abba_shard_locks",
+    "commit_ack_before_fsync",
 ];
 
 fn workspace_root() -> PathBuf {

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use aib_core::{BufferConfig, ShardedSpace, SpaceConfig};
-use aib_model::protocols::{ShardPair, WalModel};
+use aib_model::protocols::{CommitQueueModel, ShardPair, WalModel};
 use aib_model::sync::{AtomicU64, Ordering};
 use aib_model::{thread, Model};
 use aib_storage::{BudgetComponent, MemoryBudget};
@@ -273,5 +273,37 @@ fn shard_lock_ordering() {
         };
         writer.join();
         syncer.join();
+    });
+}
+
+/// Protocol 7 — group-commit handoff (PR 9): frame staged → leader fsync
+/// → follower ack, in that happens-before order. Two writers stage and
+/// wait; whichever becomes leader fsyncs the staged batch before
+/// publishing the durable watermark, so at every ack the fsync watermark
+/// already covers the acked ticket.
+///
+/// Catches: `commit_ack_before_fsync` (the watermark — and the mutex
+/// release that wakes followers — precedes the fsync, so a follower acks
+/// a commit whose bytes are still in flight).
+#[test]
+fn commit_ack_happens_after_covering_fsync() {
+    Model::new("commit_ack_happens_after_covering_fsync").check(|| {
+        let queue = Arc::new(CommitQueueModel::new());
+        let writer = |queue: &Arc<CommitQueueModel>| {
+            let queue = Arc::clone(queue);
+            thread::spawn(move || {
+                let ticket = queue.stage();
+                let fsynced_at_ack = queue.wait_durable(ticket);
+                assert!(
+                    fsynced_at_ack >= ticket,
+                    "ticket {ticket} acked with fsync watermark {fsynced_at_ack} \
+                     — commit acknowledged before its covering fsync"
+                );
+            })
+        };
+        let a = writer(&queue);
+        let b = writer(&queue);
+        a.join();
+        b.join();
     });
 }

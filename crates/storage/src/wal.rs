@@ -25,12 +25,16 @@
 //! ### Framing and torn tails
 //!
 //! Every record is framed as `[len: u32 LE][crc32: u32 LE][payload]`, where
-//! the CRC covers the payload. [`Wal::append`] fsyncs after each frame, so a
-//! record either survives whole or is a torn tail; [`Wal::replay`] stops at
-//! the first short or CRC-mismatched frame and discards it. A crash between
-//! a mutation's WAL fsync and the next checkpoint loses nothing (replay
+//! the CRC covers the payload. [`Wal::append`] writes one frame and fsyncs;
+//! [`Wal::append_payload_batch`] writes a whole group-commit batch of frames
+//! with a single `write_all` followed by a single `sync_data`, so the fsync
+//! is amortized across every commit in the batch while the on-disk framing
+//! stays byte-for-byte identical to a per-record log. Either way a record
+//! either survives whole or is a torn tail; [`Wal::replay`] stops at the
+//! first short or CRC-mismatched frame and discards it. A crash between a
+//! mutation's WAL fsync and the next checkpoint loses nothing (replay
 //! re-applies it); a crash *during* an append loses only the in-flight
-//! operation, which never reached the heap either (WAL-before-data).
+//! operations, which never reached the heap either (WAL-before-data).
 //!
 //! ### Replay convergence
 //!
@@ -245,6 +249,15 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     records_written: u64,
+    /// Successful covering `sync_data` calls issued by this handle — the
+    /// group-commit bench divides records by this to report amortization.
+    syncs: u64,
+    /// Set once an append left a torn or half-written frame in the file:
+    /// anything written after that point is unreachable by [`Wal::replay`]
+    /// (which stops at the first bad frame), so further appends must fail
+    /// rather than produce acked-but-unrecoverable records. Cleared by
+    /// [`Wal::rotate`], which replaces the file wholesale.
+    poisoned: bool,
     /// Crash-injection hook: fail the append once `records_written` reaches
     /// this count, leaving a torn frame prefix in the file.
     fail_at: Option<u64>,
@@ -255,15 +268,26 @@ impl Wal {
     /// Existing contents are preserved (append continues after them); run
     /// [`Wal::replay`] first if you need them.
     pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let created = !path.exists();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| StorageError::io("open wal", e))?;
+        if created {
+            // Rename-durability rule (POSIX): creating a file makes its
+            // *data* durable via fsync on the file, but the directory entry
+            // pointing at it is only durable once the parent directory is
+            // fsynced too. Without this, a crash after creation can leave a
+            // database directory with no WAL entry at all.
+            sync_parent_dir(path)?;
+        }
         Ok(Wal {
             file,
             path: path.to_path_buf(),
             records_written: 0,
+            syncs: 0,
+            poisoned: false,
             fail_at: None,
         })
     }
@@ -272,6 +296,13 @@ impl Wal {
     /// pre-existing records in the file).
     pub fn records_written(&self) -> u64 {
         self.records_written
+    }
+
+    /// Number of successful covering fsyncs issued by this handle. With
+    /// group commit, `records_written / syncs` is the batch amortization
+    /// factor.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 
     /// Crash-injection hook: the append that would become record number
@@ -283,32 +314,78 @@ impl Wal {
 
     /// Appends one record: frame, write, fsync. On success the record is
     /// durable before the caller may touch the heap (WAL-before-data).
+    /// Equivalent to a one-element [`Wal::append_payload_batch`].
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
         let payload = record.encode();
-        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        if self.fail_at == Some(self.records_written) {
-            self.fail_at = None;
-            // Emulated crash mid-append: half the frame reaches the medium.
-            let torn = frame.get(..frame.len() / 2).unwrap_or(&frame);
+        self.append_payload_batch(&[&payload])
+    }
+
+    /// Appends a group-commit batch of pre-encoded record payloads: every
+    /// frame goes down in **one** `write_all` and is made durable by
+    /// **one** `sync_data`, amortizing the fsync across the whole batch. A
+    /// one-element batch is bit-for-bit the classic fsync-per-record
+    /// append, and the on-disk bytes are identical to appending the same
+    /// records one by one.
+    ///
+    /// On failure the durable prefix is reflected in
+    /// [`Wal::records_written`]: frames before an injected torn write count
+    /// if (and only if) the covering fsync still landed; after a real write
+    /// or fsync error nothing in the batch may be acked. Either way the
+    /// file may now end in a garbage frame that [`Wal::replay`] stops at,
+    /// so the log is poisoned: subsequent appends fail until
+    /// [`Wal::rotate`] replaces the file.
+    pub fn append_payload_batch(&mut self, payloads: &[&[u8]]) -> Result<(), StorageError> {
+        if payloads.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(StorageError::Io(
+                "wal poisoned by an earlier torn append; checkpoint to rotate the log".into(),
+            ));
+        }
+        let mut buf = Vec::new();
+        let mut intact = 0u64;
+        let mut torn = false;
+        for payload in payloads {
+            let frame_start = buf.len();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            if self.fail_at == Some(self.records_written + intact) {
+                // Emulated crash mid-batch: half of this frame reaches the
+                // medium, everything after it nothing at all.
+                self.fail_at = None;
+                let frame_len = FRAME_HEADER + payload.len();
+                buf.truncate(frame_start + frame_len / 2);
+                torn = true;
+                break;
+            }
+            intact += 1;
+        }
+        if torn {
+            self.poisoned = true;
             self.file
-                .write_all(torn)
+                .write_all(&buf)
                 .map_err(|e| StorageError::io("wal torn write", e))?;
-            // aib-lint: allow(durable-io) — crash emulation: the torn half's fsync is best-effort by design.
-            let _ = self.file.sync_data();
+            // aib-lint: allow(durable-io) — crash emulation: the intact prefix only counts as durable if its covering fsync still landed.
+            if self.file.sync_data().is_ok() {
+                self.syncs += 1;
+                self.records_written += intact;
+            }
             return Err(StorageError::Io(
                 "injected wal append failure (crash mid-DML)".into(),
             ));
         }
-        self.file
-            .write_all(&frame)
-            .map_err(|e| StorageError::io("wal append", e))?;
-        self.file
-            .sync_data()
-            .map_err(|e| StorageError::io("wal fsync", e))?;
-        self.records_written += 1;
+        self.file.write_all(&buf).map_err(|e| {
+            self.poisoned = true;
+            StorageError::io("wal append", e)
+        })?;
+        self.file.sync_data().map_err(|e| {
+            self.poisoned = true;
+            StorageError::io("wal fsync", e)
+        })?;
+        self.syncs += 1;
+        self.records_written += intact;
         Ok(())
     }
 
@@ -329,12 +406,19 @@ impl Wal {
             fresh.append(snapshot)?;
         }
         std::fs::rename(&tmp, &self.path).map_err(|e| StorageError::io("rename wal.new", e))?;
+        // Rename-durability rule (POSIX): a rename is only durable once the
+        // parent directory's entry update is fsynced. Without this, a crash
+        // right after rotation can resurrect the old (pre-checkpoint) log —
+        // whose replay would then be applied over a heap file that already
+        // contains the *post*-checkpoint flush.
+        sync_parent_dir(&self.path)?;
         let file = OpenOptions::new()
             .append(true)
             .open(&self.path)
             .map_err(|e| StorageError::io("reopen rotated wal", e))?;
         self.file = file;
         self.records_written = 1; // the snapshot
+        self.poisoned = false; // the torn file (if any) is gone
         Ok(())
     }
 
@@ -374,6 +458,21 @@ impl Wal {
         }
         Ok(records)
     }
+}
+
+/// Fsyncs the parent directory of `path`, making a just-created or
+/// just-renamed directory entry durable (the rename-durability rule: file
+/// fsyncs cover file *contents*; only a directory fsync covers the entry).
+/// A path with no parent (or an empty one) has nothing to sync.
+fn sync_parent_dir(path: &Path) -> Result<(), StorageError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => return Ok(()),
+    };
+    let dir = File::open(parent).map_err(|e| StorageError::io("open wal directory", e))?;
+    dir.sync_data()
+        .map_err(|e| StorageError::io("fsync wal directory", e))?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -508,6 +607,70 @@ mod tests {
         drop(wal);
         let replayed = Wal::replay(&path).unwrap();
         assert_eq!(replayed, sample_records()[..1].to_vec());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_append_is_byte_identical_to_per_record_appends() {
+        let per_record = temp_path("batch-a");
+        let batched = temp_path("batch-b");
+        let records = sample_records();
+        let mut a = Wal::open(&per_record).unwrap();
+        for r in &records {
+            a.append(r).unwrap();
+        }
+        let mut b = Wal::open(&batched).unwrap();
+        let payloads: Vec<Vec<u8>> = records.iter().map(WalRecord::encode).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        b.append_payload_batch(&refs).unwrap();
+        // Same records, same bytes — a group-committed log replays
+        // identically to a per-record log — but one fsync instead of five.
+        assert_eq!((a.records_written(), a.syncs()), (5, 5));
+        assert_eq!((b.records_written(), b.syncs()), (5, 1));
+        drop(a);
+        drop(b);
+        assert_eq!(
+            std::fs::read(&per_record).unwrap(),
+            std::fs::read(&batched).unwrap()
+        );
+        assert_eq!(Wal::replay(&batched).unwrap(), records);
+        let _ = std::fs::remove_file(&per_record);
+        let _ = std::fs::remove_file(&batched);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let path = temp_path("batch-empty");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append_payload_batch(&[]).unwrap();
+        assert_eq!((wal.records_written(), wal.syncs()), (0, 0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_batch_keeps_durable_prefix_and_poisons_the_log() {
+        let path = temp_path("batch-torn");
+        let records = sample_records();
+        let mut wal = Wal::open(&path).unwrap();
+        wal.set_fail_at(2);
+        let payloads: Vec<Vec<u8>> = records.iter().map(WalRecord::encode).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        assert!(matches!(
+            wal.append_payload_batch(&refs),
+            Err(StorageError::Io(_))
+        ));
+        // Two intact frames made it down under the covering fsync; the
+        // third is torn, the rest were never written.
+        assert_eq!(wal.records_written(), 2);
+        assert_eq!(Wal::replay(&path).unwrap(), records[..2].to_vec());
+        // The log is poisoned: another append would land after the torn
+        // frame where replay can never reach it, so it must fail...
+        assert!(matches!(wal.append(&records[0]), Err(StorageError::Io(_))));
+        // ...until rotation replaces the file wholesale.
+        let snap = WalRecord::Snapshot(vec![1, 2]);
+        wal.rotate(&snap).unwrap();
+        wal.append(&records[0]).unwrap();
+        assert_eq!(Wal::replay(&path).unwrap(), vec![snap, records[0].clone()]);
         let _ = std::fs::remove_file(&path);
     }
 
