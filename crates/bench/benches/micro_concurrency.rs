@@ -22,6 +22,16 @@
 //!    host's core count — on a single-core host it reports ~1.0x however
 //!    cheap the path is, which is why the JSON records `host_cpus`.
 //!
+//! 3. **contended** — the CPU-bound acceptance sweep for the snapshot-
+//!    planned read path: `io_wait = false`, zero-cost disk, resident pool,
+//!    50% and 90% skippable fractions at 1–8 threads, run once with
+//!    `AdaptationApplyMode::Locked` (the PR 9 shard-write-lock baseline
+//!    that plans every scan under an exclusive shard section) and once with
+//!    the default planned mode (epoch-validated snapshot planning, no shard
+//!    lock). `speedup_vs_locked` is the ratio at equal fraction/threads;
+//!    the PR's acceptance bar is >=2x at 90% / 8 threads with <5%
+//!    single-thread regression.
+//!
 //! The space runs with `shards = 4`, the PR's sharded configuration, so the
 //! sweep exercises shard routing and the epoch-validated snapshot rather
 //! than the degenerate single-shard layout.
@@ -32,7 +42,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aib_core::SpaceConfig;
-use aib_engine::{ClientHandle, Database, EngineConfig, Query};
+use aib_engine::{AdaptationApplyMode, ClientHandle, Database, EngineConfig, Query};
 use aib_index::{Coverage, IndexBackend};
 use aib_storage::{Column, CostModel, Schema, Tuple, Value};
 
@@ -51,11 +61,13 @@ fn build_fraction(
     cost: CostModel,
     pool_frames: usize,
     io_wait: bool,
+    mode: AdaptationApplyMode,
 ) -> (Arc<Database>, i64) {
     let db = Database::new(EngineConfig {
         pool_frames,
         cost_model: cost,
         io_wait,
+        adaptation_apply_mode: mode,
         space: SpaceConfig {
             max_bytes: Some(0),
             i_max: 1_000_000,
@@ -105,7 +117,13 @@ fn single_client_sweep(quick: bool) -> Vec<SinglePoint> {
         "skippable", "wall/query", "pages_read", "pages_skipped"
     );
     for pct in FRACTIONS {
-        let (db, probe) = build_fraction(pct, CostModel::free(), 1024, false);
+        let (db, probe) = build_fraction(
+            pct,
+            CostModel::free(),
+            1024,
+            false,
+            AdaptationApplyMode::default(),
+        );
         let client = ClientHandle::new(Arc::clone(&db));
         for _ in 0..5 {
             black_box(client.execute(&Query::point("t", "k", probe)).unwrap());
@@ -188,7 +206,13 @@ fn scaling_sweep(quick: bool) -> Vec<ScalingPoint> {
         "skippable", "threads", "queries", "queries/s", "scaling"
     );
     for pct in FRACTIONS {
-        let (db, probe) = build_fraction(pct, CostModel::default(), SCALING_POOL_FRAMES, true);
+        let (db, probe) = build_fraction(
+            pct,
+            CostModel::default(),
+            SCALING_POOL_FRAMES,
+            true,
+            AdaptationApplyMode::default(),
+        );
         black_box(db.execute(&Query::point("t", "k", probe)).unwrap());
         let mut base_qps = 0.0;
         for n in THREADS {
@@ -213,10 +237,103 @@ fn scaling_sweep(quick: bool) -> Vec<ScalingPoint> {
 }
 
 // ---------------------------------------------------------------------------
+// Section 3: CPU-bound contention — planned reads vs. the locked baseline.
+// ---------------------------------------------------------------------------
+
+const CONTENDED_FRACTIONS: [u32; 2] = [50, 90];
+
+struct ContendedPoint {
+    skippable_pct: u32,
+    threads: usize,
+    locked_qps: f64,
+    planned_qps: f64,
+    speedup_vs_locked: f64,
+}
+
+/// CPU-bound sweep (`io_wait = false`, zero-cost disk, resident pool): with
+/// no stalls to overlap, throughput is bounded by whatever serializes the
+/// read path. Under `Locked`, that is the exclusive shard section every
+/// scan plans inside; under the planned path, steady-state reads take no
+/// shard lock at all, so the sweep isolates exactly the serialization this
+/// PR removes.
+fn contended_sweep(quick: bool) -> Vec<ContendedPoint> {
+    let dur = Duration::from_millis(if quick { 250 } else { 1000 });
+    // Oversubscribed CPU-bound runs are at the mercy of the scheduler;
+    // the median of three interleaved repetitions filters the odd run
+    // that lands across a timeslice storm.
+    let reps = if quick { 1 } else { 3 };
+    let mut points = Vec::new();
+    println!(
+        "contended sweep: io_wait=false, zero-cost disk, resident pool, {}ms/point, median of {reps}",
+        dur.as_millis()
+    );
+    println!(
+        "{:>13} {:>8} {:>13} {:>13} {:>9}",
+        "skippable", "threads", "locked q/s", "planned q/s", "speedup"
+    );
+    for pct in CONTENDED_FRACTIONS {
+        let (locked_db, probe) = build_fraction(
+            pct,
+            CostModel::free(),
+            1024,
+            false,
+            AdaptationApplyMode::Locked,
+        );
+        let (planned_db, _) = build_fraction(
+            pct,
+            CostModel::free(),
+            1024,
+            false,
+            AdaptationApplyMode::default(),
+        );
+        for db in [&locked_db, &planned_db] {
+            for _ in 0..5 {
+                black_box(db.execute(&Query::point("t", "k", probe)).unwrap());
+            }
+        }
+        for n in THREADS {
+            let mut locked_samples = Vec::with_capacity(reps);
+            let mut planned_samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let (locked_q, locked_wall) = run_clients(&locked_db, probe, n, dur);
+                let (planned_q, planned_wall) = run_clients(&planned_db, probe, n, dur);
+                locked_samples.push(locked_q as f64 / locked_wall);
+                planned_samples.push(planned_q as f64 / planned_wall);
+            }
+            locked_samples.sort_by(|a, b| a.total_cmp(b));
+            planned_samples.sort_by(|a, b| a.total_cmp(b));
+            let locked_qps = locked_samples[reps / 2];
+            let planned_qps = planned_samples[reps / 2];
+            let speedup_vs_locked = if locked_qps > 0.0 {
+                planned_qps / locked_qps
+            } else {
+                0.0
+            };
+            println!(
+                "{pct:>12}% {n:>8} {locked_qps:>13.1} {planned_qps:>13.1} {speedup_vs_locked:>8.2}x"
+            );
+            points.push(ContendedPoint {
+                skippable_pct: pct,
+                threads: n,
+                locked_qps,
+                planned_qps,
+                speedup_vs_locked,
+            });
+        }
+    }
+    points
+}
+
+// ---------------------------------------------------------------------------
 // JSON emission
 // ---------------------------------------------------------------------------
 
-fn emit_bench_json(single: &[SinglePoint], scaling: &[ScalingPoint], quick: bool) {
+fn emit_bench_json(
+    single: &[SinglePoint],
+    scaling: &[ScalingPoint],
+    contended: &[ContendedPoint],
+    quick: bool,
+) {
     let Ok(path) = std::env::var("AIB_CONCURRENCY_JSON") else {
         println!("(set AIB_CONCURRENCY_JSON=<path> to record BENCH_concurrency.json)");
         return;
@@ -239,11 +356,22 @@ fn emit_bench_json(single: &[SinglePoint], scaling: &[ScalingPoint], quick: bool
             )
         })
         .collect();
+    let contended_rows: Vec<String> = contended
+        .iter()
+        .map(|p| {
+            format!(
+                "      {{ \"skippable_pct\": {}, \"threads\": {}, \"locked_qps\": {:.1}, \"planned_qps\": {:.1}, \"speedup_vs_locked\": {:.2} }}",
+                p.skippable_pct, p.threads, p.locked_qps, p.planned_qps, p.speedup_vs_locked
+            )
+        })
+        .collect();
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let provenance = aib_bench::provenance_json();
     let out = format!(
-        "{{\n  \"bench\": \"micro_concurrency\",\n  \"rows\": {SWEEP_ROWS},\n  \"shards\": {SHARDS},\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"single_client\": {{\n    \"note\": \"micro_scan fixture through ClientHandle; comparable to BENCH_scan.json\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"scaling\": {{\n    \"note\": \"io_wait rows overlap their stalls and scale on any host; the 100% row is the lock-free fast path, pure CPU, so its ceiling is host_cpus (~1.0x on a single-core host)\",\n    \"read_us\": 100,\n    \"pool_frames\": {SCALING_POOL_FRAMES},\n    \"io_wait\": true,\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
+        "{{\n  \"bench\": \"micro_concurrency\",\n  \"provenance\": {provenance},\n  \"rows\": {SWEEP_ROWS},\n  \"shards\": {SHARDS},\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"single_client\": {{\n    \"note\": \"micro_scan fixture through ClientHandle; comparable to BENCH_scan.json\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"scaling\": {{\n    \"note\": \"io_wait rows overlap their stalls and scale on any host; the 100% row is the lock-free fast path, pure CPU, so its ceiling is host_cpus (~1.0x on a single-core host)\",\n    \"read_us\": 100,\n    \"pool_frames\": {SCALING_POOL_FRAMES},\n    \"io_wait\": true,\n    \"points\": [\n{}\n    ]\n  }},\n  \"contended\": {{\n    \"note\": \"CPU-bound: Locked plans every scan under an exclusive shard section (shard-write-lock baseline); planned is the epoch-validated snapshot path with no shard lock on steady-state reads. Throughput ratios are meaningful up to host_cpus threads.\",\n    \"io_wait\": false,\n    \"pool_frames\": 1024,\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
         single_rows.join(",\n"),
-        scaling_rows.join(",\n")
+        scaling_rows.join(",\n"),
+        contended_rows.join(",\n")
     );
     match std::fs::write(&path, out) {
         Ok(()) => println!("wrote {path}"),
@@ -256,5 +384,6 @@ fn main() {
     let quick = args.iter().any(|a| a == "--test");
     let single = single_client_sweep(quick);
     let scaling = scaling_sweep(quick);
-    emit_bench_json(&single, &scaling, quick);
+    let contended = contended_sweep(quick);
+    emit_bench_json(&single, &scaling, &contended, quick);
 }

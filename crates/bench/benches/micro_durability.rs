@@ -195,8 +195,9 @@ fn emit_bench_json(points: &[Point], batched: &Point, batch: usize, quick: bool)
         .min_by(|a, b| a.per_op_us.total_cmp(&b.per_op_us))
         .expect("sweep covers 8 writers");
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let provenance = aib_bench::provenance_json();
     let out = format!(
-        "{{\n  \"bench\": \"micro_durability\",\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"note\": \"per_op_us is acked durable-insert latency (ack waits for the covering fsync); amortization is WAL records per sync_data\",\n  \"sweep\": {{\n    \"note\": \"writer threads x group-commit window; window 0 with one writer is the fsync-per-record baseline\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"single_writer_window0_us\": {:.1},\n  \"eight_writers_best_us\": {:.1},\n  \"speedup_8_writers\": {:.1},\n  \"execute_batch\": {{\n    \"note\": \"single client, batches of {batch} through ClientHandle::execute_batch — one ticket, one covering fsync per batch\",\n    \"point\":\n{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"micro_durability\",\n  \"provenance\": {provenance},\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"note\": \"per_op_us is acked durable-insert latency (ack waits for the covering fsync); amortization is WAL records per sync_data\",\n  \"sweep\": {{\n    \"note\": \"writer threads x group-commit window; window 0 with one writer is the fsync-per-record baseline\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"single_writer_window0_us\": {:.1},\n  \"eight_writers_best_us\": {:.1},\n  \"speedup_8_writers\": {:.1},\n  \"execute_batch\": {{\n    \"note\": \"single client, batches of {batch} through ClientHandle::execute_batch — one ticket, one covering fsync per batch\",\n    \"point\":\n{}\n  }}\n}}\n",
         rows.join(",\n"),
         baseline.per_op_us,
         best.per_op_us,

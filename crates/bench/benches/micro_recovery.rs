@@ -200,8 +200,9 @@ fn emit_bench_json(
         )
     };
     let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let provenance = aib_bench::provenance_json();
     let out = format!(
-        "{{\n  \"bench\": \"micro_recovery\",\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"reopen\": {{\n    \"note\": \"Database::open wall time; after_crash replays every post-checkpoint DML record, after_close decodes one snapshot\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"cold_vs_warm\": {{\n    \"note\": \"first uncovered query after recovery re-runs the indexing scan (the buffer is rebuilt empty by design); repeats skip every page\",\n    \"after_close\": {},\n    \"after_crash\": {}\n  }},\n  \"insert_tax\": {{\n    \"note\": \"per-insert wall time; durable pays one fsynced WAL append per operation\",\n    \"durable_us\": {:.1},\n    \"simulated_us\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"micro_recovery\",\n  \"provenance\": {provenance},\n  \"rows\": {rows},\n  \"host_cpus\": {host_cpus},\n  \"quick\": {quick},\n  \"reopen\": {{\n    \"note\": \"Database::open wall time; after_crash replays every post-checkpoint DML record, after_close decodes one snapshot\",\n    \"points\": [\n{}\n    ]\n  }},\n  \"cold_vs_warm\": {{\n    \"note\": \"first uncovered query after recovery re-runs the indexing scan (the buffer is rebuilt empty by design); repeats skip every page\",\n    \"after_close\": {},\n    \"after_crash\": {}\n  }},\n  \"insert_tax\": {{\n    \"note\": \"per-insert wall time; durable pays one fsynced WAL append per operation\",\n    \"durable_us\": {:.1},\n    \"simulated_us\": {:.1}\n  }}\n}}\n",
         reopen_rows.join(",\n"),
         cw(clean),
         cw(crash),

@@ -276,8 +276,9 @@ fn emit_bench_json(points: &[SweepPoint], quick: bool) {
         .ok()
         .and_then(|old| extract_object(&old, "baseline"))
         .unwrap_or_else(|| current.clone());
+    let provenance = aib_bench::provenance_json();
     let out = format!(
-        "{{\n  \"bench\": \"micro_scan covered-fraction sweep\",\n  \"rows\": {SWEEP_ROWS},\n  \"fractions_pct\": [0, 50, 90, 100],\n  \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
+        "{{\n  \"bench\": \"micro_scan covered-fraction sweep\",\n  \"provenance\": {provenance},\n  \"rows\": {SWEEP_ROWS},\n  \"fractions_pct\": [0, 50, 90, 100],\n  \"baseline\": {baseline},\n  \"current\": {current}\n}}\n"
     );
     match std::fs::write(&path, out) {
         Ok(()) => println!("wrote {path}"),

@@ -115,6 +115,64 @@ pub fn scale(spec: &TableSpec, paper_value: u64) -> u64 {
     ((paper_value as u128 * spec.rows as u128) / 500_000).max(1) as u64
 }
 
+/// Provenance stamp embedded in every `BENCH_*.json` the harness writes:
+/// the git revision the numbers were measured at, the UTC wall time of the
+/// run, and the bench-harness crate version. Rendered as a JSON object
+/// value, for a top-level `"provenance": {...}` field.
+///
+/// Numbers without provenance go stale silently — a committed JSON that
+/// predates a perf-relevant change looks exactly like one that postdates
+/// it. The stamp makes "were these measured on this code?" a one-line
+/// `git log` question.
+pub fn provenance_json() -> String {
+    format!(
+        "{{ \"git_rev\": \"{}\", \"generated_utc\": \"{}\", \"harness_version\": \"{}\" }}",
+        git_revision(),
+        utc_timestamp(),
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+/// `git rev-parse HEAD` of the working tree, `"unknown"` when git is
+/// unavailable (e.g. a source tarball).
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current UTC time as ISO-8601 (`2026-08-08T12:34:56Z`), derived from the
+/// unix clock with civil-calendar math — the toolchain image carries no
+/// date-time crate, and the stamp only needs second resolution.
+fn utc_timestamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (days, tod) = (secs / 86_400, secs % 86_400);
+    // Howard Hinnant's civil_from_days, valid for any unix day.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        tod / 3_600,
+        (tod % 3_600) / 60,
+        tod % 60
+    )
+}
+
 /// Mean simulated query cost over records `[lo, hi)`.
 pub fn mean_sim_us(rec: &WorkloadRecorder, lo: usize, hi: usize) -> f64 {
     let r = rec.records().get(lo..hi.min(rec.len())).unwrap_or_default();

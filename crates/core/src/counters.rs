@@ -192,6 +192,25 @@ impl SkipBitset {
             .filter(|(_, skippable)| *skippable)
             .map(|(extent, _)| extent)
     }
+
+    /// Analytic sweep shape over `0..num_pages` when reads are issued in
+    /// groups of `batch` pages: `(skip_runs, sweep_batches)` — the number of
+    /// contiguous skippable extents a sweep jumps over whole, and the number
+    /// of batched reads it issues for everything else. Shared by the locked
+    /// and the snapshot-planned prepare so their stats cannot drift.
+    pub fn sweep_shape(&self, num_pages: u32, batch: u32) -> (u32, u32) {
+        let batch = batch.max(1);
+        let mut skip_runs = 0u32;
+        let mut sweep_batches = 0u32;
+        for (extent, skippable) in self.runs(0..num_pages) {
+            if skippable {
+                skip_runs += 1;
+            } else {
+                sweep_batches += (extent.end - extent.start).div_ceil(batch);
+            }
+        }
+        (skip_runs, sweep_batches)
+    }
 }
 
 /// Iterator over `(extent, skippable)` runs of a [`SkipBitset`]; see
@@ -601,5 +620,22 @@ mod tests {
         let zero = SkipBitset::with_len(0);
         assert!(zero.is_empty());
         assert_eq!(zero.runs(0..0).count(), 0);
+    }
+
+    #[test]
+    fn sweep_shape_counts_runs_and_batches() {
+        let mut b = SkipBitset::with_len(200);
+        for p in (0..200).filter(|p| (64..130).contains(p) || *p >= 197) {
+            b.insert(p);
+        }
+        // Runs: 0..64 unskippable, 64..130 skip, 130..197 unskippable,
+        // 197..200 skip. With batch 10: ceil(64/10) + ceil(67/10) = 7 + 7.
+        assert_eq!(b.sweep_shape(200, 10), (2, 14));
+        // Scanning past len pads an unskippable tail into the last batch run.
+        assert_eq!(b.sweep_shape(210, 10), (2, 7 + 7 + 1));
+        // Batch 0 is clamped to 1 (one read per page).
+        assert_eq!(b.sweep_shape(200, 0), (2, 64 + 67));
+        let empty = SkipBitset::with_len(0);
+        assert_eq!(empty.sweep_shape(0, 8), (0, 0));
     }
 }

@@ -87,9 +87,13 @@ pub use invariants::{verify_buffer, verify_shards, verify_space, GroundTruth, In
 pub use maintenance::{cover_tuple, maintain, uncover_tuple, MaintAction, TupleRef};
 pub use partition::{page_range_chunks, Partition, PartitionId};
 pub use scan::{
-    apply_staged, apply_staged_checked, indexing_scan, indexing_scan_parallel,
-    planned_scan_threads, prepare_scan, scan_chunk, sweep_plan, ChunkResult, CompiledPredicate,
-    Predicate, ScanPlan, ScanPrep, ScanStats, StagedPage, CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
+    apply_staged, apply_staged_checked, buffer_scan_rids, indexing_scan, indexing_scan_parallel,
+    planned_scan_threads, prepare_scan, prepare_scan_from_snapshot, scan_chunk, sweep_plan,
+    ChunkResult, CompiledPredicate, Predicate, ScanPlan, ScanPrep, ScanStats, StagedPage,
+    CHUNKS_PER_THREAD, MIN_PAGES_PER_THREAD,
 };
-pub use sharded::{BufferSummary, ShardWriteGuard, ShardedSpace, SnapshotCache, SpaceSnapshot};
+pub use sharded::{
+    AdaptationBatch, AdaptationStats, BufferSummary, ShardWriteGuard, ShardedSpace, SnapshotCache,
+    SpaceSnapshot, DEFAULT_ADAPTATION_QUEUE_DEPTH,
+};
 pub use space::{BenefitPolicy, BufferPending, Displacement, IndexBufferSpace, Selection};

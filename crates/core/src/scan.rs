@@ -273,6 +273,11 @@ pub struct ScanStats {
     pub sweep_batches: u32,
     /// Buffer entries added by this scan.
     pub entries_added: u64,
+    /// Pages staged onto the adaptation queue for off-path apply (queued
+    /// mode only; such pages count neither in `pages_indexed` nor
+    /// `entries_added` for this query — the apply happens asynchronously
+    /// and is attributed to no query).
+    pub pages_staged: u32,
     /// Partitions displaced to make room.
     pub partitions_dropped: usize,
     /// Entries freed by displacement.
@@ -351,15 +356,57 @@ pub fn prepare_scan(
     // jumps whole and how many batched reads it issues for the rest.
     // Derived from the plan, not from execution, so parallel chunking
     // cannot change the reported figures.
-    let batch = (heap.sweep_batch_pages() as u32).max(1);
-    for (extent, skippable) in skip.runs(0..num_pages) {
-        if skippable {
-            stats.skip_runs += 1;
-        } else {
-            stats.sweep_batches += (extent.end - extent.start).div_ceil(batch);
-        }
-    }
+    let (skip_runs, sweep_batches) = skip.sweep_shape(num_pages, heap.sweep_batch_pages() as u32);
+    stats.skip_runs = skip_runs;
+    stats.sweep_batches = sweep_batches;
 
+    ScanPrep {
+        stats,
+        plan: ScanPlan {
+            skip,
+            to_index,
+            compiled: CompiledPredicate::compile(predicate),
+            num_pages,
+        },
+    }
+}
+
+/// The snapshot-planned twin of [`prepare_scan`]: builds the same
+/// [`ScanPrep`] from read-only inputs, with **no space lock held**.
+///
+/// The caller supplies what the locked prepare would have computed under
+/// the shard write lock: `selection` from `ShardedSpace::plan_selection`
+/// (which proves the locked selection would displace nothing and draw no
+/// randomness), `skip` from the validated snapshot's
+/// [`BufferSummary`](crate::sharded::BufferSummary), and
+/// `buffer_rids` from either an empty buffer (no probe at all) or an
+/// epoch-guarded probe of the live buffer under the shard *read* latch.
+/// Displacement fields are structurally zero — a plan with displacement is
+/// not plannable and never reaches here.
+pub fn prepare_scan_from_snapshot(
+    heap: &HeapFile,
+    skip: &SkipBitset,
+    selection: &[u32],
+    buffer_rids: Vec<Rid>,
+    predicate: &Predicate,
+    out: &mut Vec<Rid>,
+) -> ScanPrep {
+    let mut stats = ScanStats::default();
+    let num_pages = heap.num_pages();
+    let mut to_index = SkipBitset::with_len(num_pages);
+    for &p in selection {
+        to_index.insert(p);
+    }
+    stats.buffer_matches = buffer_rids.len();
+    out.extend(buffer_rids);
+    // The summary's bitset is sized to the tracked counter range; re-size
+    // to the heap exactly like the locked path's `skip_snapshot(num_pages)`
+    // (resizing an already-resized clone is idempotent: grown pages read
+    // unskippable either way).
+    let skip = skip.resized(num_pages);
+    let (skip_runs, sweep_batches) = skip.sweep_shape(num_pages, heap.sweep_batch_pages() as u32);
+    stats.skip_runs = skip_runs;
+    stats.sweep_batches = sweep_batches;
     ScanPrep {
         stats,
         plan: ScanPlan {
@@ -441,7 +488,12 @@ pub fn indexing_scan(
 }
 
 /// Lines 8–10 of Algorithm 1: scan the Index Buffer itself for matches.
-fn buffer_scan_rids(buffer: &IndexBuffer, predicate: &Predicate) -> Vec<Rid> {
+///
+/// Public because the snapshot-planned path probes the live buffer under
+/// the shard *read* latch (epoch-guarded) and must produce exactly the rid
+/// set the locked prepare would: all three routes below return the full
+/// sorted matching rid set, so the output is backend-independent.
+pub fn buffer_scan_rids(buffer: &IndexBuffer, predicate: &Predicate) -> Vec<Rid> {
     match predicate {
         Predicate::Equals(v) => buffer.scan_point(v),
         Predicate::Between(lo, hi) => buffer.scan_range(lo, hi).unwrap_or_else(|| {

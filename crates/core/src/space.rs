@@ -187,6 +187,34 @@ pub struct Selection {
     pub displaced: Vec<Displacement>,
 }
 
+/// Grows a page set from `candidates` (ascending `(page, C[p])` counter
+/// order) within `available` budget bytes, up to `i_max` pages, returning
+/// `(pages, expected_entries, expected_bytes)`. Expected entries are costed
+/// at [`DEFAULT_ENTRY_FOOTPRINT`] — exact for the INTEGER columns of the
+/// paper's experiments, an estimate otherwise (the post-scan sync reconciles
+/// the difference). Shared by the locked selection
+/// ([`IndexBufferSpace::select_pages_for_buffer`]) and the snapshot-planned
+/// one (`ShardedSpace::plan_selection`) so the two cannot drift.
+pub(crate) fn grow_selection(
+    candidates: &[(u32, u32)],
+    i_max: usize,
+    available: usize,
+) -> (usize, usize, usize) {
+    let mut pages = 0;
+    let mut entries = 0usize;
+    let mut bytes = 0usize;
+    for &(_, c) in candidates {
+        let page_bytes = (c as usize).saturating_mul(DEFAULT_ENTRY_FOOTPRINT);
+        if pages >= i_max || bytes.saturating_add(page_bytes) > available {
+            break;
+        }
+        pages += 1;
+        entries += c as usize;
+        bytes += page_bytes;
+    }
+    (pages, entries, bytes)
+}
+
 /// Deferred Table II events for one buffer: the lock-free fast path
 /// accumulates its history operations here instead of taking the shard's
 /// write lock, and the next write-side entry drains them into the LRU-K
@@ -557,25 +585,7 @@ impl IndexBufferSpace {
         }
         let target_freq = self.slots[tpos].buffer.use_frequency();
 
-        // Grow the page set within `available` budget bytes, up to I^MAX
-        // pages. Expected entries are costed at DEFAULT_ENTRY_FOOTPRINT —
-        // exact for the INTEGER columns of the paper's experiments, an
-        // estimate otherwise (the post-scan sync reconciles the difference).
-        let grow = |available: usize| -> (usize, usize, usize) {
-            let mut pages = 0;
-            let mut entries = 0usize;
-            let mut bytes = 0usize;
-            for &(_, c) in &candidates {
-                let page_bytes = (c as usize).saturating_mul(DEFAULT_ENTRY_FOOTPRINT);
-                if pages >= i_max || bytes.saturating_add(page_bytes) > available {
-                    break;
-                }
-                pages += 1;
-                entries += c as usize;
-                bytes += page_bytes;
-            }
-            (pages, entries, bytes)
-        };
+        let grow = |available: usize| grow_selection(&candidates, i_max, available);
 
         let free = self.free_bytes();
         let (mut best_pages, mut best_entries, mut best_bytes) = grow(free);

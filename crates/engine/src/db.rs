@@ -40,6 +40,31 @@
 //! client-side by [`SnapshotCache`]) that the next shard-write entry drains
 //! in deferral order — no shared write at all on the hot path.
 //!
+//! Buffered *misses* extend the same mechanism to a **snapshot-planned
+//! scan** (unless [`EngineConfig::adaptation_apply_mode`] is
+//! [`AdaptationApplyMode::Locked`]): the snapshot now carries everything
+//! Algorithm 1's prepare needs — skip bitset, ascending-`C[p]` candidate
+//! list, partition geometry, shard epoch — so page selection runs with no
+//! lock at all and the buffer probe needs at most a shard *read* latch
+//! (none when the buffer is empty), epoch-validated against the snapshot.
+//! Plans that cannot be proven equivalent to the locked prepare
+//! (displacement reachable, limited budget admitting pages, epoch moved)
+//! **fail closed** to the shard-write path. Pages the sweep stages for
+//! insertion are applied inline under a short shard write section
+//! ([`AdaptationApplyMode::Inline`], the default — single-thread behavior
+//! is identical to the locked executor) or pushed as an epoch-stamped
+//! [`aib_core::AdaptationBatch`] onto a bounded per-shard MPSC queue
+//! ([`AdaptationApplyMode::Queued`]) drained off-path by the `aib-apply`
+//! background thread and, opportunistically, by the next shard-write
+//! entry. Queued applies revalidate at apply time — `apply_staged_checked`
+//! skips any page whose `C[p]` went to zero, and whole batches are dropped
+//! when the shard epoch moved past the batch's stamp (the staging query
+//! would have re-observed those pages anyway). Queued mode is therefore
+//! *convergent under quiescence* rather than read-your-writes: once
+//! queries quiesce and queues drain ([`Database::drain_adaptations`]),
+//! buffer contents and counters match what a locked executor would have
+//! produced. See DESIGN.md §6.
+//!
 //! Lock order is **catalog → shard(0) → shard(1) → … → pool**: shard locks
 //! nest inside the catalog lock, multi-shard acquisitions proceed in
 //! ascending shard index (DML and the exclusive tuned path take
@@ -167,6 +192,37 @@ pub struct EngineConfig {
     /// than this many bytes (plus one frame). Bounds both ack latency
     /// under a nonzero window and batch memory.
     pub group_commit_max_bytes: usize,
+    /// How a snapshot-planned scan's staged buffer insertions reach the
+    /// Index Buffer: see [`AdaptationApplyMode`]. Default
+    /// [`AdaptationApplyMode::Inline`].
+    pub adaptation_apply_mode: AdaptationApplyMode,
+    /// Per-shard cap on parked [`aib_core::AdaptationBatch`]es in
+    /// [`AdaptationApplyMode::Queued`] mode; a push against a full queue
+    /// fails closed to an inline locked apply.
+    pub adaptation_queue_depth: usize,
+}
+
+/// How the insertions a snapshot-planned scan stages reach the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptationApplyMode {
+    /// Disable snapshot planning entirely: every partially-skippable
+    /// buffered miss takes the shard-write prepare/apply path (the PR 6
+    /// executor, and the baseline the concurrency benches compare
+    /// against). The 100%-skippable fast path stays on.
+    Locked,
+    /// Plan and probe read-only (no shard lock); apply any staged
+    /// insertions synchronously under the shard write lock before the
+    /// query returns. Per-query behavior matches the locked path
+    /// bit-for-bit when uncontended; queries that stage nothing — the
+    /// steady state — touch no lock at all.
+    #[default]
+    Inline,
+    /// Plan and probe read-only; push staged insertions onto the per-shard
+    /// adaptation queue for the background applier (or the next write-side
+    /// shard entry) to apply. Queries never take the shard write lock;
+    /// buffer state is *convergent under quiescence* rather than
+    /// per-query sequential-equivalent (DESIGN §6).
+    Queued,
 }
 
 impl Default for EngineConfig {
@@ -184,6 +240,8 @@ impl Default for EngineConfig {
             wal_checkpoint_interval: 4096,
             group_commit_wait_us: 0,
             group_commit_max_bytes: 1 << 20,
+            adaptation_apply_mode: AdaptationApplyMode::default(),
+            adaptation_queue_depth: aib_core::DEFAULT_ADAPTATION_QUEUE_DEPTH,
         }
     }
 }
@@ -397,7 +455,9 @@ pub struct Database {
     /// Shared with the background checkpointer thread, which takes the
     /// write lock for the checkpoint cut exactly like a DML caller.
     catalog: Arc<RwLock<Catalog>>,
-    space: ShardedSpace,
+    /// Shared with the background adaptation applier thread, which drains
+    /// the per-shard queues through ordinary write-side shard entries.
+    space: Arc<ShardedSpace>,
     config: EngineConfig,
     queries_executed: AtomicUsize,
     /// `Some` for file-backed databases ([`Database::open`]): the
@@ -409,6 +469,11 @@ pub struct Database {
     /// joins it); rotation runs here so the periodic checkpoint never
     /// stalls the commit that crossed the interval.
     checkpointer: Option<std::thread::JoinHandle<()>>,
+    /// Background adaptation applier ("aib-apply", spawned only in
+    /// [`AdaptationApplyMode::Queued`]; drop signals and joins it). Woken
+    /// by queue pushes, it drains parked batches through write-side shard
+    /// entries so adaptation never rides a reader's latency path.
+    applier: Option<std::thread::JoinHandle<()>>,
 }
 
 /// `Database` must stay shareable across client threads.
@@ -537,10 +602,26 @@ impl Database {
             .with_budget(Arc::clone(&budget))
             .with_io_wait(config.io_wait),
         );
+        let space = Arc::new(ShardedSpace::with_budget(config.space, Arc::clone(&budget)));
+        space.set_adaptation_queue_limit(config.adaptation_queue_depth);
+        // The applier exists only in queued mode: inline/locked modes never
+        // park a batch, so there is nothing to drain off-path. A failed
+        // spawn degrades gracefully — parked batches are still drained by
+        // the next write-side shard entry.
+        let applier = if config.adaptation_apply_mode == AdaptationApplyMode::Queued {
+            let thread_space = Arc::clone(&space);
+            std::thread::Builder::new()
+                .name("aib-apply".into())
+                .spawn(move || applier_loop(&thread_space))
+                .ok()
+                .inspect(|handle| space.register_applier(handle.thread().clone()))
+        } else {
+            None
+        };
         Database {
             pool,
             stats,
-            space: ShardedSpace::with_budget(config.space, Arc::clone(&budget)),
+            space,
             budget,
             catalog: Arc::new(RwLock::new(Catalog {
                 tables: Vec::new(),
@@ -550,6 +631,7 @@ impl Database {
             queries_executed: AtomicUsize::new(0),
             durability: None,
             checkpointer: None,
+            applier,
         }
     }
 
@@ -610,6 +692,23 @@ impl Database {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Point-in-time adaptation-queue counters summed across shards:
+    /// current depth, batches enqueued / applied / dropped (stale epoch)
+    /// / rejected (queue full, applied inline instead). All zero unless
+    /// [`EngineConfig::adaptation_apply_mode`] is
+    /// [`AdaptationApplyMode::Queued`].
+    pub fn adaptation_stats(&self) -> aib_core::AdaptationStats {
+        self.space.adaptation_stats()
+    }
+
+    /// Blocks until every parked adaptation batch has been applied or
+    /// dropped. Makes "convergent under quiescence" testable: after all
+    /// in-flight queries finish, `drain_adaptations` brings the buffers to
+    /// the state a locked executor would have produced.
+    pub fn drain_adaptations(&self) {
+        self.space.drain_adaptation_queues();
     }
 
     // ------------------------------------------------------- durability
@@ -1532,11 +1631,34 @@ impl Database {
                                 self.fast_path_scan(t, slot, &query.predicate, heap_pages)?;
                             (r, Some(s), threads)
                         } else {
-                            // Table II flushes into the scan's prepare
-                            // write section, which drains it in order.
-                            let (r, s, threads) =
-                                self.buffered_scan_shared(t, slot, ci, &query.predicate, cache)?;
-                            (r, Some(s), threads)
+                            // Partially-skippable miss: try the
+                            // snapshot-planned read-only path first (unless
+                            // disabled); it declines — and the locked
+                            // prepare/apply path takes over — whenever the
+                            // plan cannot be proven equivalent.
+                            let planned = if self.config.adaptation_apply_mode
+                                != AdaptationApplyMode::Locked
+                            {
+                                self.buffered_scan_planned(t, slot, ci, &query.predicate, cache)?
+                            } else {
+                                None
+                            };
+                            match planned {
+                                Some((r, s, threads)) => (r, Some(s), threads),
+                                None => {
+                                    // Table II flushes into the scan's
+                                    // prepare write section, which drains
+                                    // it in order.
+                                    let (r, s, threads) = self.buffered_scan_shared(
+                                        t,
+                                        slot,
+                                        ci,
+                                        &query.predicate,
+                                        cache,
+                                    )?;
+                                    (r, Some(s), threads)
+                                }
+                            }
                         }
                     }
                     buffer => {
@@ -1611,6 +1733,157 @@ impl Database {
             stats,
             threads,
         ))
+    }
+
+    /// The snapshot-planned miss path: Algorithm 1's prepare — page
+    /// selection *and* the buffer probe — runs read-only against the
+    /// validated [`SpaceSnapshot`], with **no shard write lock held**;
+    /// staged insertions are then applied inline (short write section) or
+    /// parked on the adaptation queue, per
+    /// [`EngineConfig::adaptation_apply_mode`].
+    ///
+    /// Returns `None` — the caller falls back to the locked
+    /// [`Database::buffered_scan_shared`] — whenever the plan cannot be
+    /// proven equivalent to the locked prepare:
+    /// * the snapshot lacks the buffer or [`ShardedSpace::plan_selection`]
+    ///   declines (displacement reachable, or a limited budget would admit
+    ///   pages — committing those outside the lock could race the governor);
+    /// * the buffer is non-empty and the epoch guard catches a shard
+    ///   mutation between the snapshot and the probe.
+    ///
+    /// An empty buffer needs no probe at all, so the steady state — every
+    /// selectable page already indexed, nothing staged — runs entirely
+    /// lock-free. A non-empty buffer is probed under the shard *read*
+    /// latch (concurrent readers share it; writers exclude it), with the
+    /// shard epoch re-checked under the latch: a match proves the live
+    /// buffer is exactly the snapshot's, so the probe returns the same rid
+    /// set the locked prepare would. Table II events stay deferred in the
+    /// client's [`SnapshotCache`] (the fast-path mechanism); the planned
+    /// prepare never reads histories — selections that would (displacement
+    /// benefit comparisons) are not plannable by construction.
+    fn buffered_scan_planned(
+        &self,
+        t: &Table,
+        slot: usize,
+        ci: usize,
+        predicate: &Predicate,
+        cache: &mut SnapshotCache,
+    ) -> EngineResult<Option<(QueryResult, ScanStats, usize)>> {
+        let ic = &t.indexed[slot];
+        let bid = ic.buffer.ok_or_else(|| {
+            EngineError::Internal("buffered_scan dispatched without a buffer".into())
+        })?;
+        // Clone the Arc so the summary borrow is independent of `cache`
+        // (which `record` below borrows mutably).
+        let snapshot = Arc::clone(cache.ensure(&self.space));
+        let Some(summary) = snapshot.buffer(bid) else {
+            return Ok(None);
+        };
+        let Some(selection) = self.space.plan_selection(&snapshot, bid) else {
+            return Ok(None);
+        };
+        // Algorithm 1 lines 8–10: the buffer's own matches.
+        let buffer_rids = if summary.entries() == 0 {
+            Vec::new()
+        } else {
+            let shard = self.space.shard_read(self.space.shard_of(bid));
+            if shard.epoch() != summary.epoch() {
+                // Something mutated the shard since the snapshot; the
+                // bitset/selection may be stale. Fail closed.
+                return Ok(None);
+            }
+            aib_core::buffer_scan_rids(shard.buffer(bid), predicate)
+        };
+
+        let partial = &ic.partial;
+        let coverage = partial.coverage();
+        let covered = |v: &Value| coverage.covers(v);
+        let threads = planned_scan_threads(t.heap.num_pages(), self.config.scan_threads);
+        let mut rids = Vec::new();
+        let ScanPrep { mut stats, plan } = aib_core::prepare_scan_from_snapshot(
+            &t.heap,
+            summary.skip(),
+            &selection,
+            buffer_rids,
+            predicate,
+            &mut rids,
+        );
+        let partition_pages = summary.partition_pages();
+        let epoch = summary.epoch();
+        // Table II: deferred locally, like the fast path. The queried
+        // buffer's next write-side entry (possibly this query's own inline
+        // apply below, after the flush) drains it in deferral order.
+        cache.record(Some(bid), false);
+
+        let chunk = sweep_plan(
+            &t.heap,
+            &plan,
+            partition_pages,
+            ci,
+            &covered,
+            predicate,
+            threads,
+        )?;
+        stats.pages_read = chunk.pages_read;
+        stats.pages_skipped = chunk.pages_skipped;
+        rids.extend(chunk.matches);
+
+        if !chunk.staged.is_empty() {
+            let staged_pages = chunk.staged.len() as u32;
+            // Queued mode parks the batch for the background applier; a
+            // full queue (or inline mode) applies right here, exactly like
+            // the locked path's apply section.
+            let inline_staged = if self.config.adaptation_apply_mode == AdaptationApplyMode::Queued
+            {
+                match self.space.push_adaptation(aib_core::AdaptationBatch {
+                    buffer: bid,
+                    epoch,
+                    staged: chunk.staged,
+                }) {
+                    Ok(()) => {
+                        stats.pages_staged = staged_pages;
+                        None
+                    }
+                    Err(rejected) => Some(rejected.staged),
+                }
+            } else {
+                Some(chunk.staged)
+            };
+            if let Some(staged) = inline_staged {
+                // Flush first so the shard-write drain applies this query's
+                // Table II events before any history is read again.
+                cache.flush();
+                let mut space = self.space.shard_write(self.space.shard_of(bid));
+                space.with_buffer_mut(bid, |buffer, counters| {
+                    apply_staged_checked(buffer, counters, staged, &mut stats);
+                });
+                space.sync_budget();
+            }
+        }
+        stats.matches = rids.len();
+
+        if let Predicate::Between(lo, hi) = predicate {
+            // Straddling range: the covered fraction answers from the
+            // partial index, deduplicated against scanned pages — same as
+            // the locked and fast paths.
+            if !ic.paged {
+                self.stats.record_reads(
+                    self.config.index_probe_pages,
+                    self.config.cost_model.read_us,
+                );
+            }
+            rids.extend(partial.entries_in(lo, hi));
+            rids.sort_unstable();
+            rids.dedup();
+        }
+        Ok(Some((
+            QueryResult {
+                rids,
+                path: AccessPath::BufferedScan,
+            },
+            stats,
+            threads,
+        )))
     }
 
     /// The write-locked execution path: tuned point queries (the tuner
@@ -1730,6 +2003,7 @@ impl Database {
             scan_threads,
             buffer_entries,
             memory: self.budget.snapshot(),
+            adaptation: self.space.adaptation_stats(),
         }
     }
 
@@ -1968,6 +2242,7 @@ impl Database {
                 0,
                 0,
                 1,
+                0,
             ));
         };
         let ic = &catalog.tables[ti].indexed[slot];
@@ -1998,6 +2273,7 @@ impl Database {
                 summary.map_or(0, |s| s.entries()),
                 summary.map_or(0, |s| s.footprint()),
                 1,
+                0,
             ));
         }
         match ic.buffer {
@@ -2022,6 +2298,7 @@ impl Database {
                     summary.entries(),
                     summary.footprint(),
                     planned_scan_threads(table_pages, self.config.scan_threads),
+                    self.space.adaptation_stats().depth,
                 ))
             }
             None => Ok(crate::explain::explanation(
@@ -2035,6 +2312,7 @@ impl Database {
                 0,
                 0,
                 1,
+                0,
             )),
         }
     }
@@ -2175,6 +2453,33 @@ impl Drop for Database {
         if let Some(handle) = self.checkpointer.take() {
             let _ = handle.join();
         }
+        // The adaptation applier only moves already-committed in-memory
+        // state, so stopping it without a final drain is always safe: a
+        // parked batch dies with the space (buffer contents are never
+        // durable — recovery rebuilds them from the heap).
+        if let Some(handle) = self.applier.take() {
+            self.space.shutdown_applier();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of the background adaptation applier ("aib-apply"), modeled on the
+/// commit pipeline's checkpointer loop: a latch set by every queue push
+/// (plus an unpark) triggers a drain; the park timeout is only a backstop
+/// against a lost wakeup racing the swap. Each drain takes ordinary
+/// write-side shard entries, so it obeys the shard lock hierarchy and the
+/// epoch/`C[p]` apply-time validation like any other writer.
+fn applier_loop(space: &ShardedSpace) {
+    loop {
+        if space.applier_should_exit() {
+            return;
+        }
+        if space.take_apply_due() {
+            space.drain_adaptation_queues();
+            continue;
+        }
+        std::thread::park_timeout(std::time::Duration::from_millis(25));
     }
 }
 

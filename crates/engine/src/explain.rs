@@ -43,6 +43,11 @@ pub struct Explanation {
     /// Worker threads the executor would run the indexing scan with (1 for
     /// index hits and plain scans).
     pub scan_threads: usize,
+    /// Adaptation batches currently parked on the shard queues (summed);
+    /// buffer entries those batches would add are not yet visible to
+    /// queries. Always 0 outside
+    /// [`crate::AdaptationApplyMode::Queued`].
+    pub adaptation_queue_depth: usize,
 }
 
 impl Explanation {
@@ -81,6 +86,17 @@ impl Explanation {
                 if self.scan_threads > 1 {
                     s.push_str(&format!(", {} scan threads", self.scan_threads));
                 }
+                if self.adaptation_queue_depth > 0 {
+                    s.push_str(&format!(
+                        ", {} adaptation batch{} queued",
+                        self.adaptation_queue_depth,
+                        if self.adaptation_queue_depth == 1 {
+                            ""
+                        } else {
+                            "es"
+                        }
+                    ));
+                }
                 s
             }
             AccessPath::PlainScan => {
@@ -104,6 +120,7 @@ pub(crate) fn explanation(
     buffer_entries: usize,
     buffer_bytes: usize,
     scan_threads: usize,
+    adaptation_queue_depth: usize,
 ) -> Explanation {
     Explanation {
         path,
@@ -117,6 +134,7 @@ pub(crate) fn explanation(
         buffer_entries,
         buffer_bytes,
         scan_threads,
+        adaptation_queue_depth,
     }
 }
 
@@ -143,6 +161,7 @@ mod tests {
             0,
             0,
             1,
+            0,
         );
         assert_eq!(hit.summary(), "partial index hit (7 rows)");
         assert_eq!(hit.skip_ratio(), 1.0);
@@ -158,6 +177,7 @@ mod tests {
             900,
             28_800,
             1,
+            0,
         );
         assert_eq!(scan.pages_skippable, 75);
         assert!(scan.summary().contains("25 of 100 pages"));
@@ -177,6 +197,7 @@ mod tests {
             900,
             28_800,
             1,
+            0,
         );
         assert!(one_run.summary().ends_with("1 skip run"));
 
@@ -191,8 +212,10 @@ mod tests {
             900,
             28_800,
             4,
+            2,
         );
         assert!(par.summary().contains("4 scan threads"));
+        assert!(par.summary().contains("2 adaptation batches queued"));
 
         let plain = explanation(
             AccessPath::PlainScan,
@@ -205,6 +228,7 @@ mod tests {
             0,
             0,
             1,
+            0,
         );
         assert_eq!(plain.summary(), "full table scan: 40 pages");
         assert_eq!(plain.skip_ratio(), 0.0);
@@ -212,7 +236,19 @@ mod tests {
 
     #[test]
     fn empty_table_skip_ratio_is_zero() {
-        let e = explanation(AccessPath::PlainScan, false, false, 0, 0, 0, None, 0, 0, 1);
+        let e = explanation(
+            AccessPath::PlainScan,
+            false,
+            false,
+            0,
+            0,
+            0,
+            None,
+            0,
+            0,
+            1,
+            0,
+        );
         assert_eq!(e.skip_ratio(), 0.0);
     }
 }

@@ -24,7 +24,9 @@ pub mod query;
 pub mod tuner;
 
 pub use client::ClientHandle;
-pub use db::{BatchOp, Database, EngineConfig, PoolPolicy, ShardRef, Table, TableRef};
+pub use db::{
+    AdaptationApplyMode, BatchOp, Database, EngineConfig, PoolPolicy, ShardRef, Table, TableRef,
+};
 pub use error::{EngineError, EngineResult};
 pub use explain::Explanation;
 pub use metrics::{QueryMetrics, WorkloadRecorder};
@@ -686,6 +688,114 @@ mod tests {
         // A scan batch may pin the whole resident set, forcing at most one
         // page of charged overshoot; the bound is otherwise intact.
         assert!(m.memory.total_bytes() <= TOTAL + PAGE_SIZE);
+        db.check_space_invariants();
+    }
+
+    #[test]
+    fn all_apply_modes_agree_with_the_locked_executor() {
+        // The same uncovered workload under every adaptation_apply_mode
+        // must produce identical results; after the quiescence point
+        // (drain_adaptations) the buffers must converge too.
+        let run = |mode: AdaptationApplyMode| {
+            let db = Database::new(EngineConfig {
+                adaptation_apply_mode: mode,
+                ..config()
+            });
+            db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+                .unwrap();
+            for i in 0..400 {
+                db.insert(
+                    "t",
+                    &Tuple::new(vec![Value::Int(i), Value::from("p".repeat(100))]),
+                )
+                .unwrap();
+            }
+            db.create_partial_index(
+                "t",
+                "k",
+                Coverage::IntRange { lo: 0, hi: 99 },
+                IndexBackend::BTree,
+                Some(BufferConfig::default()),
+            )
+            .unwrap();
+            let mut counts = Vec::new();
+            for i in 0..6 {
+                let (r, _) = db
+                    .execute(&Query::point("t", "k", 200 + i))
+                    .unwrap()
+                    .into_parts();
+                counts.push(r.count());
+            }
+            db.drain_adaptations();
+            let entries = db.space_shard(0).buffer(0).num_entries();
+            db.check_space_invariants();
+            (counts, entries, db.adaptation_stats())
+        };
+
+        let (locked_counts, locked_entries, locked_stats) = run(AdaptationApplyMode::Locked);
+        let (inline_counts, inline_entries, inline_stats) = run(AdaptationApplyMode::Inline);
+        let (queued_counts, queued_entries, queued_stats) = run(AdaptationApplyMode::Queued);
+        assert_eq!(locked_counts, inline_counts);
+        assert_eq!(locked_counts, queued_counts);
+        assert_eq!(locked_entries, inline_entries, "inline is read-your-writes");
+        assert_eq!(
+            locked_entries, queued_entries,
+            "queued converges under quiescence"
+        );
+        assert_eq!(locked_stats, aib_core::AdaptationStats::default());
+        assert_eq!(inline_stats, aib_core::AdaptationStats::default());
+        assert!(queued_stats.enqueued > 0, "queued mode parked batches");
+        assert_eq!(
+            queued_stats.applied + queued_stats.dropped,
+            queued_stats.enqueued,
+            "every batch was resolved"
+        );
+        assert_eq!(queued_stats.depth, 0, "drained");
+    }
+
+    #[test]
+    fn queued_mode_stays_correct_under_ddl_races() {
+        // Redefining coverage while batches are parked must drop the stale
+        // batches (epoch moved), not resurrect pre-DDL entries.
+        let db = Database::new(EngineConfig {
+            adaptation_apply_mode: AdaptationApplyMode::Queued,
+            ..config()
+        });
+        db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+            .unwrap();
+        for i in 0..300 {
+            db.insert(
+                "t",
+                &Tuple::new(vec![Value::Int(i), Value::from("p".repeat(100))]),
+            )
+            .unwrap();
+        }
+        db.create_partial_index(
+            "t",
+            "k",
+            Coverage::IntRange { lo: 0, hi: 99 },
+            IndexBackend::BTree,
+            Some(BufferConfig::default()),
+        )
+        .unwrap();
+        // Stage batches, then immediately flip coverage before draining.
+        db.execute(&Query::point("t", "k", 200i64)).unwrap();
+        db.redefine_coverage("t", "k", Coverage::IntRange { lo: 200, hi: 299 })
+            .unwrap();
+        db.drain_adaptations();
+        db.check_space_invariants();
+        // Post-DDL queries answer correctly on both paths.
+        let (r, m) = db
+            .execute(&Query::point("t", "k", 250i64))
+            .unwrap()
+            .into_parts();
+        assert_eq!(m.path, AccessPath::PartialIndex);
+        assert_eq!(r.count(), 1);
+        let (r, _) = db
+            .execute(&Query::point("t", "k", 50i64))
+            .unwrap()
+            .into_parts();
+        assert_eq!(r.count(), 1);
         db.check_space_invariants();
     }
 

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use aib_core::ScanStats;
+use aib_core::{AdaptationStats, ScanStats};
 use aib_storage::stats::IoSnapshot;
 use aib_storage::BudgetSnapshot;
 
@@ -34,6 +34,11 @@ pub struct QueryMetrics {
     /// component, combined high-water mark, denied reservations and
     /// displacements performed so far.
     pub memory: BudgetSnapshot,
+    /// Adaptation-queue counters after the query (summed across shards):
+    /// current depth plus cumulative enqueued / applied / dropped /
+    /// rejected batches. All zero outside
+    /// [`crate::AdaptationApplyMode::Queued`].
+    pub adaptation: AdaptationStats,
 }
 
 impl QueryMetrics {
@@ -56,6 +61,12 @@ impl QueryMetrics {
     /// index hits).
     pub fn sweep_batches(&self) -> u32 {
         self.scan.as_ref().map_or(0, |s| s.sweep_batches)
+    }
+
+    /// Pages this query parked on the adaptation queue instead of applying
+    /// inline (0 outside queued mode and for non-scan paths).
+    pub fn pages_staged(&self) -> u32 {
+        self.scan.as_ref().map_or(0, |s| s.pages_staged)
     }
 }
 
@@ -116,7 +127,7 @@ impl WorkloadRecorder {
     }
 
     /// Renders the series as CSV with one row per query. Columns:
-    /// `seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,entries_b0,entries_b1,...`
+    /// `seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,pages_staged,sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,queue_depth,adapt_applied,adapt_dropped,entries_b0,entries_b1,...`
     pub fn to_csv(&self) -> String {
         let buffers = self
             .records
@@ -125,8 +136,9 @@ impl WorkloadRecorder {
             .max()
             .unwrap_or(0);
         let mut out = String::from(
-            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,\
-             pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements",
+            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,pages_staged,\
+             sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,\
+             queue_depth,adapt_applied,adapt_dropped",
         );
         for b in 0..buffers {
             out.push_str(&format!(",entries_b{b}"));
@@ -139,7 +151,7 @@ impl WorkloadRecorder {
                 AccessPath::PlainScan => "scan",
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 r.seq,
                 path,
                 r.result_count,
@@ -147,6 +159,7 @@ impl WorkloadRecorder {
                 r.pages_skipped(),
                 r.skip_runs(),
                 r.sweep_batches(),
+                r.pages_staged(),
                 r.simulated_us(),
                 r.wall.as_micros(),
                 r.memory.buffer_pool_bytes,
@@ -154,6 +167,9 @@ impl WorkloadRecorder {
                 r.memory.high_water,
                 r.memory.denials,
                 r.memory.displacements,
+                r.adaptation.depth,
+                r.adaptation.applied,
+                r.adaptation.dropped,
             ));
             for b in 0..buffers {
                 out.push_str(&format!(
@@ -193,6 +209,7 @@ mod tests {
                 denials: 1,
                 displacements: 2,
             },
+            adaptation: AdaptationStats::default(),
         }
     }
 
@@ -218,25 +235,33 @@ mod tests {
             pages_skipped: 4,
             skip_runs: 2,
             sweep_batches: 3,
+            pages_staged: 1,
             ..Default::default()
         });
+        scanned.adaptation = AdaptationStats {
+            depth: 1,
+            enqueued: 5,
+            applied: 3,
+            dropped: 1,
+            rejected: 0,
+        };
         rec.push(scanned);
         let csv = rec.to_csv();
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,sim_us,wall_us,\
-             pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,\
-             entries_b0,entries_b1"
+            "seq,path,results,pages_read,pages_skipped,skip_runs,sweep_batches,pages_staged,\
+             sim_us,wall_us,pool_bytes,index_bytes,mem_high_water,mem_denials,mem_displacements,\
+             queue_depth,adapt_applied,adapt_dropped,entries_b0,entries_b1"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "0,index,1,2,0,0,0,200,5,16384,960,17344,1,2,10,20"
+            "0,index,1,2,0,0,0,0,200,5,16384,960,17344,1,2,0,0,0,10,20"
         );
         assert_eq!(
             lines.next().unwrap(),
-            "1,buffered,1,2,4,2,3,200,5,16384,960,17344,1,2,10,20",
-            "scan rows carry the run/batch sweep columns"
+            "1,buffered,1,2,4,2,3,1,200,5,16384,960,17344,1,2,1,3,1,10,20",
+            "scan rows carry the sweep-shape and adaptation-queue columns"
         );
     }
 

@@ -1,0 +1,210 @@
+//! Property test of the "convergent under quiescence" contract
+//! (DESIGN §6): whatever the workload, coverage fraction, shard count and
+//! space budget, the snapshot-planned read path — in every
+//! `adaptation_apply_mode` — must
+//!
+//! 1. return exactly the result set the locked sequential executor
+//!    returns, query by query, regardless of when queued batches are
+//!    applied; and
+//! 2. after a quiescent drain (`drain_adaptations` with no query in
+//!    flight), leave the Index Buffer contents, every per-page `C[p]`,
+//!    and the governor's `IndexSpace` charge identical to the sequential
+//!    executor's — when drains happen at the same points the sequential
+//!    executor applies (after every query).
+//!
+//! A lazily drained queued run (batches parked across several queries) is
+//! additionally held to the shadow-model invariants: after the final
+//! drain, `C[p]` must match the heap ground truth and the governor charge
+//! the resident footprint — the state may legitimately lag the sequential
+//! executor's *before* quiescence, but it must never be *wrong*.
+//!
+//! Extends the `proptest_space.rs` pattern (random setup → invariant
+//! assertions vs first-principles recomputation) one layer up, to the
+//! engine's executor.
+
+use aib_core::{BufferConfig, SpaceConfig};
+use aib_engine::{AdaptationApplyMode, Database, EngineConfig, Query};
+use aib_index::{Coverage, IndexBackend};
+use aib_storage::{Column, CostModel, Schema, Tuple, Value, DEFAULT_ENTRY_FOOTPRINT};
+use proptest::prelude::*;
+
+/// One generated workload: a keyed table, a partial index covering a
+/// bottom fraction of the domain, and a probe sequence mixing point and
+/// range queries over covered and uncovered keys.
+#[derive(Debug, Clone)]
+struct Workload {
+    rows: i64,
+    covered_pct: i64,
+    shards: usize,
+    /// `None` = unlimited space; `Some(n)` = an entry cap (0 pins the
+    /// buffer empty, a mid-size cap forces the planner's fail-closed
+    /// fallback and displacement decisions).
+    budget_entries: Option<usize>,
+    probes: Vec<Probe>,
+    /// The lazy queued run drains only every `drain_every` queries.
+    drain_every: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Probe {
+    Point(i64),
+    Between(i64, i64),
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    let probe = prop_oneof![
+        (1i64..400).prop_map(Probe::Point),
+        (1i64..400, 1i64..80).prop_map(|(lo, w)| Probe::Between(lo, lo + w)),
+    ];
+    (
+        150i64..400,
+        0i64..=90,
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![
+            Just(None),
+            Just(Some(0usize)),
+            (20usize..200).prop_map(Some),
+        ],
+        prop::collection::vec(probe, 4..12),
+        1usize..4,
+    )
+        .prop_map(
+            |(rows, covered_pct, shards, budget_entries, probes, drain_every)| Workload {
+                rows,
+                covered_pct,
+                shards,
+                budget_entries,
+                probes,
+                drain_every,
+            },
+        )
+}
+
+/// Observable end state after a quiescent drain: per-buffer entry counts,
+/// every per-page `C[p]`, and the governor's index-space byte charge.
+#[derive(Debug, PartialEq, Eq)]
+struct EndState {
+    entries: usize,
+    counters: Vec<u32>,
+    index_bytes: usize,
+}
+
+/// Runs the workload in one mode, draining every `drain_every` queries
+/// and once more at the end, and returns (per-query result counts, end
+/// state, adaptation stats).
+fn run(
+    w: &Workload,
+    mode: AdaptationApplyMode,
+    drain_every: usize,
+) -> (Vec<usize>, EndState, aib_core::AdaptationStats) {
+    let db = Database::new(EngineConfig {
+        pool_frames: 256,
+        cost_model: CostModel::free(),
+        scan_threads: 1,
+        adaptation_apply_mode: mode,
+        space: SpaceConfig {
+            max_bytes: w.budget_entries.map(|n| n * DEFAULT_ENTRY_FOOTPRINT),
+            i_max: 1_000,
+            seed: 11,
+            shards: w.shards,
+        },
+        ..Default::default()
+    });
+    db.create_table("t", Schema::new(vec![Column::int("k"), Column::str("pad")]))
+        .unwrap();
+    for i in 1..=w.rows {
+        db.insert(
+            "t",
+            &Tuple::new(vec![Value::Int(i), Value::from("p".repeat(48))]),
+        )
+        .unwrap();
+    }
+    let hi = w.covered_pct * w.rows / 100;
+    db.create_partial_index(
+        "t",
+        "k",
+        Coverage::IntRange { lo: 1, hi },
+        IndexBackend::BTree,
+        Some(BufferConfig::default()),
+    )
+    .unwrap();
+
+    let domain = |v: i64| 1 + (v - 1) % w.rows;
+    let mut counts = Vec::with_capacity(w.probes.len());
+    for (i, probe) in w.probes.iter().enumerate() {
+        let q = match *probe {
+            Probe::Point(v) => Query::point("t", "k", domain(v)),
+            Probe::Between(lo, hi) => {
+                let (a, b) = (domain(lo), domain(hi));
+                Query::range("t", "k", a.min(b), a.max(b))
+            }
+        };
+        counts.push(db.execute(&q).unwrap().into_parts().0.count());
+        if (i + 1) % drain_every == 0 {
+            db.drain_adaptations();
+        }
+    }
+    db.drain_adaptations();
+
+    db.check_space_invariants();
+    #[cfg(feature = "invariant-checks")]
+    db.verify_invariants().unwrap();
+
+    let shard = db.space_shard(0);
+    let end = EndState {
+        entries: shard.buffer(0).num_entries(),
+        counters: (0..shard.counters(0).num_pages())
+            .map(|p| shard.counters(0).get(p))
+            .collect(),
+        index_bytes: db.budget().snapshot().index_bytes,
+    };
+    drop(shard);
+    (counts, end, db.adaptation_stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn planned_paths_converge_to_the_sequential_executor(w in workload_strategy()) {
+        // The sequential executor: every scan plans and applies under the
+        // shard write lock; its state after each query IS the contract.
+        let (seq_counts, seq_end, seq_stats) = run(&w, AdaptationApplyMode::Locked, 1);
+        prop_assert_eq!(seq_stats, aib_core::AdaptationStats::default());
+
+        // Inline: read-only snapshot planning, synchronous locked apply —
+        // read-your-writes, so it must match without any drain help.
+        let (inline_counts, inline_end, inline_stats) =
+            run(&w, AdaptationApplyMode::Inline, 1);
+        prop_assert_eq!(&inline_counts, &seq_counts, "inline results diverged");
+        prop_assert_eq!(&inline_end, &seq_end, "inline end state diverged");
+        prop_assert_eq!(inline_stats, aib_core::AdaptationStats::default());
+
+        // Queued, drained at the sequential executor's apply points:
+        // quiescent convergence must reproduce its state exactly.
+        let (q_counts, q_end, q_stats) = run(&w, AdaptationApplyMode::Queued, 1);
+        prop_assert_eq!(&q_counts, &seq_counts, "queued results diverged");
+        prop_assert_eq!(&q_end, &seq_end, "queued end state diverged after drain");
+        prop_assert_eq!(q_stats.depth, 0, "drain left batches parked");
+        prop_assert_eq!(
+            q_stats.applied + q_stats.dropped + q_stats.rejected,
+            q_stats.enqueued,
+            "unaccounted batches"
+        );
+
+        // Queued with lazy drains: query results must STILL be exact (the
+        // scan answers staged pages by reading them), and the post-drain
+        // state must satisfy the shadow model (checked inside `run`), even
+        // though it may legitimately differ from the sequential end state
+        // when a batch was parked across a later query's planning.
+        let (lazy_counts, _lazy_end, lazy_stats) =
+            run(&w, AdaptationApplyMode::Queued, w.drain_every);
+        prop_assert_eq!(&lazy_counts, &seq_counts, "lazily drained results diverged");
+        prop_assert_eq!(lazy_stats.depth, 0, "final drain left batches parked");
+        prop_assert_eq!(
+            lazy_stats.applied + lazy_stats.dropped + lazy_stats.rejected,
+            lazy_stats.enqueued,
+            "unaccounted batches"
+        );
+    }
+}

@@ -13,6 +13,7 @@ pub struct Database {
     shards: [Mutex<u32>; 2],
     space: Mutex<u32>,
     catalog: Mutex<u32>,
+    queue: Mutex<u32>,
     counter: AtomicUsize,
 }
 
@@ -51,6 +52,17 @@ impl Database {
         let catalog = self.catalog.lock();
         let a = *space.map_err(|_| EngineError)?;
         let b = *catalog.map_err(|_| EngineError)?;
+        Ok(a + b)
+    }
+
+    pub fn tiered_lock_after_queue(&mut self) -> EngineResult<u32> {
+        // lock-order: a queue-class mutex (adaptation/commit queue) is a
+        // leaf of the hierarchy — a shard lock must never be acquired
+        // while one is held.
+        let queue = self.queue.lock();
+        let shard = self.shards[0].lock();
+        let a = *queue.map_err(|_| EngineError)?;
+        let b = *shard.map_err(|_| EngineError)?;
         Ok(a + b)
     }
 

@@ -89,6 +89,10 @@ fn sync_shim_fires_on_raw_paths_outside_shim() {
         "use parking_lot::RwLock;\n",
         "use std::sync::Mutex;\n",
         "fn f() { std::sync::atomic::fence(Ordering::SeqCst); }\n",
+        // A raw channel hides the adaptation queue's push/drain edges from
+        // the model runtime; the queue must be a shimmed Mutex<VecDeque>.
+        "use std::sync::mpsc::channel;\n",
+        "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u32>(); let _ = (tx, rx); }\n",
     ] {
         let v = lint_lib(bad);
         assert!(rules_of(&v).contains("sync-shim"), "{bad}: {v:?}");
@@ -200,6 +204,36 @@ fn lock_order_fires_on_descending_shard_indices() {
         // Re-acquisition after a drop is sequential, but the lint is
         // conservative only for known literals in one body going down.
         "fn f(&self) { let a = self.space.shard_write(1); drop(a); let b = self.space.shard_write(2); }\n",
+    ] {
+        let v = lint_lib(good);
+        assert!(!rules_of(&v).contains("lock-order"), "{good}: {v:?}");
+    }
+}
+
+#[test]
+fn lock_order_fires_on_tiered_lock_after_queue_leaf() {
+    // Queue-class mutexes (adaptation `batches`, the `applier` registry,
+    // the group-commit `queue`) are leaves of the whole hierarchy: the
+    // drain path enters them with the shard write lock already held, so
+    // holding one while acquiring any tiered lock is an inversion.
+    for bad in [
+        "fn f(&self) { let q = self.queue.lock(); let g = self.space.shard_write(0); }\n",
+        "fn f(&self) { let b = self.batches.lock(); let c = self.catalog.read(); }\n",
+        "fn f(&self) { let a = self.applier.lock(); let p = self.pool.lock(); }\n",
+        "fn f(&self) { let q = self.queues[0].batches.lock(); let s = self.shards[0].write(); }\n",
+    ] {
+        let v = lint_lib(bad);
+        assert!(rules_of(&v).contains("lock-order"), "{bad}: {v:?}");
+    }
+    for good in [
+        // The drain shape: queue taken with the shard lock already held.
+        "fn f(&self) { let g = self.space.shard_write(0); let q = self.queues[0].batches.lock(); }\n",
+        // The group-commit leader: wal (untiered) then the commit queue.
+        "fn f(&self) { let w = self.wal.lock(); let q = self.queue.lock(); }\n",
+        // Queue-class locks among themselves are unordered leaves.
+        "fn f(&self) { let q = self.batches.lock(); let a = self.applier.lock(); }\n",
+        // Per-function scoping holds here too.
+        "fn a(&self) { let q = self.queue.lock(); }\nfn b(&self) { let s = self.space.read(); }\n",
     ] {
         let v = lint_lib(good);
         assert!(!rules_of(&v).contains("lock-order"), "{good}: {v:?}");
